@@ -1,0 +1,41 @@
+//! Criterion version of Table 5's file rows: open, 1 KB read, 1 KB write.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resin_bench::table5::file_bench;
+use resin_bench::Config;
+
+fn file_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5/file_open");
+    for config in Config::ALL {
+        let b = file_bench(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.open_once());
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table5/file_read_1k");
+    for config in Config::ALL {
+        let b = file_bench(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.read_once());
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table5/file_write_1k");
+    for config in Config::ALL {
+        let mut b = file_bench(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.write_once());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = file_ops
+}
+criterion_main!(benches);

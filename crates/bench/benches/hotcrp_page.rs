@@ -1,0 +1,27 @@
+//! The §7.1 application benchmark: generating the HotCRP paper page with
+//! and without RESIN (paper: 66 ms vs 88 ms, a 33% CPU overhead; two
+//! assertions fire, one of which raises and is handled through output
+//! buffering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resin_bench::{hotcrp_page_once, hotcrp_site};
+
+fn hotcrp_page(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotcrp_paper_page");
+    let mut plain = hotcrp_site(false);
+    g.bench_function("unmodified", |b| {
+        b.iter(|| std::hint::black_box(hotcrp_page_once(&mut plain)));
+    });
+    let mut resin = hotcrp_site(true);
+    g.bench_function("resin", |b| {
+        b.iter(|| std::hint::black_box(hotcrp_page_once(&mut resin)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = hotcrp_page
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion version of Table 5's SQL rows: SELECT, INSERT, DELETE over a
+//! 10-column table (plus the 6-column SELECT from §7.2's discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resin_bench::table5::sql_bench;
+use resin_bench::Config;
+
+fn sql_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5/sql_select_10col");
+    for config in Config::ALL {
+        let mut b = sql_bench(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.select_once());
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table5/sql_select_6col");
+    for config in Config::ALL {
+        let mut b = sql_bench(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.select_six_once());
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table5/sql_insert_10col");
+    for config in Config::ALL {
+        let mut b = sql_bench(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.insert_once());
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table5/sql_delete");
+    for config in Config::ALL {
+        let mut b = sql_bench(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.delete_miss_once());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sql_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion version of Table 5's interpreter rows: assign, function
+//! call, string concat, integer addition — in the three configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resin_bench::table5::{add_bench, assign_bench, call_bench, concat_bench, InterpBench, OPS};
+use resin_bench::Config;
+
+fn bench_op(c: &mut Criterion, group: &str, mk: impl Fn(Config) -> InterpBench) {
+    let mut g = c.benchmark_group(group);
+    // Each iteration runs OPS operations; report per-batch time.
+    g.throughput(criterion::Throughput::Elements(OPS as u64));
+    for config in Config::ALL {
+        let mut b = mk(config);
+        g.bench_function(BenchmarkId::from_parameter(config.label()), |bench| {
+            bench.iter(|| b.run());
+        });
+    }
+    g.finish();
+}
+
+fn table5_interp(c: &mut Criterion) {
+    bench_op(c, "table5/assign_variable", assign_bench);
+    bench_op(c, "table5/function_call", call_bench);
+    bench_op(c, "table5/string_concat", concat_bench);
+    bench_op(c, "table5/integer_addition", add_bench);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = table5_interp
+}
+criterion_main!(benches);

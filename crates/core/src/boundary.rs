@@ -1,0 +1,184 @@
+//! Internal data flow boundaries (§8, future work).
+//!
+//! The paper envisions boundaries *within* an application: "an assertion
+//! could prevent clear-text passwords from flowing out of the software
+//! module that handles passwords." [`InternalBoundary`] is that mechanism:
+//! a module wraps its public return values in [`InternalBoundary::export`],
+//! and the boundary rejects (or strips) configured policy classes, so
+//! sensitive data cannot escape the module even through code paths the
+//! module author forgot about.
+
+use crate::context::Context;
+use crate::error::{PolicyViolation, ResinError, Result};
+use crate::policy::Policy;
+use crate::taint::TaintedString;
+
+/// What the boundary does when it sees a guarded policy class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Refuse the export.
+    Deny,
+    /// Allow the export but remove the policy (declassification point).
+    Strip,
+}
+
+/// A named boundary around a software module.
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+/// use resin_core::boundary::InternalBoundary;
+/// use std::sync::Arc;
+///
+/// // The auth module never lets clear-text passwords out.
+/// let auth = InternalBoundary::new("auth").deny::<PasswordPolicy>();
+///
+/// let mut pw = TaintedString::from("s3cret");
+/// pw.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+/// assert!(auth.export(pw).is_err());
+///
+/// // Its hash function is a declassification point.
+/// let hasher = InternalBoundary::new("auth.hash").strip::<PasswordPolicy>();
+/// let mut pw = TaintedString::from("s3cret");
+/// pw.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+/// let digest = hasher.export(pw).unwrap();
+/// assert!(!digest.has_policy::<PasswordPolicy>());
+/// ```
+pub struct InternalBoundary {
+    name: &'static str,
+    rules: Vec<(
+        Box<dyn Fn(&TaintedString) -> bool + Send + Sync>,
+        Action,
+        &'static str,
+    )>,
+    strippers: Vec<Box<dyn Fn(&mut TaintedString) + Send + Sync>>,
+    context: Context,
+}
+
+impl InternalBoundary {
+    /// Creates a boundary named for its module.
+    pub fn new(name: &'static str) -> Self {
+        InternalBoundary {
+            name,
+            rules: Vec::new(),
+            strippers: Vec::new(),
+            context: Context::new(crate::channel::ChannelKind::Custom(name)),
+        }
+    }
+
+    /// The boundary's context (available to custom checks).
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.context
+    }
+
+    /// Data carrying a `T` policy may not cross outward.
+    pub fn deny<T: Policy>(mut self) -> Self {
+        self.rules.push((
+            Box::new(|d: &TaintedString| d.has_policy::<T>()),
+            Action::Deny,
+            std::any::type_name::<T>(),
+        ));
+        self
+    }
+
+    /// Crossing outward removes all `T` policies (a declassification
+    /// point, like the encryption-function filter of §3.2).
+    pub fn strip<T: Policy>(mut self) -> Self {
+        self.rules.push((
+            Box::new(|d: &TaintedString| d.has_policy::<T>()),
+            Action::Strip,
+            std::any::type_name::<T>(),
+        ));
+        self.strippers.push(Box::new(|d: &mut TaintedString| {
+            d.remove_policy_type::<T>()
+        }));
+        self
+    }
+
+    /// Exports `data` across the boundary, applying the rules in order.
+    pub fn export(&self, mut data: TaintedString) -> Result<TaintedString> {
+        for (pred, action, class) in &self.rules {
+            if pred(&data) {
+                match action {
+                    Action::Deny => {
+                        return Err(ResinError::Violation(PolicyViolation::new(
+                            "InternalBoundary",
+                            format!(
+                                "`{class}`-labeled data may not leave module `{}`",
+                                self.name
+                            ),
+                        )));
+                    }
+                    Action::Strip => {}
+                }
+            }
+        }
+        for strip in &self.strippers {
+            strip(&mut data);
+        }
+        Ok(data)
+    }
+}
+
+impl std::fmt::Debug for InternalBoundary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InternalBoundary")
+            .field("name", &self.name)
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{PasswordPolicy, UntrustedData};
+    use std::sync::Arc;
+
+    fn pw() -> TaintedString {
+        TaintedString::with_policy("s3cret", Arc::new(PasswordPolicy::new("u@x")))
+    }
+
+    #[test]
+    fn deny_blocks_labeled_data() {
+        let b = InternalBoundary::new("auth").deny::<PasswordPolicy>();
+        let err = b.export(pw()).unwrap_err();
+        assert!(err.is_violation());
+        // Unlabeled data crosses freely.
+        assert!(b.export(TaintedString::from("public")).is_ok());
+    }
+
+    #[test]
+    fn strip_declassifies() {
+        let b = InternalBoundary::new("auth.hash").strip::<PasswordPolicy>();
+        let out = b.export(pw()).unwrap();
+        assert!(!out.has_policy::<PasswordPolicy>());
+        assert_eq!(out.as_str(), "s3cret");
+    }
+
+    #[test]
+    fn rules_compose_and_order_matters() {
+        // Deny untrusted, strip passwords: both rules apply independently.
+        let b = InternalBoundary::new("m")
+            .deny::<UntrustedData>()
+            .strip::<PasswordPolicy>();
+        assert!(b.export(pw()).unwrap().policies().is_empty());
+        let mixed = TaintedString::with_policy("x", Arc::new(UntrustedData::new()));
+        assert!(b.export(mixed).is_err());
+    }
+
+    #[test]
+    fn partial_taint_still_denied() {
+        let b = InternalBoundary::new("auth").deny::<PasswordPolicy>();
+        let mut msg = TaintedString::from("prefix ");
+        msg.push_tainted(&pw());
+        assert!(b.export(msg).is_err(), "any labeled byte is enough");
+    }
+
+    #[test]
+    fn debug_format() {
+        let b = InternalBoundary::new("auth").deny::<PasswordPolicy>();
+        assert!(format!("{b:?}").contains("auth"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Channel context: metadata describing a specific data flow boundary.
+//!
+//! RESIN annotates default filter objects with context metadata in the form
+//! of a hash table (§3.2.1) — for example, each outgoing-email channel is
+//! annotated with the recipient address, and applications add their own
+//! key–value pairs (the current user on an HTTP connection, say). The filter
+//! passes the context to each policy's `export_check`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::channel::ChannelKind;
+
+/// A single context value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtxValue {
+    /// A string value (recipients, user names, paths, ...).
+    Str(String),
+    /// An integer value.
+    Int(i64),
+    /// A boolean flag (e.g. `priv_chair`).
+    Bool(bool),
+}
+
+impl CtxValue {
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            CtxValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CtxValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            CtxValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for CtxValue {
+    fn from(s: &str) -> Self {
+        CtxValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for CtxValue {
+    fn from(s: String) -> Self {
+        CtxValue::Str(s)
+    }
+}
+
+impl From<i64> for CtxValue {
+    fn from(i: i64) -> Self {
+        CtxValue::Int(i)
+    }
+}
+
+impl From<bool> for CtxValue {
+    fn from(b: bool) -> Self {
+        CtxValue::Bool(b)
+    }
+}
+
+impl fmt::Display for CtxValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtxValue::Str(s) => f.write_str(s),
+            CtxValue::Int(i) => write!(f, "{i}"),
+            CtxValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The context hash table attached to a filter object.
+///
+/// The `type` key is always present and names the channel kind, matching the
+/// paper's `$context['type'] == 'email'` idiom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Context {
+    kind: ChannelKind,
+    entries: BTreeMap<String, CtxValue>,
+}
+
+impl Context {
+    /// Creates a context for a channel of `kind`; sets the `type` entry.
+    pub fn new(kind: ChannelKind) -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert("type".to_string(), CtxValue::from(kind.type_name()));
+        Context { kind, entries }
+    }
+
+    /// The kind of channel this context describes.
+    pub fn kind(&self) -> &ChannelKind {
+        &self.kind
+    }
+
+    /// The channel type string (same as `get_str("type")`).
+    pub fn channel_type(&self) -> &str {
+        self.kind.type_name()
+    }
+
+    /// Inserts or replaces a context entry.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<CtxValue>) -> &mut Self {
+        self.entries.insert(key.into(), value.into());
+        self
+    }
+
+    /// Inserts a string entry (convenience).
+    pub fn set_str(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.set(key, CtxValue::Str(value.into()))
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &str) -> Option<&CtxValue> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a string entry.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).and_then(CtxValue::as_str)
+    }
+
+    /// Looks up a boolean entry, defaulting to `false` when absent.
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.entries
+            .get(key)
+            .and_then(CtxValue::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// Looks up an integer entry.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        self.entries.get(key).and_then(CtxValue::as_int)
+    }
+
+    /// Removes an entry, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<CtxValue> {
+        self.entries.remove(key)
+    }
+
+    /// True if the context has an entry for `key`.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Iterates over all `(key, value)` entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CtxValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries, including the implicit `type`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when only the implicit `type` entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_key_set_automatically() {
+        let ctx = Context::new(ChannelKind::Email);
+        assert_eq!(ctx.get_str("type"), Some("email"));
+        assert_eq!(ctx.channel_type(), "email");
+        assert!(ctx.is_empty(), "only the implicit type entry");
+    }
+
+    #[test]
+    fn set_and_get_values() {
+        let mut ctx = Context::new(ChannelKind::Http);
+        ctx.set_str("user", "alice")
+            .set("priv_chair", true)
+            .set("status", 200i64);
+        assert_eq!(ctx.get_str("user"), Some("alice"));
+        assert!(ctx.get_flag("priv_chair"));
+        assert!(!ctx.get_flag("absent"));
+        assert_eq!(ctx.get_int("status"), Some(200));
+        assert_eq!(ctx.len(), 4);
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut ctx = Context::new(ChannelKind::Socket);
+        ctx.set_str("k", "v");
+        assert!(ctx.contains("k"));
+        assert_eq!(ctx.remove("k"), Some(CtxValue::Str("v".into())));
+        assert!(!ctx.contains("k"));
+    }
+
+    #[test]
+    fn ctx_value_conversions() {
+        assert_eq!(CtxValue::from("x").as_str(), Some("x"));
+        assert_eq!(CtxValue::from(7i64).as_int(), Some(7));
+        assert_eq!(CtxValue::from(true).as_bool(), Some(true));
+        assert_eq!(CtxValue::from("x").as_int(), None);
+        assert_eq!(CtxValue::Int(3).to_string(), "3");
+        assert_eq!(CtxValue::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn iter_in_key_order() {
+        let mut ctx = Context::new(ChannelKind::Pipe);
+        ctx.set_str("b", "2").set_str("a", "1");
+        let keys: Vec<&str> = ctx.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "type"]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Error types shared by the RESIN runtime.
+
+use std::fmt;
+
+use crate::channel::ChannelKind;
+
+/// A data flow assertion failure.
+///
+/// Raised by a policy object's `export_check` (or a filter object) when data
+/// is about to cross a data flow boundary in violation of an assertion. This
+/// corresponds to the exception thrown by `export_check` in the paper
+/// (Figure 2): the runtime converts the exception into an aborted write, so
+/// the faulty flow never becomes visible outside the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyViolation {
+    /// Class name of the policy (or filter) that rejected the flow.
+    pub policy: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The kind of channel on which the violation occurred, if known.
+    pub channel: Option<ChannelKind>,
+}
+
+impl PolicyViolation {
+    /// Creates a violation raised by `policy` with a description.
+    pub fn new(policy: impl Into<String>, message: impl Into<String>) -> Self {
+        PolicyViolation {
+            policy: policy.into(),
+            message: message.into(),
+            channel: None,
+        }
+    }
+
+    /// Attaches the channel kind on which the violation occurred.
+    pub fn on_channel(mut self, kind: ChannelKind) -> Self {
+        self.channel = Some(kind);
+        self
+    }
+}
+
+impl fmt::Display for PolicyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy violation [{}]: {}", self.policy, self.message)?;
+        if let Some(ch) = &self.channel {
+            write!(f, " (channel: {ch})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PolicyViolation {}
+
+/// Errors produced by policy (de)serialization (persistent policies, §3.4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializeError {
+    /// The serialized form referenced a policy class that is not registered.
+    UnknownClass(String),
+    /// The serialized form was syntactically malformed.
+    Malformed(String),
+    /// A required field was missing when reconstructing a policy.
+    MissingField {
+        /// Policy class being reconstructed.
+        class: String,
+        /// Name of the missing field.
+        field: String,
+    },
+    /// A field value could not be parsed into the expected type.
+    BadField {
+        /// Policy class being reconstructed.
+        class: String,
+        /// Name of the offending field.
+        field: String,
+        /// Description of the parse failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::UnknownClass(c) => write!(f, "unknown policy class `{c}`"),
+            SerializeError::Malformed(m) => write!(f, "malformed serialized policy: {m}"),
+            SerializeError::MissingField { class, field } => {
+                write!(f, "policy `{class}` missing field `{field}`")
+            }
+            SerializeError::BadField {
+                class,
+                field,
+                reason,
+            } => write!(f, "policy `{class}` field `{field}`: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// Top-level error type for RESIN runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResinError {
+    /// A data flow assertion rejected the flow.
+    Violation(PolicyViolation),
+    /// Persistent policy serialization failed.
+    Serialize(SerializeError),
+    /// Two policies could not be merged (a `merge` method vetoed, §3.4.2).
+    MergeDenied(PolicyViolation),
+    /// A filter rejected in-transit data for a non-policy reason
+    /// (e.g. the HTTP-response-splitting filter).
+    FilterRejected(String),
+    /// Generic runtime error (I/O on a simulated channel, etc.).
+    Runtime(String),
+}
+
+impl ResinError {
+    /// Convenience constructor for [`ResinError::Runtime`].
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        ResinError::Runtime(msg.into())
+    }
+
+    /// Returns the inner violation, if this error is one.
+    pub fn as_violation(&self) -> Option<&PolicyViolation> {
+        match self {
+            ResinError::Violation(v) | ResinError::MergeDenied(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the error is a policy violation or merge denial.
+    pub fn is_violation(&self) -> bool {
+        self.as_violation().is_some()
+    }
+}
+
+impl fmt::Display for ResinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResinError::Violation(v) => write!(f, "{v}"),
+            ResinError::Serialize(e) => write!(f, "serialize error: {e}"),
+            ResinError::MergeDenied(v) => write!(f, "merge denied: {v}"),
+            ResinError::FilterRejected(m) => write!(f, "filter rejected data: {m}"),
+            ResinError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ResinError {}
+
+impl From<PolicyViolation> for ResinError {
+    fn from(v: PolicyViolation) -> Self {
+        ResinError::Violation(v)
+    }
+}
+
+impl From<SerializeError> for ResinError {
+    fn from(e: SerializeError) -> Self {
+        ResinError::Serialize(e)
+    }
+}
+
+/// Result alias used throughout the runtime.
+pub type Result<T, E = ResinError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_includes_policy_and_channel() {
+        let v = PolicyViolation::new("PasswordPolicy", "unauthorized disclosure")
+            .on_channel(ChannelKind::Http);
+        let s = v.to_string();
+        assert!(s.contains("PasswordPolicy"));
+        assert!(s.contains("unauthorized disclosure"));
+        assert!(s.contains("http"));
+    }
+
+    #[test]
+    fn resin_error_violation_roundtrip() {
+        let v = PolicyViolation::new("P", "m");
+        let e: ResinError = v.clone().into();
+        assert!(e.is_violation());
+        assert_eq!(e.as_violation(), Some(&v));
+    }
+
+    #[test]
+    fn serialize_error_display() {
+        let e = SerializeError::MissingField {
+            class: "PagePolicy".into(),
+            field: "acl".into(),
+        };
+        assert!(e.to_string().contains("PagePolicy"));
+        assert!(e.to_string().contains("acl"));
+        let e2 = SerializeError::UnknownClass("Nope".into());
+        assert!(e2.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn runtime_error_not_violation() {
+        assert!(!ResinError::runtime("x").is_violation());
+        assert!(!ResinError::FilterRejected("y".into()).is_violation());
+    }
+}

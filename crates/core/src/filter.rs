@@ -1,0 +1,287 @@
+//! Filter objects: the boundary-interposition mechanism (§3.2).
+//!
+//! A filter object interposes on an I/O channel or function-call interface.
+//! When data crosses the boundary, the runtime invokes `filter_read` /
+//! `filter_write` (Table 3), which may check or alter the in-transit data.
+//! [`DefaultFilter`] reproduces the paper's Figure 3: it calls
+//! `export_check` on every policy of the in-transit data and always lets
+//! policy-free data through.
+
+use crate::context::Context;
+use crate::error::{ResinError, Result};
+use crate::taint::TaintedString;
+
+/// The boundary-interposition interface (Table 3's `filter::*` rows).
+///
+/// Both hooks receive the data by value and return (possibly altered) data;
+/// returning an error aborts the flow. `offset` is the running byte offset
+/// on the channel, mirroring the paper's `filter_read(data, offset)`
+/// signature.
+pub trait Filter: Send + Sync {
+    /// Invoked when data comes *in* through a data flow boundary; may assign
+    /// initial policies (e.g. deserialize persistent policies) or reject.
+    fn filter_read(
+        &self,
+        data: TaintedString,
+        _offset: u64,
+        _context: &Context,
+    ) -> Result<TaintedString> {
+        Ok(data)
+    }
+
+    /// Invoked when data is *exported* through a data flow boundary;
+    /// typically invokes assertion checks.
+    fn filter_write(
+        &self,
+        data: TaintedString,
+        _offset: u64,
+        _context: &Context,
+    ) -> Result<TaintedString> {
+        Ok(data)
+    }
+}
+
+/// The default filter attached to every channel (Figure 3).
+///
+/// On write it invokes `export_check(context)` on each distinct policy
+/// present anywhere in the data; data without policies always passes. Note
+/// the asymmetry the paper points out in §5.2: the default filter *permits*
+/// data that has no policy — assertions that require a policy's presence
+/// (like `CodeApproval`) need a programmer-specified filter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultFilter;
+
+impl Filter for DefaultFilter {
+    fn filter_write(
+        &self,
+        data: TaintedString,
+        _offset: u64,
+        context: &Context,
+    ) -> Result<TaintedString> {
+        for policy in data.policies().iter() {
+            policy
+                .export_check(context)
+                .map_err(|v| ResinError::Violation(v.on_channel(context.kind().clone())))?;
+        }
+        Ok(data)
+    }
+}
+
+/// A filter built from closures, for one-off application-specific boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+///
+/// // Reject any CR-LF-CR-LF in transit (HTTP response splitting, §3.2).
+/// let f = FnFilter::on_write(|data, _, _| {
+///     if data.contains("\r\n\r\n") {
+///         Err(ResinError::FilterRejected("response splitting".into()))
+///     } else {
+///         Ok(data)
+///     }
+/// });
+/// let mut ch = Channel::new(ChannelKind::Http);
+/// ch.add_filter(Box::new(f));
+/// assert!(ch.write_str("a\r\n\r\nb").is_err());
+/// ```
+pub struct FnFilter {
+    read: Option<FilterFn>,
+    write: Option<FilterFn>,
+}
+
+type FilterFn = Box<dyn Fn(TaintedString, u64, &Context) -> Result<TaintedString> + Send + Sync>;
+
+impl FnFilter {
+    /// A filter that only hooks writes.
+    pub fn on_write<F>(f: F) -> Self
+    where
+        F: Fn(TaintedString, u64, &Context) -> Result<TaintedString> + Send + Sync + 'static,
+    {
+        FnFilter {
+            read: None,
+            write: Some(Box::new(f)),
+        }
+    }
+
+    /// A filter that only hooks reads.
+    pub fn on_read<F>(f: F) -> Self
+    where
+        F: Fn(TaintedString, u64, &Context) -> Result<TaintedString> + Send + Sync + 'static,
+    {
+        FnFilter {
+            read: Some(Box::new(f)),
+            write: None,
+        }
+    }
+}
+
+impl Filter for FnFilter {
+    fn filter_read(
+        &self,
+        data: TaintedString,
+        offset: u64,
+        context: &Context,
+    ) -> Result<TaintedString> {
+        match &self.read {
+            Some(f) => f(data, offset, context),
+            None => Ok(data),
+        }
+    }
+
+    fn filter_write(
+        &self,
+        data: TaintedString,
+        offset: u64,
+        context: &Context,
+    ) -> Result<TaintedString> {
+        match &self.write {
+            Some(f) => f(data, offset, context),
+            None => Ok(data),
+        }
+    }
+}
+
+/// A guarded function-call boundary (Table 3's `filter_func`).
+///
+/// RESIN lets programmers attach filters to function-call interfaces —
+/// e.g. an encryption function is a natural boundary where confidentiality
+/// policies should be stripped (§3.2). `FuncBoundary` wraps a function of
+/// tainted strings and runs filters over arguments and return value.
+pub struct FuncBoundary {
+    arg_filters: Vec<Box<dyn Filter>>,
+    ret_filters: Vec<Box<dyn Filter>>,
+    context: Context,
+}
+
+impl FuncBoundary {
+    /// Creates a boundary with the given custom channel name.
+    pub fn new(name: &'static str) -> Self {
+        FuncBoundary {
+            arg_filters: Vec::new(),
+            ret_filters: Vec::new(),
+            context: Context::new(crate::channel::ChannelKind::Custom(name)),
+        }
+    }
+
+    /// Mutable access to the boundary context.
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.context
+    }
+
+    /// Adds a filter over the call's arguments.
+    pub fn filter_args(&mut self, f: Box<dyn Filter>) -> &mut Self {
+        self.arg_filters.push(f);
+        self
+    }
+
+    /// Adds a filter over the call's return value.
+    pub fn filter_ret(&mut self, f: Box<dyn Filter>) -> &mut Self {
+        self.ret_filters.push(f);
+        self
+    }
+
+    /// Calls `func` with filtered arguments and filters its return value.
+    pub fn call<F>(&self, args: Vec<TaintedString>, func: F) -> Result<TaintedString>
+    where
+        F: FnOnce(Vec<TaintedString>) -> Result<TaintedString>,
+    {
+        let mut filtered = Vec::with_capacity(args.len());
+        for a in args {
+            let mut a = a;
+            for f in &self.arg_filters {
+                a = f.filter_write(a, 0, &self.context)?;
+            }
+            filtered.push(a);
+        }
+        let mut ret = func(filtered)?;
+        for f in &self.ret_filters {
+            ret = f.filter_read(ret, 0, &self.context)?;
+        }
+        Ok(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+    use crate::policies::{PasswordPolicy, UntrustedData};
+    use crate::policy::PolicyRef;
+    use std::sync::Arc;
+
+    #[test]
+    fn default_filter_checks_every_policy() {
+        let ctx = Context::new(ChannelKind::Http);
+        let mut data = TaintedString::from("pw");
+        data.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+        let err = DefaultFilter.filter_write(data, 0, &ctx).unwrap_err();
+        assert!(err.is_violation());
+        let v = err.as_violation().unwrap();
+        assert_eq!(v.channel, Some(ChannelKind::Http));
+    }
+
+    #[test]
+    fn default_filter_passes_policy_free_data() {
+        let ctx = Context::new(ChannelKind::Http);
+        let out = DefaultFilter
+            .filter_write(TaintedString::from("ok"), 0, &ctx)
+            .unwrap();
+        assert_eq!(out.as_str(), "ok");
+    }
+
+    #[test]
+    fn default_filter_passes_marker_policies() {
+        // UntrustedData's export_check allows; only special filters act on it.
+        let ctx = Context::new(ChannelKind::Http);
+        let mut data = TaintedString::from("x");
+        data.add_policy(Arc::new(UntrustedData::new()));
+        assert!(DefaultFilter.filter_write(data, 0, &ctx).is_ok());
+    }
+
+    #[test]
+    fn fn_filter_can_alter_data() {
+        let f = FnFilter::on_write(|data, _, _| Ok(data.replace_str("\r\n\r\n", "")));
+        let ctx = Context::new(ChannelKind::Http);
+        let out = f
+            .filter_write(TaintedString::from("a\r\n\r\nb"), 0, &ctx)
+            .unwrap();
+        assert_eq!(out.as_str(), "ab");
+    }
+
+    #[test]
+    fn fn_filter_read_hook() {
+        let f = FnFilter::on_read(|mut data, _, _| {
+            data.add_policy(Arc::new(UntrustedData::new()) as PolicyRef);
+            Ok(data)
+        });
+        let ctx = Context::new(ChannelKind::Socket);
+        let out = f.filter_read(TaintedString::from("in"), 0, &ctx).unwrap();
+        assert!(out.has_policy::<UntrustedData>());
+        // Write hook not installed: passthrough.
+        let w = f.filter_write(TaintedString::from("w"), 0, &ctx).unwrap();
+        assert!(w.is_untainted());
+    }
+
+    #[test]
+    fn func_boundary_strips_policy_like_encryption() {
+        // An encryption function is a natural boundary: strip passwords.
+        let mut b = FuncBoundary::new("encrypt");
+        b.filter_args(Box::new(FnFilter::on_write(|mut data, _, _| {
+            data.remove_policy_type::<PasswordPolicy>();
+            Ok(data)
+        })));
+        let mut secret = TaintedString::from("pw");
+        secret.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+        let out = b
+            .call(vec![secret], |args| {
+                // "Encrypt" = reverse.
+                let s: String = args[0].as_str().chars().rev().collect();
+                Ok(TaintedString::from(s))
+            })
+            .unwrap();
+        assert_eq!(out.as_str(), "wp");
+        assert!(!out.has_policy::<PasswordPolicy>());
+    }
+}

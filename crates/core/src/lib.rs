@@ -1,0 +1,75 @@
+//! # resin-core — data flow assertions for application security
+//!
+//! A Rust reproduction of the core runtime of **RESIN** (Yip, Wang,
+//! Zeldovich, Kaashoek — *Improving Application Security with Data Flow
+//! Assertions*, SOSP 2009).
+//!
+//! RESIN lets programmers make their plan for correct data flow explicit:
+//!
+//! * **Policy objects** ([`policy::Policy`]) encapsulate assertion code and
+//!   metadata specific to a datum — e.g. "this password may only be emailed
+//!   to its owner".
+//! * **Data tracking** ([`taint`]) propagates policy objects along with
+//!   data, at byte granularity, as the application copies and moves it.
+//! * **Filter objects** ([`filter::Filter`]) define data flow boundaries
+//!   (sockets, files, SQL, email, HTTP, code import) where assertions are
+//!   checked by invoking each policy's `export_check`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use resin_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Annotate the password with a policy object (Figure 2).
+//! let mut password = TaintedString::from("s3cret");
+//! password.add_policy(Arc::new(PasswordPolicy::new("u@foo.com")));
+//!
+//! // The password propagates into an email body...
+//! let mut body = TaintedString::from("Your password is: ");
+//! body.push_tainted(&password);
+//!
+//! // ...and the channel's default filter enforces the assertion.
+//! let mut http = Channel::new(ChannelKind::Http);
+//! assert!(http.write(body.clone()).is_err()); // disclosure prevented
+//!
+//! let mut email = Channel::new(ChannelKind::Email);
+//! email.context_mut().set_str("email", "u@foo.com");
+//! assert!(email.write(body).is_ok()); // owner's address: allowed
+//! ```
+
+pub mod boundary;
+pub mod channel;
+pub mod context;
+pub mod error;
+pub mod filter;
+pub mod merge;
+pub mod policies;
+pub mod policy;
+pub mod policy_set;
+pub mod serialize;
+pub mod taint;
+
+/// One-stop imports for applications using the runtime.
+pub mod prelude {
+    pub use crate::channel::{Channel, ChannelKind};
+    pub use crate::context::{Context, CtxValue};
+    pub use crate::error::{PolicyViolation, ResinError, Result, SerializeError};
+    pub use crate::filter::{DefaultFilter, Filter, FnFilter, FuncBoundary};
+    pub use crate::merge::{merge_many, merge_sets};
+    pub use crate::policies::{
+        Acl, AuthenticData, CodeApproval, EmptyPolicy, HtmlSanitized, PagePolicy, PasswordPolicy,
+        Right, SqlSanitized, UntrustedData,
+    };
+    pub use crate::policy::{downcast_policy, MergeDecision, Policy, PolicyRef};
+    pub use crate::policy_set::PolicySet;
+    pub use crate::serialize::{
+        deserialize_policy, deserialize_set, deserialize_spans, register_policy_class,
+        serialize_policy, serialize_set, serialize_spans,
+    };
+    pub use crate::taint::{
+        policy_add, policy_get, policy_remove, Labeled, Tainted, TaintedString,
+    };
+}
+
+pub use prelude::*;

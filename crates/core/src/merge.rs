@@ -1,0 +1,153 @@
+//! The policy merge engine (§3.4.2).
+//!
+//! Character-level tracking lets RESIN avoid merging when data is copied
+//! verbatim, but merges are inevitable when data elements are *combined* —
+//! e.g. adding the integer values of two differently-tainted characters to
+//! compute a checksum. The runtime then invokes `merge` on each policy of
+//! each source operand, passing the other operand's policy set, and labels
+//! the result with the union of everything the merge methods return.
+
+use crate::error::ResinError;
+use crate::policy::MergeDecision;
+use crate::policy_set::PolicySet;
+
+/// Merges the policy sets of two operands being combined into one datum.
+///
+/// For every policy `p` of either operand, `p.merge(other_set)` decides
+/// whether `p` (or substitutes) should label the result; a
+/// [`MergeDecision::Deny`] aborts the whole operation with
+/// [`ResinError::MergeDenied`].
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// // UntrustedData uses the union strategy: the result stays untrusted.
+/// let a = PolicySet::single(Arc::new(UntrustedData::new()));
+/// let b = PolicySet::empty();
+/// let merged = merge_sets(&a, &b).unwrap();
+/// assert!(merged.has::<UntrustedData>());
+/// ```
+pub fn merge_sets(a: &PolicySet, b: &PolicySet) -> Result<PolicySet, ResinError> {
+    // Fast paths: nothing to merge.
+    if a.is_empty() && b.is_empty() {
+        return Ok(PolicySet::empty());
+    }
+    let mut out = PolicySet::empty();
+    for (own, other) in [(a, b), (b, a)] {
+        for p in own.iter() {
+            match p.merge(other) {
+                MergeDecision::Keep => {
+                    out.add(p.clone());
+                }
+                MergeDecision::Drop => {}
+                MergeDecision::Attach(list) => {
+                    for q in list {
+                        out.add(q);
+                    }
+                }
+                MergeDecision::Deny(v) => return Err(ResinError::MergeDenied(v)),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Merges an arbitrary number of operand policy sets left-to-right.
+pub fn merge_many<'a, I>(sets: I) -> Result<PolicySet, ResinError>
+where
+    I: IntoIterator<Item = &'a PolicySet>,
+{
+    let mut acc = PolicySet::empty();
+    for s in sets {
+        acc = merge_sets(&acc, s)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::error::PolicyViolation;
+    use crate::policies::{AuthenticData, UntrustedData};
+    use crate::policy::{MergeDecision, Policy, PolicyRef};
+    use std::any::Any;
+    use std::sync::Arc;
+
+    /// A policy whose merge always denies — for failure-injection tests.
+    #[derive(Debug)]
+    struct NoMerge;
+
+    impl Policy for NoMerge {
+        fn name(&self) -> &str {
+            "NoMerge"
+        }
+        fn export_check(&self, _c: &Context) -> Result<(), PolicyViolation> {
+            Ok(())
+        }
+        fn merge(&self, _others: &PolicySet) -> MergeDecision {
+            MergeDecision::Deny(PolicyViolation::new("NoMerge", "cannot merge"))
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn union_is_default() {
+        let a = PolicySet::single(Arc::new(UntrustedData::new()));
+        let b = PolicySet::empty();
+        let m = merge_sets(&a, &b).unwrap();
+        assert!(m.has::<UntrustedData>());
+        let m2 = merge_sets(&b, &a).unwrap();
+        assert!(m2.has::<UntrustedData>());
+    }
+
+    #[test]
+    fn intersection_policy_drops_when_other_lacks_it() {
+        // AuthenticData implements the intersection strategy.
+        let a = PolicySet::single(Arc::new(AuthenticData::new()));
+        let b = PolicySet::empty();
+        let m = merge_sets(&a, &b).unwrap();
+        assert!(
+            !m.has::<AuthenticData>(),
+            "result is authentic only if all operands were"
+        );
+    }
+
+    #[test]
+    fn intersection_policy_kept_when_both_have_it() {
+        let a = PolicySet::single(Arc::new(AuthenticData::new()));
+        let b = PolicySet::single(Arc::new(AuthenticData::new()));
+        let m = merge_sets(&a, &b).unwrap();
+        assert!(m.has::<AuthenticData>());
+        assert_eq!(m.len(), 1, "deduplicated");
+    }
+
+    #[test]
+    fn deny_aborts_merge() {
+        let a = PolicySet::single(Arc::new(NoMerge) as PolicyRef);
+        let b = PolicySet::single(Arc::new(UntrustedData::new()) as PolicyRef);
+        let err = merge_sets(&a, &b).unwrap_err();
+        assert!(matches!(err, ResinError::MergeDenied(_)));
+    }
+
+    #[test]
+    fn empty_fast_path() {
+        let m = merge_sets(&PolicySet::empty(), &PolicySet::empty()).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_many_accumulates() {
+        let a = PolicySet::single(Arc::new(UntrustedData::new()) as PolicyRef);
+        let b = PolicySet::empty();
+        let c = PolicySet::single(Arc::new(UntrustedData::new()) as PolicyRef);
+        let m = merge_many([&a, &b, &c]).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m.has::<UntrustedData>());
+    }
+}

@@ -1,0 +1,53 @@
+//! The intersection-merge example policy (§3.4.2).
+
+use std::any::Any;
+
+use crate::policy::{MergeDecision, Policy};
+use crate::policy_set::PolicySet;
+
+/// Marks data whose authenticity has been verified.
+///
+/// Uses the *intersection* merge strategy: the result of combining operands
+/// is authentic only if **all** operands were authentic. This is the
+/// paper's counterpoint to `UntrustedData`'s union strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AuthenticData;
+
+impl AuthenticData {
+    /// Creates the marker.
+    pub fn new() -> Self {
+        AuthenticData
+    }
+}
+
+impl Policy for AuthenticData {
+    fn name(&self) -> &str {
+        "AuthenticData"
+    }
+
+    fn merge(&self, others: &PolicySet) -> MergeDecision {
+        if others.has::<AuthenticData>() {
+            MergeDecision::Keep
+        } else {
+            MergeDecision::Drop
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_intersection() {
+        let p = AuthenticData::new();
+        let with = PolicySet::single(std::sync::Arc::new(AuthenticData::new()));
+        let without = PolicySet::empty();
+        assert!(matches!(p.merge(&with), MergeDecision::Keep));
+        assert!(matches!(p.merge(&without), MergeDecision::Drop));
+    }
+}

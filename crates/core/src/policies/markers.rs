@@ -1,0 +1,197 @@
+//! Marker policies: policies whose *presence* (not their `export_check`)
+//! carries the assertion, interpreted by programmer-specified filters (§5.2,
+//! §5.3).
+
+use std::any::Any;
+
+use crate::context::Context;
+use crate::error::PolicyViolation;
+use crate::policy::Policy;
+
+/// Marks data that arrived from an untrusted source (user input, whois
+/// responses, uploaded files...). Uses the union merge strategy: anything
+/// computed from untrusted data stays untrusted.
+#[derive(Debug, Clone, Default)]
+pub struct UntrustedData {
+    source: Option<String>,
+}
+
+impl UntrustedData {
+    /// An untrusted-data marker with no recorded source.
+    pub fn new() -> Self {
+        UntrustedData { source: None }
+    }
+
+    /// An untrusted-data marker recording where the data came from
+    /// (useful in violation messages: "http_param", "whois", "upload"...).
+    pub fn from_source(source: impl Into<String>) -> Self {
+        UntrustedData {
+            source: Some(source.into()),
+        }
+    }
+
+    /// The recorded source, if any.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+}
+
+impl Policy for UntrustedData {
+    fn name(&self) -> &str {
+        "UntrustedData"
+    }
+
+    fn serialize_fields(&self) -> Vec<(String, String)> {
+        match &self.source {
+            Some(s) => vec![("source".to_string(), s.clone())],
+            None => Vec::new(),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Evidence that data passed through the SQL sanitization function (§5.3).
+///
+/// The SQL filter requires every `UntrustedData` byte in a query to *also*
+/// carry `SqlSanitized`. Appending evidence instead of removing
+/// `UntrustedData` lets the assertion distinguish SQL-sanitized from
+/// HTML-sanitized data — catching use of the wrong sanitizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SqlSanitized;
+
+impl SqlSanitized {
+    /// Creates the marker.
+    pub fn new() -> Self {
+        SqlSanitized
+    }
+}
+
+impl Policy for SqlSanitized {
+    fn name(&self) -> &str {
+        "SqlSanitized"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Evidence that data passed through the HTML sanitization function (§5.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HtmlSanitized;
+
+impl HtmlSanitized {
+    /// Creates the marker.
+    pub fn new() -> Self {
+        HtmlSanitized
+    }
+}
+
+impl Policy for HtmlSanitized {
+    fn name(&self) -> &str {
+        "HtmlSanitized"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Marks code the developer approved for execution (Figure 6).
+///
+/// The policy itself is empty; the interpreter's import filter requires
+/// every byte of imported code to carry it. Adversary-uploaded files lack
+/// the approval and are rejected, whether reached through `include`,
+/// `eval`, or a direct HTTP request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodeApproval;
+
+impl CodeApproval {
+    /// Creates the marker.
+    pub fn new() -> Self {
+        CodeApproval
+    }
+}
+
+impl Policy for CodeApproval {
+    fn name(&self) -> &str {
+        "CodeApproval"
+    }
+
+    fn export_check(&self, _context: &Context) -> Result<(), PolicyViolation> {
+        // Approved code may flow anywhere; the *absence* of this policy is
+        // what the import filter rejects.
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A policy with no fields and no behaviour: the "empty policy" used by the
+/// Table 5 microbenchmarks to measure pure propagation cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyPolicy;
+
+impl EmptyPolicy {
+    /// Creates the empty policy.
+    pub fn new() -> Self {
+        EmptyPolicy
+    }
+}
+
+impl Policy for EmptyPolicy {
+    fn name(&self) -> &str {
+        "EmptyPolicy"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelKind;
+    use crate::policy::{policy_refs_equal, PolicyRef};
+    use std::sync::Arc;
+
+    #[test]
+    fn markers_allow_export() {
+        let ctx = Context::new(ChannelKind::Http);
+        assert!(UntrustedData::new().export_check(&ctx).is_ok());
+        assert!(SqlSanitized::new().export_check(&ctx).is_ok());
+        assert!(HtmlSanitized::new().export_check(&ctx).is_ok());
+        assert!(CodeApproval::new().export_check(&ctx).is_ok());
+        assert!(EmptyPolicy::new().export_check(&ctx).is_ok());
+    }
+
+    #[test]
+    fn untrusted_source_recorded() {
+        let p = UntrustedData::from_source("whois");
+        assert_eq!(p.source(), Some("whois"));
+        assert_eq!(p.serialize_fields().len(), 1);
+        assert!(UntrustedData::new().source().is_none());
+    }
+
+    #[test]
+    fn untrusted_equality_by_source() {
+        let a: PolicyRef = Arc::new(UntrustedData::new());
+        let b: PolicyRef = Arc::new(UntrustedData::new());
+        assert!(policy_refs_equal(&a, &b));
+        let c: PolicyRef = Arc::new(UntrustedData::from_source("whois"));
+        assert!(!policy_refs_equal(&a, &c), "different sources kept apart");
+    }
+
+    #[test]
+    fn distinct_marker_classes() {
+        let a: PolicyRef = Arc::new(SqlSanitized::new());
+        let b: PolicyRef = Arc::new(HtmlSanitized::new());
+        assert!(!policy_refs_equal(&a, &b));
+    }
+}

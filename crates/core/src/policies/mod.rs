@@ -1,0 +1,21 @@
+//! Stock policy objects used throughout the paper's assertions (§5).
+//!
+//! | Policy | Paper use |
+//! |---|---|
+//! | [`PasswordPolicy`] | HotCRP / myPHPscripts password disclosure (Fig. 2) |
+//! | [`UntrustedData`] | SQL injection & XSS tracking (§5.3) |
+//! | [`SqlSanitized`], [`HtmlSanitized`] | sanitizer evidence markers (§5.3) |
+//! | [`CodeApproval`] | server-side script injection (Fig. 6) |
+//! | [`PagePolicy`] / [`Acl`] | MoinMoin read-ACL assertion (Fig. 5) |
+//! | [`AuthenticData`] | intersection merge-strategy example (§3.4.2) |
+//! | [`EmptyPolicy`] | the "empty policy" of the Table 5 microbenchmarks |
+
+mod acl;
+mod authentic;
+mod markers;
+mod password;
+
+pub use acl::{Acl, PagePolicy, Right};
+pub use authentic::AuthenticData;
+pub use markers::{CodeApproval, EmptyPolicy, HtmlSanitized, SqlSanitized, UntrustedData};
+pub use password::PasswordPolicy;

@@ -1,0 +1,288 @@
+//! Policy sets: the per-datum collection of policy objects.
+//!
+//! The paper adds "a pointer, that points to a set of policy objects, to the
+//! runtime's internal representation of a datum" (§4). [`PolicySet`] mirrors
+//! that: the empty set is a null pointer (`None`), so untainted data pays
+//! only an `Option` check, and copies share the underlying vector through an
+//! `Arc` with copy-on-write mutation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::policy::{policy_refs_equal, Policy, PolicyRef};
+
+/// An immutable-by-default, cheaply clonable set of policy objects.
+#[derive(Clone, Default)]
+pub struct PolicySet {
+    inner: Option<Arc<Vec<PolicyRef>>>,
+}
+
+impl PolicySet {
+    /// The empty policy set (a null pointer internally).
+    pub const fn empty() -> Self {
+        PolicySet { inner: None }
+    }
+
+    /// A set containing a single policy.
+    pub fn single(policy: PolicyRef) -> Self {
+        PolicySet {
+            inner: Some(Arc::new(vec![policy])),
+        }
+    }
+
+    /// Builds a set from an iterator, deduplicating as it goes.
+    pub fn from_iter_dedup<I: IntoIterator<Item = PolicyRef>>(iter: I) -> Self {
+        let mut set = PolicySet::empty();
+        for p in iter {
+            set.add(p);
+        }
+        set
+    }
+
+    /// True when no policies are attached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Number of policies in the set.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |v| v.len())
+    }
+
+    /// Adds `policy` unless an equal policy is already present.
+    ///
+    /// Returns true if the set changed.
+    pub fn add(&mut self, policy: PolicyRef) -> bool {
+        match &mut self.inner {
+            None => {
+                self.inner = Some(Arc::new(vec![policy]));
+                true
+            }
+            Some(vec) => {
+                if vec.iter().any(|p| policy_refs_equal(p, &policy)) {
+                    return false;
+                }
+                Arc::make_mut(vec).push(policy);
+                true
+            }
+        }
+    }
+
+    /// Removes any policy equal to `policy`. Returns true if one was removed.
+    pub fn remove(&mut self, policy: &PolicyRef) -> bool {
+        let Some(vec) = &mut self.inner else {
+            return false;
+        };
+        let before = vec.len();
+        Arc::make_mut(vec).retain(|p| !policy_refs_equal(p, policy));
+        let removed = vec.len() != before;
+        if vec.is_empty() {
+            self.inner = None;
+        }
+        removed
+    }
+
+    /// Removes every policy of concrete type `T`. Returns the count removed.
+    pub fn remove_type<T: Policy>(&mut self) -> usize {
+        let Some(vec) = &mut self.inner else {
+            return 0;
+        };
+        let before = vec.len();
+        Arc::make_mut(vec).retain(|p| p.as_any().downcast_ref::<T>().is_none());
+        let removed = before - vec.len();
+        if vec.is_empty() {
+            self.inner = None;
+        }
+        removed
+    }
+
+    /// True if the set contains a policy equal to `policy`.
+    pub fn contains(&self, policy: &PolicyRef) -> bool {
+        self.iter().any(|p| policy_refs_equal(p, policy))
+    }
+
+    /// True if any policy in the set has concrete type `T`.
+    pub fn has<T: Policy>(&self) -> bool {
+        self.iter()
+            .any(|p| p.as_any().downcast_ref::<T>().is_some())
+    }
+
+    /// Returns the first policy of concrete type `T`, if any.
+    pub fn find<T: Policy>(&self) -> Option<&T> {
+        self.iter().find_map(|p| p.as_any().downcast_ref::<T>())
+    }
+
+    /// Returns every policy of concrete type `T`.
+    pub fn find_all<T: Policy>(&self) -> Vec<&T> {
+        self.iter()
+            .filter_map(|p| p.as_any().downcast_ref::<T>())
+            .collect()
+    }
+
+    /// True if any policy reports `name()` equal to `name`.
+    pub fn has_named(&self, name: &str) -> bool {
+        self.iter().any(|p| p.name() == name)
+    }
+
+    /// Iterates over the policies.
+    pub fn iter(&self) -> impl Iterator<Item = &PolicyRef> {
+        self.inner.iter().flat_map(|v| v.iter())
+    }
+
+    /// The union of two sets (deduplicated). Cheap when either is empty.
+    pub fn union(&self, other: &PolicySet) -> PolicySet {
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let mut out = self.clone();
+        for p in other.iter() {
+            out.add(p.clone());
+        }
+        out
+    }
+
+    /// Set equality: same policies regardless of order.
+    pub fn set_eq(&self, other: &PolicySet) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        // Fast path: identical Arc.
+        if let (Some(a), Some(b)) = (&self.inner, &other.inner) {
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+        }
+        self.iter().all(|p| other.contains(p))
+    }
+
+    /// Snapshot of the policies as a vector of references.
+    pub fn to_vec(&self) -> Vec<PolicyRef> {
+        self.iter().cloned().collect()
+    }
+}
+
+impl fmt::Debug for PolicySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.iter().map(|p| p.name()).collect();
+        write!(f, "PolicySet{names:?}")
+    }
+}
+
+impl PartialEq for PolicySet {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl FromIterator<PolicyRef> for PolicySet {
+    fn from_iter<I: IntoIterator<Item = PolicyRef>>(iter: I) -> Self {
+        PolicySet::from_iter_dedup(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{PasswordPolicy, SqlSanitized, UntrustedData};
+    use std::sync::Arc;
+
+    fn pw(email: &str) -> PolicyRef {
+        Arc::new(PasswordPolicy::new(email))
+    }
+
+    #[test]
+    fn empty_set_is_null() {
+        let s = PolicySet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn add_dedups() {
+        let mut s = PolicySet::empty();
+        assert!(s.add(pw("a@x")));
+        assert!(!s.add(pw("a@x")), "structural duplicate rejected");
+        assert!(s.add(pw("b@x")));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_empty_collapse() {
+        let mut s = PolicySet::single(pw("a@x"));
+        assert!(s.remove(&pw("a@x")));
+        assert!(s.is_empty(), "collapses back to null pointer");
+        assert!(!s.remove(&pw("a@x")));
+    }
+
+    #[test]
+    fn remove_type_only_removes_that_type() {
+        let mut s = PolicySet::empty();
+        s.add(Arc::new(UntrustedData::new()));
+        s.add(Arc::new(SqlSanitized::new()));
+        s.add(pw("a@x"));
+        assert_eq!(s.remove_type::<UntrustedData>(), 1);
+        assert!(!s.has::<UntrustedData>());
+        assert!(s.has::<SqlSanitized>());
+        assert!(s.has::<PasswordPolicy>());
+    }
+
+    #[test]
+    fn find_and_find_all() {
+        let mut s = PolicySet::empty();
+        s.add(pw("a@x"));
+        s.add(pw("b@x"));
+        assert_eq!(s.find::<PasswordPolicy>().unwrap().email(), "a@x");
+        assert_eq!(s.find_all::<PasswordPolicy>().len(), 2);
+        assert!(s.find::<UntrustedData>().is_none());
+    }
+
+    #[test]
+    fn union_dedups_and_shortcuts() {
+        let a = PolicySet::single(pw("a@x"));
+        let b = PolicySet::single(pw("a@x"));
+        assert_eq!(a.union(&b).len(), 1);
+        let e = PolicySet::empty();
+        assert!(a.union(&e).set_eq(&a));
+        assert!(e.union(&a).set_eq(&a));
+    }
+
+    #[test]
+    fn set_eq_order_insensitive() {
+        let mut a = PolicySet::empty();
+        a.add(pw("a@x"));
+        a.add(pw("b@x"));
+        let mut b = PolicySet::empty();
+        b.add(pw("b@x"));
+        b.add(pw("a@x"));
+        assert!(a.set_eq(&b));
+        assert_eq!(a, b);
+        b.add(pw("c@x"));
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn clone_is_shallow_cow() {
+        let mut a = PolicySet::single(pw("a@x"));
+        let b = a.clone();
+        a.add(pw("b@x"));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1, "clone unaffected by later mutation");
+    }
+
+    #[test]
+    fn has_named() {
+        let s = PolicySet::single(pw("a@x"));
+        assert!(s.has_named("PasswordPolicy"));
+        assert!(!s.has_named("Nope"));
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let s = PolicySet::single(pw("a@x"));
+        assert!(format!("{s:?}").contains("PasswordPolicy"));
+    }
+}

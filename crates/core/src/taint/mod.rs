@@ -1,0 +1,107 @@
+//! Data tracking: policies that travel with data (§3.4).
+//!
+//! The module provides the tainted data types ([`TaintedString`],
+//! [`Tainted`]) plus the free-function API of Table 3
+//! ([`policy_add`], [`policy_remove`], [`policy_get`]), which mirrors the
+//! paper's Python prototype where `policy_add` returns a new string with
+//! the same contents but a different policy set.
+
+pub mod spans;
+pub mod string;
+pub mod value;
+
+pub use spans::{Span, SpanMap};
+pub use string::TaintedString;
+pub use value::Tainted;
+
+use crate::policy::PolicyRef;
+use crate::policy_set::PolicySet;
+
+/// Anything that can carry a policy set.
+pub trait Labeled {
+    /// The union of all attached policies.
+    fn policy_set(&self) -> PolicySet;
+    /// Attaches a policy to the whole datum.
+    fn attach(&mut self, policy: PolicyRef);
+    /// Removes a policy from the whole datum.
+    fn detach(&mut self, policy: &PolicyRef);
+}
+
+impl Labeled for TaintedString {
+    fn policy_set(&self) -> PolicySet {
+        self.policies()
+    }
+    fn attach(&mut self, policy: PolicyRef) {
+        self.add_policy(policy);
+    }
+    fn detach(&mut self, policy: &PolicyRef) {
+        self.remove_policy(policy);
+    }
+}
+
+impl<T: Clone> Labeled for Tainted<T> {
+    fn policy_set(&self) -> PolicySet {
+        self.policies().clone()
+    }
+    fn attach(&mut self, policy: PolicyRef) {
+        self.add_policy(policy);
+    }
+    fn detach(&mut self, policy: &PolicyRef) {
+        self.remove_policy(policy);
+    }
+}
+
+/// Adds `policy` to `data`'s policy set, returning the labeled datum
+/// (Table 3: `policy_add(data, policy)`).
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let pw = policy_add(TaintedString::from("s3cret"),
+///                     Arc::new(PasswordPolicy::new("u@foo.com")));
+/// assert!(pw.has_policy::<PasswordPolicy>());
+/// ```
+pub fn policy_add<L: Labeled>(mut data: L, policy: PolicyRef) -> L {
+    data.attach(policy);
+    data
+}
+
+/// Removes `policy` from `data`'s policy set (Table 3: `policy_remove`).
+pub fn policy_remove<L: Labeled>(mut data: L, policy: &PolicyRef) -> L {
+    data.detach(policy);
+    data
+}
+
+/// Returns the set of policies associated with `data` (Table 3:
+/// `policy_get`).
+pub fn policy_get<L: Labeled>(data: &L) -> PolicySet {
+    data.policy_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::UntrustedData;
+    use std::sync::Arc;
+
+    #[test]
+    fn table3_api_roundtrip() {
+        let p: PolicyRef = Arc::new(UntrustedData::new());
+        let s = policy_add(TaintedString::from("x"), p.clone());
+        assert_eq!(policy_get(&s).len(), 1);
+        let s = policy_remove(s, &p);
+        assert!(policy_get(&s).is_empty());
+    }
+
+    #[test]
+    fn table3_api_on_scalars() {
+        let p: PolicyRef = Arc::new(UntrustedData::new());
+        let v = policy_add(Tainted::new(1i64), p.clone());
+        assert!(policy_get(&v).has::<UntrustedData>());
+        let v = policy_remove(v, &p);
+        assert!(policy_get(&v).is_empty());
+    }
+}

@@ -1,0 +1,435 @@
+//! Byte-range policy maps.
+//!
+//! RESIN tracks policies at character granularity (§3.4): in PHP, "each
+//! policy object contains a character range for which the policy applies"
+//! (§4). [`SpanMap`] is that structure: a sorted, non-overlapping,
+//! coalesced list of byte ranges, each labeled with a non-empty
+//! [`PolicySet`]. Bytes not covered by any span carry the empty set.
+
+use std::ops::Range;
+
+use crate::policy::{Policy, PolicyRef};
+use crate::policy_set::PolicySet;
+
+/// One labeled byte range. `end` is exclusive.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// First byte covered.
+    pub start: usize,
+    /// One past the last byte covered.
+    pub end: usize,
+    /// Policies applying to every byte in `start..end` (never empty).
+    pub policies: PolicySet,
+}
+
+impl Span {
+    fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// A normalized map from byte ranges to policy sets.
+#[derive(Debug, Clone, Default)]
+pub struct SpanMap {
+    spans: Vec<Span>,
+}
+
+impl SpanMap {
+    /// The empty map (no byte carries a policy).
+    pub const fn new() -> Self {
+        SpanMap { spans: Vec::new() }
+    }
+
+    /// True when no byte carries a policy.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of distinct spans (after normalization).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Iterates `(range, policies)` pairs in byte order.
+    pub fn iter(&self) -> impl Iterator<Item = (Range<usize>, &PolicySet)> {
+        self.spans.iter().map(|s| (s.range(), &s.policies))
+    }
+
+    /// The policy set covering byte `idx` (empty if uncovered).
+    pub fn at(&self, idx: usize) -> PolicySet {
+        match self
+            .spans
+            .binary_search_by(|s| {
+                if idx < s.start {
+                    std::cmp::Ordering::Greater
+                } else if idx >= s.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()
+        {
+            Some(i) => self.spans[i].policies.clone(),
+            None => PolicySet::empty(),
+        }
+    }
+
+    /// The union of all policies anywhere in the map.
+    pub fn union_all(&self) -> PolicySet {
+        let mut out = PolicySet::empty();
+        for s in &self.spans {
+            out = out.union(&s.policies);
+        }
+        out
+    }
+
+    /// Splits any span straddling `pos` so that `pos` is a span boundary.
+    fn split_at(&mut self, pos: usize) {
+        if let Some(i) = self.spans.iter().position(|s| s.start < pos && pos < s.end) {
+            let tail = Span {
+                start: pos,
+                end: self.spans[i].end,
+                policies: self.spans[i].policies.clone(),
+            };
+            self.spans[i].end = pos;
+            self.spans.insert(i + 1, tail);
+        }
+    }
+
+    /// Applies `f` to the policy set of every byte in `range` (uncovered
+    /// bytes see the empty set), then renormalizes.
+    pub fn edit<F>(&mut self, range: Range<usize>, f: F)
+    where
+        F: Fn(&PolicySet) -> PolicySet,
+    {
+        if range.start >= range.end {
+            return;
+        }
+        self.split_at(range.start);
+        self.split_at(range.end);
+
+        // Transform covered segments inside the range.
+        for s in &mut self.spans {
+            if s.start >= range.start && s.end <= range.end {
+                s.policies = f(&s.policies);
+            }
+        }
+
+        // Fill gaps inside the range with f(empty), if non-empty.
+        let fill = f(&PolicySet::empty());
+        if !fill.is_empty() {
+            let mut gaps: Vec<Span> = Vec::new();
+            let mut cursor = range.start;
+            for s in &self.spans {
+                if s.end <= range.start || s.start >= range.end {
+                    continue;
+                }
+                if s.start > cursor {
+                    gaps.push(Span {
+                        start: cursor,
+                        end: s.start,
+                        policies: fill.clone(),
+                    });
+                }
+                cursor = s.end;
+            }
+            if cursor < range.end {
+                gaps.push(Span {
+                    start: cursor,
+                    end: range.end,
+                    policies: fill,
+                });
+            }
+            self.spans.extend(gaps);
+        }
+        self.normalize();
+    }
+
+    /// Adds `policy` to every byte in `range`.
+    pub fn add_policy(&mut self, range: Range<usize>, policy: PolicyRef) {
+        self.edit(range, |set| {
+            let mut s = set.clone();
+            s.add(policy.clone());
+            s
+        });
+    }
+
+    /// Adds every policy in `set` to every byte in `range`.
+    pub fn add_policies(&mut self, range: Range<usize>, set: &PolicySet) {
+        if set.is_empty() {
+            return;
+        }
+        self.edit(range, |cur| cur.union(set));
+    }
+
+    /// Removes any policy equal to `policy` from every byte in `range`.
+    pub fn remove_policy(&mut self, range: Range<usize>, policy: &PolicyRef) {
+        self.edit(range, |set| {
+            let mut s = set.clone();
+            s.remove(policy);
+            s
+        });
+    }
+
+    /// Removes every policy of type `T` from every byte in `range`.
+    pub fn remove_type<T: Policy>(&mut self, range: Range<usize>) {
+        self.edit(range, |set| {
+            let mut s = set.clone();
+            s.remove_type::<T>();
+            s
+        });
+    }
+
+    /// Extracts the sub-map for `range`, rebased to offset zero.
+    pub fn slice(&self, range: Range<usize>) -> SpanMap {
+        let mut out = Vec::new();
+        for s in &self.spans {
+            let start = s.start.max(range.start);
+            let end = s.end.min(range.end);
+            if start < end {
+                out.push(Span {
+                    start: start - range.start,
+                    end: end - range.start,
+                    policies: s.policies.clone(),
+                });
+            }
+        }
+        let mut m = SpanMap { spans: out };
+        m.normalize();
+        m
+    }
+
+    /// Appends `other`'s spans shifted by `offset` (concatenation support).
+    pub fn append(&mut self, other: &SpanMap, offset: usize) {
+        for s in &other.spans {
+            self.spans.push(Span {
+                start: s.start + offset,
+                end: s.end + offset,
+                policies: s.policies.clone(),
+            });
+        }
+        self.normalize();
+    }
+
+    /// True if every byte in `0..len` has at least one policy satisfying
+    /// `pred`. Vacuously true when `len == 0`.
+    pub fn all_bytes<F>(&self, len: usize, pred: F) -> bool
+    where
+        F: Fn(&PolicySet) -> bool,
+    {
+        if len == 0 {
+            return true;
+        }
+        let mut cursor = 0usize;
+        for s in &self.spans {
+            if s.start >= len {
+                break;
+            }
+            if s.start > cursor {
+                // An uncovered gap: the empty set must satisfy the predicate.
+                if !pred(&PolicySet::empty()) {
+                    return false;
+                }
+            }
+            if !pred(&s.policies) {
+                return false;
+            }
+            cursor = s.end;
+        }
+        if cursor < len && !pred(&PolicySet::empty()) {
+            return false;
+        }
+        true
+    }
+
+    /// True if any byte in `0..len` has a policy set satisfying `pred`.
+    pub fn any_byte<F>(&self, len: usize, pred: F) -> bool
+    where
+        F: Fn(&PolicySet) -> bool,
+    {
+        !self.all_bytes(len, |set| !pred(set))
+    }
+
+    /// Byte ranges (clipped to `0..len`) whose policy set satisfies `pred`.
+    pub fn ranges_where<F>(&self, len: usize, pred: F) -> Vec<Range<usize>>
+    where
+        F: Fn(&PolicySet) -> bool,
+    {
+        let mut out = Vec::new();
+        for s in &self.spans {
+            if s.start >= len {
+                break;
+            }
+            if pred(&s.policies) {
+                out.push(s.start..s.end.min(len));
+            }
+        }
+        out
+    }
+
+    /// Drops empty sets, sorts, and coalesces adjacent equal spans.
+    fn normalize(&mut self) {
+        self.spans
+            .retain(|s| !s.policies.is_empty() && s.start < s.end);
+        self.spans.sort_by_key(|s| s.start);
+        let mut out: Vec<Span> = Vec::with_capacity(self.spans.len());
+        for s in self.spans.drain(..) {
+            if let Some(last) = out.last_mut() {
+                if last.end == s.start && last.policies.set_eq(&s.policies) {
+                    last.end = s.end;
+                    continue;
+                }
+            }
+            out.push(s);
+        }
+        self.spans = out;
+    }
+
+    /// Clamps all spans to `0..len` (used after truncation).
+    pub fn clamp(&mut self, len: usize) {
+        for s in &mut self.spans {
+            s.end = s.end.min(len);
+        }
+        self.normalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{SqlSanitized, UntrustedData};
+    use std::sync::Arc;
+
+    fn untrusted() -> PolicyRef {
+        Arc::new(UntrustedData::new())
+    }
+
+    fn sanitized() -> PolicyRef {
+        Arc::new(SqlSanitized::new())
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = SpanMap::new();
+        m.add_policy(2..5, untrusted());
+        assert!(m.at(1).is_empty());
+        assert!(m.at(2).has::<UntrustedData>());
+        assert!(m.at(4).has::<UntrustedData>());
+        assert!(m.at(5).is_empty());
+    }
+
+    #[test]
+    fn overlapping_adds_union() {
+        let mut m = SpanMap::new();
+        m.add_policy(0..6, untrusted());
+        m.add_policy(3..9, sanitized());
+        assert_eq!(m.at(1).len(), 1);
+        assert_eq!(m.at(4).len(), 2);
+        assert_eq!(m.at(7).len(), 1);
+        assert!(m.at(7).has::<SqlSanitized>());
+        assert_eq!(m.span_count(), 3);
+    }
+
+    #[test]
+    fn coalescing_adjacent_equal_spans() {
+        let mut m = SpanMap::new();
+        m.add_policy(0..3, untrusted());
+        m.add_policy(3..6, untrusted());
+        assert_eq!(m.span_count(), 1, "adjacent equal spans coalesce");
+        assert!(m.at(0).has::<UntrustedData>());
+        assert!(m.at(5).has::<UntrustedData>());
+    }
+
+    #[test]
+    fn remove_policy_splits() {
+        let mut m = SpanMap::new();
+        m.add_policy(0..10, untrusted());
+        m.remove_type::<UntrustedData>(3..5);
+        assert!(m.at(2).has::<UntrustedData>());
+        assert!(m.at(3).is_empty());
+        assert!(m.at(4).is_empty());
+        assert!(m.at(5).has::<UntrustedData>());
+        assert_eq!(m.span_count(), 2);
+    }
+
+    #[test]
+    fn slice_rebases() {
+        let mut m = SpanMap::new();
+        m.add_policy(2..5, untrusted());
+        let s = m.slice(3..8);
+        assert!(s.at(0).has::<UntrustedData>());
+        assert!(s.at(1).has::<UntrustedData>());
+        assert!(s.at(2).is_empty());
+    }
+
+    #[test]
+    fn append_shifts() {
+        let mut a = SpanMap::new();
+        a.add_policy(0..3, untrusted());
+        let mut b = SpanMap::new();
+        b.add_policy(0..3, sanitized());
+        a.append(&b, 3);
+        assert!(a.at(1).has::<UntrustedData>());
+        assert!(a.at(4).has::<SqlSanitized>());
+        assert!(!a.at(4).has::<UntrustedData>());
+    }
+
+    #[test]
+    fn all_bytes_and_gaps() {
+        let mut m = SpanMap::new();
+        m.add_policy(0..3, untrusted());
+        assert!(m.all_bytes(3, |s| s.has::<UntrustedData>()));
+        assert!(
+            !m.all_bytes(4, |s| s.has::<UntrustedData>()),
+            "byte 3 uncovered"
+        );
+        m.add_policy(5..8, untrusted());
+        assert!(!m.all_bytes(8, |s| s.has::<UntrustedData>()), "gap 3..5");
+        assert!(m.any_byte(8, |s| s.has::<UntrustedData>()));
+        assert!(!m.any_byte(8, |s| s.has::<SqlSanitized>()));
+    }
+
+    #[test]
+    fn all_bytes_vacuous_on_empty() {
+        let m = SpanMap::new();
+        assert!(m.all_bytes(0, |_| false));
+        assert!(!m.all_bytes(1, |s| !s.is_empty()));
+    }
+
+    #[test]
+    fn ranges_where_reports_clipped() {
+        let mut m = SpanMap::new();
+        m.add_policy(2..5, untrusted());
+        m.add_policy(7..12, untrusted());
+        let r = m.ranges_where(10, |s| s.has::<UntrustedData>());
+        assert_eq!(r, vec![2..5, 7..10]);
+    }
+
+    #[test]
+    fn clamp_truncates() {
+        let mut m = SpanMap::new();
+        m.add_policy(0..10, untrusted());
+        m.clamp(4);
+        assert!(m.at(3).has::<UntrustedData>());
+        assert!(m.at(4).is_empty());
+    }
+
+    #[test]
+    fn union_all_collects() {
+        let mut m = SpanMap::new();
+        m.add_policy(0..2, untrusted());
+        m.add_policy(4..6, sanitized());
+        let u = m.union_all();
+        assert!(u.has::<UntrustedData>());
+        assert!(u.has::<SqlSanitized>());
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn empty_range_edit_is_noop() {
+        let mut m = SpanMap::new();
+        m.add_policy(3..3, untrusted());
+        assert!(m.is_empty());
+    }
+}

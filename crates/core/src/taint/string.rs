@@ -1,0 +1,608 @@
+//! Tainted strings: byte strings that carry byte-range policy sets.
+//!
+//! This is the workhorse of RESIN's data tracking (§3.4): when the
+//! application copies or moves string data, the attached policies travel
+//! with it, at byte granularity. Concatenating `"foo"` (policy *p1*) and
+//! `"bar"` (policy *p2*) yields `"foobar"` whose first three bytes carry
+//! only *p1* and last three only *p2*; slicing back out `"foo"` yields a
+//! string carrying only *p1*.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::error::Result;
+use crate::merge::merge_many;
+use crate::policy::{Policy, PolicyRef};
+use crate::policy_set::PolicySet;
+use crate::taint::spans::SpanMap;
+use crate::taint::value::Tainted;
+
+/// A string whose bytes carry policy sets.
+///
+/// The text is UTF-8 (a Rust `String`); policy ranges are byte ranges, as in
+/// the paper's PHP prototype. Operations that move bytes verbatim (concat,
+/// slice, replace, case mapping over ASCII) propagate ranges without
+/// merging; operations that *combine* bytes (numeric conversion) merge
+/// policies through the merge engine.
+#[derive(Clone, Default)]
+pub struct TaintedString {
+    text: String,
+    spans: SpanMap,
+}
+
+impl TaintedString {
+    /// An empty tainted string.
+    pub fn new() -> Self {
+        TaintedString::default()
+    }
+
+    /// A string with `policy` applied to every byte.
+    pub fn with_policy(text: impl Into<String>, policy: PolicyRef) -> Self {
+        let mut s = TaintedString::from(text.into());
+        s.add_policy(policy);
+        s
+    }
+
+    /// The underlying text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when the text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// True when no byte carries any policy.
+    pub fn is_untainted(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    // ---- policy management (Table 3: policy_add / policy_remove / policy_get) ----
+
+    /// Attaches `policy` to every byte.
+    pub fn add_policy(&mut self, policy: PolicyRef) {
+        let len = self.len();
+        self.spans.add_policy(0..len, policy);
+    }
+
+    /// Attaches `policy` to the bytes in `range`.
+    pub fn add_policy_range(&mut self, range: Range<usize>, policy: PolicyRef) {
+        let len = self.len();
+        self.spans
+            .add_policy(range.start.min(len)..range.end.min(len), policy);
+    }
+
+    /// Attaches every policy in `set` to every byte.
+    pub fn add_policies(&mut self, set: &PolicySet) {
+        let len = self.len();
+        self.spans.add_policies(0..len, set);
+    }
+
+    /// Removes any policy equal to `policy` from every byte.
+    pub fn remove_policy(&mut self, policy: &PolicyRef) {
+        let len = self.len();
+        self.spans.remove_policy(0..len, policy);
+    }
+
+    /// Removes all policies of type `T` from every byte.
+    pub fn remove_policy_type<T: Policy>(&mut self) {
+        let len = self.len();
+        self.spans.remove_type::<T>(0..len);
+    }
+
+    /// Removes all policies from every byte (declassification).
+    pub fn clear_policies(&mut self) {
+        self.spans = SpanMap::new();
+    }
+
+    /// The union of all policies attached anywhere in the string.
+    pub fn policies(&self) -> PolicySet {
+        self.spans.union_all()
+    }
+
+    /// The policy set of byte `idx` (empty if uncovered or out of range).
+    pub fn policies_at(&self, idx: usize) -> PolicySet {
+        self.spans.at(idx)
+    }
+
+    /// Iterates `(byte_range, policies)` spans in order.
+    pub fn spans(&self) -> impl Iterator<Item = (Range<usize>, &PolicySet)> {
+        self.spans.iter()
+    }
+
+    /// Number of distinct policy spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.span_count()
+    }
+
+    /// True if any byte carries a policy of type `T`.
+    pub fn has_policy<T: Policy>(&self) -> bool {
+        self.spans.any_byte(self.len(), |s| s.has::<T>())
+    }
+
+    /// True if *every* byte carries a policy of type `T`.
+    ///
+    /// This is the check the script-injection import filter performs: each
+    /// character of imported code must carry `CodeApproval` (Figure 6).
+    pub fn all_bytes_have<T: Policy>(&self) -> bool {
+        self.spans.all_bytes(self.len(), |s| s.has::<T>())
+    }
+
+    /// Byte ranges whose policy set satisfies `pred`.
+    pub fn ranges_where<F>(&self, pred: F) -> Vec<Range<usize>>
+    where
+        F: Fn(&PolicySet) -> bool,
+    {
+        self.spans.ranges_where(self.len(), pred)
+    }
+
+    /// Byte ranges that carry a `T` policy.
+    pub fn ranges_with<T: Policy>(&self) -> Vec<Range<usize>> {
+        self.ranges_where(|s| s.has::<T>())
+    }
+
+    // ---- verbatim data movement (no merging, §3.4) ----
+
+    /// Appends another tainted string, carrying its policy ranges along.
+    pub fn push_tainted(&mut self, other: &TaintedString) {
+        let offset = self.text.len();
+        self.text.push_str(&other.text);
+        self.spans.append(&other.spans, offset);
+    }
+
+    /// Appends untainted text.
+    pub fn push_str(&mut self, s: &str) {
+        self.text.push_str(s);
+    }
+
+    /// Appends a single untainted char.
+    pub fn push(&mut self, c: char) {
+        self.text.push(c);
+    }
+
+    /// Concatenates two tainted strings into a new one.
+    pub fn concat(&self, other: &TaintedString) -> TaintedString {
+        let mut out = self.clone();
+        out.push_tainted(other);
+        out
+    }
+
+    /// Concatenates many parts.
+    pub fn concat_all<'a, I>(parts: I) -> TaintedString
+    where
+        I: IntoIterator<Item = &'a TaintedString>,
+    {
+        let mut out = TaintedString::new();
+        for p in parts {
+            out.push_tainted(p);
+        }
+        out
+    }
+
+    /// Extracts `range` as a new tainted string (byte indices; must lie on
+    /// UTF-8 boundaries).
+    pub fn slice(&self, range: Range<usize>) -> TaintedString {
+        let start = range.start.min(self.text.len());
+        let end = range.end.min(self.text.len()).max(start);
+        TaintedString {
+            text: self.text[start..end].to_string(),
+            spans: self.spans.slice(start..end),
+        }
+    }
+
+    /// PHP-style `substr(offset, len)`.
+    pub fn substr(&self, offset: usize, len: usize) -> TaintedString {
+        self.slice(offset..offset.saturating_add(len))
+    }
+
+    /// Truncates to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.text.truncate(len);
+        self.spans.clamp(self.text.len());
+    }
+
+    /// Splits on `sep`, preserving the taint of each piece.
+    pub fn split(&self, sep: &str) -> Vec<TaintedString> {
+        assert!(!sep.is_empty(), "separator must be non-empty");
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while let Some(pos) = self.text[start..].find(sep) {
+            out.push(self.slice(start..start + pos));
+            start += pos + sep.len();
+        }
+        out.push(self.slice(start..self.text.len()));
+        out
+    }
+
+    /// Splits into lines (on `\n`), preserving taint; strips a trailing `\r`.
+    pub fn lines(&self) -> Vec<TaintedString> {
+        self.split("\n")
+            .into_iter()
+            .map(|l| {
+                if l.as_str().ends_with('\r') {
+                    let n = l.len() - 1;
+                    l.slice(0..n)
+                } else {
+                    l
+                }
+            })
+            .collect()
+    }
+
+    /// Joins parts with an untainted separator, preserving each part's taint.
+    pub fn join<'a, I>(sep: &str, parts: I) -> TaintedString
+    where
+        I: IntoIterator<Item = &'a TaintedString>,
+    {
+        let mut out = TaintedString::new();
+        for (i, p) in parts.into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(sep);
+            }
+            out.push_tainted(p);
+        }
+        out
+    }
+
+    /// Replaces every occurrence of `from` with the tainted `to`,
+    /// preserving the taint of untouched bytes and of the replacement.
+    pub fn replace(&self, from: &str, to: &TaintedString) -> TaintedString {
+        assert!(!from.is_empty(), "pattern must be non-empty");
+        let mut out = TaintedString::new();
+        let mut start = 0usize;
+        while let Some(pos) = self.text[start..].find(from) {
+            out.push_tainted(&self.slice(start..start + pos));
+            out.push_tainted(to);
+            start += pos + from.len();
+        }
+        out.push_tainted(&self.slice(start..self.text.len()));
+        out
+    }
+
+    /// Replaces with untainted replacement text.
+    pub fn replace_str(&self, from: &str, to: &str) -> TaintedString {
+        self.replace(from, &TaintedString::from(to))
+    }
+
+    /// ASCII-uppercases the text; policy spans are carried byte-for-byte.
+    pub fn to_ascii_uppercase(&self) -> TaintedString {
+        TaintedString {
+            text: self.text.to_ascii_uppercase(),
+            spans: self.spans.clone(),
+        }
+    }
+
+    /// ASCII-lowercases the text; policy spans are carried byte-for-byte.
+    pub fn to_ascii_lowercase(&self) -> TaintedString {
+        TaintedString {
+            text: self.text.to_ascii_lowercase(),
+            spans: self.spans.clone(),
+        }
+    }
+
+    /// Trims ASCII whitespace from both ends, preserving inner taint.
+    pub fn trim(&self) -> TaintedString {
+        let s = self.text.trim_start();
+        let start = self.text.len() - s.len();
+        let t = s.trim_end();
+        self.slice(start..start + t.len())
+    }
+
+    /// Repeats the string `n` times, repeating the policy ranges too.
+    pub fn repeat(&self, n: usize) -> TaintedString {
+        let mut out = TaintedString::new();
+        for _ in 0..n {
+            out.push_tainted(self);
+        }
+        out
+    }
+
+    // ---- text queries (taint-oblivious) ----
+
+    /// First byte offset of `needle`, if present.
+    pub fn find(&self, needle: &str) -> Option<usize> {
+        self.text.find(needle)
+    }
+
+    /// True if the text contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.text.contains(needle)
+    }
+
+    /// True if the text starts with `prefix`.
+    pub fn starts_with(&self, prefix: &str) -> bool {
+        self.text.starts_with(prefix)
+    }
+
+    /// True if the text ends with `suffix`.
+    pub fn ends_with(&self, suffix: &str) -> bool {
+        self.text.ends_with(suffix)
+    }
+
+    // ---- merging conversions (§3.4.2) ----
+
+    /// Converts the text to an integer, *merging* the policies of all bytes.
+    ///
+    /// Unlike verbatim movement, numeric conversion combines bytes into one
+    /// datum, so every policy's `merge` method participates; a policy may
+    /// veto the conversion.
+    pub fn to_int(&self) -> Result<Tainted<i64>> {
+        let v: i64 = self
+            .text
+            .trim()
+            .parse()
+            .map_err(|e| crate::error::ResinError::runtime(format!("not an integer: {e}")))?;
+        let sets: Vec<PolicySet> = self.spans.iter().map(|(_, s)| s.clone()).collect();
+        let merged = merge_many(sets.iter())?;
+        Ok(Tainted::with_policies(v, merged))
+    }
+
+    /// Consumes the string, dropping all policies (explicit declassify).
+    pub fn into_plain(self) -> String {
+        self.text
+    }
+
+    /// Taint-aware equality: same text *and* same policy spans.
+    pub fn taint_eq(&self, other: &TaintedString) -> bool {
+        if self.text != other.text {
+            return false;
+        }
+        let a: Vec<_> = self.spans.iter().collect();
+        let b: Vec<_> = other.spans.iter().collect();
+        a.len() == b.len()
+            && a.iter()
+                .zip(b.iter())
+                .all(|((ra, pa), (rb, pb))| ra == rb && pa.set_eq(pb))
+    }
+}
+
+impl From<&str> for TaintedString {
+    fn from(s: &str) -> Self {
+        TaintedString {
+            text: s.to_string(),
+            spans: SpanMap::new(),
+        }
+    }
+}
+
+impl From<String> for TaintedString {
+    fn from(s: String) -> Self {
+        TaintedString {
+            text: s,
+            spans: SpanMap::new(),
+        }
+    }
+}
+
+impl From<&String> for TaintedString {
+    fn from(s: &String) -> Self {
+        TaintedString::from(s.as_str())
+    }
+}
+
+impl fmt::Display for TaintedString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for TaintedString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.text)?;
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|(r, s)| format!("{}..{}{:?}", r.start, r.end, s))
+            .collect();
+        if !spans.is_empty() {
+            write!(f, " <{}>", spans.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Equality compares *text only*; policies do not affect `==`, matching
+/// PHP/Python semantics where taint is invisible to comparison operators.
+/// Use [`TaintedString::taint_eq`] for policy-aware equality.
+impl PartialEq for TaintedString {
+    fn eq(&self, other: &Self) -> bool {
+        self.text == other.text
+    }
+}
+
+impl Eq for TaintedString {}
+
+impl PartialEq<&str> for TaintedString {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{HtmlSanitized, UntrustedData};
+    use std::sync::Arc;
+
+    fn untrusted(s: &str) -> TaintedString {
+        TaintedString::with_policy(s, Arc::new(UntrustedData::new()))
+    }
+
+    #[test]
+    fn paper_concat_substring_example() {
+        // §3.4: concat "foo"(p1) + "bar"(p2); slice back "foo" has only p1.
+        let foo = TaintedString::with_policy("foo", Arc::new(UntrustedData::new()));
+        let bar = TaintedString::with_policy("bar", Arc::new(HtmlSanitized::new()));
+        let combined = foo.concat(&bar);
+        assert_eq!(combined.as_str(), "foobar");
+        assert!(combined.policies_at(0).has::<UntrustedData>());
+        assert!(!combined.policies_at(0).has::<HtmlSanitized>());
+        assert!(combined.policies_at(3).has::<HtmlSanitized>());
+        assert!(!combined.policies_at(3).has::<UntrustedData>());
+
+        let front = combined.slice(0..3);
+        assert_eq!(front.as_str(), "foo");
+        assert!(front.policies().has::<UntrustedData>());
+        assert!(!front.policies().has::<HtmlSanitized>());
+    }
+
+    #[test]
+    fn untainted_fast_path() {
+        let s = TaintedString::from("hello");
+        assert!(s.is_untainted());
+        assert!(s.policies().is_empty());
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn push_str_does_not_taint() {
+        let mut s = untrusted("evil");
+        s.push_str("-safe");
+        assert_eq!(s.as_str(), "evil-safe");
+        assert!(s.policies_at(0).has::<UntrustedData>());
+        assert!(s.policies_at(4).is_empty());
+    }
+
+    #[test]
+    fn split_preserves_piece_taint() {
+        let a = untrusted("evil");
+        let mut s = TaintedString::from("name=");
+        s.push_tainted(&a);
+        s.push_str("&x=1");
+        let parts = s.split("&");
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].as_str(), "name=evil");
+        assert!(parts[0].has_policy::<UntrustedData>());
+        assert!(parts[1].is_untainted());
+    }
+
+    #[test]
+    fn split_no_separator_returns_whole() {
+        let s = untrusted("abc");
+        let parts = s.split(",");
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].has_policy::<UntrustedData>());
+    }
+
+    #[test]
+    fn replace_keeps_surrounding_taint() {
+        let mut s = TaintedString::from("hi <b>");
+        s.add_policy_range(3..6, Arc::new(UntrustedData::new()));
+        let r = s.replace("<b>", &TaintedString::from("&lt;b&gt;"));
+        assert_eq!(r.as_str(), "hi &lt;b&gt;");
+        assert!(r.policies_at(0).is_empty());
+        // The replacement text is untainted.
+        assert!(!r.has_policy::<UntrustedData>());
+    }
+
+    #[test]
+    fn replace_with_tainted_replacement() {
+        let s = TaintedString::from("x=NAME;");
+        let evil = untrusted("bob");
+        let r = s.replace("NAME", &evil);
+        assert_eq!(r.as_str(), "x=bob;");
+        assert!(r.policies_at(2).has::<UntrustedData>());
+        assert!(r.policies_at(0).is_empty());
+        assert!(r.policies_at(5).is_empty());
+    }
+
+    #[test]
+    fn case_mapping_preserves_spans() {
+        let s = untrusted("AbC");
+        let u = s.to_ascii_uppercase();
+        assert_eq!(u.as_str(), "ABC");
+        assert!(u.all_bytes_have::<UntrustedData>());
+        let l = s.to_ascii_lowercase();
+        assert_eq!(l.as_str(), "abc");
+        assert!(l.all_bytes_have::<UntrustedData>());
+    }
+
+    #[test]
+    fn trim_slices_taint() {
+        let mut s = TaintedString::from("  core  ");
+        s.add_policy_range(2..6, Arc::new(UntrustedData::new()));
+        let t = s.trim();
+        assert_eq!(t.as_str(), "core");
+        assert!(t.all_bytes_have::<UntrustedData>());
+    }
+
+    #[test]
+    fn join_and_lines() {
+        let a = untrusted("one");
+        let b = TaintedString::from("two");
+        let j = TaintedString::join("\r\n", [&a, &b]);
+        assert_eq!(j.as_str(), "one\r\ntwo");
+        let lines = j.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].as_str(), "one");
+        assert!(lines[0].has_policy::<UntrustedData>());
+        assert!(lines[1].is_untainted());
+    }
+
+    #[test]
+    fn repeat_repeats_spans() {
+        let s = untrusted("ab");
+        let r = s.repeat(3);
+        assert_eq!(r.as_str(), "ababab");
+        assert!(r.all_bytes_have::<UntrustedData>());
+        assert_eq!(r.repeat(0).len(), 0);
+    }
+
+    #[test]
+    fn substr_php_style() {
+        let s = untrusted("abcdef");
+        let sub = s.substr(2, 3);
+        assert_eq!(sub.as_str(), "cde");
+        assert!(sub.all_bytes_have::<UntrustedData>());
+        // Out-of-range lengths are clipped, not a panic.
+        assert_eq!(s.substr(4, 100).as_str(), "ef");
+        assert_eq!(s.substr(10, 5).as_str(), "");
+    }
+
+    #[test]
+    fn to_int_merges_policies() {
+        let s = untrusted("42");
+        let v = s.to_int().unwrap();
+        assert_eq!(v.value(), &42);
+        assert!(v.policies().has::<UntrustedData>());
+        assert!(TaintedString::from("nope").to_int().is_err());
+    }
+
+    #[test]
+    fn equality_ignores_taint() {
+        let a = untrusted("x");
+        let b = TaintedString::from("x");
+        assert_eq!(a, b);
+        assert!(!a.taint_eq(&b));
+        assert!(a.taint_eq(&a.clone()));
+        assert_eq!(a, "x");
+    }
+
+    #[test]
+    fn truncate_clamps_spans() {
+        let mut s = untrusted("abcdef");
+        s.truncate(3);
+        assert_eq!(s.as_str(), "abc");
+        assert!(s.all_bytes_have::<UntrustedData>());
+        assert_eq!(s.ranges_with::<UntrustedData>(), vec![0..3]);
+    }
+
+    #[test]
+    fn debug_renders_spans() {
+        let s = untrusted("ab");
+        let d = format!("{s:?}");
+        assert!(d.contains("UntrustedData"), "{d}");
+    }
+
+    #[test]
+    fn all_bytes_have_on_empty_string() {
+        let s = TaintedString::new();
+        assert!(s.all_bytes_have::<UntrustedData>(), "vacuously true");
+    }
+}

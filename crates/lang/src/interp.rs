@@ -1,0 +1,1451 @@
+//! The RSL tree-walking interpreter.
+//!
+//! Policy tracking is woven into every operation handler, the way the
+//! paper's prototype modifies PHP's opcode handlers (§4):
+//!
+//! * string concatenation carries byte-range policy spans;
+//! * integer arithmetic merges the operands' policy sets (§3.4.2);
+//! * `echo` writes through the HTTP channel's default filter;
+//! * `email` writes through a recipient-annotated email channel;
+//! * `import` pulls code through the interpreter's code-import boundary
+//!   (§3.2.2, Figure 6);
+//! * file builtins go through the policy-persisting VFS (§3.4.1).
+//!
+//! [`Tracking::Off`] reproduces the *unmodified* interpreter: operations
+//! take fast paths that skip policy propagation entirely, channels are
+//! unguarded, and file policies are dropped — the baseline column of
+//! Table 5.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use resin_core::{
+    merge_sets, register_policy_class, AuthenticData, Channel, ChannelKind, CodeApproval, Context,
+    CtxValue, EmptyPolicy, HtmlSanitized, PolicyRef, PolicySet, PolicyViolation, SqlSanitized,
+    TaintedString, UntrustedData,
+};
+use resin_vfs::{TrackingMode as VfsTracking, Vfs};
+
+use crate::ast::{BinOp, ClassDecl, Expr, FnDecl, Stmt, Target};
+use crate::parser::parse_program;
+use crate::value::{Obj, PValue, ScriptPolicy, Value};
+
+/// Whether the interpreter performs RESIN data tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tracking {
+    /// The unmodified interpreter: no propagation, unguarded channels.
+    Off,
+    /// The RESIN interpreter.
+    #[default]
+    On,
+}
+
+/// A runtime error (including policy violations surfacing in script).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Human-readable message.
+    pub message: String,
+    /// True when the error is a data flow assertion failure.
+    pub violation: bool,
+}
+
+impl LangError {
+    fn new(msg: impl Into<String>) -> Self {
+        LangError {
+            message: msg.into(),
+            violation: false,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Control-flow signals inside the evaluator.
+enum Flow {
+    Error(LangError),
+    Return(Value),
+    Throw(Value),
+}
+
+type R<T> = Result<T, Flow>;
+
+fn rt(msg: impl Into<String>) -> Flow {
+    Flow::Error(LangError::new(msg))
+}
+
+/// A delivered email (for inspection by tests and harnesses).
+#[derive(Debug, Clone)]
+pub struct SentMail {
+    /// Recipient.
+    pub to: String,
+    /// Body as it left the system.
+    pub body: String,
+}
+
+/// The interpreter.
+pub struct Interp {
+    tracking: Tracking,
+    globals: HashMap<String, Value>,
+    locals: Vec<HashMap<String, Value>>,
+    fns: HashMap<String, Arc<FnDecl>>,
+    classes: HashMap<String, Arc<ClassDecl>>,
+    /// The interpreter's virtual filesystem.
+    pub vfs: Vfs,
+    /// The HTTP output channel (`echo` writes here).
+    pub http: Channel,
+    /// Emails actually delivered.
+    pub emails: Vec<SentMail>,
+    email_preview: bool,
+    require_code_approval: bool,
+    print_buf: String,
+    current_user: Option<String>,
+    call_depth: usize,
+}
+
+impl Interp {
+    /// A RESIN interpreter (tracking on).
+    pub fn new() -> Self {
+        Interp::with_tracking(Tracking::On)
+    }
+
+    /// An interpreter with the given tracking mode.
+    pub fn with_tracking(tracking: Tracking) -> Self {
+        let (vfs, http) = match tracking {
+            Tracking::On => (Vfs::new(), Channel::new(ChannelKind::Http)),
+            Tracking::Off => (
+                Vfs::with_mode(VfsTracking::Off),
+                Channel::unguarded(ChannelKind::Http),
+            ),
+        };
+        Interp {
+            tracking,
+            globals: HashMap::new(),
+            locals: Vec::new(),
+            fns: HashMap::new(),
+            classes: HashMap::new(),
+            vfs,
+            http,
+            emails: Vec::new(),
+            email_preview: false,
+            require_code_approval: false,
+            print_buf: String::new(),
+            current_user: None,
+            call_depth: 0,
+        }
+    }
+
+    /// The tracking mode.
+    pub fn tracking(&self) -> Tracking {
+        self.tracking
+    }
+
+    /// Accumulated `print` output.
+    pub fn print_output(&self) -> &str {
+        &self.print_buf
+    }
+
+    /// The HTTP body produced so far.
+    pub fn http_output(&self) -> String {
+        self.http.output_text()
+    }
+
+    /// Parses and runs a program in the global scope.
+    pub fn run(&mut self, src: &str) -> Result<Value, LangError> {
+        let program = parse_program(src).map_err(|e| LangError::new(e.to_string()))?;
+        self.exec_program(&program)
+    }
+
+    /// Runs a pre-parsed program (used by the benchmarks to exclude parse
+    /// time, as the paper's microbenchmarks do).
+    pub fn exec_program(&mut self, program: &[Stmt]) -> Result<Value, LangError> {
+        match self.exec_block(program) {
+            Ok(v) => Ok(v),
+            Err(Flow::Return(v)) => Ok(v),
+            Err(Flow::Throw(v)) => Err(LangError {
+                message: format!("uncaught exception: {}", v.to_tainted().as_str()),
+                violation: false,
+            }),
+            Err(Flow::Error(e)) => Err(e),
+        }
+    }
+
+    /// Calls a script-defined function by name.
+    pub fn call_function(&mut self, name: &str, args: Vec<Value>) -> Result<Value, LangError> {
+        let decl = self
+            .fns
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LangError::new(format!("undefined function `{name}`")))?;
+        match self.call_decl(&decl, args, None) {
+            Ok(v) => Ok(v),
+            Err(Flow::Return(v)) => Ok(v),
+            Err(Flow::Throw(v)) => Err(LangError {
+                message: format!("uncaught exception: {}", v.to_tainted().as_str()),
+                violation: false,
+            }),
+            Err(Flow::Error(e)) => Err(e),
+        }
+    }
+
+    // ---- scopes ----
+
+    fn lookup(&self, name: &str) -> Option<Value> {
+        if let Some(frame) = self.locals.last() {
+            if let Some(v) = frame.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    fn define(&mut self, name: &str, value: Value) {
+        match self.locals.last_mut() {
+            Some(frame) => {
+                frame.insert(name.to_string(), value);
+            }
+            None => {
+                self.globals.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn set_var(&mut self, name: &str, value: Value) -> R<()> {
+        if let Some(frame) = self.locals.last_mut() {
+            if frame.contains_key(name) {
+                frame.insert(name.to_string(), value);
+                return Ok(());
+            }
+        }
+        if self.globals.contains_key(name) {
+            self.globals.insert(name.to_string(), value);
+            return Ok(());
+        }
+        // Implicit definition on first assignment (PHP-style).
+        self.define(name, value);
+        Ok(())
+    }
+
+    // ---- execution ----
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> R<Value> {
+        let mut last = Value::Null;
+        for s in stmts {
+            last = self.exec_stmt(s)?;
+        }
+        Ok(last)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> R<Value> {
+        match stmt {
+            Stmt::Let(name, e) => {
+                let v = self.eval(e)?;
+                self.define(name, v);
+                Ok(Value::Null)
+            }
+            Stmt::Assign(target, e) => {
+                let v = self.eval(e)?;
+                match target {
+                    Target::Var(name) => self.set_var(name, v)?,
+                    Target::Prop(obj, field) => {
+                        let o = self.eval(obj)?;
+                        let Value::Object(o) = o else {
+                            return Err(rt(format!("cannot set field on {}", o.type_name())));
+                        };
+                        o.borrow_mut().fields.insert(field.clone(), v);
+                    }
+                    Target::Index(arr, idx) => {
+                        let a = self.eval(arr)?;
+                        let i = self.eval(idx)?;
+                        match (&a, &i) {
+                            (Value::Array(a), Value::Int(n, _)) => {
+                                let mut a = a.borrow_mut();
+                                let n = *n as usize;
+                                if n >= a.len() {
+                                    return Err(rt("array index out of range"));
+                                }
+                                a[n] = v;
+                            }
+                            (Value::Map(m), Value::Str(k)) => {
+                                m.borrow_mut().insert(k.as_str().to_string(), v);
+                            }
+                            _ => {
+                                return Err(rt(format!(
+                                    "cannot index {} with {}",
+                                    a.type_name(),
+                                    i.type_name()
+                                )));
+                            }
+                        }
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Stmt::Expr(e) => self.eval(e),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval(cond)?.truthy() {
+                    self.exec_block(then_body)
+                } else {
+                    self.exec_block(else_body)
+                }
+            }
+            Stmt::While { cond, body } => {
+                let mut iterations = 0u64;
+                while self.eval(cond)?.truthy() {
+                    self.exec_block(body)?;
+                    iterations += 1;
+                    if iterations > 100_000_000 {
+                        return Err(rt("loop iteration limit exceeded"));
+                    }
+                }
+                Ok(Value::Null)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Null,
+                };
+                Err(Flow::Return(v))
+            }
+            Stmt::Throw(e) => {
+                let v = self.eval(e)?;
+                Err(Flow::Throw(v))
+            }
+            Stmt::FnDef(decl) => {
+                self.fns.insert(decl.name.clone(), decl.clone());
+                Ok(Value::Null)
+            }
+            Stmt::ClassDef(decl) => {
+                self.classes.insert(decl.name.clone(), decl.clone());
+                // Classes with an export_check method are policy classes:
+                // register them so persisted instances can be revived
+                // (§3.4.1 — only class name and fields are stored).
+                if decl.method("export_check").is_some() {
+                    let class_name = decl.name.clone();
+                    let class = decl.clone();
+                    register_policy_class(class_name.clone(), move |fields| {
+                        let mut decoded = BTreeMap::new();
+                        for (k, v) in fields {
+                            let pv = PValue::decode(v).ok_or_else(|| {
+                                resin_core::SerializeError::BadField {
+                                    class: class_name.clone(),
+                                    field: k.clone(),
+                                    reason: "undecodable field".into(),
+                                }
+                            })?;
+                            decoded.insert(k.clone(), pv);
+                        }
+                        Ok(Arc::new(ScriptPolicy::new(
+                            class_name.clone(),
+                            decoded,
+                            Some(class.clone()),
+                        )) as PolicyRef)
+                    });
+                }
+                Ok(Value::Null)
+            }
+        }
+    }
+
+    // ---- expression evaluation ----
+
+    fn eval(&mut self, expr: &Expr) -> R<Value> {
+        match expr {
+            Expr::Int(n) => Ok(Value::int(*n)),
+            Expr::Str(s) => Ok(Value::str(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Var(name) => self
+                .lookup(name)
+                .ok_or_else(|| rt(format!("undefined variable `{name}`"))),
+            Expr::This => self
+                .lookup("this")
+                .ok_or_else(|| rt("`this` outside method")),
+            Expr::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i)?);
+                }
+                Ok(Value::new_array(out))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!self.eval(e)?.truthy())),
+            Expr::Neg(e) => match self.eval(e)? {
+                Value::Int(n, p) => Ok(Value::Int(-n, p)),
+                other => Err(rt(format!("cannot negate {}", other.type_name()))),
+            },
+            Expr::Binary { op, left, right } => self.eval_binary(*op, left, right),
+            Expr::Index(arr, idx) => {
+                let a = self.eval(arr)?;
+                let i = self.eval(idx)?;
+                match (&a, &i) {
+                    (Value::Array(a), Value::Int(n, _)) => {
+                        let a = a.borrow();
+                        a.get(*n as usize)
+                            .cloned()
+                            .ok_or_else(|| rt("array index out of range"))
+                    }
+                    (Value::Map(m), Value::Str(k)) => {
+                        Ok(m.borrow().get(k.as_str()).cloned().unwrap_or(Value::Null))
+                    }
+                    (Value::Str(s), Value::Int(n, _)) => {
+                        let n = *n as usize;
+                        Ok(Value::Str(s.slice(n..n + 1)))
+                    }
+                    _ => Err(rt(format!(
+                        "cannot index {} with {}",
+                        a.type_name(),
+                        i.type_name()
+                    ))),
+                }
+            }
+            Expr::Prop(obj, field) => {
+                let o = self.eval(obj)?;
+                let Value::Object(o) = o else {
+                    return Err(rt(format!("cannot read field of {}", o.type_name())));
+                };
+                let v = o.borrow().fields.get(field).cloned();
+                v.ok_or_else(|| rt(format!("no field `{field}`")))
+            }
+            Expr::New { class, args } => {
+                let decl = self
+                    .classes
+                    .get(class)
+                    .cloned()
+                    .ok_or_else(|| rt(format!("undefined class `{class}`")))?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                let obj = Rc::new(std::cell::RefCell::new(Obj {
+                    class: decl.clone(),
+                    fields: BTreeMap::new(),
+                }));
+                if let Some(init) = decl.method("init") {
+                    let init = init.clone();
+                    self.call_decl(&init, argv, Some(Value::Object(obj.clone())))?;
+                }
+                Ok(Value::Object(obj))
+            }
+            Expr::MethodCall { recv, method, args } => {
+                let r = self.eval(recv)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                let Value::Object(o) = &r else {
+                    return Err(rt(format!("cannot call method on {}", r.type_name())));
+                };
+                let decl = o.borrow().class.clone();
+                let m = decl
+                    .method(method)
+                    .cloned()
+                    .ok_or_else(|| rt(format!("no method `{method}` on `{}`", decl.name)))?;
+                self.call_decl(&m, argv, Some(r.clone()))
+            }
+            Expr::Call { name, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                if let Some(decl) = self.fns.get(name).cloned() {
+                    return self.call_decl(&decl, argv, None);
+                }
+                self.builtin(name, argv)
+            }
+        }
+    }
+
+    fn call_decl(&mut self, decl: &FnDecl, args: Vec<Value>, this: Option<Value>) -> R<Value> {
+        if args.len() != decl.params.len() {
+            return Err(rt(format!(
+                "`{}` expects {} arguments, got {}",
+                decl.name,
+                decl.params.len(),
+                args.len()
+            )));
+        }
+        // Conservative limit: each script frame costs many Rust frames in a
+        // tree-walker, and debug-build test threads have small stacks.
+        if self.call_depth >= 64 {
+            return Err(rt("call depth limit exceeded"));
+        }
+        let mut frame = HashMap::with_capacity(args.len() + 1);
+        for (p, a) in decl.params.iter().zip(args) {
+            frame.insert(p.clone(), a);
+        }
+        if let Some(t) = this {
+            frame.insert("this".to_string(), t);
+        }
+        self.locals.push(frame);
+        self.call_depth += 1;
+        let result = self.exec_block(&decl.body);
+        self.call_depth -= 1;
+        self.locals.pop();
+        match result {
+            Ok(_) => Ok(Value::Null),
+            Err(Flow::Return(v)) => Ok(v),
+            Err(other) => Err(other),
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, left: &Expr, right: &Expr) -> R<Value> {
+        // Short-circuit logicals first.
+        match op {
+            BinOp::And => {
+                let l = self.eval(left)?;
+                if !l.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                return Ok(Value::Bool(self.eval(right)?.truthy()));
+            }
+            BinOp::Or => {
+                let l = self.eval(left)?;
+                if l.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                return Ok(Value::Bool(self.eval(right)?.truthy()));
+            }
+            _ => {}
+        }
+        let l = self.eval(left)?;
+        let r = self.eval(right)?;
+        match op {
+            BinOp::Eq => Ok(Value::Bool(l.loose_eq(&r))),
+            BinOp::Ne => Ok(Value::Bool(!l.loose_eq(&r))),
+            BinOp::Add => self.add_values(l, r),
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let (Value::Int(a, pa), Value::Int(b, pb)) = (&l, &r) else {
+                    return Err(rt(format!(
+                        "arithmetic on {} and {}",
+                        l.type_name(),
+                        r.type_name()
+                    )));
+                };
+                if matches!(op, BinOp::Div | BinOp::Mod) && *b == 0 {
+                    return Err(rt("division by zero"));
+                }
+                let n = match op {
+                    BinOp::Sub => a.wrapping_sub(*b),
+                    BinOp::Mul => a.wrapping_mul(*b),
+                    BinOp::Div => a / b,
+                    BinOp::Mod => a % b,
+                    _ => unreachable!(),
+                };
+                let pol = self.merge_int_policies(pa, pb)?;
+                Ok(Value::Int(n, pol))
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = match (&l, &r) {
+                    (Value::Int(a, _), Value::Int(b, _)) => a.cmp(b),
+                    (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+                    _ => {
+                        return Err(rt(format!(
+                            "cannot compare {} and {}",
+                            l.type_name(),
+                            r.type_name()
+                        )));
+                    }
+                };
+                let b = match op {
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    BinOp::Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(b))
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    /// `+`: integer addition (merging policies) or string concatenation
+    /// (carrying byte-range spans). These are the first two opcode handlers
+    /// Table 5 measures.
+    fn add_values(&mut self, l: Value, r: Value) -> R<Value> {
+        match (&l, &r) {
+            (Value::Int(a, pa), Value::Int(b, pb)) => {
+                let pol = self.merge_int_policies(pa, pb)?;
+                Ok(Value::Int(a.wrapping_add(*b), pol))
+            }
+            (Value::Str(_), _) | (_, Value::Str(_)) => {
+                if self.tracking == Tracking::Off {
+                    // Unmodified runtime: plain text concatenation.
+                    let mut s = String::new();
+                    s.push_str(l.to_tainted().as_str());
+                    s.push_str(r.to_tainted().as_str());
+                    Ok(Value::Str(TaintedString::from(s)))
+                } else {
+                    let a = l.to_tainted();
+                    let b = r.to_tainted();
+                    Ok(Value::Str(a.concat(&b)))
+                }
+            }
+            _ => Err(rt(format!(
+                "cannot add {} and {}",
+                l.type_name(),
+                r.type_name()
+            ))),
+        }
+    }
+
+    fn merge_int_policies(&self, pa: &PolicySet, pb: &PolicySet) -> R<PolicySet> {
+        if self.tracking == Tracking::Off {
+            return Ok(PolicySet::empty());
+        }
+        merge_sets(pa, pb).map_err(|e| {
+            Flow::Error(LangError {
+                message: e.to_string(),
+                violation: e.is_violation(),
+            })
+        })
+    }
+
+    // ---- builtins ----
+
+    fn builtin(&mut self, name: &str, mut args: Vec<Value>) -> R<Value> {
+        // Helpers for argument extraction.
+        fn want_str(v: &Value, what: &str) -> R<TaintedString> {
+            match v {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(rt(format!(
+                    "{what}: expected string, got {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        fn want_int(v: &Value, what: &str) -> R<i64> {
+            match v {
+                Value::Int(n, _) => Ok(*n),
+                other => Err(rt(format!(
+                    "{what}: expected int, got {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        let arity = |n: usize| -> R<()> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(rt(format!(
+                    "{name}: expected {n} arguments, got {}",
+                    args.len()
+                )))
+            }
+        };
+
+        match name {
+            "print" => {
+                let parts: Vec<String> = args
+                    .iter()
+                    .map(|v| v.to_tainted().as_str().to_string())
+                    .collect();
+                self.print_buf.push_str(&parts.join(" "));
+                self.print_buf.push('\n');
+                Ok(Value::Null)
+            }
+            "echo" => {
+                arity(1)?;
+                let data = args[0].to_tainted();
+                self.http.write(data).map_err(|e| {
+                    Flow::Error(LangError {
+                        message: e.to_string(),
+                        violation: e.is_violation(),
+                    })
+                })?;
+                Ok(Value::Null)
+            }
+            "http_context" => {
+                arity(2)?;
+                let key = want_str(&args[0], name)?;
+                let ctx = self.http.context_mut();
+                match &args[1] {
+                    Value::Str(s) => ctx.set_str(key.as_str(), s.as_str()),
+                    Value::Int(n, _) => ctx.set(key.as_str(), *n),
+                    Value::Bool(b) => ctx.set(key.as_str(), *b),
+                    other => {
+                        return Err(rt(format!("http_context: bad value {}", other.type_name())))
+                    }
+                };
+                Ok(Value::Null)
+            }
+            "set_email_preview" => {
+                arity(1)?;
+                self.email_preview = args[0].truthy();
+                Ok(Value::Null)
+            }
+            "email" => {
+                arity(2)?;
+                let to = want_str(&args[0], name)?;
+                let body = args[1].to_tainted();
+                if self.email_preview {
+                    // Preview mode: the message goes to the browser — the
+                    // HotCRP vulnerability path (§2). The HTTP boundary
+                    // decides whether that is allowed.
+                    self.http.write(body).map_err(|e| {
+                        Flow::Error(LangError {
+                            message: e.to_string(),
+                            violation: e.is_violation(),
+                        })
+                    })?;
+                    return Ok(Value::Null);
+                }
+                let mut ch = match self.tracking {
+                    Tracking::On => Channel::new(ChannelKind::Email),
+                    Tracking::Off => Channel::unguarded(ChannelKind::Email),
+                };
+                ch.context_mut().set_str("email", to.as_str());
+                ch.write(body).map_err(|e| {
+                    Flow::Error(LangError {
+                        message: e.to_string(),
+                        violation: e.is_violation(),
+                    })
+                })?;
+                self.emails.push(SentMail {
+                    to: to.as_str().to_string(),
+                    body: ch.output_text(),
+                });
+                Ok(Value::Null)
+            }
+            "set_user" => {
+                arity(1)?;
+                let u = want_str(&args[0], name)?;
+                self.current_user = Some(u.as_str().to_string());
+                self.http.context_mut().set_str("user", u.as_str());
+                Ok(Value::Null)
+            }
+            // ---- policy API (Table 3) ----
+            "policy_add" => {
+                arity(2)?;
+                let policy = self.policy_from_value(&args[1])?;
+                match args.remove(0) {
+                    Value::Str(mut s) => {
+                        s.add_policy(policy);
+                        Ok(Value::Str(s))
+                    }
+                    Value::Int(n, mut p) => {
+                        p.add(policy);
+                        Ok(Value::Int(n, p))
+                    }
+                    other => Err(rt(format!(
+                        "policy_add: cannot label {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "policy_remove" => {
+                arity(2)?;
+                let cname = want_str(&args[1], name)?;
+                match args.remove(0) {
+                    Value::Str(mut s) => {
+                        let to_remove: Vec<PolicyRef> = s
+                            .policies()
+                            .iter()
+                            .filter(|p| p.name() == cname.as_str())
+                            .cloned()
+                            .collect();
+                        for p in &to_remove {
+                            s.remove_policy(p);
+                        }
+                        Ok(Value::Str(s))
+                    }
+                    Value::Int(n, p) => {
+                        let kept: PolicySet = p
+                            .iter()
+                            .filter(|q| q.name() != cname.as_str())
+                            .cloned()
+                            .collect();
+                        Ok(Value::Int(n, kept))
+                    }
+                    other => Err(rt(format!(
+                        "policy_remove: cannot unlabel {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "policy_get" => {
+                arity(1)?;
+                let set = match &args[0] {
+                    Value::Str(s) => s.policies(),
+                    Value::Int(_, p) => p.clone(),
+                    _ => PolicySet::empty(),
+                };
+                Ok(Value::new_array(
+                    set.iter()
+                        .map(|p| Value::str(p.name().to_string()))
+                        .collect(),
+                ))
+            }
+            // ---- strings ----
+            "len" => {
+                arity(1)?;
+                match &args[0] {
+                    Value::Str(s) => Ok(Value::int(s.len() as i64)),
+                    Value::Array(a) => Ok(Value::int(a.borrow().len() as i64)),
+                    Value::Map(m) => Ok(Value::int(m.borrow().len() as i64)),
+                    other => Err(rt(format!("len: unsupported {}", other.type_name()))),
+                }
+            }
+            "substr" => {
+                arity(3)?;
+                let s = want_str(&args[0], name)?;
+                let off = want_int(&args[1], name)?.max(0) as usize;
+                let n = want_int(&args[2], name)?.max(0) as usize;
+                Ok(Value::Str(s.substr(off, n)))
+            }
+            "upper" => {
+                arity(1)?;
+                Ok(Value::Str(want_str(&args[0], name)?.to_ascii_uppercase()))
+            }
+            "lower" => {
+                arity(1)?;
+                Ok(Value::Str(want_str(&args[0], name)?.to_ascii_lowercase()))
+            }
+            "trim" => {
+                arity(1)?;
+                Ok(Value::Str(want_str(&args[0], name)?.trim()))
+            }
+            "contains" => {
+                arity(2)?;
+                let s = want_str(&args[0], name)?;
+                let sub = want_str(&args[1], name)?;
+                Ok(Value::Bool(s.contains(sub.as_str())))
+            }
+            "replace" => {
+                arity(3)?;
+                let s = want_str(&args[0], name)?;
+                let from = want_str(&args[1], name)?;
+                let to = want_str(&args[2], name)?;
+                if from.is_empty() {
+                    return Err(rt("replace: empty pattern"));
+                }
+                Ok(Value::Str(s.replace(from.as_str(), &to)))
+            }
+            "split" => {
+                arity(2)?;
+                let s = want_str(&args[0], name)?;
+                let sep = want_str(&args[1], name)?;
+                if sep.is_empty() {
+                    return Err(rt("split: empty separator"));
+                }
+                Ok(Value::new_array(
+                    s.split(sep.as_str()).into_iter().map(Value::Str).collect(),
+                ))
+            }
+            "join" => {
+                arity(2)?;
+                let sep = want_str(&args[0], name)?;
+                let Value::Array(a) = &args[1] else {
+                    return Err(rt("join: expected array"));
+                };
+                let parts: Vec<TaintedString> = a.borrow().iter().map(|v| v.to_tainted()).collect();
+                Ok(Value::Str(TaintedString::join(sep.as_str(), parts.iter())))
+            }
+            "str" => {
+                arity(1)?;
+                Ok(Value::Str(args[0].to_tainted()))
+            }
+            "int" => {
+                arity(1)?;
+                match &args[0] {
+                    Value::Int(n, p) => Ok(Value::Int(*n, p.clone())),
+                    Value::Str(s) => {
+                        if self.tracking == Tracking::Off {
+                            let n: i64 =
+                                s.as_str().trim().parse().map_err(|_| {
+                                    rt(format!("int: not a number `{}`", s.as_str()))
+                                })?;
+                            return Ok(Value::int(n));
+                        }
+                        // Conversion merges the string's policies (§3.4.2).
+                        let t = s.to_int().map_err(|e| {
+                            Flow::Error(LangError {
+                                message: e.to_string(),
+                                violation: e.is_violation(),
+                            })
+                        })?;
+                        Ok(Value::Int(*t.value(), t.policies().clone()))
+                    }
+                    Value::Bool(b) => Ok(Value::int(*b as i64)),
+                    other => Err(rt(format!("int: unsupported {}", other.type_name()))),
+                }
+            }
+            "typeof" => {
+                arity(1)?;
+                Ok(Value::str(args[0].type_name()))
+            }
+            // ---- arrays & maps ----
+            "push" => {
+                arity(2)?;
+                let Value::Array(a) = &args[0] else {
+                    return Err(rt("push: expected array"));
+                };
+                a.borrow_mut().push(args[1].clone());
+                Ok(Value::Null)
+            }
+            "pop" => {
+                arity(1)?;
+                let Value::Array(a) = &args[0] else {
+                    return Err(rt("pop: expected array"));
+                };
+                let v = a.borrow_mut().pop();
+                Ok(v.unwrap_or(Value::Null))
+            }
+            "map" => {
+                arity(0)?;
+                Ok(Value::new_map())
+            }
+            "keys" => {
+                arity(1)?;
+                let Value::Map(m) = &args[0] else {
+                    return Err(rt("keys: expected map"));
+                };
+                Ok(Value::new_array(
+                    m.borrow().keys().map(|k| Value::str(k.clone())).collect(),
+                ))
+            }
+            // ---- files (through the policy-persisting VFS) ----
+            "mkdir" => {
+                arity(1)?;
+                let p = want_str(&args[0], name)?;
+                self.vfs
+                    .mkdir_p(p.as_str(), &self.file_ctx())
+                    .map_err(vfs_err)?;
+                Ok(Value::Null)
+            }
+            "file_write" => {
+                arity(2)?;
+                let p = want_str(&args[0], name)?;
+                let data = args[1].to_tainted();
+                self.vfs
+                    .write_file(p.as_str(), &data, &self.file_ctx())
+                    .map_err(vfs_err)?;
+                Ok(Value::Null)
+            }
+            "file_append" => {
+                arity(2)?;
+                let p = want_str(&args[0], name)?;
+                let data = args[1].to_tainted();
+                self.vfs
+                    .append_file(p.as_str(), &data, &self.file_ctx())
+                    .map_err(vfs_err)?;
+                Ok(Value::Null)
+            }
+            "file_read" => {
+                arity(1)?;
+                let p = want_str(&args[0], name)?;
+                let data = self
+                    .vfs
+                    .read_file(p.as_str(), &self.file_ctx())
+                    .map_err(vfs_err)?;
+                Ok(Value::Str(data))
+            }
+            "file_exists" => {
+                arity(1)?;
+                let p = want_str(&args[0], name)?;
+                Ok(Value::Bool(self.vfs.exists(p.as_str())))
+            }
+            // ---- code import (§3.2.2, Figure 6) ----
+            "make_executable" => {
+                arity(1)?;
+                let p = want_str(&args[0], name)?;
+                let ctx = self.file_ctx();
+                let mut code = self.vfs.read_file(p.as_str(), &ctx).map_err(vfs_err)?;
+                code.add_policy(Arc::new(CodeApproval::new()));
+                self.vfs
+                    .write_file(p.as_str(), &code, &ctx)
+                    .map_err(vfs_err)?;
+                Ok(Value::Null)
+            }
+            "require_code_approval" => {
+                arity(0)?;
+                self.require_code_approval = true;
+                Ok(Value::Null)
+            }
+            "import" => {
+                arity(1)?;
+                let p = want_str(&args[0], name)?;
+                self.import(p.as_str())
+            }
+            "assert" => {
+                arity(1)?;
+                if args[0].truthy() {
+                    Ok(Value::Null)
+                } else {
+                    Err(rt("assertion failed"))
+                }
+            }
+            other => Err(rt(format!("undefined function `{other}`"))),
+        }
+    }
+
+    fn file_ctx(&self) -> Context {
+        match &self.current_user {
+            Some(u) => Vfs::user_ctx(u),
+            None => Vfs::anonymous_ctx(),
+        }
+    }
+
+    /// The interpreter's code-import boundary: reads the file (reviving
+    /// persistent policies) and applies the import filter before executing.
+    fn import(&mut self, path: &str) -> R<Value> {
+        let code = self
+            .vfs
+            .read_file(path, &self.file_ctx())
+            .map_err(vfs_err)?;
+        if self.tracking == Tracking::On && self.require_code_approval {
+            // Figure 6: every character must carry CodeApproval.
+            if !code.all_bytes_have::<CodeApproval>() {
+                return Err(Flow::Error(LangError {
+                    message: format!("not executable: `{path}` lacks CodeApproval"),
+                    violation: true,
+                }));
+            }
+        }
+        let program =
+            parse_program(code.as_str()).map_err(|e| rt(format!("import `{path}`: {e}")))?;
+        self.exec_block(&program)
+    }
+
+    /// Converts a script value into a policy object.
+    ///
+    /// Strings name stock policies; objects of classes with an
+    /// `export_check` method become [`ScriptPolicy`] snapshots.
+    fn policy_from_value(&mut self, v: &Value) -> R<PolicyRef> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "UntrustedData" => Ok(Arc::new(UntrustedData::new())),
+                "SqlSanitized" => Ok(Arc::new(SqlSanitized::new())),
+                "HtmlSanitized" => Ok(Arc::new(HtmlSanitized::new())),
+                "CodeApproval" => Ok(Arc::new(CodeApproval::new())),
+                "AuthenticData" => Ok(Arc::new(AuthenticData::new())),
+                "EmptyPolicy" => Ok(Arc::new(EmptyPolicy::new())),
+                other => Err(rt(format!("unknown stock policy `{other}`"))),
+            },
+            Value::Object(o) => {
+                let o = o.borrow();
+                let mut fields = BTreeMap::new();
+                for (k, fv) in &o.fields {
+                    let pv = PValue::from_value(fv).ok_or_else(|| {
+                        rt(format!("policy field `{k}` is not a persistable scalar"))
+                    })?;
+                    fields.insert(k.clone(), pv);
+                }
+                Ok(Arc::new(ScriptPolicy::new(
+                    o.class.name.clone(),
+                    fields,
+                    Some(o.class.clone()),
+                )))
+            }
+            other => Err(rt(format!("not a policy: {}", other.type_name()))),
+        }
+    }
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Interp::new()
+    }
+}
+
+fn vfs_err(e: resin_vfs::VfsError) -> Flow {
+    Flow::Error(LangError {
+        message: e.to_string(),
+        violation: e.is_violation(),
+    })
+}
+
+/// Evaluates a script policy's `export_check` method against a channel
+/// context — the bridge that lets Rust-side filters invoke script-defined
+/// assertion code.
+pub fn eval_policy_method(
+    class: &Arc<ClassDecl>,
+    fields: &BTreeMap<String, PValue>,
+    context: &Context,
+) -> Result<(), PolicyViolation> {
+    let class_name = class.name.clone();
+    let class_name = class_name.as_str();
+    let method = class
+        .method("export_check")
+        .expect("caller checked export_check exists")
+        .clone();
+    let mut interp = Interp::with_tracking(Tracking::On);
+    // The policy's class is visible to the mini-evaluator so export_check
+    // can call the class's other methods.
+    interp.classes.insert(class.name.clone(), class.clone());
+    // Bind `this` to an object with the snapshotted fields.
+    let obj = Rc::new(std::cell::RefCell::new(Obj {
+        class: class.clone(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect(),
+    }));
+    // Bind the context hash table.
+    let ctx_map = Value::new_map();
+    if let Value::Map(m) = &ctx_map {
+        let mut m = m.borrow_mut();
+        for (k, v) in context.iter() {
+            let val = match v {
+                CtxValue::Str(s) => Value::str(s.clone()),
+                CtxValue::Int(i) => Value::int(*i),
+                CtxValue::Bool(b) => Value::Bool(*b),
+            };
+            m.insert(k.to_string(), val);
+        }
+    }
+    let args = if method.params.is_empty() {
+        Vec::new()
+    } else {
+        vec![ctx_map]
+    };
+    match interp.call_decl(&method, args, Some(Value::Object(obj))) {
+        Ok(_) => Ok(()),
+        Err(Flow::Return(_)) => Ok(()),
+        Err(Flow::Throw(v)) => Err(PolicyViolation::new(
+            class_name,
+            v.to_tainted().as_str().to_string(),
+        )),
+        Err(Flow::Error(e)) => Err(PolicyViolation::new(
+            class_name,
+            format!("policy error: {}", e.message),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resin_core::PasswordPolicy;
+
+    fn run(src: &str) -> Interp {
+        let mut i = Interp::new();
+        i.run(src).unwrap();
+        i
+    }
+
+    fn run_value(src: &str) -> Value {
+        let mut i = Interp::new();
+        i.run(src).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert!(run_value("1 + 2 * 3;").loose_eq(&Value::int(7)));
+        assert!(run_value("(1 + 2) * 3;").loose_eq(&Value::int(9)));
+        assert!(run_value("10 % 3;").loose_eq(&Value::int(1)));
+        assert!(run_value("-4 / 2;").loose_eq(&Value::int(-2)));
+    }
+
+    #[test]
+    fn string_concat_and_compare() {
+        assert!(run_value(r#""a" + "b" + 1;"#).loose_eq(&Value::str("ab1")));
+        assert!(run_value(r#""a" < "b";"#).loose_eq(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn control_flow() {
+        let v = run_value(
+            "let total = 0; let i = 0;
+             while (i < 5) { if (i % 2 == 0) { total = total + i; } i = i + 1; }
+             total;",
+        );
+        assert!(v.loose_eq(&Value::int(6)));
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let v = run_value(
+            "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+             fib(10);",
+        );
+        assert!(v.loose_eq(&Value::int(55)));
+    }
+
+    #[test]
+    fn classes_and_methods() {
+        let v = run_value(
+            "class Counter {
+               fn init(start) { this.n = start; }
+               fn bump() { this.n = this.n + 1; return this.n; }
+             }
+             let c = new Counter(10);
+             c.bump(); c.bump();",
+        );
+        assert!(v.loose_eq(&Value::int(12)));
+    }
+
+    #[test]
+    fn arrays_and_maps() {
+        let v = run_value("let a = [1, 2]; push(a, 3); a[2] + len(a);");
+        assert!(v.loose_eq(&Value::int(6)));
+        let v = run_value(r#"let m = map(); m["k"] = 7; m["k"];"#);
+        assert!(v.loose_eq(&Value::int(7)));
+        let v = run_value(r#"let m = map(); m["absent"];"#);
+        assert!(v.loose_eq(&Value::Null));
+    }
+
+    #[test]
+    fn taint_propagates_through_concat() {
+        let i = run(r#"let pw = policy_add("s3cret", "UntrustedData");
+               let msg = "password: " + pw;
+               let names = policy_get(msg);"#);
+        let names = i.globals.get("names").unwrap();
+        let Value::Array(a) = names else { panic!() };
+        assert_eq!(a.borrow().len(), 1);
+        // And byte-level: the prefix is clean.
+        let Value::Str(msg) = i.globals.get("msg").unwrap() else {
+            panic!()
+        };
+        assert!(msg.policies_at(0).is_empty());
+        assert!(msg.policies_at(11).has::<UntrustedData>());
+    }
+
+    #[test]
+    fn int_conversion_merges() {
+        let i = run(r#"let s = policy_add("42", "UntrustedData");
+               let n = int(s);
+               let names = policy_get(n);"#);
+        let Value::Array(a) = i.globals.get("names").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.borrow().len(), 1);
+    }
+
+    #[test]
+    fn script_password_policy_blocks_echo() {
+        // The Figure 2 flow, written in RSL.
+        let mut i = Interp::new();
+        let err = i
+            .run(
+                r#"class PasswordPolicy {
+                     fn init(email) { this.email = email; }
+                     fn export_check(context) {
+                       if (context["type"] == "email" && context["email"] == this.email) {
+                         return;
+                       }
+                       if (context["type"] == "http" && context["priv_chair"]) {
+                         return;
+                       }
+                       throw "unauthorized disclosure";
+                     }
+                   }
+                   let pw = policy_add("s3cret", new PasswordPolicy("u@foo.com"));
+                   echo("Your password is: " + pw);"#,
+            )
+            .unwrap_err();
+        assert!(err.violation, "{err}");
+        assert_eq!(i.http_output(), "", "nothing leaked");
+    }
+
+    #[test]
+    fn script_password_policy_allows_owner_email() {
+        let mut i = Interp::new();
+        i.run(
+            r#"class PasswordPolicy {
+                 fn init(email) { this.email = email; }
+                 fn export_check(context) {
+                   if (context["type"] == "email" && context["email"] == this.email) {
+                     return;
+                   }
+                   throw "unauthorized disclosure";
+                 }
+               }
+               let pw = policy_add("s3cret", new PasswordPolicy("u@foo.com"));
+               email("u@foo.com", "Your password is: " + pw);"#,
+        )
+        .unwrap();
+        assert_eq!(i.emails.len(), 1);
+        assert!(i.emails[0].body.contains("s3cret"));
+    }
+
+    #[test]
+    fn email_preview_mode_reproduces_hotcrp_bug() {
+        let mut i = Interp::new();
+        let err = i
+            .run(
+                r#"class PasswordPolicy {
+                     fn init(email) { this.email = email; }
+                     fn export_check(context) {
+                       if (context["type"] == "email" && context["email"] == this.email) { return; }
+                       throw "unauthorized disclosure";
+                     }
+                   }
+                   set_email_preview(true);
+                   let pw = policy_add("s3cret", new PasswordPolicy("victim@foo.com"));
+                   email("victim@foo.com", "reminder: " + pw);"#,
+            )
+            .unwrap_err();
+        assert!(err.violation);
+        assert_eq!(i.http_output(), "");
+    }
+
+    #[test]
+    fn chair_exception_via_http_context() {
+        let mut i = Interp::new();
+        i.run(
+            r#"class PasswordPolicy {
+                 fn init(email) { this.email = email; }
+                 fn export_check(context) {
+                   if (context["type"] == "http" && context["priv_chair"]) { return; }
+                   throw "unauthorized";
+                 }
+               }
+               http_context("priv_chair", true);
+               let pw = policy_add("x", new PasswordPolicy("u@x"));
+               echo(pw);"#,
+        )
+        .unwrap();
+        assert_eq!(i.http_output(), "x");
+    }
+
+    #[test]
+    fn stock_password_policy_via_rust() {
+        // Rust-attached policies work identically inside the interpreter.
+        let mut i = Interp::new();
+        i.run("fn show(x) { echo(x); }").unwrap();
+        let mut s = TaintedString::from("pw");
+        s.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+        let err = i.call_function("show", vec![Value::Str(s)]).unwrap_err();
+        assert!(err.violation);
+    }
+
+    #[test]
+    fn persistent_policies_through_files() {
+        let mut i = Interp::new();
+        i.run(
+            r#"mkdir("/data");
+               let secret = policy_add("token", "UntrustedData");
+               file_write("/data/t", secret);
+               let back = policy_get(file_read("/data/t"));"#,
+        )
+        .unwrap();
+        let Value::Array(a) = i.globals.get("back").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.borrow().len(), 1, "policy revived from xattr");
+    }
+
+    #[test]
+    fn script_policy_persists_and_revives() {
+        // Define a policy class, persist labeled data to a file, read it
+        // back: the revived ScriptPolicy still enforces export_check.
+        let mut i = Interp::new();
+        let err = i
+            .run(
+                r#"class SecretPolicy {
+                     fn init() { this.owner = "alice"; }
+                     fn export_check(context) { throw "no export ever"; }
+                   }
+                   mkdir("/d");
+                   let s = policy_add("data", new SecretPolicy());
+                   file_write("/d/f", s);
+                   echo(file_read("/d/f"));"#,
+            )
+            .unwrap_err();
+        assert!(err.violation, "revived script policy enforced: {err}");
+    }
+
+    #[test]
+    fn import_filter_blocks_unapproved_code() {
+        let mut i = Interp::new();
+        // Install approved code and adversary code.
+        i.run(
+            r#"mkdir("/app");
+               file_write("/app/lib.rsl", "let lib_loaded = 1;");
+               make_executable("/app/lib.rsl");
+               file_write("/app/evil.rsl", "let owned = 1;");
+               require_code_approval();
+               import("/app/lib.rsl");"#,
+        )
+        .unwrap();
+        assert!(i.globals.contains_key("lib_loaded"));
+        let err = i.run(r#"import("/app/evil.rsl");"#).unwrap_err();
+        assert!(err.violation);
+        assert!(!i.globals.contains_key("owned"));
+    }
+
+    #[test]
+    fn import_without_filter_is_vulnerable() {
+        let mut i = Interp::new();
+        i.run(
+            r#"mkdir("/app");
+               file_write("/app/evil.rsl", "let owned = 1;");
+               import("/app/evil.rsl");"#,
+        )
+        .unwrap();
+        assert!(i.globals.contains_key("owned"), "no filter, no protection");
+    }
+
+    #[test]
+    fn tracking_off_drops_taint() {
+        let mut i = Interp::with_tracking(Tracking::Off);
+        i.run(
+            r#"let pw = policy_add("s3cret", "UntrustedData");
+               let msg = "x" + pw;
+               let names = policy_get(msg);"#,
+        )
+        .unwrap();
+        let Value::Array(a) = i.globals.get("names").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.borrow().len(), 0, "unmodified runtime loses taint");
+        assert_eq!(i.tracking(), Tracking::Off);
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert!(run_value(r#"upper("abc");"#).loose_eq(&Value::str("ABC")));
+        assert!(run_value(r#"substr("abcdef", 2, 3);"#).loose_eq(&Value::str("cde")));
+        assert!(run_value(r#"trim("  x ");"#).loose_eq(&Value::str("x")));
+        assert!(run_value(r#"contains("hello", "ell");"#).loose_eq(&Value::Bool(true)));
+        assert!(run_value(r#"replace("a-b", "-", "+");"#).loose_eq(&Value::str("a+b")));
+        assert!(run_value(r#"join(",", split("a,b,c", ","));"#).loose_eq(&Value::str("a,b,c")));
+        assert!(run_value(r#"len("abcd");"#).loose_eq(&Value::int(4)));
+    }
+
+    #[test]
+    fn print_collects_output() {
+        let i = run(r#"print("a", 1); print("b");"#);
+        assert_eq!(i.print_output(), "a 1\nb\n");
+    }
+
+    #[test]
+    fn runtime_errors() {
+        let mut i = Interp::new();
+        assert!(i.run("undefined_var;").is_err());
+        assert!(i.run("nosuchfn();").is_err());
+        assert!(i.run("1 / 0;").is_err());
+        assert!(i.run(r#""a" - 1;"#).is_err());
+        assert!(i.run("let a = [1]; a[5];").is_err());
+        assert!(i.run("fn f(x) { return x; } f();").is_err());
+        assert!(i.run("fn loop_(n) { return loop_(n); } loop_(1);").is_err());
+        assert!(i.run(r#"throw "boom";"#).is_err());
+    }
+
+    #[test]
+    fn this_outside_method_errors() {
+        let mut i = Interp::new();
+        assert!(i.run("this;").is_err());
+    }
+
+    #[test]
+    fn call_function_from_rust() {
+        let mut i = Interp::new();
+        i.run("fn double(x) { return x * 2; }").unwrap();
+        let v = i.call_function("double", vec![Value::int(21)]).unwrap();
+        assert!(v.loose_eq(&Value::int(42)));
+        assert!(i.call_function("nope", vec![]).is_err());
+    }
+}

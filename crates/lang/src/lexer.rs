@@ -1,0 +1,267 @@
+//! The RSL lexer.
+//!
+//! RSL ("Resin Scripting Language") is the small dynamic language whose
+//! interpreter carries RESIN's data tracking — the stand-in for the
+//! paper's modified PHP runtime (§4).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (decoded).
+    Str(String),
+    /// Keyword.
+    Kw(&'static str),
+    /// Operator or punctuation.
+    Op(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Kw(k) => write!(f, "{k}"),
+            Tok::Op(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// A token with its line number (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "let", "fn", "if", "else", "while", "return", "class", "new", "this", "true", "false", "null",
+    "throw", "and", "or", "not",
+];
+
+/// Tokenizes RSL source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "unterminated string".into(),
+                            });
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1).copied().ok_or(LexError {
+                                line,
+                                message: "trailing backslash".into(),
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(LexError {
+                                        line,
+                                        message: format!("bad escape `\\{}`", other as char),
+                                    });
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| LexError {
+                    line,
+                    message: "integer out of range".into(),
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(n),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match KEYWORDS.iter().find(|k| **k == word) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { tok, line });
+            }
+            _ => {
+                // Operators, longest first.
+                const OPS: &[&str] = &[
+                    "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "=",
+                    "!", "(", ")", "{", "}", "[", "]", ",", ";", ".", ":",
+                ];
+                let rest = &src[i..];
+                let mut matched = None;
+                for op in OPS {
+                    if rest.starts_with(op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(op) => {
+                        out.push(Token {
+                            tok: Tok::Op(op),
+                            line,
+                        });
+                        i += op.len();
+                    }
+                    None => {
+                        return Err(LexError {
+                            line,
+                            message: format!("unexpected character `{c}`"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("let x = 42;"),
+            vec![
+                Tok::Kw("let"),
+                Tok::Ident("x".into()),
+                Tok::Op("="),
+                Tok::Int(42),
+                Tok::Op(";")
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks(r#""a\nb\"c\\d""#), vec![Tok::Str("a\nb\"c\\d".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("1 # comment\n2"), vec![Tok::Int(1), Tok::Int(2)]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("a\nb\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && ||"),
+            vec![
+                Tok::Op("=="),
+                Tok::Op("!="),
+                Tok::Op("<="),
+                Tok::Op(">="),
+                Tok::Op("&&"),
+                Tok::Op("||")
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("if iffy"),
+            vec![Tok::Kw("if"), Tok::Ident("iffy".into())]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+}

@@ -1,0 +1,522 @@
+//! Recursive-descent parser for RSL.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ast::{BinOp, ClassDecl, Expr, FnDecl, Stmt, Target};
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line, when known.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a program (a sequence of statements).
+pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Op(o)) if *o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), ParseError> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{op}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Kw(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(name)) => {
+                let n = name.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_op("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_op("}") {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("let") {
+            let name = self.ident()?;
+            self.expect_op("=")?;
+            let e = self.expr()?;
+            self.expect_op(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.eat_kw("if") {
+            self.expect_op("(")?;
+            let cond = self.expr()?;
+            self.expect_op(")")?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_kw("else") {
+                if matches!(self.peek(), Some(Tok::Kw("if"))) {
+                    vec![self.statement()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        if self.eat_kw("while") {
+            self.expect_op("(")?;
+            let cond = self.expr()?;
+            self.expect_op(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("return") {
+            if self.eat_op(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_op(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("throw") {
+            let e = self.expr()?;
+            self.expect_op(";")?;
+            return Ok(Stmt::Throw(e));
+        }
+        if self.eat_kw("fn") {
+            return Ok(Stmt::FnDef(Arc::new(self.fn_decl()?)));
+        }
+        if self.eat_kw("class") {
+            let name = self.ident()?;
+            self.expect_op("{")?;
+            let mut methods = Vec::new();
+            while !self.eat_op("}") {
+                if !self.eat_kw("fn") {
+                    return Err(self.err("expected `fn` in class body"));
+                }
+                methods.push(Arc::new(self.fn_decl()?));
+            }
+            return Ok(Stmt::ClassDef(Arc::new(ClassDecl { name, methods })));
+        }
+        // Expression or assignment.
+        let e = self.expr()?;
+        if self.eat_op("=") {
+            let target = match e {
+                Expr::Var(name) => Target::Var(name),
+                Expr::Prop(obj, field) => Target::Prop(*obj, field),
+                Expr::Index(arr, idx) => Target::Index(*arr, *idx),
+                other => return Err(self.err(format!("invalid assignment target {other:?}"))),
+            };
+            let value = self.expr()?;
+            self.expect_op(";")?;
+            return Ok(Stmt::Assign(target, value));
+        }
+        self.expect_op(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn fn_decl(&mut self) -> Result<FnDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect_op("(")?;
+        let mut params = Vec::new();
+        if !self.eat_op(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat_op(")") {
+                    break;
+                }
+                self.expect_op(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FnDecl { name, params, body })
+    }
+
+    // Precedence: or > and > equality > comparison > additive >
+    // multiplicative > unary > postfix > primary.
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        next: F,
+        table: &[(&str, BinOp)],
+        keywords: &[(&str, BinOp)],
+    ) -> Result<Expr, ParseError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, ParseError>,
+    {
+        let mut left = next(self)?;
+        'outer: loop {
+            for (op, bin) in table {
+                if self.eat_op(op) {
+                    let right = next(self)?;
+                    left = Expr::Binary {
+                        op: *bin,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    };
+                    continue 'outer;
+                }
+            }
+            for (kw, bin) in keywords {
+                if self.eat_kw(kw) {
+                    let right = next(self)?;
+                    left = Expr::Binary {
+                        op: *bin,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(left);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(Self::and_expr, &[("||", BinOp::Or)], &[("or", BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::equality,
+            &[("&&", BinOp::And)],
+            &[("and", BinOp::And)],
+        )
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::comparison,
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[],
+        )
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::additive,
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            &[],
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::multiplicative,
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            Self::unary,
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+            &[],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_op("!") || self.eat_kw("not") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_op("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_op(".") {
+                let name = self.ident()?;
+                if self.eat_op("(") {
+                    let args = self.call_args()?;
+                    e = Expr::MethodCall {
+                        recv: Box::new(e),
+                        method: name,
+                        args,
+                    };
+                } else {
+                    e = Expr::Prop(Box::new(e), name);
+                }
+            } else if self.eat_op("[") {
+                let idx = self.expr()?;
+                self.expect_op("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    /// Arguments after `(` has been consumed.
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.eat_op(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat_op(")") {
+                return Ok(args);
+            }
+            self.expect_op(",")?;
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_op("(") {
+            let e = self.expr()?;
+            self.expect_op(")")?;
+            return Ok(e);
+        }
+        if self.eat_op("[") {
+            let mut items = Vec::new();
+            if !self.eat_op("]") {
+                loop {
+                    items.push(self.expr()?);
+                    if self.eat_op("]") {
+                        break;
+                    }
+                    self.expect_op(",")?;
+                }
+            }
+            return Ok(Expr::Array(items));
+        }
+        if self.eat_kw("new") {
+            let class = self.ident()?;
+            self.expect_op("(")?;
+            let args = self.call_args()?;
+            return Ok(Expr::New { class, args });
+        }
+        if self.eat_kw("this") {
+            return Ok(Expr::This);
+        }
+        if self.eat_kw("true") {
+            return Ok(Expr::Bool(true));
+        }
+        if self.eat_kw("false") {
+            return Ok(Expr::Bool(false));
+        }
+        if self.eat_kw("null") {
+            return Ok(Expr::Null);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Int(n))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if self.eat_op("(") {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_let_and_expr() {
+        let p = parse_program("let x = 1 + 2 * 3;").unwrap();
+        assert_eq!(p.len(), 1);
+        let Stmt::Let(
+            name,
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            },
+        ) = &p[0]
+        else {
+            panic!("{p:?}");
+        };
+        assert_eq!(name, "x");
+        assert!(
+            matches!(**right, Expr::Binary { op: BinOp::Mul, .. }),
+            "precedence"
+        );
+    }
+
+    #[test]
+    fn parse_if_else_chain() {
+        let p = parse_program("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }").unwrap();
+        let Stmt::If { else_body, .. } = &p[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parse_while_and_calls() {
+        let p = parse_program("while (i < 10) { i = i + 1; f(i, 2); }").unwrap();
+        let Stmt::While { body, .. } = &p[0] else {
+            panic!()
+        };
+        assert_eq!(body.len(), 2);
+        assert!(
+            matches!(&body[1], Stmt::Expr(Expr::Call { name, args }) if name == "f" && args.len() == 2)
+        );
+    }
+
+    #[test]
+    fn parse_fn_and_return() {
+        let p = parse_program("fn add(a, b) { return a + b; } fn zero() { return; }").unwrap();
+        let Stmt::FnDef(f) = &p[0] else { panic!() };
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parse_class_with_methods() {
+        let src = r#"
+            class PasswordPolicy {
+                fn init(email) { this.email = email; }
+                fn export_check(context) {
+                    if (context["type"] == "email" && context["email"] == this.email) {
+                        return;
+                    }
+                    throw "unauthorized disclosure";
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let Stmt::ClassDef(c) = &p[0] else { panic!() };
+        assert_eq!(c.name, "PasswordPolicy");
+        assert!(c.method("init").is_some());
+        assert!(c.method("export_check").is_some());
+    }
+
+    #[test]
+    fn parse_new_method_index_prop() {
+        let p = parse_program(r#"let p = new P("a"); p.run(1)[2].field = x[0];"#).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(matches!(&p[1], Stmt::Assign(Target::Prop(_, f), _) if f == "field"));
+    }
+
+    #[test]
+    fn parse_array_literal_and_keyword_ops() {
+        let p = parse_program("let a = [1, 2, 3]; let b = x and not y or z;").unwrap();
+        assert_eq!(p.len(), 2);
+        let Stmt::Let(_, Expr::Array(items)) = &p[0] else {
+            panic!()
+        };
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_program("let = 3;").is_err());
+        assert!(parse_program("if (x) { ").is_err());
+        assert!(parse_program("1 + ;").is_err());
+        assert!(parse_program("f(1,);").is_err());
+        assert!(parse_program("1 = 2;").is_err());
+        assert!(parse_program("class C { let x; }").is_err());
+    }
+}

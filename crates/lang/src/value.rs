@@ -1,0 +1,384 @@
+//! Runtime values and script-defined policy objects.
+//!
+//! The key reproduction detail from §4: the runtime's internal
+//! representation of a datum carries a pointer to a set of policy objects.
+//! In RSL, `Value::Str` carries byte-range policies via
+//! [`TaintedString`], and `Value::Int` carries a whole-datum [`PolicySet`]
+//! (integers cannot do byte-level tracking — the paper's integer-addition
+//! microbenchmark measures exactly this path).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use resin_core::{Context, PolicySet, PolicyViolation, TaintedString};
+
+use crate::ast::{ClassDecl, FnDecl};
+
+/// An RSL runtime value.
+#[derive(Clone)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer with its policy set.
+    Int(i64, PolicySet),
+    /// String with byte-range policies.
+    Str(TaintedString),
+    /// Mutable array (reference semantics).
+    Array(Rc<RefCell<Vec<Value>>>),
+    /// Mutable string-keyed map (reference semantics).
+    Map(Rc<RefCell<BTreeMap<String, Value>>>),
+    /// Class instance (reference semantics).
+    Object(Rc<RefCell<Obj>>),
+}
+
+/// A class instance: its class plus dynamic fields.
+pub struct Obj {
+    /// The instance's class.
+    pub class: Arc<ClassDecl>,
+    /// Fields (spring into existence on assignment).
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl Value {
+    /// Integer without policies.
+    pub fn int(n: i64) -> Value {
+        Value::Int(n, PolicySet::empty())
+    }
+
+    /// String from plain text.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(TaintedString::from(s.into()))
+    }
+
+    /// Fresh empty array.
+    pub fn new_array(items: Vec<Value>) -> Value {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// Fresh empty map.
+    pub fn new_map() -> Value {
+        Value::Map(Rc::new(RefCell::new(BTreeMap::new())))
+    }
+
+    /// PHP-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(n, _) => *n != 0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(a) => !a.borrow().is_empty(),
+            Value::Map(m) => !m.borrow().is_empty(),
+            Value::Object(_) => true,
+        }
+    }
+
+    /// The value's type name (for error messages and `typeof`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(..) => "int",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Map(_) => "map",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Equality: value equality for scalars (ignoring policies, like PHP),
+    /// reference equality for containers.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a, _), Value::Int(b, _)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a.as_str() == b.as_str(),
+            (Value::Array(a), Value::Array(b)) => Rc::ptr_eq(a, b),
+            (Value::Map(a), Value::Map(b)) => Rc::ptr_eq(a, b),
+            (Value::Object(a), Value::Object(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Renders the value as a tainted string (policies carried: an int's
+    /// set applies to all its digits).
+    pub fn to_tainted(&self) -> TaintedString {
+        match self {
+            Value::Null => TaintedString::new(),
+            Value::Bool(b) => TaintedString::from(if *b { "true" } else { "false" }),
+            Value::Int(n, pol) => {
+                let mut s = TaintedString::from(n.to_string());
+                s.add_policies(pol);
+                s
+            }
+            Value::Str(s) => s.clone(),
+            Value::Array(a) => {
+                let items: Vec<TaintedString> = a.borrow().iter().map(|v| v.to_tainted()).collect();
+                let mut out = TaintedString::from("[");
+                out.push_tainted(&TaintedString::join(", ", items.iter()));
+                out.push_str("]");
+                out
+            }
+            Value::Map(m) => {
+                let mut out = TaintedString::from("{");
+                for (i, (k, v)) in m.borrow().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(k);
+                    out.push_str(": ");
+                    out.push_tainted(&v.to_tainted());
+                }
+                out.push_str("}");
+                out
+            }
+            Value::Object(o) => TaintedString::from(format!("<{}>", o.borrow().class.name)),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_tainted().as_str())
+    }
+}
+
+// ---- script-defined policies ----
+
+/// A persistable scalar snapshot of a script value (policy fields).
+///
+/// Policy objects persist as *class name + data fields* (§3.4.1), so a
+/// script policy's fields are snapshotted into this `Send + Sync` form
+/// when the policy is attached to data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PValue {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// String (text only; field policies are not persisted).
+    Str(String),
+    /// List of scalars.
+    List(Vec<PValue>),
+}
+
+impl PValue {
+    /// Snapshots a runtime value; containers of scalars are supported,
+    /// nested objects are not (matching the flat-fields persistence model).
+    pub fn from_value(v: &Value) -> Option<PValue> {
+        Some(match v {
+            Value::Null => PValue::Null,
+            Value::Bool(b) => PValue::Bool(*b),
+            Value::Int(n, _) => PValue::Int(*n),
+            Value::Str(s) => PValue::Str(s.as_str().to_string()),
+            Value::Array(a) => PValue::List(
+                a.borrow()
+                    .iter()
+                    .map(PValue::from_value)
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Value::Map(_) | Value::Object(_) => return None,
+        })
+    }
+
+    /// Rebuilds a runtime value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            PValue::Null => Value::Null,
+            PValue::Bool(b) => Value::Bool(*b),
+            PValue::Int(n) => Value::int(*n),
+            PValue::Str(s) => Value::str(s.clone()),
+            PValue::List(items) => Value::new_array(items.iter().map(PValue::to_value).collect()),
+        }
+    }
+
+    /// Compact text encoding for persistence.
+    pub fn encode(&self) -> String {
+        match self {
+            PValue::Null => "n:".to_string(),
+            PValue::Bool(b) => format!("b:{b}"),
+            PValue::Int(n) => format!("i:{n}"),
+            PValue::Str(s) => format!("s:{s}"),
+            PValue::List(items) => {
+                let inner: Vec<String> = items
+                    .iter()
+                    .map(|i| {
+                        // Nested separators are escaped with %1C.
+                        i.encode().replace('%', "%25").replace('\u{1c}', "%1C")
+                    })
+                    .collect();
+                format!("l:{}", inner.join("\u{1c}"))
+            }
+        }
+    }
+
+    /// Decodes [`PValue::encode`] output.
+    pub fn decode(s: &str) -> Option<PValue> {
+        let (tag, body) = s.split_once(':')?;
+        Some(match tag {
+            "n" => PValue::Null,
+            "b" => PValue::Bool(body == "true"),
+            "i" => PValue::Int(body.parse().ok()?),
+            "s" => PValue::Str(body.to_string()),
+            "l" => {
+                if body.is_empty() {
+                    PValue::List(Vec::new())
+                } else {
+                    PValue::List(
+                        body.split('\u{1c}')
+                            .map(|p| {
+                                PValue::decode(&p.replace("%1C", "\u{1c}").replace("%25", "%"))
+                            })
+                            .collect::<Option<Vec<_>>>()?,
+                    )
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// A policy object defined by script code (§3.3 — "programmers write
+/// policy objects in the same language that the rest of the application is
+/// written in").
+///
+/// Carries the class name, a scalar snapshot of the instance's fields, and
+/// the class's `export_check` method AST. When a Rust-side filter invokes
+/// `export_check`, a minimal evaluator runs the method with `this` bound
+/// to the fields and `context` bound to the channel context.
+#[derive(Debug)]
+pub struct ScriptPolicy {
+    class_name: String,
+    fields: BTreeMap<String, PValue>,
+    class: Option<Arc<ClassDecl>>,
+}
+
+impl ScriptPolicy {
+    /// Builds a script policy from an instance snapshot. The whole class
+    /// declaration is captured so `export_check` can call the class's
+    /// other methods (the paper's point about reusing application code).
+    pub fn new(
+        class_name: String,
+        fields: BTreeMap<String, PValue>,
+        class: Option<Arc<ClassDecl>>,
+    ) -> Self {
+        ScriptPolicy {
+            class_name,
+            fields,
+            class,
+        }
+    }
+
+    /// The snapshotted fields.
+    pub fn fields(&self) -> &BTreeMap<String, PValue> {
+        &self.fields
+    }
+
+    /// The captured class declaration, if any.
+    pub fn class(&self) -> Option<&Arc<ClassDecl>> {
+        self.class.as_ref()
+    }
+
+    /// The captured `export_check` method, if the class defined one.
+    pub fn method(&self) -> Option<&Arc<FnDecl>> {
+        self.class.as_ref().and_then(|c| c.method("export_check"))
+    }
+}
+
+impl resin_core::Policy for ScriptPolicy {
+    fn name(&self) -> &str {
+        &self.class_name
+    }
+
+    fn export_check(&self, context: &Context) -> Result<(), PolicyViolation> {
+        let Some(class) = &self.class else {
+            return Ok(());
+        };
+        if class.method("export_check").is_none() {
+            return Ok(());
+        }
+        crate::interp::eval_policy_method(class, &self.fields, context)
+    }
+
+    fn serialize_fields(&self) -> Vec<(String, String)> {
+        self.fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.encode()))
+            .collect()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::int(0).truthy());
+        assert!(Value::int(-1).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::new_array(vec![]).truthy());
+        assert!(Value::new_array(vec![Value::int(1)]).truthy());
+    }
+
+    #[test]
+    fn loose_equality() {
+        assert!(Value::int(3).loose_eq(&Value::int(3)));
+        assert!(Value::str("a").loose_eq(&Value::str("a")));
+        assert!(!Value::int(1).loose_eq(&Value::str("1")));
+        let a = Value::new_array(vec![]);
+        assert!(a.loose_eq(&a.clone()), "reference equality");
+        assert!(!a.loose_eq(&Value::new_array(vec![])));
+    }
+
+    #[test]
+    fn to_tainted_renders() {
+        assert_eq!(Value::Null.to_tainted().as_str(), "");
+        assert_eq!(Value::Bool(true).to_tainted().as_str(), "true");
+        assert_eq!(Value::int(-5).to_tainted().as_str(), "-5");
+        let arr = Value::new_array(vec![Value::int(1), Value::str("x")]);
+        assert_eq!(arr.to_tainted().as_str(), "[1, x]");
+    }
+
+    #[test]
+    fn pvalue_roundtrip() {
+        let cases = vec![
+            PValue::Null,
+            PValue::Bool(true),
+            PValue::Int(-42),
+            PValue::Str("a:b,c;d".into()),
+            PValue::List(vec![PValue::Int(1), PValue::Str("x".into())]),
+            PValue::List(vec![]),
+        ];
+        for c in cases {
+            assert_eq!(PValue::decode(&c.encode()), Some(c));
+        }
+        assert!(PValue::decode("junk").is_none());
+        assert!(PValue::decode("z:1").is_none());
+    }
+
+    #[test]
+    fn pvalue_snapshot_limits() {
+        assert!(PValue::from_value(&Value::new_map()).is_none());
+        let arr = Value::new_array(vec![Value::int(1)]);
+        assert_eq!(
+            PValue::from_value(&arr),
+            Some(PValue::List(vec![PValue::Int(1)]))
+        );
+    }
+}

@@ -1,0 +1,544 @@
+//! The storage and execution engine.
+//!
+//! A straightforward in-memory engine: tables are vectors of rows, queries
+//! scan. It is deliberately policy-oblivious — the RESIN integration
+//! (policy columns, injection guards) lives in [`crate::rewrite`], exactly
+//! as the paper layers its SQL filter over an unmodified database.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{BinOp, ColumnDef, Expr, LitValue, Projection, SelectStmt, Statement};
+use crate::error::{Result, SqlError};
+use crate::value::{like_match, Value};
+
+/// A table: schema plus row storage.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column definitions in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Row-major storage.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Index of a column by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Result column names (empty for non-SELECT statements).
+    pub columns: Vec<String>,
+    /// Result rows (empty for non-SELECT statements).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted.
+    pub affected: usize,
+}
+
+/// The in-memory database.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// The schema of `table`, if it exists.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => self.create_table(name, columns, *if_not_exists),
+            Statement::DropTable { name } => {
+                if self.tables.remove(name).is_none() {
+                    return Err(SqlError::schema(format!("no such table `{name}`")));
+                }
+                Ok(QueryResult::default())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.insert(table, columns.as_deref(), rows),
+            Statement::Select(sel) => self.select(sel),
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.update(table, assignments, where_clause.as_ref()),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.delete(table, where_clause.as_ref()),
+        }
+    }
+
+    /// Parses and executes a query string.
+    pub fn execute_str(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = crate::parser::parse_str(sql)?;
+        self.execute(&stmt)
+    }
+
+    fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[ColumnDef],
+        if_not_exists: bool,
+    ) -> Result<QueryResult> {
+        if self.tables.contains_key(name) {
+            if if_not_exists {
+                return Ok(QueryResult::default());
+            }
+            return Err(SqlError::schema(format!("table `{name}` already exists")));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in columns {
+            if !seen.insert(&c.name) {
+                return Err(SqlError::schema(format!("duplicate column `{}`", c.name)));
+            }
+        }
+        self.tables.insert(
+            name.to_string(),
+            Table {
+                columns: columns.to_vec(),
+                rows: Vec::new(),
+            },
+        );
+        Ok(QueryResult::default())
+    }
+
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+    ) -> Result<QueryResult> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+        // Map provided positions to storage positions.
+        let positions: Vec<usize> = match columns {
+            None => (0..t.columns.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    t.col_index(c)
+                        .ok_or_else(|| SqlError::schema(format!("no column `{c}` in `{table}`")))
+                })
+                .collect::<Result<_>>()?,
+        };
+        let width = t.columns.len();
+        let mut staged = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != positions.len() {
+                return Err(SqlError::schema(format!(
+                    "expected {} values, got {}",
+                    positions.len(),
+                    row.len()
+                )));
+            }
+            let mut storage = vec![Value::Null; width];
+            for (expr, &pos) in row.iter().zip(&positions) {
+                storage[pos] = eval_const(expr)?;
+            }
+            staged.push(storage);
+        }
+        let affected = staged.len();
+        self.tables
+            .get_mut(table)
+            .expect("checked above")
+            .rows
+            .extend(staged);
+        Ok(QueryResult {
+            affected,
+            ..QueryResult::default()
+        })
+    }
+
+    fn select(&mut self, sel: &SelectStmt) -> Result<QueryResult> {
+        let t = self
+            .tables
+            .get(&sel.table)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{}`", sel.table)))?;
+        let mut matched: Vec<&Vec<Value>> = Vec::new();
+        for row in &t.rows {
+            if matches_where(t, row, sel.where_clause.as_ref())? {
+                matched.push(row);
+            }
+        }
+        if let Some((col, desc)) = &sel.order_by {
+            let idx = t
+                .col_index(col)
+                .ok_or_else(|| SqlError::schema(format!("no column `{col}`")))?;
+            matched.sort_by(|a, b| {
+                let ord = a[idx].compare(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        if let Some(limit) = sel.limit {
+            matched.truncate(limit);
+        }
+        match &sel.projection {
+            Projection::CountStar => Ok(QueryResult {
+                columns: vec!["count".to_string()],
+                rows: vec![vec![Value::Int(matched.len() as i64)]],
+                affected: 0,
+            }),
+            Projection::Star => Ok(QueryResult {
+                columns: t.columns.iter().map(|c| c.name.clone()).collect(),
+                rows: matched.into_iter().cloned().collect(),
+                affected: 0,
+            }),
+            Projection::Columns(cols) => {
+                let idxs: Vec<usize> = cols
+                    .iter()
+                    .map(|c| {
+                        t.col_index(c)
+                            .ok_or_else(|| SqlError::schema(format!("no column `{c}`")))
+                    })
+                    .collect::<Result<_>>()?;
+                let rows = matched
+                    .into_iter()
+                    .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                Ok(QueryResult {
+                    columns: cols.clone(),
+                    rows,
+                    affected: 0,
+                })
+            }
+        }
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<QueryResult> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+        let idxs: Vec<(usize, Value)> = assignments
+            .iter()
+            .map(|(c, e)| {
+                let i = t
+                    .col_index(c)
+                    .ok_or_else(|| SqlError::schema(format!("no column `{c}`")))?;
+                Ok((i, eval_const(e)?))
+            })
+            .collect::<Result<_>>()?;
+        // Evaluate the predicate against the immutable borrow first.
+        let mut hits = Vec::new();
+        for (ri, row) in t.rows.iter().enumerate() {
+            if matches_where(t, row, where_clause)? {
+                hits.push(ri);
+            }
+        }
+        let affected = hits.len();
+        let t = self.tables.get_mut(table).expect("checked above");
+        for ri in hits {
+            for (ci, v) in &idxs {
+                t.rows[ri][*ci] = v.clone();
+            }
+        }
+        Ok(QueryResult {
+            affected,
+            ..QueryResult::default()
+        })
+    }
+
+    fn delete(&mut self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+        let mut hits = Vec::new();
+        for (ri, row) in t.rows.iter().enumerate() {
+            if matches_where(t, row, where_clause)? {
+                hits.push(ri);
+            }
+        }
+        let affected = hits.len();
+        if affected > 0 {
+            let rows = &mut self.tables.get_mut(table).expect("checked above").rows;
+            let mut hit_iter = hits.into_iter().peekable();
+            let mut idx = 0usize;
+            rows.retain(|_| {
+                let drop_row = hit_iter.peek() == Some(&idx);
+                if drop_row {
+                    hit_iter.next();
+                }
+                idx += 1;
+                !drop_row
+            });
+        }
+        Ok(QueryResult {
+            affected,
+            ..QueryResult::default()
+        })
+    }
+}
+
+fn eval_const(expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Lit(l) => Ok(match &l.value {
+            LitValue::Int(i) => Value::Int(*i),
+            LitValue::Text(s) => Value::Text(s.clone()),
+            LitValue::Null => Value::Null,
+        }),
+        other => Err(SqlError::Type(format!(
+            "expected a literal value, found {other:?}"
+        ))),
+    }
+}
+
+fn matches_where(t: &Table, row: &[Value], clause: Option<&Expr>) -> Result<bool> {
+    match clause {
+        None => Ok(true),
+        Some(e) => Ok(eval_expr(t, row, e)?.truthy()),
+    }
+}
+
+fn eval_expr(t: &Table, row: &[Value], expr: &Expr) -> Result<Value> {
+    match expr {
+        Expr::Column(name) => {
+            let i = t
+                .col_index(name)
+                .ok_or_else(|| SqlError::schema(format!("no column `{name}`")))?;
+            Ok(row[i].clone())
+        }
+        Expr::Lit(_) => eval_const(expr),
+        Expr::Not(inner) => {
+            let v = eval_expr(t, row, inner)?;
+            Ok(Value::Int(if v.truthy() { 0 } else { 1 }))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(t, row, expr)?;
+            Ok(Value::Int(if v.is_null() != *negated { 1 } else { 0 }))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_expr(t, row, expr)?;
+            let mut found = false;
+            for item in list {
+                let w = eval_expr(t, row, item)?;
+                if v.compare(&w) == Some(std::cmp::Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Int(if found != *negated { 1 } else { 0 }))
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval_expr(t, row, left)?;
+            let r = eval_expr(t, row, right)?;
+            let b = match op {
+                BinOp::And => l.truthy() && r.truthy(),
+                BinOp::Or => l.truthy() || r.truthy(),
+                BinOp::Like => match (&l, &r) {
+                    (Value::Text(s), Value::Text(p)) => like_match(s, p),
+                    _ => false,
+                },
+                cmp => {
+                    let ord = l.compare(&r);
+                    match (cmp, ord) {
+                        (_, None) => false,
+                        (BinOp::Eq, Some(o)) => o == std::cmp::Ordering::Equal,
+                        (BinOp::Ne, Some(o)) => o != std::cmp::Ordering::Equal,
+                        (BinOp::Lt, Some(o)) => o == std::cmp::Ordering::Less,
+                        (BinOp::Le, Some(o)) => o != std::cmp::Ordering::Greater,
+                        (BinOp::Gt, Some(o)) => o == std::cmp::Ordering::Greater,
+                        (BinOp::Ge, Some(o)) => o != std::cmp::Ordering::Less,
+                        _ => unreachable!("and/or/like handled above"),
+                    }
+                }
+            };
+            Ok(Value::Int(if b { 1 } else { 0 }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_users() -> Database {
+        let mut db = Database::new();
+        db.execute_str("CREATE TABLE users (id INTEGER, name TEXT, age INTEGER)")
+            .unwrap();
+        db.execute_str(
+            "INSERT INTO users VALUES (1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let mut db = db_with_users();
+        let r = db
+            .execute_str("SELECT name FROM users WHERE age > 26")
+            .unwrap();
+        assert_eq!(r.columns, vec!["name"]);
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn select_star_and_order() {
+        let mut db = db_with_users();
+        let r = db
+            .execute_str("SELECT * FROM users ORDER BY age DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1], Value::Text("carol".into()));
+        assert_eq!(r.rows[1][1], Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn count_star() {
+        let mut db = db_with_users();
+        let r = db
+            .execute_str("SELECT COUNT(*) FROM users WHERE age < 31")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn update_rows() {
+        let mut db = db_with_users();
+        let r = db
+            .execute_str("UPDATE users SET age = 26 WHERE name = 'bob'")
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        let r = db
+            .execute_str("SELECT age FROM users WHERE name = 'bob'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(26));
+    }
+
+    #[test]
+    fn delete_rows() {
+        let mut db = db_with_users();
+        let r = db.execute_str("DELETE FROM users WHERE age >= 30").unwrap();
+        assert_eq!(r.affected, 2);
+        let r = db.execute_str("SELECT COUNT(*) FROM users").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn insert_with_columns_fills_null() {
+        let mut db = db_with_users();
+        db.execute_str("INSERT INTO users (id, name) VALUES (4, 'dan')")
+            .unwrap();
+        let r = db
+            .execute_str("SELECT age FROM users WHERE id = 4")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Null);
+        let r = db
+            .execute_str("SELECT name FROM users WHERE age IS NULL")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("dan".into()));
+    }
+
+    #[test]
+    fn like_and_in_filters() {
+        let mut db = db_with_users();
+        let r = db
+            .execute_str("SELECT name FROM users WHERE name LIKE '%o%'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "bob and carol");
+        let r = db
+            .execute_str("SELECT name FROM users WHERE id IN (1, 3)")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = db
+            .execute_str("SELECT name FROM users WHERE id NOT IN (1, 3)")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn schema_errors() {
+        let mut db = db_with_users();
+        assert!(db.execute_str("SELECT nope FROM users").is_err());
+        assert!(db.execute_str("SELECT * FROM nope").is_err());
+        assert!(db.execute_str("INSERT INTO users VALUES (1)").is_err());
+        assert!(db
+            .execute_str("INSERT INTO users (zzz) VALUES (1)")
+            .is_err());
+        assert!(db.execute_str("CREATE TABLE users (id INTEGER)").is_err());
+        assert!(db.execute_str("CREATE TABLE t2 (a TEXT, a TEXT)").is_err());
+        assert!(db.execute_str("DROP TABLE nope").is_err());
+        assert!(db.execute_str("UPDATE users SET nope = 1").is_err());
+    }
+
+    #[test]
+    fn if_not_exists_is_idempotent() {
+        let mut db = db_with_users();
+        assert!(db
+            .execute_str("CREATE TABLE IF NOT EXISTS users (id INTEGER)")
+            .is_ok());
+        // Original schema retained.
+        assert_eq!(db.table("users").unwrap().columns.len(), 3);
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = db_with_users();
+        db.execute_str("DROP TABLE users").unwrap();
+        assert!(db.table("users").is_none());
+        assert!(db.table_names().is_empty());
+    }
+
+    #[test]
+    fn classic_injection_dumps_table_without_guard() {
+        // The raw engine happily executes an injected query — protection is
+        // the RESIN filter's job, not the database's.
+        let mut db = db_with_users();
+        let name_input = "x' OR '1'='1";
+        let q = format!("SELECT name FROM users WHERE name = '{name_input}");
+        // The trailing quote from the template closes the injected literal.
+        let q = format!("{q}'");
+        let r = db.execute_str(&q).unwrap();
+        assert_eq!(r.rows.len(), 3, "injection dumps every row");
+    }
+
+    #[test]
+    fn multi_insert_affected_count() {
+        let mut db = Database::new();
+        db.execute_str("CREATE TABLE t (a INTEGER)").unwrap();
+        let r = db
+            .execute_str("INSERT INTO t VALUES (1), (2), (3)")
+            .unwrap();
+        assert_eq!(r.affected, 3);
+    }
+}

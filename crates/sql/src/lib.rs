@@ -1,0 +1,48 @@
+//! # resin-sql — a SQL engine with RESIN persistent policies
+//!
+//! The database substrate for the RESIN reproduction: a from-scratch
+//! in-memory SQL engine ([`engine::Database`]) wrapped by the RESIN SQL
+//! filter ([`rewrite::ResinDb`]), which
+//!
+//! * rewrites `CREATE TABLE` to add a shadow **policy column** per data
+//!   column, stores each cell's serialized policies on write, and revives
+//!   them on read (§3.4.1, Figure 4);
+//! * enforces the SQL-injection data flow assertion on the query channel in
+//!   any of the paper's three formulations (§5.3): sanitizer-marker
+//!   checking, structure-taint checking, and the tolerant-tokenizer
+//!   auto-sanitizing variation.
+//!
+//! # Examples
+//!
+//! ```
+//! use resin_core::prelude::*;
+//! use resin_sql::{GuardMode, ResinDb};
+//! use std::sync::Arc;
+//!
+//! let mut db = ResinDb::new();
+//! db.set_guard(GuardMode::StructureCheck);
+//! db.query_str("CREATE TABLE users (name TEXT, pw TEXT)").unwrap();
+//!
+//! // A hostile, untrusted input cannot change the query's structure.
+//! let evil = TaintedString::with_policy("x' OR '1'='1",
+//!                                       Arc::new(UntrustedData::new()));
+//! let mut q = TaintedString::from("SELECT pw FROM users WHERE name = '");
+//! q.push_tainted(&evil);
+//! q.push_str("'");
+//! assert!(db.query(&q).unwrap_err().is_violation());
+//! ```
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod parser;
+pub mod rewrite;
+pub mod token;
+pub mod txn;
+pub mod value;
+
+pub use engine::{Database, QueryResult, Table};
+pub use error::{Result, SqlError};
+pub use rewrite::{GuardMode, ResinDb, TCell, TaintedResult, Tracking, POLICY_COL_PREFIX};
+pub use txn::{IntegrityCheck, Transaction};
+pub use value::Value;

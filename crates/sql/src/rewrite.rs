@@ -1,0 +1,777 @@
+//! The RESIN SQL filter: policy persistence and injection guards.
+//!
+//! RESIN attaches a default filter object to the function used to issue SQL
+//! queries and uses it to *rewrite queries and results* (§3.4.1, Figure 4):
+//!
+//! * `CREATE TABLE` gains a shadow **policy column** per data column;
+//! * writes store each cell's serialized policy into its policy column;
+//! * reads fetch the policy columns and re-attach deserialized policy
+//!   objects to the corresponding data cells.
+//!
+//! The same filter is where the SQL-injection data flow assertion lives
+//! (§5.3). Both strategies from the paper are implemented, plus the
+//! tolerant-tokenizer auto-sanitizing variation:
+//!
+//! * [`GuardMode::MarkerCheck`] — strategy 1: any byte with
+//!   `UntrustedData` but not `SqlSanitized` rejects the query;
+//! * [`GuardMode::StructureCheck`] — strategy 2: any *structure* token
+//!   (keyword, identifier, operator, punctuation) carrying `UntrustedData`
+//!   rejects the query;
+//! * [`GuardMode::AutoSanitize`] — the variation: untrusted quotes cannot
+//!   terminate literals, and the query is re-emitted safely escaped.
+
+use std::ops::Range;
+
+use resin_core::{
+    deserialize_set, deserialize_spans, serialize_set, serialize_spans, PolicyViolation,
+    SqlSanitized, Tainted, TaintedString, UntrustedData,
+};
+
+use crate::ast::{ColumnDef, ColumnType, Expr, LitValue, Literal, Projection, Statement};
+use crate::engine::{Database, QueryResult};
+use crate::error::{Result, SqlError};
+use crate::token::{lex, lex_tainted, sanitize_query, Token};
+use crate::value::Value;
+
+/// Prefix of shadow policy columns.
+pub const POLICY_COL_PREFIX: &str = "__rp_";
+
+/// Whether query/result rewriting for persistent policies is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tracking {
+    /// Unmodified runtime: queries pass through untouched, taint is lost.
+    Off,
+    /// RESIN runtime: policy columns maintained transparently.
+    #[default]
+    On,
+}
+
+/// Which SQL-injection assertion guards the query channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardMode {
+    /// No injection checking.
+    #[default]
+    Off,
+    /// Strategy 1 (§5.3): untrusted bytes must carry `SqlSanitized`.
+    MarkerCheck,
+    /// Strategy 2 (§5.3): query structure must be untainted.
+    StructureCheck,
+    /// Strategy-2 variation: tolerant tokenizer + automatic sanitization.
+    AutoSanitize,
+}
+
+/// A result cell with policies re-attached.
+#[derive(Debug, Clone)]
+pub enum TCell {
+    /// SQL NULL.
+    Null,
+    /// Integer with a (whole-datum) policy set.
+    Int(Tainted<i64>),
+    /// Text with byte-range policies.
+    Text(TaintedString),
+}
+
+impl TCell {
+    /// The cell as tainted text, if it is text.
+    pub fn as_text(&self) -> Option<&TaintedString> {
+        match self {
+            TCell::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The cell as a tainted integer, if it is one.
+    pub fn as_int(&self) -> Option<&Tainted<i64>> {
+        match self {
+            TCell::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// True when NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, TCell::Null)
+    }
+
+    /// Renders the cell as a tainted string (NULL → empty, int → digits with
+    /// the int's policies applied to every digit).
+    pub fn to_tainted_string(&self) -> TaintedString {
+        match self {
+            TCell::Null => TaintedString::new(),
+            TCell::Int(i) => {
+                let mut s = TaintedString::from(i.value().to_string());
+                s.add_policies(i.policies());
+                s
+            }
+            TCell::Text(t) => t.clone(),
+        }
+    }
+}
+
+/// A query result with policies re-attached to each cell.
+#[derive(Debug, Clone, Default)]
+pub struct TaintedResult {
+    /// Data column names (policy columns are hidden).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<TCell>>,
+    /// Rows inserted/updated/deleted.
+    pub affected: usize,
+}
+
+impl TaintedResult {
+    /// The cell at `(row, column-name)`, if present.
+    pub fn cell(&self, row: usize, col: &str) -> Option<&TCell> {
+        let i = self.columns.iter().position(|c| c == col)?;
+        self.rows.get(row)?.get(i)
+    }
+}
+
+/// A database wrapped by the RESIN SQL filter.
+#[derive(Debug, Default)]
+pub struct ResinDb {
+    db: Database,
+    tracking: Tracking,
+    guard: GuardMode,
+}
+
+impl ResinDb {
+    /// A RESIN-tracked database with no injection guard.
+    pub fn new() -> Self {
+        ResinDb::default()
+    }
+
+    /// A database with explicit tracking and guard settings.
+    pub fn with_modes(tracking: Tracking, guard: GuardMode) -> Self {
+        ResinDb {
+            db: Database::new(),
+            tracking,
+            guard,
+        }
+    }
+
+    /// Sets the injection guard.
+    pub fn set_guard(&mut self, guard: GuardMode) {
+        self.guard = guard;
+    }
+
+    /// The underlying engine (for tests and diagnostics).
+    pub fn raw(&self) -> &Database {
+        &self.db
+    }
+
+    /// Replaces the engine state (transaction rollback support).
+    pub(crate) fn restore(&mut self, snapshot: Database) {
+        self.db = snapshot;
+    }
+
+    /// Executes an untainted query string.
+    pub fn query_str(&mut self, sql: &str) -> Result<TaintedResult> {
+        self.query(&TaintedString::from(sql))
+    }
+
+    /// Executes a (possibly tainted) query through the RESIN SQL filter.
+    pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
+        // 1. Injection guard.
+        let sql = self.guard_check(sql)?;
+
+        // 2. Parse.
+        let tokens = lex(sql.as_str())?;
+        let stmt = crate::parser::parse(&tokens)?;
+
+        // 3. Rewrite + execute.
+        if self.tracking == Tracking::Off {
+            let res = self.db.execute(&stmt)?;
+            return Ok(plain_result(res));
+        }
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => self.create_rewritten(&name, columns, if_not_exists),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.insert_rewritten(&sql, &table, columns, rows),
+            Statement::Select(sel) => self.select_rewritten(sel),
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.update_rewritten(&sql, &table, assignments, where_clause),
+            other @ (Statement::Delete { .. } | Statement::DropTable { .. }) => {
+                // DELETE/DROP need no rewriting — the paper notes DELETE's
+                // low overhead for exactly this reason (§7.2).
+                let res = self.db.execute(&other)?;
+                Ok(plain_result(res))
+            }
+        }
+    }
+
+    // ---- guards ----
+
+    fn guard_check(&self, sql: &TaintedString) -> Result<TaintedString> {
+        match self.guard {
+            GuardMode::Off => Ok(sql.clone()),
+            GuardMode::MarkerCheck => {
+                let bad =
+                    sql.ranges_where(|s| s.has::<UntrustedData>() && !s.has::<SqlSanitized>());
+                if let Some(r) = bad.first() {
+                    let snippet = sql.slice(r.clone());
+                    return Err(PolicyViolation::new(
+                        "SqlGuard",
+                        format!(
+                            "unsanitized untrusted data in SQL query at bytes {}..{}: `{}`",
+                            r.start,
+                            r.end,
+                            snippet.as_str()
+                        ),
+                    )
+                    .into());
+                }
+                Ok(sql.clone())
+            }
+            GuardMode::StructureCheck => {
+                let tokens = lex_tainted(sql, false)?;
+                check_structure_untainted(sql, &tokens)?;
+                Ok(sql.clone())
+            }
+            GuardMode::AutoSanitize => {
+                let tokens = lex_tainted(sql, true)?;
+                check_structure_untainted(sql, &tokens)?;
+                Ok(sanitize_query(sql, &tokens))
+            }
+        }
+    }
+
+    // ---- rewriting ----
+
+    fn user_columns(&self, table: &str) -> Result<Vec<String>> {
+        let t = self
+            .db
+            .table(table)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+        Ok(t.columns
+            .iter()
+            .map(|c| c.name.clone())
+            .filter(|n| !n.starts_with(POLICY_COL_PREFIX))
+            .collect())
+    }
+
+    fn create_rewritten(
+        &mut self,
+        name: &str,
+        mut columns: Vec<ColumnDef>,
+        if_not_exists: bool,
+    ) -> Result<TaintedResult> {
+        for c in &columns {
+            if c.name.starts_with(POLICY_COL_PREFIX) {
+                return Err(SqlError::schema(format!(
+                    "column name `{}` collides with the policy column prefix",
+                    c.name
+                )));
+            }
+        }
+        let shadows: Vec<ColumnDef> = columns
+            .iter()
+            .map(|c| ColumnDef {
+                name: format!("{POLICY_COL_PREFIX}{}", c.name),
+                ty: ColumnType::Text,
+            })
+            .collect();
+        columns.extend(shadows);
+        let res = self.db.execute(&Statement::CreateTable {
+            name: name.to_string(),
+            columns,
+            if_not_exists,
+        })?;
+        Ok(plain_result(res))
+    }
+
+    fn insert_rewritten(
+        &mut self,
+        sql: &TaintedString,
+        table: &str,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+    ) -> Result<TaintedResult> {
+        let cols = match columns {
+            Some(c) => c,
+            None => self.user_columns(table)?,
+        };
+        let mut new_cols = cols.clone();
+        new_cols.extend(cols.iter().map(|c| format!("{POLICY_COL_PREFIX}{c}")));
+        let mut new_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut shadows = Vec::with_capacity(row.len());
+            for expr in &row {
+                shadows.push(Expr::Lit(Literal {
+                    value: LitValue::Text(policy_blob_for(sql, expr)),
+                    span: 0..0,
+                }));
+            }
+            let mut new_row = row;
+            new_row.extend(shadows);
+            new_rows.push(new_row);
+        }
+        let res = self.db.execute(&Statement::Insert {
+            table: table.to_string(),
+            columns: Some(new_cols),
+            rows: new_rows,
+        })?;
+        Ok(plain_result(res))
+    }
+
+    fn update_rewritten(
+        &mut self,
+        sql: &TaintedString,
+        table: &str,
+        assignments: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    ) -> Result<TaintedResult> {
+        let mut new_assignments = Vec::with_capacity(assignments.len() * 2);
+        for (col, expr) in assignments {
+            let blob = policy_blob_for(sql, &expr);
+            new_assignments.push((
+                format!("{POLICY_COL_PREFIX}{col}"),
+                Expr::Lit(Literal {
+                    value: LitValue::Text(blob),
+                    span: 0..0,
+                }),
+            ));
+            new_assignments.push((col, expr));
+        }
+        let res = self.db.execute(&Statement::Update {
+            table: table.to_string(),
+            assignments: new_assignments,
+            where_clause,
+        })?;
+        Ok(plain_result(res))
+    }
+
+    fn select_rewritten(&mut self, sel: crate::ast::SelectStmt) -> Result<TaintedResult> {
+        let data_cols: Vec<String> = match &sel.projection {
+            Projection::CountStar => {
+                let res = self.db.execute(&Statement::Select(sel))?;
+                return Ok(plain_result(res));
+            }
+            Projection::Star => self.user_columns(&sel.table)?,
+            Projection::Columns(cols) => {
+                for c in cols {
+                    if c.starts_with(POLICY_COL_PREFIX) {
+                        return Err(SqlError::schema(format!(
+                            "cannot select policy column `{c}` directly"
+                        )));
+                    }
+                }
+                cols.clone()
+            }
+        };
+        let mut fetch = data_cols.clone();
+        fetch.extend(data_cols.iter().map(|c| format!("{POLICY_COL_PREFIX}{c}")));
+        let rewritten = crate::ast::SelectStmt {
+            projection: Projection::Columns(fetch),
+            ..sel
+        };
+        let res = self.db.execute(&Statement::Select(rewritten))?;
+        // Re-attach policies: columns [0..n) are data, [n..2n) policies.
+        let n = data_cols.len();
+        let mut rows = Vec::with_capacity(res.rows.len());
+        for row in res.rows {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(revive_cell(&row[i], &row[n + i])?);
+            }
+            rows.push(out);
+        }
+        Ok(TaintedResult {
+            columns: data_cols,
+            rows,
+            affected: 0,
+        })
+    }
+}
+
+fn check_structure_untainted(sql: &TaintedString, tokens: &[Token]) -> Result<()> {
+    for t in tokens {
+        if !t.is_structure() {
+            continue;
+        }
+        let tainted = span_has_untrusted(sql, &t.span);
+        if tainted {
+            let snippet = sql.slice(t.span.clone());
+            return Err(PolicyViolation::new(
+                "SqlGuard",
+                format!(
+                    "untrusted data in SQL query structure at bytes {}..{}: `{}`",
+                    t.span.start,
+                    t.span.end,
+                    snippet.as_str()
+                ),
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
+fn span_has_untrusted(sql: &TaintedString, span: &Range<usize>) -> bool {
+    sql.slice(span.clone()).has_policy::<UntrustedData>()
+}
+
+/// Decodes a string literal's interior from the tainted query, carrying
+/// byte policies through `''` escape pairs. The collapsed quote loses the
+/// pair's policies (a 1-byte blind spot per escape; the surrounding bytes
+/// keep theirs).
+fn decode_literal(sql: &TaintedString, span: &Range<usize>) -> TaintedString {
+    let interior = sql.slice(span.start + 1..span.end.saturating_sub(1));
+    if interior.contains("''") {
+        interior.replace_str("''", "'")
+    } else {
+        interior
+    }
+}
+
+/// The serialized policy blob for one inserted/assigned value.
+fn policy_blob_for(sql: &TaintedString, expr: &Expr) -> String {
+    let Some(lit) = expr.as_literal() else {
+        return String::new();
+    };
+    match &lit.value {
+        LitValue::Text(_) => {
+            let decoded = decode_literal(sql, &lit.span);
+            if decoded.is_untainted() {
+                String::new()
+            } else {
+                serialize_spans(&decoded)
+            }
+        }
+        LitValue::Int(_) => {
+            let pol = sql.slice(lit.span.clone()).policies();
+            if pol.is_empty() {
+                String::new()
+            } else {
+                serialize_set(&pol)
+            }
+        }
+        LitValue::Null => String::new(),
+    }
+}
+
+fn revive_cell(data: &Value, policy: &Value) -> Result<TCell> {
+    let blob = policy.as_text().unwrap_or("");
+    Ok(match data {
+        Value::Null => TCell::Null,
+        Value::Int(i) => {
+            let set = if blob.is_empty() {
+                resin_core::PolicySet::empty()
+            } else {
+                deserialize_set(blob)?
+            };
+            TCell::Int(Tainted::with_policies(*i, set))
+        }
+        Value::Text(s) => {
+            if blob.is_empty() {
+                TCell::Text(TaintedString::from(s.as_str()))
+            } else {
+                TCell::Text(deserialize_spans(s, blob)?)
+            }
+        }
+    })
+}
+
+fn plain_result(res: QueryResult) -> TaintedResult {
+    TaintedResult {
+        columns: res.columns,
+        rows: res
+            .rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|v| match v {
+                        Value::Null => TCell::Null,
+                        Value::Int(i) => TCell::Int(Tainted::new(i)),
+                        Value::Text(s) => TCell::Text(TaintedString::from(s)),
+                    })
+                    .collect()
+            })
+            .collect(),
+        affected: res.affected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resin_core::{PasswordPolicy, PolicySet};
+    use std::sync::Arc;
+
+    fn untrusted(s: &str) -> TaintedString {
+        TaintedString::with_policy(s, Arc::new(UntrustedData::new()))
+    }
+
+    fn setup() -> ResinDb {
+        let mut db = ResinDb::new();
+        db.query_str("CREATE TABLE users (name TEXT, pw TEXT)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn policy_columns_created() {
+        let db = setup();
+        let t = db.raw().table("users").unwrap();
+        let names: Vec<&str> = t.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["name", "pw", "__rp_name", "__rp_pw"]);
+    }
+
+    #[test]
+    fn figure4_password_roundtrip() {
+        // Figure 4: a password with a policy is INSERTed; the policy is
+        // serialized into the policy column; SELECT revives it.
+        let mut db = setup();
+        let mut q = TaintedString::from("INSERT INTO users VALUES ('u', '");
+        let mut pw = TaintedString::from("s3cret");
+        pw.add_policy(Arc::new(PasswordPolicy::new("u@foo.com")));
+        q.push_tainted(&pw);
+        q.push_str("')");
+        db.query(&q).unwrap();
+
+        // The engine's policy column holds the serialized policy.
+        let t = db.raw().table("users").unwrap();
+        let blob = t.rows[0][3].as_text().unwrap();
+        assert!(blob.contains("PasswordPolicy"), "{blob}");
+        assert!(t.rows[0][2].as_text().unwrap().is_empty(), "name untainted");
+
+        // SELECT revives the policy on the data cell.
+        let r = db.query_str("SELECT name, pw FROM users").unwrap();
+        let cell = r.cell(0, "pw").unwrap().as_text().unwrap();
+        assert_eq!(cell.as_str(), "s3cret");
+        assert!(cell.has_policy::<PasswordPolicy>());
+        let name = r.cell(0, "name").unwrap().as_text().unwrap();
+        assert!(name.is_untainted());
+    }
+
+    #[test]
+    fn select_star_hides_policy_columns() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('a', 'b')").unwrap();
+        let r = db.query_str("SELECT * FROM users").unwrap();
+        assert_eq!(r.columns, vec!["name", "pw"]);
+        assert_eq!(r.rows[0].len(), 2);
+    }
+
+    #[test]
+    fn select_policy_column_rejected() {
+        let mut db = setup();
+        assert!(db.query_str("SELECT __rp_pw FROM users").is_err());
+        assert!(db.query_str("CREATE TABLE bad (__rp_x TEXT)").is_err());
+    }
+
+    #[test]
+    fn update_rewrites_policy() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('u', 'old')")
+            .unwrap();
+        let mut q = TaintedString::from("UPDATE users SET pw = '");
+        q.push_tainted(&TaintedString::with_policy(
+            "new",
+            Arc::new(PasswordPolicy::new("u@x")),
+        ));
+        q.push_str("' WHERE name = 'u'");
+        let r = db.query(&q).unwrap();
+        assert_eq!(r.affected, 1);
+        let r = db.query_str("SELECT pw FROM users").unwrap();
+        let cell = r.cell(0, "pw").unwrap().as_text().unwrap();
+        assert_eq!(cell.as_str(), "new");
+        assert!(cell.has_policy::<PasswordPolicy>());
+    }
+
+    #[test]
+    fn delete_needs_no_rewrite() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('a', 'b')").unwrap();
+        let r = db.query_str("DELETE FROM users WHERE name = 'a'").unwrap();
+        assert_eq!(r.affected, 1);
+    }
+
+    #[test]
+    fn int_cells_carry_policy_sets() {
+        let mut db = ResinDb::new();
+        db.query_str("CREATE TABLE t (n INTEGER)").unwrap();
+        let mut q = TaintedString::from("INSERT INTO t VALUES (");
+        q.push_tainted(&untrusted("42"));
+        q.push_str(")");
+        db.query(&q).unwrap();
+        let r = db.query_str("SELECT n FROM t").unwrap();
+        let cell = r.cell(0, "n").unwrap().as_int().unwrap();
+        assert_eq!(cell.value(), &42);
+        assert!(cell.has_policy::<UntrustedData>());
+        let rendered = r.cell(0, "n").unwrap().to_tainted_string();
+        assert_eq!(rendered.as_str(), "42");
+        assert!(rendered.all_bytes_have::<UntrustedData>());
+    }
+
+    #[test]
+    fn tracking_off_loses_taint() {
+        let mut db = ResinDb::with_modes(Tracking::Off, GuardMode::Off);
+        db.query_str("CREATE TABLE t (a TEXT)").unwrap();
+        let mut q = TaintedString::from("INSERT INTO t VALUES ('");
+        q.push_tainted(&untrusted("x"));
+        q.push_str("')");
+        db.query(&q).unwrap();
+        // No policy columns exist at all.
+        assert_eq!(db.raw().table("t").unwrap().columns.len(), 1);
+        let r = db.query_str("SELECT a FROM t").unwrap();
+        assert!(r.cell(0, "a").unwrap().as_text().unwrap().is_untainted());
+    }
+
+    // ---- injection guards ----
+
+    fn build_login_query(name: &TaintedString) -> TaintedString {
+        let mut q = TaintedString::from("SELECT pw FROM users WHERE name = '");
+        q.push_tainted(name);
+        q.push_str("'");
+        q
+    }
+
+    #[test]
+    fn marker_check_blocks_unsanitized() {
+        let mut db = setup();
+        db.set_guard(GuardMode::MarkerCheck);
+        let q = build_login_query(&untrusted("x' OR '1'='1"));
+        let err = db.query(&q).unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn marker_check_allows_sanitized() {
+        let mut db = setup();
+        db.set_guard(GuardMode::MarkerCheck);
+        // The sanitizer escapes and appends the SqlSanitized marker.
+        let mut input = untrusted("x' OR '1'='1");
+        input = input.replace_str("'", "''");
+        input.add_policy(Arc::new(SqlSanitized::new()));
+        let q = build_login_query(&input);
+        let r = db.query(&q).unwrap();
+        assert!(r.rows.is_empty(), "escaped input matches nothing");
+    }
+
+    #[test]
+    fn marker_check_catches_wrong_sanitizer() {
+        // §5.3: HTML-sanitized data used in SQL is still an error.
+        let mut db = setup();
+        db.set_guard(GuardMode::MarkerCheck);
+        let mut input = untrusted("x");
+        input.add_policy(Arc::new(resin_core::HtmlSanitized::new()));
+        let q = build_login_query(&input);
+        assert!(db.query(&q).unwrap_err().is_violation());
+    }
+
+    #[test]
+    fn structure_check_blocks_injected_structure() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('u', 'pw1')")
+            .unwrap();
+        db.set_guard(GuardMode::StructureCheck);
+        let q = build_login_query(&untrusted("x' OR '1'='1"));
+        let err = db.query(&q).unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn structure_check_allows_benign_input() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('alice', 'pw1')")
+            .unwrap();
+        db.set_guard(GuardMode::StructureCheck);
+        let q = build_login_query(&untrusted("alice"));
+        let r = db.query(&q).unwrap();
+        assert_eq!(
+            r.rows.len(),
+            1,
+            "benign untrusted input inside a literal is fine"
+        );
+    }
+
+    #[test]
+    fn auto_sanitize_neutralizes_injection() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('u', 'pw1')")
+            .unwrap();
+        db.set_guard(GuardMode::AutoSanitize);
+        let q = build_login_query(&untrusted("x' OR '1'='1"));
+        let r = db.query(&q).unwrap();
+        assert!(r.rows.is_empty(), "injection neutralized, matches nothing");
+    }
+
+    #[test]
+    fn auto_sanitize_still_blocks_structural_taint() {
+        // Numeric-context injection can't be quoted away: id = 1 OR 1=1.
+        let mut db = ResinDb::new();
+        db.query_str("CREATE TABLE t (id INTEGER)").unwrap();
+        db.set_guard(GuardMode::AutoSanitize);
+        let mut q = TaintedString::from("SELECT id FROM t WHERE id = ");
+        q.push_tainted(&untrusted("1 OR 1=1"));
+        assert!(db.query(&q).unwrap_err().is_violation());
+    }
+
+    #[test]
+    fn second_order_injection_blocked() {
+        // Stored untrusted data keeps its policy via the policy column; a
+        // second query built from it is still guarded (§5.3's point about
+        // de-serialized policies protecting stolen passwords applies to
+        // UntrustedData too).
+        let mut db = setup();
+        let mut q = TaintedString::from("INSERT INTO users VALUES ('");
+        q.push_tainted(&untrusted("evil' OR '1'='1"));
+        q.push_str("', 'pw')");
+        // First write sanitizes nothing but we use no guard yet: tolerate by
+        // escaping manually for storage.
+        db.set_guard(GuardMode::AutoSanitize);
+        db.query(&q).unwrap();
+        let r = db.query_str("SELECT name FROM users").unwrap();
+        let stored = r.cell(0, "name").unwrap().as_text().unwrap().clone();
+        assert!(
+            stored.has_policy::<UntrustedData>(),
+            "taint survived storage"
+        );
+        // Now the app naively builds a new query from the stored value.
+        db.set_guard(GuardMode::StructureCheck);
+        let q2 = build_login_query(&stored);
+        assert!(db.query(&q2).unwrap_err().is_violation());
+    }
+
+    #[test]
+    fn guard_off_is_vulnerable() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('u', 'pw1')")
+            .unwrap();
+        let q = build_login_query(&untrusted("x' OR '1'='1"));
+        let r = db.query(&q).unwrap();
+        assert_eq!(r.rows.len(), 1, "without the assertion the row leaks");
+    }
+
+    #[test]
+    fn count_star_passthrough() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users VALUES ('a', 'b')").unwrap();
+        let r = db.query_str("SELECT COUNT(*) FROM users").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &1);
+    }
+
+    #[test]
+    fn empty_policy_set_roundtrip() {
+        let mut db = setup();
+        db.query_str("INSERT INTO users (name) VALUES ('solo')")
+            .unwrap();
+        let r = db.query_str("SELECT name, pw FROM users").unwrap();
+        assert!(r.cell(0, "pw").unwrap().is_null());
+        assert_eq!(
+            r.cell(0, "name").unwrap().as_text().unwrap().policies(),
+            PolicySet::empty()
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Transactions with commit-time integrity assertions (§8, future work).
+//!
+//! The paper's planned approach to data *integrity* invariants: "using
+//! transactions to buffer database or file system changes, and checking a
+//! programmer-specified assertion before committing them." A
+//! [`Transaction`] snapshots the database, applies queries, and runs the
+//! programmer's integrity checks at commit; if any check fails, every
+//! buffered change is rolled back.
+
+use resin_core::{PolicyViolation, TaintedString};
+
+use crate::engine::Database;
+use crate::error::{Result, SqlError};
+use crate::rewrite::{ResinDb, TaintedResult};
+
+/// A programmer-specified integrity assertion, checked at commit time
+/// against the post-transaction database state.
+pub type IntegrityCheck<'c> = Box<dyn Fn(&mut ResinDb) -> Result<(), PolicyViolation> + 'c>;
+
+/// An open transaction on a [`ResinDb`].
+///
+/// Dropping an uncommitted transaction rolls it back.
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+/// use resin_sql::{ResinDb, Transaction};
+///
+/// let mut db = ResinDb::new();
+/// db.query_str("CREATE TABLE grades (student TEXT, score INTEGER)").unwrap();
+/// db.query_str("INSERT INTO grades VALUES ('ada', 91)").unwrap();
+///
+/// // Invariant: no score may exceed 100.
+/// let mut txn = Transaction::begin(&mut db);
+/// txn.add_check(Box::new(|db| {
+///     let r = db.query_str("SELECT COUNT(*) FROM grades WHERE score > 100")
+///         .map_err(|e| PolicyViolation::new("GradeInvariant", e.to_string()))?;
+///     match r.rows[0][0].as_int().map(|v| *v.value()) {
+///         Some(0) => Ok(()),
+///         _ => Err(PolicyViolation::new("GradeInvariant", "score above 100")),
+///     }
+/// }));
+/// txn.query_str("UPDATE grades SET score = 250 WHERE student = 'ada'").unwrap();
+/// assert!(txn.commit().is_err());                  // invariant fails...
+/// let r = db.query_str("SELECT score FROM grades").unwrap();
+/// assert_eq!(r.rows[0][0].as_int().unwrap().value(), &91); // ...rolled back
+/// ```
+pub struct Transaction<'a, 'c> {
+    db: &'a mut ResinDb,
+    snapshot: Database,
+    checks: Vec<IntegrityCheck<'c>>,
+    finished: bool,
+}
+
+impl<'a, 'c> Transaction<'a, 'c> {
+    /// Opens a transaction, snapshotting the current state.
+    pub fn begin(db: &'a mut ResinDb) -> Self {
+        let snapshot = db.raw().clone();
+        Transaction {
+            db,
+            snapshot,
+            checks: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Registers an integrity assertion to run at commit.
+    pub fn add_check(&mut self, check: IntegrityCheck<'c>) {
+        self.checks.push(check);
+    }
+
+    /// Executes a query inside the transaction (all RESIN rewriting and
+    /// guards apply as usual).
+    pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
+        self.db.query(sql)
+    }
+
+    /// Executes an untainted query inside the transaction.
+    pub fn query_str(&mut self, sql: &str) -> Result<TaintedResult> {
+        self.db.query_str(sql)
+    }
+
+    /// Runs the integrity checks; keeps the changes if all pass, restores
+    /// the snapshot otherwise.
+    pub fn commit(mut self) -> Result<()> {
+        self.finished = true;
+        let checks = std::mem::take(&mut self.checks);
+        for check in &checks {
+            if let Err(v) = check(self.db) {
+                self.db.restore(std::mem::take(&mut self.snapshot));
+                return Err(SqlError::Policy(resin_core::ResinError::Violation(v)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards all changes made inside the transaction.
+    pub fn rollback(mut self) {
+        self.finished = true;
+        self.db.restore(std::mem::take(&mut self.snapshot));
+    }
+}
+
+impl Drop for Transaction<'_, '_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.db.restore(std::mem::take(&mut self.snapshot));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resin_core::UntrustedData;
+    use std::sync::Arc;
+
+    fn grades_db() -> ResinDb {
+        let mut db = ResinDb::new();
+        db.query_str("CREATE TABLE grades (student TEXT, score INTEGER)")
+            .unwrap();
+        db.query_str("INSERT INTO grades VALUES ('ada', 91), ('bob', 72)")
+            .unwrap();
+        db
+    }
+
+    fn max_100_check<'c>() -> IntegrityCheck<'c> {
+        Box::new(|db| {
+            let r = db
+                .query_str("SELECT COUNT(*) FROM grades WHERE score > 100")
+                .map_err(|e| PolicyViolation::new("GradeInvariant", e.to_string()))?;
+            if r.rows[0][0].as_int().map(|v| *v.value()) == Some(0) {
+                Ok(())
+            } else {
+                Err(PolicyViolation::new("GradeInvariant", "score above 100"))
+            }
+        })
+    }
+
+    #[test]
+    fn commit_keeps_valid_changes() {
+        let mut db = grades_db();
+        let mut txn = Transaction::begin(&mut db);
+        txn.add_check(max_100_check());
+        txn.query_str("UPDATE grades SET score = 95 WHERE student = 'bob'")
+            .unwrap();
+        txn.commit().unwrap();
+        let r = db
+            .query_str("SELECT score FROM grades WHERE student = 'bob'")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &95);
+    }
+
+    #[test]
+    fn failed_check_rolls_back_everything() {
+        let mut db = grades_db();
+        let mut txn = Transaction::begin(&mut db);
+        txn.add_check(max_100_check());
+        txn.query_str("UPDATE grades SET score = 95 WHERE student = 'bob'")
+            .unwrap();
+        txn.query_str("UPDATE grades SET score = 250 WHERE student = 'ada'")
+            .unwrap();
+        let err = txn.commit().unwrap_err();
+        assert!(err.is_violation());
+        // *Both* updates rolled back, not just the offending one.
+        let r = db
+            .query_str("SELECT score FROM grades ORDER BY student")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &91);
+        assert_eq!(r.rows[1][0].as_int().unwrap().value(), &72);
+    }
+
+    #[test]
+    fn explicit_rollback() {
+        let mut db = grades_db();
+        let mut txn = Transaction::begin(&mut db);
+        txn.query_str("DELETE FROM grades").unwrap();
+        txn.rollback();
+        let r = db.query_str("SELECT COUNT(*) FROM grades").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let mut db = grades_db();
+        {
+            let mut txn = Transaction::begin(&mut db);
+            txn.query_str("DELETE FROM grades").unwrap();
+            // Dropped here.
+        }
+        let r = db.query_str("SELECT COUNT(*) FROM grades").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+    }
+
+    #[test]
+    fn policies_tracked_inside_transactions() {
+        let mut db = grades_db();
+        let mut txn = Transaction::begin(&mut db);
+        let mut q = TaintedString::from("INSERT INTO grades VALUES ('");
+        q.push_tainted(&TaintedString::with_policy(
+            "eve",
+            Arc::new(UntrustedData::new()),
+        ));
+        q.push_str("', 50)");
+        txn.query(&q).unwrap();
+        txn.commit().unwrap();
+        let r = db
+            .query_str("SELECT student FROM grades WHERE score = 50")
+            .unwrap();
+        let cell = r.cell(0, "student").unwrap().as_text().unwrap();
+        assert!(cell.has_policy::<UntrustedData>());
+    }
+
+    #[test]
+    fn multiple_checks_all_run() {
+        let mut db = grades_db();
+        let mut txn = Transaction::begin(&mut db);
+        txn.add_check(max_100_check());
+        txn.add_check(Box::new(|db| {
+            let r = db
+                .query_str("SELECT COUNT(*) FROM grades")
+                .map_err(|e| PolicyViolation::new("NonEmpty", e.to_string()))?;
+            if r.rows[0][0].as_int().map(|v| *v.value()) > Some(0) {
+                Ok(())
+            } else {
+                Err(PolicyViolation::new("NonEmpty", "grades table emptied"))
+            }
+        }));
+        txn.query_str("DELETE FROM grades").unwrap();
+        assert!(txn.commit().is_err(), "second check fires");
+        let r = db.query_str("SELECT COUNT(*) FROM grades").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+    }
+}

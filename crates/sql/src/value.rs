@@ -1,0 +1,142 @@
+//! Storage values and comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A stored cell value (the engine itself is policy-oblivious; the RESIN
+/// filter layers policies on top via shadow columns).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as text, if it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison. NULL compares as unknown (`None`); ints and text
+    /// compare within their type; mixed int/text compares by rendering the
+    /// int as text (PHP-flavoured leniency).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Text(b)) => Some(a.to_string().cmp(b)),
+            (Value::Text(a), Value::Int(b)) => Some(a.cmp(&b.to_string())),
+        }
+    }
+
+    /// Truthiness for WHERE results: nonzero int / nonempty text.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Text(s) => !s.is_empty(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any single char) wildcards.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[u8], p: &[u8]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (None, Some(_)) => false,
+            (Some(b'%'), _) => {
+                // `%` matches empty or consumes one char.
+                rec(t, &p[1..]) || (!t.is_empty() && rec(&t[1..], p))
+            }
+            (Some(b'_'), Some(_)) => rec(&t[1..], &p[1..]),
+            (Some(pc), Some(tc)) if pc.eq_ignore_ascii_case(tc) => rec(&t[1..], &p[1..]),
+            _ => false,
+        }
+    }
+    rec(text.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Text("a".into()).compare(&Value::Text("a".into())),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Int(5).compare(&Value::Text("5".into())),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Text("".into()).truthy());
+        assert!(Value::Text("x".into()).truthy());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("HELLO", "hello"), "case-insensitive");
+        assert!(!like_match("hello", "h_llo_"));
+        assert!(!like_match("hello", "world%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Text("x".into()).to_string(), "x");
+        assert!(Value::Text("x".into()).as_text().is_some());
+        assert!(Value::Int(1).as_int().is_some());
+        assert!(Value::Null.is_null());
+    }
+}

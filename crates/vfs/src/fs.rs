@@ -1,0 +1,820 @@
+//! The virtual filesystem.
+//!
+//! An in-memory tree of files and directories with per-node extended
+//! attributes. The RESIN integration lives in two xattrs:
+//!
+//! * `user.resin.policy` — the serialized byte-range policies of a file's
+//!   content. The default file filter writes it on every file write and
+//!   revives the policies on every read (§3.4.1). Policies are tracked at
+//!   byte granularity, exactly as for strings.
+//! * `user.resin.filter` — serialized persistent filter objects guarding
+//!   the file or directory (§3.2.3), invoked when data flows into/out of
+//!   the file or when the directory is modified.
+//!
+//! Filter scoping: the *nearest* ancestor (or the node itself) that carries
+//! filters decides; deeper filters override shallower ones. This models
+//! attaching a filter to "the files and directory that represent a wiki
+//! page" while letting applications carve out per-user subtrees.
+
+use std::collections::BTreeMap;
+
+use resin_core::{
+    deserialize_spans, serialize_spans, ChannelKind, Context, ResinError, TaintedString,
+};
+
+use crate::error::{Result, VfsError};
+use crate::path::{normalize, to_absolute};
+use crate::pfilter::{deserialize_filter, serialize_filter, DirOp, PersistentFilterRef};
+
+/// xattr key holding a file's serialized content policies.
+pub const XATTR_POLICY: &str = "user.resin.policy";
+/// xattr key holding a node's serialized persistent filters.
+pub const XATTR_FILTER: &str = "user.resin.filter";
+
+/// Whether the runtime performs RESIN data tracking on file I/O.
+///
+/// `Off` models the unmodified interpreter (Table 5 column 1): policies are
+/// silently dropped on write and never revived on read, and persistent
+/// filters are not consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrackingMode {
+    /// Unmodified runtime: no serialization, no filters.
+    Off,
+    /// RESIN runtime: persistent policies and filters active.
+    #[default]
+    On,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FileNode {
+    content: String,
+    xattrs: BTreeMap<String, String>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct DirNode {
+    children: BTreeMap<String, Node>,
+    xattrs: BTreeMap<String, String>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    File(FileNode),
+    Dir(DirNode),
+}
+
+impl Node {
+    fn xattrs(&self) -> &BTreeMap<String, String> {
+        match self {
+            Node::File(f) => &f.xattrs,
+            Node::Dir(d) => &d.xattrs,
+        }
+    }
+
+    fn xattrs_mut(&mut self) -> &mut BTreeMap<String, String> {
+        match self {
+            Node::File(f) => &mut f.xattrs,
+            Node::Dir(d) => &mut d.xattrs,
+        }
+    }
+}
+
+/// A validated open file: the product of [`Vfs::open`].
+///
+/// Opening resolves the path and parses the policy/filter xattrs once, so
+/// the open call carries the validation cost the paper measures in Table 5.
+#[derive(Debug, Clone)]
+pub struct OpenFile {
+    components: Vec<String>,
+    path: String,
+}
+
+impl OpenFile {
+    /// The normalized absolute path of the open file.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+/// The in-memory filesystem.
+#[derive(Debug)]
+pub struct Vfs {
+    root: DirNode,
+    mode: TrackingMode,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs::new()
+    }
+}
+
+impl Vfs {
+    /// A filesystem with RESIN tracking enabled.
+    pub fn new() -> Self {
+        Vfs {
+            root: DirNode::default(),
+            mode: TrackingMode::On,
+        }
+    }
+
+    /// A filesystem with the given tracking mode.
+    pub fn with_mode(mode: TrackingMode) -> Self {
+        Vfs {
+            root: DirNode::default(),
+            mode,
+        }
+    }
+
+    /// The active tracking mode.
+    pub fn mode(&self) -> TrackingMode {
+        self.mode
+    }
+
+    /// A file-channel context with no authenticated user.
+    pub fn anonymous_ctx() -> Context {
+        Context::new(ChannelKind::File)
+    }
+
+    /// A file-channel context for an authenticated `user`.
+    pub fn user_ctx(user: &str) -> Context {
+        let mut c = Context::new(ChannelKind::File);
+        c.set_str("user", user);
+        c
+    }
+
+    // ---- node lookup ----
+
+    fn get_node(&self, comps: &[String]) -> Option<&Node> {
+        let mut dir = &self.root;
+        let (last, body) = comps.split_last()?;
+        for c in body {
+            match dir.children.get(c) {
+                Some(Node::Dir(d)) => dir = d,
+                _ => return None,
+            }
+        }
+        dir.children.get(last)
+    }
+
+    fn get_node_mut(&mut self, comps: &[String]) -> Option<&mut Node> {
+        let mut dir = &mut self.root;
+        let (last, body) = comps.split_last()?;
+        for c in body {
+            match dir.children.get_mut(c) {
+                Some(Node::Dir(d)) => dir = d,
+                _ => return None,
+            }
+        }
+        dir.children.get_mut(last)
+    }
+
+    fn get_dir_mut(&mut self, comps: &[String]) -> Result<&mut DirNode> {
+        let mut dir = &mut self.root;
+        for c in comps {
+            match dir.children.get_mut(c) {
+                Some(Node::Dir(d)) => dir = d,
+                Some(Node::File(_)) => {
+                    return Err(VfsError::NotADirectory(to_absolute(comps)));
+                }
+                None => return Err(VfsError::NotFound(to_absolute(comps))),
+            }
+        }
+        Ok(dir)
+    }
+
+    /// Filters at exactly this node (deserialized). Empty vec when none.
+    fn filters_on(&self, comps: &[String]) -> Result<Vec<PersistentFilterRef>> {
+        let xattr = if comps.is_empty() {
+            self.root.xattrs.get(XATTR_FILTER)
+        } else {
+            self.get_node(comps)
+                .and_then(|n| n.xattrs().get(XATTR_FILTER))
+        };
+        let Some(serialized) = xattr else {
+            return Ok(Vec::new());
+        };
+        serialized.lines().map(deserialize_filter).collect()
+    }
+
+    /// The nearest governing filters for a node: its own, else the closest
+    /// ancestor's.
+    fn governing_filters(&self, comps: &[String]) -> Result<Vec<PersistentFilterRef>> {
+        if self.mode == TrackingMode::Off {
+            return Ok(Vec::new());
+        }
+        for depth in (0..=comps.len()).rev() {
+            let fs = self.filters_on(&comps[..depth])?;
+            if !fs.is_empty() {
+                return Ok(fs);
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    fn check_write_allowed(&self, comps: &[String], path: &str, ctx: &Context) -> Result<()> {
+        for f in self.governing_filters(comps)? {
+            f.check_write(path, ctx)
+                .map_err(|v| VfsError::Policy(ResinError::Violation(v)))?;
+        }
+        Ok(())
+    }
+
+    fn check_read_allowed(&self, comps: &[String], path: &str, ctx: &Context) -> Result<()> {
+        for f in self.governing_filters(comps)? {
+            f.check_read(path, ctx)
+                .map_err(|v| VfsError::Policy(ResinError::Violation(v)))?;
+        }
+        Ok(())
+    }
+
+    fn check_dir_op_allowed(
+        &self,
+        parent: &[String],
+        op: DirOp,
+        entry: &str,
+        ctx: &Context,
+    ) -> Result<()> {
+        for f in self.governing_filters(parent)? {
+            f.check_dir_op(op, entry, ctx)
+                .map_err(|v| VfsError::Policy(ResinError::Violation(v)))?;
+        }
+        Ok(())
+    }
+
+    // ---- directory operations ----
+
+    /// Creates a directory and all missing ancestors.
+    pub fn mkdir_p(&mut self, path: &str, ctx: &Context) -> Result<()> {
+        let comps = normalize(path)?;
+        let mut done: Vec<String> = Vec::new();
+        for c in comps {
+            let exists = matches!(
+                self.get_dir_mut(&done)?.children.get(&c),
+                Some(Node::Dir(_))
+            );
+            if !exists {
+                if let Some(Node::File(_)) = self.get_dir_mut(&done)?.children.get(&c) {
+                    done.push(c);
+                    return Err(VfsError::NotADirectory(to_absolute(&done)));
+                }
+                self.check_dir_op_allowed(&done, DirOp::Create, &c, ctx)?;
+                self.get_dir_mut(&done)?
+                    .children
+                    .insert(c.clone(), Node::Dir(DirNode::default()));
+            }
+            done.push(c);
+        }
+        Ok(())
+    }
+
+    /// Lists a directory's entries as `(name, is_dir)` pairs, sorted.
+    pub fn list_dir(&self, path: &str) -> Result<Vec<(String, bool)>> {
+        let comps = normalize(path)?;
+        let dir = if comps.is_empty() {
+            &self.root
+        } else {
+            match self.get_node(&comps) {
+                Some(Node::Dir(d)) => d,
+                Some(Node::File(_)) => return Err(VfsError::NotADirectory(path.to_string())),
+                None => return Err(VfsError::NotFound(path.to_string())),
+            }
+        };
+        Ok(dir
+            .children
+            .iter()
+            .map(|(name, node)| (name.clone(), matches!(node, Node::Dir(_))))
+            .collect())
+    }
+
+    /// True if a file or directory exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        match normalize(path) {
+            Ok(c) if c.is_empty() => true,
+            Ok(c) => self.get_node(&c).is_some(),
+            Err(_) => false,
+        }
+    }
+
+    /// True if a directory exists at `path`.
+    pub fn is_dir(&self, path: &str) -> bool {
+        match normalize(path) {
+            Ok(c) if c.is_empty() => true,
+            Ok(c) => matches!(self.get_node(&c), Some(Node::Dir(_))),
+            Err(_) => false,
+        }
+    }
+
+    /// Deletes a file or empty directory.
+    pub fn unlink(&mut self, path: &str, ctx: &Context) -> Result<()> {
+        let comps = normalize(path)?;
+        let (parent, name) = match comps.split_last() {
+            Some((n, p)) => (p.to_vec(), n.clone()),
+            None => return Err(VfsError::InvalidPath(path.to_string())),
+        };
+        match self.get_node(&comps) {
+            None => return Err(VfsError::NotFound(path.to_string())),
+            Some(Node::Dir(d)) if !d.children.is_empty() => {
+                return Err(VfsError::IsADirectory(path.to_string()));
+            }
+            _ => {}
+        }
+        // Deleting is a write to the file and a dir-op on the parent.
+        self.check_write_allowed(&comps, path, ctx)?;
+        self.check_dir_op_allowed(&parent, DirOp::Delete, &name, ctx)?;
+        self.get_dir_mut(&parent)?.children.remove(&name);
+        Ok(())
+    }
+
+    /// Renames `from` to `to` (both full paths).
+    pub fn rename(&mut self, from: &str, to: &str, ctx: &Context) -> Result<()> {
+        let fc = normalize(from)?;
+        let tc = normalize(to)?;
+        let (fparent, fname) = match fc.split_last() {
+            Some((n, p)) => (p.to_vec(), n.clone()),
+            None => return Err(VfsError::InvalidPath(from.to_string())),
+        };
+        let (tparent, tname) = match tc.split_last() {
+            Some((n, p)) => (p.to_vec(), n.clone()),
+            None => return Err(VfsError::InvalidPath(to.to_string())),
+        };
+        if self.get_node(&fc).is_none() {
+            return Err(VfsError::NotFound(from.to_string()));
+        }
+        if self.get_node(&tc).is_some() {
+            return Err(VfsError::AlreadyExists(to.to_string()));
+        }
+        self.check_dir_op_allowed(&fparent, DirOp::Rename, &fname, ctx)?;
+        self.check_dir_op_allowed(&tparent, DirOp::Create, &tname, ctx)?;
+        let node = self
+            .get_dir_mut(&fparent)?
+            .children
+            .remove(&fname)
+            .expect("checked above");
+        self.get_dir_mut(&tparent)?.children.insert(tname, node);
+        Ok(())
+    }
+
+    // ---- file I/O ----
+
+    /// Opens a file, validating its path and RESIN xattrs.
+    pub fn open(&self, path: &str) -> Result<OpenFile> {
+        let components = normalize(path)?;
+        match self.get_node(&components) {
+            Some(Node::File(f)) => {
+                if self.mode == TrackingMode::On {
+                    // Parse (and thereby validate) the RESIN xattrs; this is
+                    // the per-open cost Table 5 measures.
+                    if let Some(spans) = f.xattrs.get(XATTR_POLICY) {
+                        deserialize_spans(&f.content, spans)?;
+                    }
+                    if let Some(filters) = f.xattrs.get(XATTR_FILTER) {
+                        for line in filters.lines() {
+                            deserialize_filter(line)?;
+                        }
+                    }
+                }
+                Ok(OpenFile {
+                    path: to_absolute(&components),
+                    components,
+                })
+            }
+            Some(Node::Dir(_)) => Err(VfsError::IsADirectory(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Writes (replaces) a file's content, creating it if needed.
+    ///
+    /// With tracking on, the content's policies are serialized into the
+    /// policy xattr, and persistent filters govern the write.
+    pub fn write_file(&mut self, path: &str, data: &TaintedString, ctx: &Context) -> Result<()> {
+        let comps = normalize(path)?;
+        let (parent, name) = match comps.split_last() {
+            Some((n, p)) => (p.to_vec(), n.clone()),
+            None => return Err(VfsError::InvalidPath(path.to_string())),
+        };
+        let creating = self.get_node(&comps).is_none();
+        if self.mode == TrackingMode::On {
+            self.check_write_allowed(&comps, path, ctx)?;
+            if creating {
+                self.check_dir_op_allowed(&parent, DirOp::Create, &name, ctx)?;
+            }
+        }
+        let serialized = if self.mode == TrackingMode::On && !data.is_untainted() {
+            Some(serialize_spans(data))
+        } else {
+            None
+        };
+        let dir = self.get_dir_mut(&parent)?;
+        let node = dir
+            .children
+            .entry(name)
+            .or_insert_with(|| Node::File(FileNode::default()));
+        let Node::File(file) = node else {
+            return Err(VfsError::IsADirectory(path.to_string()));
+        };
+        file.content = data.as_str().to_string();
+        match serialized {
+            Some(s) => {
+                file.xattrs.insert(XATTR_POLICY.to_string(), s);
+            }
+            None => {
+                file.xattrs.remove(XATTR_POLICY);
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends to a file, splicing the new data's policies after the
+    /// existing content's (byte-granularity persistence).
+    pub fn append_file(&mut self, path: &str, data: &TaintedString, ctx: &Context) -> Result<()> {
+        let existing = if self.exists(path) {
+            self.read_file(path, ctx)?
+        } else {
+            TaintedString::new()
+        };
+        let combined = existing.concat(data);
+        self.write_file(path, &combined, ctx)
+    }
+
+    /// Reads a file, reviving its persistent policies (tracking on).
+    pub fn read_file(&self, path: &str, ctx: &Context) -> Result<TaintedString> {
+        let comps = normalize(path)?;
+        let file = match self.get_node(&comps) {
+            Some(Node::File(f)) => f,
+            Some(Node::Dir(_)) => return Err(VfsError::IsADirectory(path.to_string())),
+            None => return Err(VfsError::NotFound(path.to_string())),
+        };
+        if self.mode == TrackingMode::Off {
+            return Ok(TaintedString::from(file.content.as_str()));
+        }
+        self.check_read_allowed(&comps, path, ctx)?;
+        match file.xattrs.get(XATTR_POLICY) {
+            Some(spans) => Ok(deserialize_spans(&file.content, spans)?),
+            None => Ok(TaintedString::from(file.content.as_str())),
+        }
+    }
+
+    /// Reads raw bytes, bypassing policy revival and filters.
+    ///
+    /// This models a *non*-RESIN-aware consumer (e.g. a stock web server
+    /// serving static files); see the myPHPscripts password-disclosure
+    /// scenario, where only a RESIN-aware server catches the leak.
+    pub fn read_raw(&self, path: &str) -> Result<String> {
+        let comps = normalize(path)?;
+        match self.get_node(&comps) {
+            Some(Node::File(f)) => Ok(f.content.clone()),
+            Some(Node::Dir(_)) => Err(VfsError::IsADirectory(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Reads through an [`OpenFile`] handle.
+    pub fn read_handle(&self, handle: &OpenFile, ctx: &Context) -> Result<TaintedString> {
+        self.read_file(&handle.path, ctx)
+    }
+
+    /// Writes through an [`OpenFile`] handle.
+    pub fn write_handle(
+        &mut self,
+        handle: &OpenFile,
+        data: &TaintedString,
+        ctx: &Context,
+    ) -> Result<()> {
+        let _ = &handle.components;
+        self.write_file(&handle.path, data, ctx)
+    }
+
+    /// File size in bytes.
+    pub fn file_len(&self, path: &str) -> Result<usize> {
+        let comps = normalize(path)?;
+        match self.get_node(&comps) {
+            Some(Node::File(f)) => Ok(f.content.len()),
+            Some(Node::Dir(_)) => Err(VfsError::IsADirectory(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    // ---- xattrs and persistent filters ----
+
+    /// Sets an extended attribute on a file or directory.
+    pub fn set_xattr(&mut self, path: &str, key: &str, value: &str) -> Result<()> {
+        let comps = normalize(path)?;
+        if comps.is_empty() {
+            self.root.xattrs.insert(key.to_string(), value.to_string());
+            return Ok(());
+        }
+        match self.get_node_mut(&comps) {
+            Some(n) => {
+                n.xattrs_mut().insert(key.to_string(), value.to_string());
+                Ok(())
+            }
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Reads an extended attribute.
+    pub fn get_xattr(&self, path: &str, key: &str) -> Result<Option<String>> {
+        let comps = normalize(path)?;
+        if comps.is_empty() {
+            return Ok(self.root.xattrs.get(key).cloned());
+        }
+        match self.get_node(&comps) {
+            Some(n) => Ok(n.xattrs().get(key).cloned()),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Attaches a persistent filter object to a file or directory,
+    /// serializing it into the filter xattr (§3.2.3).
+    pub fn attach_filter(&mut self, path: &str, filter: &PersistentFilterRef) -> Result<()> {
+        let line = serialize_filter(filter);
+        let existing = self.get_xattr(path, XATTR_FILTER)?.unwrap_or_default();
+        let combined = if existing.is_empty() {
+            line
+        } else {
+            format!("{existing}\n{line}")
+        };
+        self.set_xattr(path, XATTR_FILTER, &combined)
+    }
+
+    /// Removes all persistent filters from a node.
+    pub fn clear_filters(&mut self, path: &str) -> Result<()> {
+        let comps = normalize(path)?;
+        if comps.is_empty() {
+            self.root.xattrs.remove(XATTR_FILTER);
+            return Ok(());
+        }
+        match self.get_node_mut(&comps) {
+            Some(n) => {
+                n.xattrs_mut().remove(XATTR_FILTER);
+                Ok(())
+            }
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfilter::AclWriteFilter;
+    use resin_core::{Acl, PagePolicy, PasswordPolicy, Right, UntrustedData};
+    use std::sync::Arc;
+
+    fn anon() -> Context {
+        Vfs::anonymous_ctx()
+    }
+
+    #[test]
+    fn mkdir_write_read_roundtrip() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/a/b/c", &anon()).unwrap();
+        assert!(fs.is_dir("/a/b/c"));
+        fs.write_file("/a/b/c/f.txt", &TaintedString::from("hi"), &anon())
+            .unwrap();
+        assert_eq!(
+            fs.read_file("/a/b/c/f.txt", &anon()).unwrap().as_str(),
+            "hi"
+        );
+        assert_eq!(fs.file_len("/a/b/c/f.txt").unwrap(), 2);
+    }
+
+    #[test]
+    fn persistent_policy_roundtrip() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/data", &anon()).unwrap();
+        let mut secret = TaintedString::from("user:pw123");
+        secret.add_policy_range(5..10, Arc::new(PasswordPolicy::new("u@x")));
+        fs.write_file("/data/pw.txt", &secret, &anon()).unwrap();
+
+        // The xattr holds the serialized policy.
+        let x = fs.get_xattr("/data/pw.txt", XATTR_POLICY).unwrap().unwrap();
+        assert!(x.contains("PasswordPolicy"));
+
+        // Reading revives the policy at the same byte range.
+        let back = fs.read_file("/data/pw.txt", &anon()).unwrap();
+        assert!(back.taint_eq(&secret));
+        assert!(back.policies_at(0).is_empty());
+        assert!(back.policies_at(5).has::<PasswordPolicy>());
+    }
+
+    #[test]
+    fn tracking_off_drops_policies() {
+        let mut fs = Vfs::with_mode(TrackingMode::Off);
+        fs.mkdir_p("/d", &anon()).unwrap();
+        let mut secret = TaintedString::from("pw");
+        secret.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+        fs.write_file("/d/f", &secret, &anon()).unwrap();
+        let back = fs.read_file("/d/f", &anon()).unwrap();
+        assert!(back.is_untainted(), "unmodified runtime loses taint");
+        assert_eq!(fs.mode(), TrackingMode::Off);
+    }
+
+    #[test]
+    fn read_raw_bypasses_revival() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d", &anon()).unwrap();
+        let mut secret = TaintedString::from("pw");
+        secret.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+        fs.write_file("/d/f", &secret, &anon()).unwrap();
+        assert_eq!(fs.read_raw("/d/f").unwrap(), "pw");
+    }
+
+    #[test]
+    fn untainted_write_has_no_policy_xattr() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d", &anon()).unwrap();
+        fs.write_file("/d/f", &TaintedString::from("x"), &anon())
+            .unwrap();
+        assert_eq!(fs.get_xattr("/d/f", XATTR_POLICY).unwrap(), None);
+        // Overwriting a tainted file with untainted data clears the xattr.
+        let mut t = TaintedString::from("y");
+        t.add_policy(Arc::new(UntrustedData::new()));
+        fs.write_file("/d/f", &t, &anon()).unwrap();
+        assert!(fs.get_xattr("/d/f", XATTR_POLICY).unwrap().is_some());
+        fs.write_file("/d/f", &TaintedString::from("z"), &anon())
+            .unwrap();
+        assert_eq!(fs.get_xattr("/d/f", XATTR_POLICY).unwrap(), None);
+    }
+
+    #[test]
+    fn append_splices_policies() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d", &anon()).unwrap();
+        fs.write_file("/d/log", &TaintedString::from("plain:"), &anon())
+            .unwrap();
+        let mut t = TaintedString::from("tainted");
+        t.add_policy(Arc::new(UntrustedData::new()));
+        fs.append_file("/d/log", &t, &anon()).unwrap();
+        let back = fs.read_file("/d/log", &anon()).unwrap();
+        assert_eq!(back.as_str(), "plain:tainted");
+        assert!(back.policies_at(0).is_empty());
+        assert!(back.policies_at(6).has::<UntrustedData>());
+    }
+
+    #[test]
+    fn write_acl_filter_blocks_unauthorized_writes() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/pages/Front", &anon()).unwrap();
+        let filter: PersistentFilterRef = Arc::new(AclWriteFilter::new(
+            Acl::new().grant("alice", &[Right::Write]),
+        ));
+        fs.attach_filter("/pages/Front", &filter).unwrap();
+
+        let alice = Vfs::user_ctx("alice");
+        let bob = Vfs::user_ctx("bob");
+        fs.write_file("/pages/Front/v1", &TaintedString::from("rev1"), &alice)
+            .unwrap();
+        let err = fs
+            .write_file("/pages/Front/v1", &TaintedString::from("vandal"), &bob)
+            .unwrap_err();
+        assert!(err.is_violation());
+        // Creating new versions is also governed (dir op).
+        let err = fs
+            .write_file("/pages/Front/v2", &TaintedString::from("vandal"), &bob)
+            .unwrap_err();
+        assert!(err.is_violation());
+        // Deleting and renaming too.
+        assert!(fs
+            .unlink("/pages/Front/v1", &bob)
+            .unwrap_err()
+            .is_violation());
+        assert!(fs
+            .rename("/pages/Front/v1", "/pages/Front/v0", &bob)
+            .unwrap_err()
+            .is_violation());
+        assert!(fs
+            .rename("/pages/Front/v1", "/pages/Front/v0", &alice)
+            .is_ok());
+    }
+
+    #[test]
+    fn nearest_filter_wins() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/files/alice", &anon()).unwrap();
+        // Root denies everyone; alice's home allows alice.
+        let deny: PersistentFilterRef = Arc::new(AclWriteFilter::new(Acl::new()));
+        let allow: PersistentFilterRef = Arc::new(AclWriteFilter::new(
+            Acl::new().grant("alice", &[Right::Write]),
+        ));
+        fs.attach_filter("/files", &deny).unwrap();
+        fs.attach_filter("/files/alice", &allow).unwrap();
+
+        let alice = Vfs::user_ctx("alice");
+        fs.write_file("/files/alice/doc", &TaintedString::from("ok"), &alice)
+            .unwrap();
+        let err = fs
+            .write_file("/files/evil", &TaintedString::from("no"), &alice)
+            .unwrap_err();
+        assert!(err.is_violation(), "root filter governs outside homes");
+    }
+
+    #[test]
+    fn traversal_attack_caught_by_filter_not_path() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/files/alice", &anon()).unwrap();
+        fs.mkdir_p("/files/bob", &anon()).unwrap();
+        let bob_only: PersistentFilterRef = Arc::new(AclWriteFilter::new(
+            Acl::new().grant("bob", &[Right::Write]),
+        ));
+        fs.attach_filter("/files/bob", &bob_only).unwrap();
+
+        // Alice submits "../bob/x" to a naive app that joins paths blindly.
+        let hostile = crate::path::join("/files/alice", "../bob/pwned");
+        let alice = Vfs::user_ctx("alice");
+        let err = fs
+            .write_file(&hostile, &TaintedString::from("pwn"), &alice)
+            .unwrap_err();
+        assert!(err.is_violation(), "write filter stops the traversal");
+    }
+
+    #[test]
+    fn unlink_and_rename_basics() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d", &anon()).unwrap();
+        fs.write_file("/d/a", &TaintedString::from("1"), &anon())
+            .unwrap();
+        fs.rename("/d/a", "/d/b", &anon()).unwrap();
+        assert!(!fs.exists("/d/a"));
+        assert!(fs.exists("/d/b"));
+        fs.unlink("/d/b", &anon()).unwrap();
+        assert!(!fs.exists("/d/b"));
+        assert!(matches!(
+            fs.unlink("/d/b", &anon()),
+            Err(VfsError::NotFound(_))
+        ));
+        assert!(matches!(fs.unlink("/d", &anon()), Ok(())), "empty dir ok");
+    }
+
+    #[test]
+    fn unlink_nonempty_dir_fails() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d/sub", &anon()).unwrap();
+        assert!(matches!(
+            fs.unlink("/d", &anon()),
+            Err(VfsError::IsADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn open_validates() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d", &anon()).unwrap();
+        fs.write_file("/d/f", &TaintedString::from("x"), &anon())
+            .unwrap();
+        let h = fs.open("/d/f").unwrap();
+        assert_eq!(h.path(), "/d/f");
+        assert_eq!(fs.read_handle(&h, &anon()).unwrap().as_str(), "x");
+        fs.write_handle(&h, &TaintedString::from("y"), &anon())
+            .unwrap();
+        assert_eq!(fs.read_raw("/d/f").unwrap(), "y");
+        assert!(matches!(fs.open("/d"), Err(VfsError::IsADirectory(_))));
+        assert!(matches!(fs.open("/nope"), Err(VfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn list_dir_sorted() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d/z", &anon()).unwrap();
+        fs.write_file("/d/a", &TaintedString::from(""), &anon())
+            .unwrap();
+        let l = fs.list_dir("/d").unwrap();
+        assert_eq!(l, vec![("a".to_string(), false), ("z".to_string(), true)]);
+        assert!(fs.list_dir("/d/a").is_err());
+        assert!(fs.list_dir("/nope").is_err());
+    }
+
+    #[test]
+    fn page_policy_persists_through_file() {
+        // The Figure 5 flow: PagePolicy serialized on write, revived on read.
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/wiki", &anon()).unwrap();
+        let acl = Acl::new().grant("alice", &[Right::Read]);
+        let page = TaintedString::with_policy("wiki text", Arc::new(PagePolicy::new(acl)));
+        fs.write_file("/wiki/Front", &page, &anon()).unwrap();
+        let back = fs.read_file("/wiki/Front", &anon()).unwrap();
+        let pol = back.policies();
+        assert!(pol.has::<PagePolicy>());
+        assert!(pol
+            .find::<PagePolicy>()
+            .unwrap()
+            .acl()
+            .may("alice", Right::Read));
+    }
+
+    #[test]
+    fn write_to_dir_path_fails() {
+        let mut fs = Vfs::new();
+        fs.mkdir_p("/d/sub", &anon()).unwrap();
+        let err = fs
+            .write_file("/d/sub", &TaintedString::from("x"), &anon())
+            .unwrap_err();
+        assert!(matches!(err, VfsError::IsADirectory(_)));
+        // mkdir over a file fails.
+        fs.write_file("/d/file", &TaintedString::from("x"), &anon())
+            .unwrap();
+        assert!(fs.mkdir_p("/d/file/sub", &anon()).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! HTML escaping, sanitizer evidence, and the cross-site-scripting guard
+//! (§5.3).
+//!
+//! Two strategies, mirroring the SQL-injection pair:
+//!
+//! * **Marker check** — the sanitizer attaches [`HtmlSanitized`] to the
+//!   data it escapes; [`check_html_markers`] rejects output containing
+//!   `UntrustedData` bytes without the marker.
+//! * **Structure check** — [`check_html_structure`] parses the final HTML
+//!   and rejects untrusted bytes in markup structure (inside tags) or in
+//!   JavaScript (`<script>` bodies, `on*` attributes arrive inside tags so
+//!   the tag rule covers them).
+
+use std::sync::Arc;
+
+use resin_core::{HtmlSanitized, PolicyViolation, Result, TaintedString, UntrustedData};
+
+/// Escapes HTML metacharacters and attaches the [`HtmlSanitized`] marker.
+///
+/// This is "the existing sanitization function" of §5.3 step 3: it both
+/// neutralizes the data *and* records the evidence that it did.
+pub fn html_escape(input: &TaintedString) -> TaintedString {
+    let mut out = input
+        .replace_str("&", "&amp;")
+        .replace_str("<", "&lt;")
+        .replace_str(">", "&gt;")
+        .replace_str("\"", "&quot;")
+        .replace_str("'", "&#39;");
+    out.add_policy(Arc::new(HtmlSanitized::new()));
+    out
+}
+
+/// Strategy 1: every untrusted byte must carry the sanitizer's marker.
+pub fn check_html_markers(output: &TaintedString) -> Result<()> {
+    let bad = output.ranges_where(|s| s.has::<UntrustedData>() && !s.has::<HtmlSanitized>());
+    if let Some(r) = bad.first() {
+        let snippet = output.slice(r.clone());
+        return Err(PolicyViolation::new(
+            "XssGuard",
+            format!(
+                "unsanitized untrusted data in HTML at bytes {}..{}: `{}`",
+                r.start,
+                r.end,
+                snippet.as_str()
+            ),
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Strategy 2: untrusted bytes may not appear in markup structure or
+/// JavaScript.
+///
+/// The scanner walks the HTML byte-by-byte tracking whether it is inside a
+/// tag (`<...>`) or inside a `<script>` element; untrusted bytes in either
+/// region reject the output. Untrusted *text content* between tags is
+/// allowed — it renders as text, not code.
+pub fn check_html_structure(output: &TaintedString) -> Result<()> {
+    let bytes = output.as_str().as_bytes();
+    let lower = output.as_str().to_ascii_lowercase();
+    let mut in_tag = false;
+    let mut in_script = false;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if !in_tag && c == b'<' {
+            in_tag = true;
+            if lower[i..].starts_with("<script") {
+                in_script = true;
+            }
+            if lower[i..].starts_with("</script") {
+                in_script = false;
+            }
+        }
+        let structural = in_tag || in_script || c == b'<' || c == b'>';
+        if structural && output.policies_at(i).has::<UntrustedData>() {
+            return Err(PolicyViolation::new(
+                "XssGuard",
+                format!("untrusted data in HTML structure at byte {i}"),
+            )
+            .into());
+        }
+        if in_tag && c == b'>' {
+            in_tag = false;
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn untrusted(s: &str) -> TaintedString {
+        TaintedString::with_policy(s, Arc::new(UntrustedData::new()))
+    }
+
+    #[test]
+    fn escape_neutralizes_and_marks() {
+        let e = html_escape(&untrusted("<script>alert('x')</script>"));
+        assert_eq!(
+            e.as_str(),
+            "&lt;script&gt;alert(&#39;x&#39;)&lt;/script&gt;"
+        );
+        assert!(e.has_policy::<HtmlSanitized>());
+        assert!(
+            e.has_policy::<UntrustedData>(),
+            "taint retained as evidence"
+        );
+    }
+
+    #[test]
+    fn marker_check_blocks_raw_untrusted() {
+        let mut page = TaintedString::from("<p>");
+        page.push_tainted(&untrusted("<script>evil()</script>"));
+        page.push_str("</p>");
+        assert!(check_html_markers(&page).is_err());
+    }
+
+    #[test]
+    fn marker_check_allows_sanitized() {
+        let mut page = TaintedString::from("<p>");
+        page.push_tainted(&html_escape(&untrusted("<script>evil()</script>")));
+        page.push_str("</p>");
+        assert!(check_html_markers(&page).is_ok());
+    }
+
+    #[test]
+    fn structure_check_blocks_script_injection() {
+        let mut page = TaintedString::from("<p>hello ");
+        page.push_tainted(&untrusted("<script>steal()</script>"));
+        page.push_str("</p>");
+        assert!(check_html_structure(&page).is_err());
+    }
+
+    #[test]
+    fn structure_check_allows_untrusted_text() {
+        let mut page = TaintedString::from("<p>");
+        page.push_tainted(&untrusted("just some text with no markup"));
+        page.push_str("</p>");
+        assert!(check_html_structure(&page).is_ok());
+    }
+
+    #[test]
+    fn structure_check_blocks_attribute_injection() {
+        // Untrusted bytes inside a tag (attribute position).
+        let mut page = TaintedString::from("<img src=\"");
+        page.push_tainted(&untrusted("x\" onerror=\"evil()"));
+        page.push_str("\">");
+        assert!(check_html_structure(&page).is_err());
+    }
+
+    #[test]
+    fn structure_check_blocks_untrusted_inside_script_body() {
+        let mut page = TaintedString::from("<script>var q = \"");
+        page.push_tainted(&untrusted("\";steal();//"));
+        page.push_str("\";</script>");
+        assert!(check_html_structure(&page).is_err());
+    }
+
+    #[test]
+    fn trusted_markup_passes_both() {
+        let page = TaintedString::from("<html><script>app()</script></html>");
+        assert!(check_html_markers(&page).is_ok());
+        assert!(check_html_structure(&page).is_ok());
+    }
+}

@@ -1,0 +1,131 @@
+//! JSON encoding with structure protection (§5.4).
+//!
+//! "Much like in SQL injection, an adversary may be able to craft an input
+//! string that changes the structure of the JSON's JavaScript data
+//! structure, or worse yet, include client-side code as part of the data
+//! structure." The encoder escapes string content (so taint cannot become
+//! structure), and [`check_json_structure`] is the strategy-2 analogue: it
+//! verifies no untrusted byte lands in JSON structure.
+
+use std::collections::BTreeMap;
+
+use resin_core::{PolicyViolation, Result, TaintedString, UntrustedData};
+
+/// Encodes a string map as a JSON object, preserving value taint.
+///
+/// Keys are assumed server-controlled; values are escaped byte-for-byte so
+/// untrusted content stays inside string literals.
+pub fn encode_object(fields: &BTreeMap<String, TaintedString>) -> TaintedString {
+    let mut out = TaintedString::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",");
+        }
+        out.push_str(&format!("\"{}\":\"", escape_plain(k)));
+        out.push_tainted(&escape_tainted(v));
+        out.push_str("\"");
+    }
+    out.push_str("}");
+    out
+}
+
+/// Escapes JSON string content, preserving taint.
+pub fn escape_tainted(v: &TaintedString) -> TaintedString {
+    v.replace_str("\\", "\\\\")
+        .replace_str("\"", "\\\"")
+        .replace_str("\n", "\\n")
+        .replace_str("\r", "\\r")
+        .replace_str("\t", "\\t")
+        .replace_str("<", "\\u003c")
+        .replace_str(">", "\\u003e")
+}
+
+fn escape_plain(s: &str) -> String {
+    escape_tainted(&TaintedString::from(s)).into_plain()
+}
+
+/// Rejects JSON output whose *structure* (anything outside string
+/// literals) carries untrusted bytes.
+pub fn check_json_structure(json: &TaintedString) -> Result<()> {
+    let bytes = json.as_str().as_bytes();
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        let structural = !in_str || b == b'"';
+        if structural && json.policies_at(i).has::<UntrustedData>() {
+            return Err(PolicyViolation::new(
+                "JsonGuard",
+                format!("untrusted data in JSON structure at byte {i}"),
+            )
+            .into());
+        }
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else if b == b'"' {
+            in_str = true;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn untrusted(s: &str) -> TaintedString {
+        TaintedString::with_policy(s, Arc::new(UntrustedData::new()))
+    }
+
+    #[test]
+    fn encode_escapes_hostile_values() {
+        let mut m = BTreeMap::new();
+        m.insert("name".to_string(), untrusted("x\",\"admin\":true,\"y\":\""));
+        let j = encode_object(&m);
+        assert!(j.as_str().contains("\\\""), "quotes escaped");
+        assert!(check_json_structure(&j).is_ok(), "escaped output is safe");
+    }
+
+    #[test]
+    fn naive_concatenation_caught() {
+        // A vulnerable app builds JSON by string concatenation.
+        let mut j = TaintedString::from("{\"name\":\"");
+        j.push_tainted(&untrusted("x\",\"admin\":true,\"z\":\""));
+        j.push_str("\"}");
+        assert!(check_json_structure(&j).is_err());
+    }
+
+    #[test]
+    fn untrusted_content_inside_string_ok() {
+        let mut j = TaintedString::from("{\"name\":\"");
+        j.push_tainted(&untrusted("benign text"));
+        j.push_str("\"}");
+        assert!(check_json_structure(&j).is_ok());
+    }
+
+    #[test]
+    fn script_breakout_escaped() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "c".to_string(),
+            untrusted("</script><script>evil()</script>"),
+        );
+        let j = encode_object(&m);
+        assert!(!j.as_str().contains("</script>"), "angle brackets escaped");
+    }
+
+    #[test]
+    fn multiple_fields_encoded() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), TaintedString::from("1"));
+        m.insert("b".to_string(), TaintedString::from("2"));
+        let j = encode_object(&m);
+        assert_eq!(j.as_str(), "{\"a\":\"1\",\"b\":\"2\"}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # resin-web — the simulated web substrate
+//!
+//! Everything RESIN's web-application evaluation needs from "Apache + the
+//! outside world", rebuilt as a library:
+//!
+//! * [`request::Request`] / [`response::Response`] — HTTP with the default
+//!   RESIN boundary: request inputs arrive marked [`resin_core::UntrustedData`];
+//!   response bodies leave through a guarded channel.
+//! * [`email::Mailer`] — the sendmail pipe with recipient-annotated
+//!   context, plus HotCRP's email preview mode (§2).
+//! * [`html`] — sanitizers that attach [`resin_core::HtmlSanitized`], and
+//!   both XSS guard strategies of §5.3.
+//! * [`session`], [`whois`], [`static_files`], [`splitting`], [`json`] —
+//!   sessions, the phpBB whois attack path (§6.3), RESIN-aware static file
+//!   serving (§3.4.1), HTTP response splitting (§5.4), and JSON structure
+//!   protection (§5.4).
+
+pub mod email;
+pub mod html;
+pub mod json;
+pub mod request;
+pub mod response;
+pub mod session;
+pub mod splitting;
+pub mod static_files;
+pub mod whois;
+
+pub use email::{Mailer, SentEmail};
+pub use html::{check_html_markers, check_html_structure, html_escape};
+pub use request::{Method, Request, Upload};
+pub use response::Response;
+pub use session::SessionStore;
+pub use static_files::{serve_static_aware, serve_static_naive};
+pub use whois::WhoisServer;

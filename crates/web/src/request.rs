@@ -1,0 +1,158 @@
+//! HTTP requests.
+//!
+//! All request-supplied values (query/form parameters, cookies, uploaded
+//! file bodies) arrive through the runtime's input boundary, so the request
+//! builder attaches [`UntrustedData`] to each of them — this is RESIN's
+//! default input filter behaviour that the SQL-injection and XSS assertions
+//! of §5.3 build on.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use resin_core::{TaintedString, UntrustedData};
+
+/// HTTP method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST.
+    Post,
+}
+
+/// An uploaded file: name plus (untrusted) content.
+#[derive(Debug, Clone)]
+pub struct Upload {
+    /// The client-chosen file name (untrusted).
+    pub filename: TaintedString,
+    /// The file content (untrusted).
+    pub content: TaintedString,
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    method: Method,
+    path: String,
+    params: BTreeMap<String, TaintedString>,
+    cookies: BTreeMap<String, TaintedString>,
+    uploads: Vec<Upload>,
+}
+
+impl Request {
+    /// Builds a GET request for `path`.
+    pub fn get(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            params: BTreeMap::new(),
+            cookies: BTreeMap::new(),
+            uploads: Vec::new(),
+        }
+    }
+
+    /// Builds a POST request for `path`.
+    pub fn post(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Post,
+            ..Request::get(path)
+        }
+    }
+
+    fn taint(value: &str, source: &str) -> TaintedString {
+        TaintedString::with_policy(value, Arc::new(UntrustedData::from_source(source)))
+    }
+
+    /// Adds a query/form parameter; the value is marked untrusted.
+    pub fn with_param(mut self, key: impl Into<String>, value: &str) -> Self {
+        self.params
+            .insert(key.into(), Self::taint(value, "http_param"));
+        self
+    }
+
+    /// Adds a cookie; the value is marked untrusted.
+    pub fn with_cookie(mut self, key: impl Into<String>, value: &str) -> Self {
+        self.cookies
+            .insert(key.into(), Self::taint(value, "http_cookie"));
+        self
+    }
+
+    /// Adds an uploaded file; name and content are marked untrusted.
+    pub fn with_upload(mut self, filename: &str, content: &str) -> Self {
+        self.uploads.push(Upload {
+            filename: Self::taint(filename, "upload"),
+            content: Self::taint(content, "upload"),
+        });
+        self
+    }
+
+    /// The request method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The request path (server-controlled routing key).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// A parameter value, if present (tainted).
+    pub fn param(&self, key: &str) -> Option<&TaintedString> {
+        self.params.get(key)
+    }
+
+    /// A parameter's text, defaulting to empty (still tainted when present).
+    pub fn param_or_empty(&self, key: &str) -> TaintedString {
+        self.params.get(key).cloned().unwrap_or_default()
+    }
+
+    /// A cookie value, if present.
+    pub fn cookie(&self, key: &str) -> Option<&TaintedString> {
+        self.cookies.get(key)
+    }
+
+    /// The uploaded files.
+    pub fn uploads(&self) -> &[Upload] {
+        &self.uploads
+    }
+
+    /// Iterates parameters.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &TaintedString)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_are_untrusted() {
+        let r = Request::get("/login").with_param("user", "alice");
+        let v = r.param("user").unwrap();
+        assert_eq!(v.as_str(), "alice");
+        assert!(v.all_bytes_have::<UntrustedData>());
+        assert!(r.param("missing").is_none());
+        assert_eq!(r.param_or_empty("missing").len(), 0);
+    }
+
+    #[test]
+    fn cookies_and_uploads_untrusted() {
+        let r = Request::post("/up")
+            .with_cookie("sid", "abc")
+            .with_upload("x.php", "<?php evil();");
+        assert!(r.cookie("sid").unwrap().has_policy::<UntrustedData>());
+        assert_eq!(r.uploads().len(), 1);
+        assert!(r.uploads()[0].content.all_bytes_have::<UntrustedData>());
+        assert_eq!(r.method(), Method::Post);
+        assert_eq!(r.path(), "/up");
+    }
+
+    #[test]
+    fn source_recorded() {
+        let r = Request::get("/").with_param("q", "x");
+        let pol = r.param("q").unwrap().policies();
+        let u = pol.find::<UntrustedData>().unwrap();
+        assert_eq!(u.source(), Some("http_param"));
+    }
+}

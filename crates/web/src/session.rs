@@ -1,0 +1,87 @@
+//! Session management: cookie → authenticated user.
+
+use std::collections::BTreeMap;
+
+use resin_core::TaintedString;
+
+/// A minimal session store.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    sessions: BTreeMap<String, String>,
+    counter: u64,
+}
+
+impl SessionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SessionStore::default()
+    }
+
+    /// Starts a session for `user`, returning the session id.
+    pub fn login(&mut self, user: &str) -> String {
+        self.counter += 1;
+        let sid = format!(
+            "sid-{:08x}-{}",
+            self.counter * 2654435761 % 0xffff_ffff,
+            user.len()
+        );
+        self.sessions.insert(sid.clone(), user.to_string());
+        sid
+    }
+
+    /// Resolves a session cookie to a user name.
+    ///
+    /// Works on tainted cookies: equality ignores taint, and the returned
+    /// user name is server data, not user input.
+    pub fn user_for(&self, sid: &TaintedString) -> Option<&str> {
+        self.sessions.get(sid.as_str()).map(|s| s.as_str())
+    }
+
+    /// Ends a session.
+    pub fn logout(&mut self, sid: &str) -> bool {
+        self.sessions.remove(sid).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn login_resolve_logout() {
+        let mut s = SessionStore::new();
+        let sid = s.login("alice");
+        assert_eq!(
+            s.user_for(&TaintedString::from(sid.as_str())),
+            Some("alice")
+        );
+        assert!(s.logout(&sid));
+        assert!(!s.logout(&sid));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unknown_sid_is_none() {
+        let s = SessionStore::new();
+        assert_eq!(s.user_for(&TaintedString::from("nope")), None);
+    }
+
+    #[test]
+    fn sids_are_distinct() {
+        let mut s = SessionStore::new();
+        let a = s.login("a");
+        let b = s.login("a");
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! HTTP response splitting protection (§3.2, §5.4).
+//!
+//! In a splitting attack the adversary smuggles a `CR-LF-CR-LF` delimiter
+//! into a response header, making browsers see two responses. The paper's
+//! fix is a filter that rejects CR-LF-CR-LF sequences *that came from user
+//! input* — server-generated delimiters are legitimate.
+
+use resin_core::{PolicyViolation, Result, TaintedString, UntrustedData};
+
+/// Rejects header values containing an untrusted CR-LF-CR-LF sequence.
+///
+/// A sequence counts as user-supplied when any of its four bytes carries
+/// [`UntrustedData`].
+pub fn check_header_splitting(value: &TaintedString) -> Result<()> {
+    let text = value.as_str();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find("\r\n\r\n") {
+        let start = from + pos;
+        let tainted = (start..start + 4).any(|i| value.policies_at(i).has::<UntrustedData>());
+        if tainted {
+            return Err(PolicyViolation::new(
+                "HttpSplitGuard",
+                format!("user-supplied CR-LF-CR-LF at byte {start} in header value"),
+            )
+            .into());
+        }
+        from = start + 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn untrusted_delimiter_rejected() {
+        let mut v = TaintedString::from("safe");
+        v.push_tainted(&TaintedString::with_policy(
+            "\r\n\r\nHTTP/1.1 200 OK",
+            Arc::new(UntrustedData::new()),
+        ));
+        assert!(check_header_splitting(&v).is_err());
+    }
+
+    #[test]
+    fn trusted_delimiter_allowed() {
+        let v = TaintedString::from("a\r\n\r\nb");
+        assert!(check_header_splitting(&v).is_ok());
+    }
+
+    #[test]
+    fn partial_taint_still_rejected() {
+        // Only the final LF is untrusted — still user-influenced.
+        let mut v = TaintedString::from("x\r\n\r");
+        v.push_tainted(&TaintedString::with_policy(
+            "\n",
+            Arc::new(UntrustedData::new()),
+        ));
+        assert!(check_header_splitting(&v).is_err());
+    }
+
+    #[test]
+    fn no_delimiter_is_fine() {
+        let v = TaintedString::with_policy("evil but harmless", Arc::new(UntrustedData::new()));
+        assert!(check_header_splitting(&v).is_ok());
+    }
+
+    #[test]
+    fn second_occurrence_detected() {
+        let mut v = TaintedString::from("a\r\n\r\nb");
+        v.push_tainted(&TaintedString::with_policy(
+            "\r\n\r\n",
+            Arc::new(UntrustedData::new()),
+        ));
+        assert!(check_header_splitting(&v).is_err());
+    }
+}

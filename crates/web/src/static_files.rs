@@ -1,0 +1,98 @@
+//! Static file serving: RESIN-aware vs stock web server.
+//!
+//! §3.4.1: "if an application accidentally stores passwords in a
+//! world-readable file, and an adversary tries to fetch that file via
+//! HTTP, a RESIN-aware Web server will invoke the file's policy objects
+//! before transmitting the file, fail the `export_check`, and prevent
+//! password disclosure." The paper patched 49 lines of `mod_php` for this;
+//! here the two server behaviours are two functions over the VFS.
+
+use resin_core::{ResinError, TaintedString};
+use resin_vfs::{Vfs, VfsError};
+
+use crate::response::Response;
+
+/// A RESIN-aware static file server (the patched `mod_php`).
+///
+/// Reads the file with policy revival and writes it through the response's
+/// HTTP boundary, so persistent policies get their `export_check`.
+pub fn serve_static_aware(vfs: &Vfs, path: &str, response: &mut Response) -> Result<(), VfsError> {
+    let ctx = resin_core::Context::new(resin_core::ChannelKind::File);
+    let data = vfs.read_file(path, &ctx)?;
+    response.echo(data).map_err(VfsError::Policy)?;
+    Ok(())
+}
+
+/// A stock web server: raw bytes straight to the client, no policy checks.
+pub fn serve_static_naive(vfs: &Vfs, path: &str, response: &mut Response) -> Result<(), VfsError> {
+    let raw = vfs.read_raw(path)?;
+    // Write around the channel: a non-RESIN server has no boundary filters.
+    response
+        .echo(TaintedString::from(raw))
+        .map_err(|e: ResinError| VfsError::Policy(e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resin_core::{ChannelKind, Context, PasswordPolicy};
+    use std::sync::Arc;
+
+    fn vfs_with_password_file() -> Vfs {
+        let mut fs = Vfs::new();
+        let ctx = Context::new(ChannelKind::File);
+        fs.mkdir_p("/htdocs", &ctx).unwrap();
+        let mut content = TaintedString::from("alice:");
+        content.push_tainted(&TaintedString::with_policy(
+            "hunter2",
+            Arc::new(PasswordPolicy::strict("alice@x")),
+        ));
+        fs.write_file("/htdocs/passwords.txt", &content, &ctx)
+            .unwrap();
+        fs
+    }
+
+    #[test]
+    fn aware_server_blocks_password_file_fetch() {
+        let fs = vfs_with_password_file();
+        let mut resp = Response::new();
+        let err = serve_static_aware(&fs, "/htdocs/passwords.txt", &mut resp).unwrap_err();
+        assert!(err.is_violation());
+        assert_eq!(resp.body(), "");
+    }
+
+    #[test]
+    fn naive_server_leaks_password_file() {
+        let fs = vfs_with_password_file();
+        let mut resp = Response::new();
+        serve_static_naive(&fs, "/htdocs/passwords.txt", &mut resp).unwrap();
+        assert!(resp.body().contains("hunter2"), "stock server leaks");
+    }
+
+    #[test]
+    fn aware_server_serves_plain_files() {
+        let mut fs = Vfs::new();
+        let ctx = Context::new(ChannelKind::File);
+        fs.mkdir_p("/htdocs", &ctx).unwrap();
+        fs.write_file(
+            "/htdocs/index.html",
+            &TaintedString::from("<h1>hi</h1>"),
+            &ctx,
+        )
+        .unwrap();
+        let mut resp = Response::new();
+        serve_static_aware(&fs, "/htdocs/index.html", &mut resp).unwrap();
+        assert_eq!(resp.body(), "<h1>hi</h1>");
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let fs = Vfs::new();
+        let mut resp = Response::new();
+        assert!(matches!(
+            serve_static_aware(&fs, "/nope", &mut resp),
+            Err(VfsError::NotFound(_))
+        ));
+    }
+}

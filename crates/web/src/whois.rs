@@ -1,0 +1,71 @@
+//! A simulated whois service.
+//!
+//! phpBB's unusual cross-site-scripting path (§6.3): the application
+//! queries a whois server and incorporates the response into HTML without
+//! sanitizing it. An adversary plants JavaScript in a whois record. The
+//! whois *response* arrives over a socket, so RESIN's default input filter
+//! marks it untrusted — exactly like form input.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use resin_core::{TaintedString, UntrustedData};
+
+/// An in-memory whois database standing in for the remote service.
+#[derive(Debug, Default)]
+pub struct WhoisServer {
+    records: BTreeMap<String, String>,
+}
+
+impl WhoisServer {
+    /// An empty whois service.
+    pub fn new() -> Self {
+        WhoisServer::default()
+    }
+
+    /// Registers (or overwrites) a record — this is what the *adversary*
+    /// controls in the phpBB attack.
+    pub fn set_record(&mut self, domain: &str, record: &str) {
+        self.records.insert(domain.to_string(), record.to_string());
+    }
+
+    /// Looks up a record. The response crosses the socket boundary, so it
+    /// comes back tainted with [`UntrustedData`] (source `whois`).
+    pub fn lookup(&self, domain: &str) -> TaintedString {
+        let text = self
+            .records
+            .get(domain)
+            .cloned()
+            .unwrap_or_else(|| format!("No match for domain {domain}"));
+        TaintedString::with_policy(text, Arc::new(UntrustedData::from_source("whois")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_are_untrusted() {
+        let mut w = WhoisServer::new();
+        w.set_record("example.com", "Registrant: Example Corp");
+        let r = w.lookup("example.com");
+        assert_eq!(r.as_str(), "Registrant: Example Corp");
+        assert!(r.all_bytes_have::<UntrustedData>());
+        let u = r
+            .policies()
+            .find::<UntrustedData>()
+            .unwrap()
+            .source()
+            .map(String::from);
+        assert_eq!(u.as_deref(), Some("whois"));
+    }
+
+    #[test]
+    fn missing_record_is_still_untrusted() {
+        let w = WhoisServer::new();
+        let r = w.lookup("nope.example");
+        assert!(r.as_str().contains("No match"));
+        assert!(r.all_bytes_have::<UntrustedData>());
+    }
+}

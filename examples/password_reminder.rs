@@ -1,0 +1,58 @@
+//! The HotCRP password-disclosure scenario (paper §2, Figures 1–2).
+//!
+//! An adversary requests a password reminder for a victim while the site
+//! is in *email preview mode*; the reminder is rendered into the
+//! adversary's browser. One 23-line assertion closes the path.
+//!
+//! ```text
+//! cargo run --example password_reminder
+//! ```
+
+use resin::apps::HotCrp;
+use resin::web::Response;
+
+fn attempt(resin: bool) {
+    println!(
+        "--- HotCRP with assertions {} ---",
+        if resin { "ENABLED" } else { "disabled" }
+    );
+    let mut site = HotCrp::new(resin);
+    site.register_user("chair@conf.org", "chairpw", true);
+    site.register_user("victim@foo.com", "s3cret", false);
+
+    // The admin turns on email preview mode (a legitimate feature)...
+    site.mailer.set_preview_mode(true);
+
+    // ...and the adversary asks for the *victim's* reminder.
+    let mut adversary_browser = Response::for_user("adversary@evil.com");
+    match site.password_reminder("victim@foo.com", &mut adversary_browser) {
+        Ok(()) => println!(
+            "reminder rendered into adversary's browser: {:?}",
+            adversary_browser.body().lines().nth(2).unwrap_or("")
+        ),
+        Err(e) => println!("prevented: {e}"),
+    }
+    println!(
+        "adversary saw the password: {}",
+        adversary_browser.body().contains("s3cret")
+    );
+
+    // The legitimate flow still works: the victim gets their own reminder.
+    site.mailer.set_preview_mode(false);
+    let mut victim_browser = Response::for_user("victim@foo.com");
+    site.password_reminder("victim@foo.com", &mut victim_browser)
+        .expect("legitimate reminder must flow");
+    println!(
+        "legitimate reminder emailed to victim: {}",
+        site.mailer
+            .sent()
+            .last()
+            .map(|m| m.to.as_str())
+            .unwrap_or("-")
+    );
+}
+
+fn main() {
+    attempt(false);
+    attempt(true);
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the three RESIN mechanisms in 60 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use resin::prelude::*;
+
+fn main() {
+    // 1. POLICY OBJECTS — annotate sensitive data (Table 3: policy_add).
+    let password = policy_add(
+        TaintedString::from("s3cret"),
+        Arc::new(PasswordPolicy::new("u@foo.com")),
+    );
+
+    // 2. DATA TRACKING — policies travel with the data, byte by byte.
+    let mut email_body = TaintedString::from("Dear user,\nYour password is: ");
+    email_body.push_tainted(&password);
+    email_body.push_str("\nregards, the app\n");
+    println!("composed email body ({} bytes)", email_body.len());
+    println!("  policies anywhere: {:?}", policy_get(&email_body));
+    println!(
+        "  byte 0 policies: {:?} (the greeting is not sensitive)",
+        email_body.policies_at(0)
+    );
+
+    // 3. FILTER OBJECTS — boundaries check assertions on export.
+    // An HTTP response to some browser? Denied.
+    let mut http = Channel::new(ChannelKind::Http);
+    match http.write(email_body.clone()) {
+        Err(e) => println!("HTTP export: BLOCKED — {e}"),
+        Ok(()) => unreachable!("the password policy must fire"),
+    }
+
+    // Email to the account holder? Allowed.
+    let mut email = Channel::new(ChannelKind::Email);
+    email.context_mut().set_str("email", "u@foo.com");
+    email.write(email_body.clone()).expect("owner may receive");
+    println!(
+        "email to u@foo.com: ALLOWED ({} bytes sent)",
+        email.output_text().len()
+    );
+
+    // Email to anyone else? Denied.
+    let mut other = Channel::new(ChannelKind::Email);
+    other.context_mut().set_str("email", "adversary@evil.com");
+    match other.write(email_body) {
+        Err(e) => println!("email to adversary: BLOCKED — {e}"),
+        Ok(()) => unreachable!(),
+    }
+
+    // Slicing back out the non-sensitive prefix drops the policy.
+    let greeting = policy_add(
+        TaintedString::from("hello "),
+        Arc::new(UntrustedData::new()),
+    );
+    let combined = greeting.concat(&TaintedString::from("world"));
+    let world = combined.slice(6..11);
+    assert!(world.policies().is_empty());
+    println!("byte-level tracking: slice of clean bytes is clean");
+}

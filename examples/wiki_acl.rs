@@ -1,0 +1,63 @@
+//! The MoinMoin read-ACL assertion (paper §5.1, Figure 5) including the
+//! rst-include vulnerability (CVE-2008-6548).
+//!
+//! ```text
+//! cargo run --example wiki_acl
+//! ```
+
+use resin::apps::MoinWiki;
+use resin::core::{Acl, Right};
+use resin::web::Response;
+
+fn attempt(resin: bool) {
+    println!(
+        "--- MoinMoin with assertions {} ---",
+        if resin { "ENABLED" } else { "disabled" }
+    );
+    let mut wiki = MoinWiki::new(resin);
+    wiki.create_page(
+        "FrontPage",
+        Acl::new()
+            .grant("*", &[Right::Read])
+            .grant("alice", &[Right::Write]),
+        "Welcome to the wiki!",
+        "alice",
+    );
+    wiki.create_page(
+        "SecretPlans",
+        Acl::new().grant("alice", &[Right::Read, Right::Write]),
+        "Q3 layoffs: everyone",
+        "alice",
+    );
+
+    // Mallory exploits the include bug: FrontPage is world-readable and
+    // the include path forgets to check SecretPlans' ACL.
+    let mut browser = Response::for_user("mallory");
+    match wiki.view_page_with_include("FrontPage", "SecretPlans", &mut browser, "mallory") {
+        Ok(()) => println!(
+            "include rendered; leaked: {}",
+            browser.body().contains("layoffs")
+        ),
+        Err(e) => println!("prevented: {e}"),
+    }
+
+    // Alice (on the ACL) still reads everything.
+    let mut alice = Response::for_user("alice");
+    wiki.view_page_with_include("FrontPage", "SecretPlans", &mut alice, "alice")
+        .expect("authorized read must work");
+    println!(
+        "alice sees both pages: {}",
+        alice.body().contains("layoffs")
+    );
+
+    // And the write ACL stops vandalism.
+    match wiki.edit_page("SecretPlans", "defaced!", "mallory") {
+        Ok(()) => println!("mallory vandalized the page"),
+        Err(e) => println!("vandalism prevented: {e}"),
+    }
+}
+
+fn main() {
+    attempt(false);
+    attempt(true);
+}

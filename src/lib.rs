@@ -1,0 +1,30 @@
+//! # resin — data flow assertions for application security
+//!
+//! A from-scratch Rust reproduction of **RESIN** (Yip, Wang, Zeldovich,
+//! Kaashoek — *Improving Application Security with Data Flow Assertions*,
+//! SOSP 2009). This meta-crate re-exports the whole workspace:
+//!
+//! * [`core`](resin_core) — policy objects, byte-range data tracking,
+//!   filter objects, channels, persistent-policy serialization.
+//! * [`vfs`](resin_vfs) — a filesystem with extended attributes,
+//!   persistent policies, and persistent write-access filters.
+//! * [`sql`](resin_sql) — a SQL engine with policy-column rewriting and
+//!   the SQL-injection guards.
+//! * [`web`](resin_web) — HTTP/email channels, sanitizers, XSS guards,
+//!   output buffering, RESIN-aware static file serving.
+//! * [`lang`](resin_lang) — RSL, a scripting language whose interpreter
+//!   carries RESIN tracking (the modified-PHP stand-in).
+//! * [`apps`](resin_apps) — the evaluation applications of Table 4 with
+//!   wired-in vulnerabilities and assertions.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use resin_apps as apps;
+pub use resin_core as core;
+pub use resin_lang as lang;
+pub use resin_sql as sql;
+pub use resin_vfs as vfs;
+pub use resin_web as web;
+
+pub use resin_core::prelude;

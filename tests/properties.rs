@@ -1,0 +1,140 @@
+//! Property-based tests on the core data-tracking invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use resin::core::prelude::*;
+
+fn untrusted(s: &str) -> TaintedString {
+    TaintedString::with_policy(s, Arc::new(UntrustedData::new()))
+}
+
+proptest! {
+    /// Concatenation is associative on both text and policy spans.
+    #[test]
+    fn concat_associative(a in "[a-z]{0,12}", b in "[A-Z]{0,12}", c in "[0-9]{0,12}") {
+        let (ta, tb, tc) = (untrusted(&a), TaintedString::from(b.as_str()), untrusted(&c));
+        let left = ta.concat(&tb).concat(&tc);
+        let right = ta.concat(&tb.concat(&tc));
+        prop_assert!(left.taint_eq(&right));
+    }
+
+    /// Slicing a concatenation recovers each operand's exact taint.
+    #[test]
+    fn concat_then_slice_recovers_operands(a in "[a-z]{1,16}", b in "[a-z]{1,16}") {
+        let ta = untrusted(&a);
+        let tb = TaintedString::from(b.as_str());
+        let joined = ta.concat(&tb);
+        prop_assert!(joined.slice(0..a.len()).taint_eq(&ta));
+        prop_assert!(joined.slice(a.len()..a.len() + b.len()).taint_eq(&tb));
+    }
+
+    /// Splitting and rejoining on a separator preserves the byte count of
+    /// tainted bytes (no taint is invented or lost for separator-free data).
+    #[test]
+    fn split_join_preserves_taint(parts in prop::collection::vec("[a-z]{1,8}", 1..6)) {
+        let tainted: Vec<TaintedString> = parts.iter().map(|p| untrusted(p)).collect();
+        let joined = TaintedString::join(",", tainted.iter());
+        let split = joined.split(",");
+        prop_assert_eq!(split.len(), tainted.len());
+        for (s, t) in split.iter().zip(&tainted) {
+            prop_assert!(s.taint_eq(t));
+        }
+    }
+
+    /// Policy serialization round-trips for arbitrary field content.
+    #[test]
+    fn policy_serialization_roundtrip(email in "[ -~]{0,24}") {
+        let p: PolicyRef = Arc::new(PasswordPolicy::new(email.clone()));
+        let s = serialize_policy(&p);
+        let q = deserialize_policy(&s).unwrap();
+        let q = downcast_policy::<PasswordPolicy>(&q).unwrap();
+        prop_assert_eq!(q.email(), email.as_str());
+    }
+
+    /// Span serialization round-trips for arbitrary range layouts.
+    #[test]
+    fn span_serialization_roundtrip(
+        text in "[a-z]{1,40}",
+        ranges in prop::collection::vec((0usize..40, 0usize..40), 0..4),
+    ) {
+        let mut data = TaintedString::from(text.as_str());
+        for (a, b) in ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            data.add_policy_range(lo..hi, Arc::new(UntrustedData::new()));
+        }
+        let spans = serialize_spans(&data);
+        let back = deserialize_spans(data.as_str(), &spans).unwrap();
+        prop_assert!(back.taint_eq(&data));
+    }
+
+    /// ACL encode/decode round-trips.
+    #[test]
+    fn acl_roundtrip(users in prop::collection::vec("[a-z]{1,8}", 0..5)) {
+        let mut acl = Acl::new();
+        for (i, u) in users.iter().enumerate() {
+            let rights: &[Right] = match i % 3 {
+                0 => &[Right::Read],
+                1 => &[Right::Read, Right::Write],
+                _ => &[Right::Write, Right::Admin],
+            };
+            acl.add(u.clone(), rights);
+        }
+        let decoded = Acl::decode(&acl.encode()).unwrap();
+        prop_assert_eq!(decoded, acl);
+    }
+
+    /// Merging is commutative for the stock policies (union + intersection
+    /// strategies).
+    #[test]
+    fn merge_commutative(has_u1 in any::<bool>(), has_a1 in any::<bool>(),
+                         has_u2 in any::<bool>(), has_a2 in any::<bool>()) {
+        let mk = |u: bool, a: bool| {
+            let mut s = PolicySet::empty();
+            if u { s.add(Arc::new(UntrustedData::new())); }
+            if a { s.add(Arc::new(AuthenticData::new())); }
+            s
+        };
+        let s1 = mk(has_u1, has_a1);
+        let s2 = mk(has_u2, has_a2);
+        let m12 = merge_sets(&s1, &s2).unwrap();
+        let m21 = merge_sets(&s2, &s1).unwrap();
+        prop_assert!(m12.set_eq(&m21));
+        // Union strategy: untrusted iff either side was.
+        prop_assert_eq!(m12.has::<UntrustedData>(), has_u1 || has_u2);
+        // Intersection strategy: authentic iff both sides were.
+        prop_assert_eq!(m12.has::<AuthenticData>(), has_a1 && has_a2);
+    }
+
+    /// SQL: a stored tainted cell always comes back with its policy, for
+    /// arbitrary (quote-free) content.
+    #[test]
+    fn sql_roundtrip_keeps_policy(value in "[a-zA-Z0-9 ]{0,24}") {
+        let mut db = resin::sql::ResinDb::new();
+        db.query_str("CREATE TABLE t (v TEXT)").unwrap();
+        let mut q = TaintedString::from("INSERT INTO t VALUES ('");
+        q.push_tainted(&untrusted(&value));
+        q.push_str("')");
+        db.query(&q).unwrap();
+        let r = db.query_str("SELECT v FROM t").unwrap();
+        let cell = r.cell(0, "v").unwrap().as_text().unwrap().clone();
+        prop_assert_eq!(cell.as_str(), value.as_str());
+        prop_assert_eq!(cell.has_policy::<UntrustedData>(), !value.is_empty());
+    }
+
+    /// VFS: write/read round-trips arbitrary taint layouts through xattrs.
+    #[test]
+    fn vfs_roundtrip_keeps_spans(
+        text in "[a-z]{1,32}",
+        cut in 0usize..32,
+    ) {
+        let mut data = TaintedString::from(text.as_str());
+        data.add_policy_range(0..cut.min(text.len()), Arc::new(UntrustedData::new()));
+        let mut fs = resin::vfs::Vfs::new();
+        let ctx = resin::vfs::Vfs::anonymous_ctx();
+        fs.mkdir_p("/d", &ctx).unwrap();
+        fs.write_file("/d/f", &data, &ctx).unwrap();
+        let back = fs.read_file("/d/f", &ctx).unwrap();
+        prop_assert!(back.taint_eq(&data));
+    }
+}
