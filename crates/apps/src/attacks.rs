@@ -112,8 +112,8 @@ fn secret_wiki(resin: bool) -> MoinWiki {
 
 fn moin_vandalism(resin: bool) -> bool {
     let mut w = secret_wiki(resin);
-    let ok = w.edit_page("SecretPlans", "defaced", "mallory").is_ok();
-    ok
+
+    w.edit_page("SecretPlans", "defaced", "mallory").is_ok()
 }
 
 fn filemgr_traversal(resin: bool, delete: bool) -> bool {

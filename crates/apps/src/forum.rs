@@ -93,7 +93,7 @@ impl Forum {
         &self,
         html: TaintedString,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         if self.resin {
             check_html_markers(&html)?;
         }
@@ -107,7 +107,7 @@ impl Forum {
         id: u64,
         viewer: &str,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let Some(m) = self.message(id) else {
             return response.echo_str("no such message");
         };
@@ -128,7 +128,7 @@ impl Forum {
         id: u64,
         viewer: &str,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let Some(m) = self.message(id) else {
             return response.echo_str("no such message");
         };
@@ -148,7 +148,7 @@ impl Forum {
         &self,
         domain: &str,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let record = self.whois.lookup(domain);
         let mut html = TaintedString::from("<pre class=\"whois\">");
         html.push_tainted(&record); // BUG: no html_escape on external data.
@@ -161,7 +161,7 @@ impl Forum {
         &self,
         domain: &str,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let record = self.whois.lookup(domain);
         let mut html = TaintedString::from("<pre class=\"whois\">");
         html.push_tainted(&html_escape(&record));
@@ -176,7 +176,7 @@ impl Forum {
         id: u64,
         replier: &str,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let Some(m) = self.message(id) else {
             return response.echo_str("no such message");
         };
@@ -195,7 +195,7 @@ impl Forum {
         &self,
         needle: &str,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         for m in &self.messages {
             if m.body.contains(needle) {
                 let mut html = TaintedString::from("<div class=\"hit\">");
@@ -213,7 +213,7 @@ impl Forum {
         &self,
         id: u64,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let Some(m) = self.message(id) else {
             return response.echo_str("no such message");
         };
@@ -225,7 +225,7 @@ impl Forum {
     pub fn plugin_recent_posts(
         &self,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         for m in self.messages.iter().rev().take(5) {
             let mut html = TaintedString::from("<li>");
             html.push_tainted(&html_escape(&m.body));
@@ -241,7 +241,7 @@ impl Forum {
         &self,
         signature: &TaintedString,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let mut html = TaintedString::from("<div class=\"sig\">");
         html.push_tainted(signature); // BUG: no html_escape.
         html.push_str("</div>");
@@ -254,7 +254,7 @@ impl Forum {
         &self,
         needle: &TaintedString,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let mut html = TaintedString::from("<p>Results for <b>");
         html.push_tainted(needle); // BUG: no html_escape.
         html.push_str("</b>:</p>");

@@ -178,11 +178,11 @@ impl HotCrp {
         &mut self,
         account: &str,
         requester_page: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let pw = self
             .fetch_user_password(account)
-            .map_err(|e| resin_core::ResinError::runtime(e.to_string()))?
-            .ok_or_else(|| resin_core::ResinError::runtime("no such account"))?;
+            .map_err(|e| resin_core::FlowError::runtime(e.to_string()))?
+            .ok_or_else(|| resin_core::FlowError::runtime("no such account"))?;
         let mut body = TaintedString::from(format!("Dear {account},\n\nYour password is: "));
         body.push_tainted(&pw);
         body.push_str("\n\n- HotCRP\n");
@@ -197,13 +197,13 @@ impl HotCrp {
         &mut self,
         paper: i64,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let r = self
             .db
             .query_str(&format!(
                 "SELECT title, abstract, authors FROM papers WHERE id = {paper}"
             ))
-            .map_err(|e| resin_core::ResinError::runtime(e.to_string()))?;
+            .map_err(|e| resin_core::FlowError::runtime(e.to_string()))?;
         let Some(row) = r.rows.first() else {
             response.set_status(404);
             return response.echo_str("No such paper");
@@ -238,13 +238,13 @@ impl HotCrp {
         &mut self,
         paper: i64,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let r = self
             .db
             .query_str(&format!(
                 "SELECT title, abstract, authors FROM papers WHERE id = {paper}"
             ))
-            .map_err(|e| resin_core::ResinError::runtime(e.to_string()))?;
+            .map_err(|e| resin_core::FlowError::runtime(e.to_string()))?;
         let Some(row) = r.rows.first() else {
             return response.echo_str("{}");
         };
@@ -263,13 +263,13 @@ impl HotCrp {
         &mut self,
         paper: i64,
         response: &mut Response,
-    ) -> Result<(), resin_core::ResinError> {
+    ) -> Result<(), resin_core::FlowError> {
         let r = self
             .db
             .query_str(&format!(
                 "SELECT reviewer, body FROM reviews WHERE paper = {paper}"
             ))
-            .map_err(|e| resin_core::ResinError::runtime(e.to_string()))?;
+            .map_err(|e| resin_core::FlowError::runtime(e.to_string()))?;
         for row in &r.rows {
             response.echo_str("<div class=\"review\">")?;
             response.echo(row[1].to_tainted_string())?;

@@ -63,7 +63,7 @@ fn print_table2() {
 
 fn print_table3() {
     println!("== Table 3: The RESIN API -> this reproduction ==");
-    println!("{:<42} {:<14} {}", "Function", "Caller", "Implemented by");
+    println!("{:<42} {:<14} Implemented by", "Function", "Caller");
     for r in table3() {
         println!("{:<42} {:<14} {}", r.function, r.caller, r.implemented_by);
     }
@@ -73,15 +73,8 @@ fn print_table3() {
 fn print_table4() {
     println!("== Table 4: Preventing vulnerabilities with RESIN assertions ==");
     println!(
-        "{:<28} {:<7} {:>9} {:>10} {:>6} {:>11} {:>10}  {}",
-        "Application",
-        "Lang",
-        "App LOC",
-        "Asrt LOC",
-        "Known",
-        "Discovered",
-        "Prevented",
-        "Vulnerability type"
+        "{:<28} {:<7} {:>9} {:>10} {:>6} {:>11} {:>10}  Vulnerability type",
+        "Application", "Lang", "App LOC", "Asrt LOC", "Known", "Discovered", "Prevented"
     );
     let rows = resin_apps::table4();
     for r in &rows {

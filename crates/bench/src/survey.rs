@@ -94,7 +94,7 @@ pub fn table3() -> Vec<ApiRow> {
         ApiRow {
             function: "filter::filter_func(args)",
             caller: "Runtime",
-            implemented_by: "resin_core::filter::FuncBoundary::call",
+            implemented_by: "resin_core::gate::Gate::call",
         },
         ApiRow {
             function: "policy::export_check(context)",

@@ -1,32 +1,25 @@
-//! Internal data flow boundaries (§8, future work).
+//! v1 internal boundaries: a deprecated shim over [`Gate`](crate::gate::Gate).
 //!
 //! The paper envisions boundaries *within* an application: "an assertion
 //! could prevent clear-text passwords from flowing out of the software
-//! module that handles passwords." [`InternalBoundary`] is that mechanism:
-//! a module wraps its public return values in [`InternalBoundary::export`],
-//! and the boundary rejects (or strips) configured policy classes, so
-//! sensitive data cannot escape the module even through code paths the
-//! module author forgot about.
+//! module that handles passwords" (§8). That mechanism is now a [`Gate`]
+//! with deny/strip rules — see [`Gate::internal`], [`Gate::deny`], and
+//! [`Gate::strip`]. `InternalBoundary` survives as a thin wrapper
+//! delegating to such a gate.
 
 use crate::context::Context;
-use crate::error::{PolicyViolation, ResinError, Result};
+use crate::error::Result;
+use crate::gate::Gate;
 use crate::policy::Policy;
 use crate::taint::TaintedString;
 
-/// What the boundary does when it sees a guarded policy class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Action {
-    /// Refuse the export.
-    Deny,
-    /// Allow the export but remove the policy (declassification point).
-    Strip,
-}
-
-/// A named boundary around a software module.
+/// v1 named boundary around a software module; delegates to a
+/// [`Gate::internal`].
 ///
 /// # Examples
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use resin_core::prelude::*;
 /// use resin_core::boundary::InternalBoundary;
 /// use std::sync::Arc;
@@ -45,93 +38,68 @@ enum Action {
 /// let digest = hasher.export(pw).unwrap();
 /// assert!(!digest.has_policy::<PasswordPolicy>());
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Gate::internal(name)` with `deny`/`strip` rules"
+)]
 pub struct InternalBoundary {
-    name: &'static str,
-    rules: Vec<(
-        Box<dyn Fn(&TaintedString) -> bool + Send + Sync>,
-        Action,
-        &'static str,
-    )>,
-    strippers: Vec<Box<dyn Fn(&mut TaintedString) + Send + Sync>>,
-    context: Context,
+    gate: Gate,
 }
 
+#[allow(deprecated)]
 impl InternalBoundary {
     /// Creates a boundary named for its module.
     pub fn new(name: &'static str) -> Self {
         InternalBoundary {
-            name,
-            rules: Vec::new(),
-            strippers: Vec::new(),
-            context: Context::new(crate::channel::ChannelKind::Custom(name)),
+            gate: Gate::internal(name),
         }
     }
 
     /// The boundary's context (available to custom checks).
     pub fn context_mut(&mut self) -> &mut Context {
-        &mut self.context
+        self.gate.context_mut()
     }
 
     /// Data carrying a `T` policy may not cross outward.
     pub fn deny<T: Policy>(mut self) -> Self {
-        self.rules.push((
-            Box::new(|d: &TaintedString| d.has_policy::<T>()),
-            Action::Deny,
-            std::any::type_name::<T>(),
-        ));
+        self.gate = self.gate.deny::<T>();
         self
     }
 
     /// Crossing outward removes all `T` policies (a declassification
     /// point, like the encryption-function filter of §3.2).
     pub fn strip<T: Policy>(mut self) -> Self {
-        self.rules.push((
-            Box::new(|d: &TaintedString| d.has_policy::<T>()),
-            Action::Strip,
-            std::any::type_name::<T>(),
-        ));
-        self.strippers.push(Box::new(|d: &mut TaintedString| {
-            d.remove_policy_type::<T>()
-        }));
+        self.gate = self.gate.strip::<T>();
         self
     }
 
     /// Exports `data` across the boundary, applying the rules in order.
-    pub fn export(&self, mut data: TaintedString) -> Result<TaintedString> {
-        for (pred, action, class) in &self.rules {
-            if pred(&data) {
-                match action {
-                    Action::Deny => {
-                        return Err(ResinError::Violation(PolicyViolation::new(
-                            "InternalBoundary",
-                            format!(
-                                "`{class}`-labeled data may not leave module `{}`",
-                                self.name
-                            ),
-                        )));
-                    }
-                    Action::Strip => {}
-                }
-            }
-        }
-        for strip in &self.strippers {
-            strip(&mut data);
-        }
-        Ok(data)
+    pub fn export(&self, data: TaintedString) -> Result<TaintedString> {
+        self.gate.export(data)
+    }
+
+    /// The underlying gate.
+    pub fn as_gate(&self) -> &Gate {
+        &self.gate
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for InternalBoundary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InternalBoundary")
-            .field("name", &self.name)
-            .field("rules", &self.rules.len())
+            .field("name", &self.gate.name())
+            .field("rules", &self.gate.rule_count())
             .finish()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
+    //! The seed boundary tests, running against the shim to prove the
+    //! delegation is faithful.
+
     use super::*;
     use crate::policies::{PasswordPolicy, UntrustedData};
     use std::sync::Arc;
@@ -180,5 +148,12 @@ mod tests {
     fn debug_format() {
         let b = InternalBoundary::new("auth").deny::<PasswordPolicy>();
         assert!(format!("{b:?}").contains("auth"));
+    }
+
+    #[test]
+    fn shim_exposes_its_gate() {
+        let b = InternalBoundary::new("auth").deny::<PasswordPolicy>();
+        assert_eq!(b.as_gate().name(), Some("auth"));
+        assert_eq!(b.as_gate().rule_count(), 1);
     }
 }

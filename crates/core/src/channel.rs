@@ -1,244 +1,33 @@
-//! Data flow channels: the I/O boundaries of the runtime.
+//! v1 channel API: deprecated aliases over [`Gate`](crate::gate::Gate).
 //!
-//! RESIN pre-defines default filter objects on all I/O channels into and out
-//! of the runtime — sockets, pipes, files, HTTP output, email, SQL, and code
-//! import (§3.2.1). A [`Channel`] bundles a channel kind, a mutable
-//! [`Context`](crate::context::Context), a stack of
-//! [`Filter`](crate::filter::Filter) objects, and a capture buffer standing
-//! in for "the outside world": anything that survives `filter_write` is
-//! appended to the buffer, which tests and applications can inspect.
+//! Earlier revisions exposed I/O boundaries as `Channel` and their kinds as
+//! `ChannelKind`. Both survive as thin aliases so v1 code keeps compiling;
+//! new code should build gates with
+//! [`GateBuilder`](crate::gate::GateBuilder) or resolve them from the
+//! [`Runtime`](crate::runtime::Runtime)'s registry.
 
-use std::fmt;
+/// v1 name for [`GateKind`](crate::gate::GateKind).
+#[deprecated(since = "0.2.0", note = "use `GateKind`")]
+pub type ChannelKind = crate::gate::GateKind;
 
-use crate::context::Context;
-use crate::error::Result;
-use crate::filter::{DefaultFilter, Filter};
-use crate::taint::TaintedString;
-
-/// The kind of I/O channel a boundary guards.
-///
-/// The kind doubles as the `type` entry of the channel's default context, so
-/// policy `export_check` methods can distinguish (say) email from HTTP, as in
-/// the HotCRP password policy of Figure 2.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum ChannelKind {
-    /// HTTP response body sent to a browser.
-    Http,
-    /// Outgoing email (e.g. a sendmail pipe). Context carries the recipient.
-    Email,
-    /// A network socket.
-    Socket,
-    /// An OS pipe.
-    Pipe,
-    /// A file in the (virtual) filesystem.
-    File,
-    /// A SQL query channel to the database.
-    Sql,
-    /// Script code flowing into the interpreter (§3.2.2).
-    CodeImport,
-    /// An application-defined boundary (e.g. a function-call interface).
-    Custom(&'static str),
-}
-
-impl ChannelKind {
-    /// The string used for the `type` key in a channel context.
-    pub fn type_name(&self) -> &'static str {
-        match self {
-            ChannelKind::Http => "http",
-            ChannelKind::Email => "email",
-            ChannelKind::Socket => "socket",
-            ChannelKind::Pipe => "pipe",
-            ChannelKind::File => "file",
-            ChannelKind::Sql => "sql",
-            ChannelKind::CodeImport => "code",
-            ChannelKind::Custom(name) => name,
-        }
-    }
-}
-
-impl fmt::Display for ChannelKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.type_name())
-    }
-}
-
-/// A guarded I/O boundary.
-///
-/// Writing through the channel invokes every filter's `filter_write` in
-/// order; reading invokes `filter_read` in order. The channel owns its
-/// [`Context`], which applications may annotate with channel-specific
-/// key–value pairs (`sock.__filter.context['user'] = req.user` in the
-/// paper's MoinMoin example, Figure 5).
-pub struct Channel {
-    kind: ChannelKind,
-    context: Context,
-    filters: Vec<Box<dyn Filter>>,
-    /// Data that crossed the boundary outward (visible to "the world").
-    written: Vec<TaintedString>,
-    /// Queued data the next `read` will pull through the inbound filters.
-    inbound: Vec<TaintedString>,
-    /// Running byte offset of outbound writes.
-    write_offset: u64,
-    /// Running byte offset of inbound reads.
-    read_offset: u64,
-}
-
-impl Channel {
-    /// Creates a channel of `kind` guarded by the default filter (Figure 3).
-    pub fn new(kind: ChannelKind) -> Self {
-        let context = Context::new(kind.clone());
-        Channel {
-            kind,
-            context,
-            filters: vec![Box::new(DefaultFilter)],
-            written: Vec::new(),
-            inbound: Vec::new(),
-            write_offset: 0,
-            read_offset: 0,
-        }
-    }
-
-    /// Creates a channel with no filters at all (an *unguarded* boundary).
-    ///
-    /// Used to model the "unmodified PHP" baseline and for tests that need to
-    /// observe raw flows.
-    pub fn unguarded(kind: ChannelKind) -> Self {
-        let context = Context::new(kind.clone());
-        Channel {
-            kind,
-            context,
-            filters: Vec::new(),
-            written: Vec::new(),
-            inbound: Vec::new(),
-            write_offset: 0,
-            read_offset: 0,
-        }
-    }
-
-    /// The channel's kind.
-    pub fn kind(&self) -> &ChannelKind {
-        &self.kind
-    }
-
-    /// Immutable access to the channel context.
-    pub fn context(&self) -> &Context {
-        &self.context
-    }
-
-    /// Mutable access to the channel context, for application annotations.
-    pub fn context_mut(&mut self) -> &mut Context {
-        &mut self.context
-    }
-
-    /// Pushes an additional filter object onto the channel.
-    ///
-    /// Filters run in insertion order on write and on read.
-    pub fn add_filter(&mut self, filter: Box<dyn Filter>) {
-        self.filters.push(filter);
-    }
-
-    /// Replaces all filters (used e.g. to override the interpreter's import
-    /// filter from a global configuration, §5.2).
-    pub fn set_filters(&mut self, filters: Vec<Box<dyn Filter>>) {
-        self.filters = filters;
-    }
-
-    /// Number of filters guarding the channel.
-    pub fn filter_count(&self) -> usize {
-        self.filters.len()
-    }
-
-    /// Writes `data` across the boundary.
-    ///
-    /// Each filter may check or alter the in-transit data; a policy violation
-    /// aborts the write and nothing becomes visible in [`Channel::output`].
-    pub fn write(&mut self, data: TaintedString) -> Result<()> {
-        let mut buf = data;
-        let offset = self.write_offset;
-        for f in &self.filters {
-            buf = f.filter_write(buf, offset, &self.context)?;
-        }
-        self.write_offset += buf.len() as u64;
-        self.written.push(buf);
-        Ok(())
-    }
-
-    /// Writes a plain (policy-free) string across the boundary.
-    pub fn write_str(&mut self, data: &str) -> Result<()> {
-        self.write(TaintedString::from(data))
-    }
-
-    /// Queues data on the inbound side, as if it arrived from outside.
-    pub fn feed(&mut self, data: TaintedString) {
-        self.inbound.push(data);
-    }
-
-    /// Reads the next queued inbound datum through the read filters.
-    ///
-    /// Returns `Ok(None)` when no data is queued. Filters may assign initial
-    /// policies (e.g. deserialize persistent policies) or reject the data
-    /// (e.g. the code-import filter of Figure 6).
-    pub fn read(&mut self) -> Result<Option<TaintedString>> {
-        let Some(mut buf) = (if self.inbound.is_empty() {
-            None
-        } else {
-            Some(self.inbound.remove(0))
-        }) else {
-            return Ok(None);
-        };
-        let offset = self.read_offset;
-        for f in &self.filters {
-            buf = f.filter_read(buf, offset, &self.context)?;
-        }
-        self.read_offset += buf.len() as u64;
-        Ok(Some(buf))
-    }
-
-    /// Everything that successfully crossed the boundary outward.
-    pub fn output(&self) -> &[TaintedString] {
-        &self.written
-    }
-
-    /// The outbound data concatenated into one plain string.
-    pub fn output_text(&self) -> String {
-        self.written.iter().map(|t| t.as_str()).collect()
-    }
-
-    /// Discards all captured output (used by output buffering, §5.5).
-    pub fn clear_output(&mut self) {
-        self.written.clear();
-    }
-
-    /// Removes and returns captured output produced after `mark` writes.
-    ///
-    /// Building block for the output-buffering mechanism: the web layer
-    /// records a mark at `try`-block entry and truncates back to it when the
-    /// block raises.
-    pub fn truncate_output(&mut self, mark: usize) -> Vec<TaintedString> {
-        self.written.split_off(mark.min(self.written.len()))
-    }
-
-    /// Number of successful outbound writes (the "mark" for buffering).
-    pub fn output_mark(&self) -> usize {
-        self.written.len()
-    }
-}
-
-impl fmt::Debug for Channel {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Channel")
-            .field("kind", &self.kind)
-            .field("filters", &self.filters.len())
-            .field("written", &self.written.len())
-            .finish()
-    }
-}
+/// v1 name for [`Gate`](crate::gate::Gate).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Gate` (built via `GateBuilder` or opened \
+    from the `Runtime` registry)"
+)]
+pub type Channel = crate::gate::Gate;
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
+    //! The seed channel tests, running against the shims to prove the
+    //! delegation is faithful.
+
     use super::*;
     use crate::policies::PasswordPolicy;
     use crate::policy::PolicyRef;
+    use crate::taint::TaintedString;
     use std::sync::Arc;
 
     fn pw(email: &str) -> PolicyRef {
@@ -320,6 +109,6 @@ mod tests {
         let mut ch = Channel::new(ChannelKind::File);
         ch.write_str("abc").unwrap();
         ch.write_str("de").unwrap();
-        assert_eq!(ch.write_offset, 5);
+        assert_eq!(ch.write_offset(), 5);
     }
 }

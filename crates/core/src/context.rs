@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::channel::ChannelKind;
+use crate::gate::GateKind;
 
 /// A single context value.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,20 +88,20 @@ impl fmt::Display for CtxValue {
 /// paper's `$context['type'] == 'email'` idiom.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Context {
-    kind: ChannelKind,
+    kind: GateKind,
     entries: BTreeMap<String, CtxValue>,
 }
 
 impl Context {
     /// Creates a context for a channel of `kind`; sets the `type` entry.
-    pub fn new(kind: ChannelKind) -> Self {
+    pub fn new(kind: GateKind) -> Self {
         let mut entries = BTreeMap::new();
         entries.insert("type".to_string(), CtxValue::from(kind.type_name()));
         Context { kind, entries }
     }
 
     /// The kind of channel this context describes.
-    pub fn kind(&self) -> &ChannelKind {
+    pub fn kind(&self) -> &GateKind {
         &self.kind
     }
 
@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn type_key_set_automatically() {
-        let ctx = Context::new(ChannelKind::Email);
+        let ctx = Context::new(GateKind::Email);
         assert_eq!(ctx.get_str("type"), Some("email"));
         assert_eq!(ctx.channel_type(), "email");
         assert!(ctx.is_empty(), "only the implicit type entry");
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn set_and_get_values() {
-        let mut ctx = Context::new(ChannelKind::Http);
+        let mut ctx = Context::new(GateKind::Http);
         ctx.set_str("user", "alice")
             .set("priv_chair", true)
             .set("status", 200i64);
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn remove_and_contains() {
-        let mut ctx = Context::new(ChannelKind::Socket);
+        let mut ctx = Context::new(GateKind::Socket);
         ctx.set_str("k", "v");
         assert!(ctx.contains("k"));
         assert_eq!(ctx.remove("k"), Some(CtxValue::Str("v".into())));
@@ -217,7 +217,7 @@ mod tests {
 
     #[test]
     fn iter_in_key_order() {
-        let mut ctx = Context::new(ChannelKind::Pipe);
+        let mut ctx = Context::new(GateKind::Pipe);
         ctx.set_str("b", "2").set_str("a", "1");
         let keys: Vec<&str> = ctx.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "b", "type"]);

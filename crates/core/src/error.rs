@@ -1,24 +1,30 @@
 //! Error types shared by the RESIN runtime.
+//!
+//! The v2 surface centres on one taxonomy, [`FlowError`]: every way a data
+//! flow can fail to cross a gate is one of its variants. The v1 names
+//! (`ResinError`, with `Violation`/`FilterRejected` variants) survive as a
+//! deprecated alias.
 
 use std::fmt;
 
-use crate::channel::ChannelKind;
+use crate::gate::GateKind;
 
 /// A data flow assertion failure.
 ///
-/// Raised by a policy object's `export_check` (or a filter object) when data
-/// is about to cross a data flow boundary in violation of an assertion. This
-/// corresponds to the exception thrown by `export_check` in the paper
-/// (Figure 2): the runtime converts the exception into an aborted write, so
-/// the faulty flow never becomes visible outside the boundary.
+/// Raised by a policy object's `export_check` (or a filter object) when
+/// data is about to cross a data flow boundary in violation of an
+/// assertion. This corresponds to the exception thrown by `export_check`
+/// in the paper (Figure 2): the runtime converts the exception into an
+/// aborted write, so the faulty flow never becomes visible outside the
+/// boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PolicyViolation {
-    /// Class name of the policy (or filter) that rejected the flow.
+    /// Class name of the policy (or filter/gate) that rejected the flow.
     pub policy: String,
     /// Human-readable description of the violation.
     pub message: String,
-    /// The kind of channel on which the violation occurred, if known.
-    pub channel: Option<ChannelKind>,
+    /// The kind of gate on which the violation occurred, if known.
+    pub channel: Option<GateKind>,
 }
 
 impl PolicyViolation {
@@ -31,8 +37,8 @@ impl PolicyViolation {
         }
     }
 
-    /// Attaches the channel kind on which the violation occurred.
-    pub fn on_channel(mut self, kind: ChannelKind) -> Self {
+    /// Attaches the gate kind on which the violation occurred.
+    pub fn on_channel(mut self, kind: GateKind) -> Self {
         self.channel = Some(kind);
         self
     }
@@ -94,32 +100,54 @@ impl fmt::Display for SerializeError {
 
 impl std::error::Error for SerializeError {}
 
-/// Top-level error type for RESIN runtime operations.
+/// Every way a data flow can fail to cross a gate.
+///
+/// The taxonomy, in decreasing order of "the assertion worked":
+///
+/// * [`Denied`](FlowError::Denied) — a policy's `export_check` or a gate
+///   deny rule rejected the flow (the paper's assertion failure);
+/// * [`MergeDenied`](FlowError::MergeDenied) — two policies refused to
+///   merge when data was combined (§3.4.2);
+/// * [`Rejected`](FlowError::Rejected) — a filter rejected in-transit data
+///   for a non-policy reason (e.g. the HTTP-response-splitting filter);
+/// * [`Serialize`](FlowError::Serialize) — persistent policy
+///   (de)serialization failed (§3.4.1);
+/// * [`Runtime`](FlowError::Runtime) — infrastructure failure on a
+///   simulated channel (I/O, missing account, ...).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ResinError {
+pub enum FlowError {
     /// A data flow assertion rejected the flow.
-    Violation(PolicyViolation),
-    /// Persistent policy serialization failed.
-    Serialize(SerializeError),
+    Denied(PolicyViolation),
     /// Two policies could not be merged (a `merge` method vetoed, §3.4.2).
     MergeDenied(PolicyViolation),
-    /// A filter rejected in-transit data for a non-policy reason
-    /// (e.g. the HTTP-response-splitting filter).
-    FilterRejected(String),
+    /// A filter rejected in-transit data for a non-policy reason.
+    Rejected(String),
+    /// Persistent policy serialization failed.
+    Serialize(SerializeError),
     /// Generic runtime error (I/O on a simulated channel, etc.).
     Runtime(String),
 }
 
-impl ResinError {
-    /// Convenience constructor for [`ResinError::Runtime`].
+impl FlowError {
+    /// Convenience constructor for [`FlowError::Denied`].
+    pub fn denied(policy: impl Into<String>, message: impl Into<String>) -> Self {
+        FlowError::Denied(PolicyViolation::new(policy, message))
+    }
+
+    /// Convenience constructor for [`FlowError::Rejected`].
+    pub fn rejected(msg: impl Into<String>) -> Self {
+        FlowError::Rejected(msg.into())
+    }
+
+    /// Convenience constructor for [`FlowError::Runtime`].
     pub fn runtime(msg: impl Into<String>) -> Self {
-        ResinError::Runtime(msg.into())
+        FlowError::Runtime(msg.into())
     }
 
     /// Returns the inner violation, if this error is one.
     pub fn as_violation(&self) -> Option<&PolicyViolation> {
         match self {
-            ResinError::Violation(v) | ResinError::MergeDenied(v) => Some(v),
+            FlowError::Denied(v) | FlowError::MergeDenied(v) => Some(v),
             _ => None,
         }
     }
@@ -130,34 +158,42 @@ impl ResinError {
     }
 }
 
-impl fmt::Display for ResinError {
+impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResinError::Violation(v) => write!(f, "{v}"),
-            ResinError::Serialize(e) => write!(f, "serialize error: {e}"),
-            ResinError::MergeDenied(v) => write!(f, "merge denied: {v}"),
-            ResinError::FilterRejected(m) => write!(f, "filter rejected data: {m}"),
-            ResinError::Runtime(m) => write!(f, "runtime error: {m}"),
+            FlowError::Denied(v) => write!(f, "{v}"),
+            FlowError::MergeDenied(v) => write!(f, "merge denied: {v}"),
+            FlowError::Rejected(m) => write!(f, "filter rejected data: {m}"),
+            FlowError::Serialize(e) => write!(f, "serialize error: {e}"),
+            FlowError::Runtime(m) => write!(f, "runtime error: {m}"),
         }
     }
 }
 
-impl std::error::Error for ResinError {}
+impl std::error::Error for FlowError {}
 
-impl From<PolicyViolation> for ResinError {
+impl From<PolicyViolation> for FlowError {
     fn from(v: PolicyViolation) -> Self {
-        ResinError::Violation(v)
+        FlowError::Denied(v)
     }
 }
 
-impl From<SerializeError> for ResinError {
+impl From<SerializeError> for FlowError {
     fn from(e: SerializeError) -> Self {
-        ResinError::Serialize(e)
+        FlowError::Serialize(e)
     }
 }
+
+/// v1 name for [`FlowError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `FlowError` (the `Violation` variant is now \
+    `Denied`, `FilterRejected` is now `Rejected`)"
+)]
+pub type ResinError = FlowError;
 
 /// Result alias used throughout the runtime.
-pub type Result<T, E = ResinError> = std::result::Result<T, E>;
+pub type Result<T, E = FlowError> = std::result::Result<T, E>;
 
 #[cfg(test)]
 mod tests {
@@ -166,7 +202,7 @@ mod tests {
     #[test]
     fn violation_display_includes_policy_and_channel() {
         let v = PolicyViolation::new("PasswordPolicy", "unauthorized disclosure")
-            .on_channel(ChannelKind::Http);
+            .on_channel(GateKind::Http);
         let s = v.to_string();
         assert!(s.contains("PasswordPolicy"));
         assert!(s.contains("unauthorized disclosure"));
@@ -174,9 +210,9 @@ mod tests {
     }
 
     #[test]
-    fn resin_error_violation_roundtrip() {
+    fn flow_error_violation_roundtrip() {
         let v = PolicyViolation::new("P", "m");
-        let e: ResinError = v.clone().into();
+        let e: FlowError = v.clone().into();
         assert!(e.is_violation());
         assert_eq!(e.as_violation(), Some(&v));
     }
@@ -194,8 +230,16 @@ mod tests {
     }
 
     #[test]
-    fn runtime_error_not_violation() {
-        assert!(!ResinError::runtime("x").is_violation());
-        assert!(!ResinError::FilterRejected("y".into()).is_violation());
+    fn runtime_and_rejected_not_violations() {
+        assert!(!FlowError::runtime("x").is_violation());
+        assert!(!FlowError::rejected("y").is_violation());
+        assert!(FlowError::denied("P", "m").is_violation());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn v1_alias_still_works() {
+        let e: ResinError = FlowError::denied("P", "m");
+        assert!(e.is_violation());
     }
 }

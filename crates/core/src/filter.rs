@@ -1,21 +1,21 @@
 //! Filter objects: the boundary-interposition mechanism (§3.2).
 //!
-//! A filter object interposes on an I/O channel or function-call interface.
-//! When data crosses the boundary, the runtime invokes `filter_read` /
-//! `filter_write` (Table 3), which may check or alter the in-transit data.
+//! A filter object interposes on a [`Gate`](crate::gate::Gate). When data
+//! crosses the boundary, the gate invokes `filter_read` / `filter_write`
+//! (Table 3), which may check or alter the in-transit data.
 //! [`DefaultFilter`] reproduces the paper's Figure 3: it calls
 //! `export_check` on every policy of the in-transit data and always lets
 //! policy-free data through.
 
 use crate::context::Context;
-use crate::error::{ResinError, Result};
+use crate::error::{FlowError, Result};
 use crate::taint::TaintedString;
 
 /// The boundary-interposition interface (Table 3's `filter::*` rows).
 ///
 /// Both hooks receive the data by value and return (possibly altered) data;
 /// returning an error aborts the flow. `offset` is the running byte offset
-/// on the channel, mirroring the paper's `filter_read(data, offset)`
+/// on the gate, mirroring the paper's `filter_read(data, offset)`
 /// signature.
 pub trait Filter: Send + Sync {
     /// Invoked when data comes *in* through a data flow boundary; may assign
@@ -41,7 +41,7 @@ pub trait Filter: Send + Sync {
     }
 }
 
-/// The default filter attached to every channel (Figure 3).
+/// The default filter attached to every guarded gate (Figure 3).
 ///
 /// On write it invokes `export_check(context)` on each distinct policy
 /// present anywhere in the data; data without policies always passes. Note
@@ -61,7 +61,7 @@ impl Filter for DefaultFilter {
         for policy in data.policies().iter() {
             policy
                 .export_check(context)
-                .map_err(|v| ResinError::Violation(v.on_channel(context.kind().clone())))?;
+                .map_err(|v| FlowError::Denied(v.on_channel(context.kind().clone())))?;
         }
         Ok(data)
     }
@@ -75,16 +75,16 @@ impl Filter for DefaultFilter {
 /// use resin_core::prelude::*;
 ///
 /// // Reject any CR-LF-CR-LF in transit (HTTP response splitting, §3.2).
-/// let f = FnFilter::on_write(|data, _, _| {
-///     if data.contains("\r\n\r\n") {
-///         Err(ResinError::FilterRejected("response splitting".into()))
-///     } else {
-///         Ok(data)
-///     }
-/// });
-/// let mut ch = Channel::new(ChannelKind::Http);
-/// ch.add_filter(Box::new(f));
-/// assert!(ch.write_str("a\r\n\r\nb").is_err());
+/// let mut gate = Gate::builder(GateKind::Http)
+///     .filter(FnFilter::on_write(|data, _, _| {
+///         if data.contains("\r\n\r\n") {
+///             Err(FlowError::rejected("response splitting"))
+///         } else {
+///             Ok(data)
+///         }
+///     }))
+///     .build();
+/// assert!(gate.write_str("a\r\n\r\nb").is_err());
 /// ```
 pub struct FnFilter {
     read: Option<FilterFn>,
@@ -143,36 +143,41 @@ impl Filter for FnFilter {
     }
 }
 
-/// A guarded function-call boundary (Table 3's `filter_func`).
+/// v1 guarded function-call boundary; delegates to a named
+/// [`Gate`](crate::gate::Gate).
 ///
 /// RESIN lets programmers attach filters to function-call interfaces —
 /// e.g. an encryption function is a natural boundary where confidentiality
-/// policies should be stripped (§3.2). `FuncBoundary` wraps a function of
-/// tainted strings and runs filters over arguments and return value.
+/// policies should be stripped (§3.2). New code should use
+/// [`Gate::internal`](crate::gate::Gate::internal) (or the builder) and
+/// [`Gate::call`](crate::gate::Gate::call) directly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Gate::internal(name)` / `GateBuilder` and `Gate::call`"
+)]
 pub struct FuncBoundary {
-    arg_filters: Vec<Box<dyn Filter>>,
+    gate: crate::gate::Gate,
     ret_filters: Vec<Box<dyn Filter>>,
-    context: Context,
 }
 
+#[allow(deprecated)]
 impl FuncBoundary {
-    /// Creates a boundary with the given custom channel name.
+    /// Creates a boundary with the given custom gate name.
     pub fn new(name: &'static str) -> Self {
         FuncBoundary {
-            arg_filters: Vec::new(),
+            gate: crate::gate::Gate::internal(name),
             ret_filters: Vec::new(),
-            context: Context::new(crate::channel::ChannelKind::Custom(name)),
         }
     }
 
     /// Mutable access to the boundary context.
     pub fn context_mut(&mut self) -> &mut Context {
-        &mut self.context
+        self.gate.context_mut()
     }
 
     /// Adds a filter over the call's arguments.
     pub fn filter_args(&mut self, f: Box<dyn Filter>) -> &mut Self {
-        self.arg_filters.push(f);
+        self.gate.add_filter(f);
         self
     }
 
@@ -189,15 +194,11 @@ impl FuncBoundary {
     {
         let mut filtered = Vec::with_capacity(args.len());
         for a in args {
-            let mut a = a;
-            for f in &self.arg_filters {
-                a = f.filter_write(a, 0, &self.context)?;
-            }
-            filtered.push(a);
+            filtered.push(self.gate.export(a)?);
         }
         let mut ret = func(filtered)?;
         for f in &self.ret_filters {
-            ret = f.filter_read(ret, 0, &self.context)?;
+            ret = f.filter_read(ret, 0, self.gate.context())?;
         }
         Ok(ret)
     }
@@ -206,25 +207,25 @@ impl FuncBoundary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::ChannelKind;
+    use crate::gate::GateKind;
     use crate::policies::{PasswordPolicy, UntrustedData};
     use crate::policy::PolicyRef;
     use std::sync::Arc;
 
     #[test]
     fn default_filter_checks_every_policy() {
-        let ctx = Context::new(ChannelKind::Http);
+        let ctx = Context::new(GateKind::Http);
         let mut data = TaintedString::from("pw");
         data.add_policy(Arc::new(PasswordPolicy::new("u@x")));
         let err = DefaultFilter.filter_write(data, 0, &ctx).unwrap_err();
         assert!(err.is_violation());
         let v = err.as_violation().unwrap();
-        assert_eq!(v.channel, Some(ChannelKind::Http));
+        assert_eq!(v.channel, Some(GateKind::Http));
     }
 
     #[test]
     fn default_filter_passes_policy_free_data() {
-        let ctx = Context::new(ChannelKind::Http);
+        let ctx = Context::new(GateKind::Http);
         let out = DefaultFilter
             .filter_write(TaintedString::from("ok"), 0, &ctx)
             .unwrap();
@@ -234,7 +235,7 @@ mod tests {
     #[test]
     fn default_filter_passes_marker_policies() {
         // UntrustedData's export_check allows; only special filters act on it.
-        let ctx = Context::new(ChannelKind::Http);
+        let ctx = Context::new(GateKind::Http);
         let mut data = TaintedString::from("x");
         data.add_policy(Arc::new(UntrustedData::new()));
         assert!(DefaultFilter.filter_write(data, 0, &ctx).is_ok());
@@ -243,7 +244,7 @@ mod tests {
     #[test]
     fn fn_filter_can_alter_data() {
         let f = FnFilter::on_write(|data, _, _| Ok(data.replace_str("\r\n\r\n", "")));
-        let ctx = Context::new(ChannelKind::Http);
+        let ctx = Context::new(GateKind::Http);
         let out = f
             .filter_write(TaintedString::from("a\r\n\r\nb"), 0, &ctx)
             .unwrap();
@@ -256,7 +257,7 @@ mod tests {
             data.add_policy(Arc::new(UntrustedData::new()) as PolicyRef);
             Ok(data)
         });
-        let ctx = Context::new(ChannelKind::Socket);
+        let ctx = Context::new(GateKind::Socket);
         let out = f.filter_read(TaintedString::from("in"), 0, &ctx).unwrap();
         assert!(out.has_policy::<UntrustedData>());
         // Write hook not installed: passthrough.
@@ -265,7 +266,8 @@ mod tests {
     }
 
     #[test]
-    fn func_boundary_strips_policy_like_encryption() {
+    #[allow(deprecated)]
+    fn func_boundary_shim_strips_policy_like_encryption() {
         // An encryption function is a natural boundary: strip passwords.
         let mut b = FuncBoundary::new("encrypt");
         b.filter_args(Box::new(FnFilter::on_write(|mut data, _, _| {

@@ -11,15 +11,19 @@
 //!   to its owner".
 //! * **Data tracking** ([`taint`]) propagates policy objects along with
 //!   data, at byte granularity, as the application copies and moves it.
-//! * **Filter objects** ([`filter::Filter`]) define data flow boundaries
-//!   (sockets, files, SQL, email, HTTP, code import) where assertions are
-//!   checked by invoking each policy's `export_check`.
+//! * **Gates** ([`gate::Gate`]) define data flow boundaries (sockets,
+//!   files, SQL, email, HTTP, code import, module exits, function calls)
+//!   where assertions are checked by invoking each policy's `export_check`.
+//!   The [`runtime::Runtime`]'s [`runtime::GateRegistry`] owns the default
+//!   gate for every I/O surface.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use resin_core::prelude::*;
 //! use std::sync::Arc;
+//!
+//! let rt = Runtime::new();
 //!
 //! // Annotate the password with a policy object (Figure 2).
 //! let mut password = TaintedString::from("s3cret");
@@ -29,11 +33,11 @@
 //! let mut body = TaintedString::from("Your password is: ");
 //! body.push_tainted(&password);
 //!
-//! // ...and the channel's default filter enforces the assertion.
-//! let mut http = Channel::new(ChannelKind::Http);
+//! // ...and the registry's default gates enforce the assertion.
+//! let mut http = rt.open(GateKind::Http);
 //! assert!(http.write(body.clone()).is_err()); // disclosure prevented
 //!
-//! let mut email = Channel::new(ChannelKind::Email);
+//! let mut email = rt.open(GateKind::Email);
 //! email.context_mut().set_str("email", "u@foo.com");
 //! assert!(email.write(body).is_ok()); // owner's address: allowed
 //! ```
@@ -43,19 +47,26 @@ pub mod channel;
 pub mod context;
 pub mod error;
 pub mod filter;
+pub mod gate;
 pub mod merge;
 pub mod policies;
 pub mod policy;
 pub mod policy_set;
+pub mod runtime;
 pub mod serialize;
 pub mod taint;
 
-/// One-stop imports for applications using the runtime.
+/// One-stop imports for applications using the runtime (the v2 surface).
+///
+/// The deprecated v1 names (`Channel`, `ChannelKind`, `ResinError`,
+/// `FuncBoundary`) are re-exported too so v1 code keeps compiling, but new
+/// code should use `Gate`/`GateBuilder`/`GateKind`, the `Runtime`
+/// registry, and the `FlowError` taxonomy.
 pub mod prelude {
-    pub use crate::channel::{Channel, ChannelKind};
     pub use crate::context::{Context, CtxValue};
-    pub use crate::error::{PolicyViolation, ResinError, Result, SerializeError};
-    pub use crate::filter::{DefaultFilter, Filter, FnFilter, FuncBoundary};
+    pub use crate::error::{FlowError, PolicyViolation, Result, SerializeError};
+    pub use crate::filter::{DefaultFilter, Filter, FnFilter};
+    pub use crate::gate::{Gate, GateBuilder, GateKind};
     pub use crate::merge::{merge_many, merge_sets};
     pub use crate::policies::{
         Acl, AuthenticData, CodeApproval, EmptyPolicy, HtmlSanitized, PagePolicy, PasswordPolicy,
@@ -63,6 +74,7 @@ pub mod prelude {
     };
     pub use crate::policy::{downcast_policy, MergeDecision, Policy, PolicyRef};
     pub use crate::policy_set::PolicySet;
+    pub use crate::runtime::{GateFactory, GateRegistry, Runtime};
     pub use crate::serialize::{
         deserialize_policy, deserialize_set, deserialize_spans, register_policy_class,
         serialize_policy, serialize_set, serialize_spans,
@@ -70,6 +82,14 @@ pub mod prelude {
     pub use crate::taint::{
         policy_add, policy_get, policy_remove, Labeled, Tainted, TaintedString,
     };
+
+    // v1 compatibility surface.
+    #[allow(deprecated)]
+    pub use crate::channel::{Channel, ChannelKind};
+    #[allow(deprecated)]
+    pub use crate::error::ResinError;
+    #[allow(deprecated)]
+    pub use crate::filter::FuncBoundary;
 }
 
 pub use prelude::*;

@@ -7,7 +7,7 @@
 //! each source operand, passing the other operand's policy set, and labels
 //! the result with the union of everything the merge methods return.
 
-use crate::error::ResinError;
+use crate::error::FlowError;
 use crate::policy::MergeDecision;
 use crate::policy_set::PolicySet;
 
@@ -16,7 +16,7 @@ use crate::policy_set::PolicySet;
 /// For every policy `p` of either operand, `p.merge(other_set)` decides
 /// whether `p` (or substitutes) should label the result; a
 /// [`MergeDecision::Deny`] aborts the whole operation with
-/// [`ResinError::MergeDenied`].
+/// [`FlowError::MergeDenied`].
 ///
 /// # Examples
 ///
@@ -30,7 +30,7 @@ use crate::policy_set::PolicySet;
 /// let merged = merge_sets(&a, &b).unwrap();
 /// assert!(merged.has::<UntrustedData>());
 /// ```
-pub fn merge_sets(a: &PolicySet, b: &PolicySet) -> Result<PolicySet, ResinError> {
+pub fn merge_sets(a: &PolicySet, b: &PolicySet) -> Result<PolicySet, FlowError> {
     // Fast paths: nothing to merge.
     if a.is_empty() && b.is_empty() {
         return Ok(PolicySet::empty());
@@ -48,7 +48,7 @@ pub fn merge_sets(a: &PolicySet, b: &PolicySet) -> Result<PolicySet, ResinError>
                         out.add(q);
                     }
                 }
-                MergeDecision::Deny(v) => return Err(ResinError::MergeDenied(v)),
+                MergeDecision::Deny(v) => return Err(FlowError::MergeDenied(v)),
             }
         }
     }
@@ -56,7 +56,7 @@ pub fn merge_sets(a: &PolicySet, b: &PolicySet) -> Result<PolicySet, ResinError>
 }
 
 /// Merges an arbitrary number of operand policy sets left-to-right.
-pub fn merge_many<'a, I>(sets: I) -> Result<PolicySet, ResinError>
+pub fn merge_many<'a, I>(sets: I) -> Result<PolicySet, FlowError>
 where
     I: IntoIterator<Item = &'a PolicySet>,
 {
@@ -132,7 +132,7 @@ mod tests {
         let a = PolicySet::single(Arc::new(NoMerge) as PolicyRef);
         let b = PolicySet::single(Arc::new(UntrustedData::new()) as PolicyRef);
         let err = merge_sets(&a, &b).unwrap_err();
-        assert!(matches!(err, ResinError::MergeDenied(_)));
+        assert!(matches!(err, FlowError::MergeDenied(_)));
     }
 
     #[test]

@@ -190,7 +190,7 @@ impl Policy for PagePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::ChannelKind;
+    use crate::gate::GateKind;
 
     fn acl() -> Acl {
         Acl::new()
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn page_policy_enforces_read_acl() {
         let p = PagePolicy::new(acl());
-        let mut ctx = Context::new(ChannelKind::Http);
+        let mut ctx = Context::new(GateKind::Http);
         assert!(p.export_check(&ctx).is_err(), "anonymous denied");
         ctx.set_str("user", "bob");
         assert!(p.export_check(&ctx).is_ok());

@@ -157,13 +157,13 @@ impl Policy for EmptyPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::ChannelKind;
+    use crate::gate::GateKind;
     use crate::policy::{policy_refs_equal, PolicyRef};
     use std::sync::Arc;
 
     #[test]
     fn markers_allow_export() {
-        let ctx = Context::new(ChannelKind::Http);
+        let ctx = Context::new(GateKind::Http);
         assert!(UntrustedData::new().export_check(&ctx).is_ok());
         assert!(SqlSanitized::new().export_check(&ctx).is_ok());
         assert!(HtmlSanitized::new().export_check(&ctx).is_ok());

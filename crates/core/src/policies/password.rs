@@ -60,15 +60,11 @@ impl Policy for PasswordPolicy {
 
     fn export_check(&self, context: &Context) -> Result<(), PolicyViolation> {
         match context.channel_type() {
-            "email" => {
-                if context.get_str("email") == Some(self.email.as_str()) {
-                    return Ok(());
-                }
+            "email" if context.get_str("email") == Some(self.email.as_str()) => {
+                return Ok(());
             }
-            "http" => {
-                if self.allow_chair && context.get_flag("priv_chair") {
-                    return Ok(());
-                }
+            "http" if self.allow_chair && context.get_flag("priv_chair") => {
+                return Ok(());
             }
             _ => {}
         }
@@ -93,10 +89,10 @@ impl Policy for PasswordPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::ChannelKind;
+    use crate::gate::GateKind;
 
     fn email_ctx(to: &str) -> Context {
-        let mut c = Context::new(ChannelKind::Email);
+        let mut c = Context::new(GateKind::Email);
         c.set_str("email", to);
         c
     }
@@ -111,7 +107,7 @@ mod tests {
     #[test]
     fn allows_chair_over_http() {
         let p = PasswordPolicy::new("u@foo.com");
-        let mut http = Context::new(ChannelKind::Http);
+        let mut http = Context::new(GateKind::Http);
         assert!(p.export_check(&http).is_err(), "regular user blocked");
         http.set("priv_chair", true);
         assert!(p.export_check(&http).is_ok(), "chair allowed");
@@ -120,7 +116,7 @@ mod tests {
     #[test]
     fn strict_blocks_chair() {
         let p = PasswordPolicy::strict("u@foo.com");
-        let mut http = Context::new(ChannelKind::Http);
+        let mut http = Context::new(GateKind::Http);
         http.set("priv_chair", true);
         assert!(p.export_check(&http).is_err());
         assert!(!p.allows_chair());
@@ -129,8 +125,8 @@ mod tests {
     #[test]
     fn blocks_other_channels() {
         let p = PasswordPolicy::new("u@foo.com");
-        assert!(p.export_check(&Context::new(ChannelKind::Socket)).is_err());
-        assert!(p.export_check(&Context::new(ChannelKind::Pipe)).is_err());
+        assert!(p.export_check(&Context::new(GateKind::Socket)).is_err());
+        assert!(p.export_check(&Context::new(GateKind::Pipe)).is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub enum MergeDecision {
 /// let mut secret = TaintedString::from("hunter2");
 /// secret.add_policy(Arc::new(PasswordPolicy::new("u@foo.com")));
 ///
-/// let mut http = Channel::new(ChannelKind::Http);
+/// let mut http = Gate::new(GateKind::Http);
 /// assert!(http.write(secret).is_err()); // disclosure prevented
 /// ```
 pub trait Policy: Any + Send + Sync + fmt::Debug {
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn default_export_check_allows() {
         let p = UntrustedData::new();
-        let ctx = Context::new(crate::channel::ChannelKind::Http);
+        let ctx = Context::new(crate::gate::GateKind::Http);
         assert!(p.export_check(&ctx).is_ok());
     }
 

@@ -337,7 +337,7 @@ impl TaintedString {
             .text
             .trim()
             .parse()
-            .map_err(|e| crate::error::ResinError::runtime(format!("not an integer: {e}")))?;
+            .map_err(|e| crate::error::FlowError::runtime(format!("not an integer: {e}")))?;
         let sets: Vec<PolicySet> = self.spans.iter().map(|(_, s)| s.clone()).collect();
         let merged = merge_many(sets.iter())?;
         Ok(Tainted::with_policies(v, merged))

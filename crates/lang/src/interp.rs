@@ -22,8 +22,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use resin_core::{
-    merge_sets, register_policy_class, AuthenticData, Channel, ChannelKind, CodeApproval, Context,
-    CtxValue, EmptyPolicy, HtmlSanitized, PolicyRef, PolicySet, PolicyViolation, SqlSanitized,
+    merge_sets, register_policy_class, AuthenticData, CodeApproval, Context, CtxValue, EmptyPolicy,
+    Gate, GateKind, HtmlSanitized, PolicyRef, PolicySet, PolicyViolation, Runtime, SqlSanitized,
     TaintedString, UntrustedData,
 };
 use resin_vfs::{TrackingMode as VfsTracking, Vfs};
@@ -99,8 +99,8 @@ pub struct Interp {
     classes: HashMap<String, Arc<ClassDecl>>,
     /// The interpreter's virtual filesystem.
     pub vfs: Vfs,
-    /// The HTTP output channel (`echo` writes here).
-    pub http: Channel,
+    /// The HTTP output gate (`echo` writes here).
+    pub http: Gate,
     /// Emails actually delivered.
     pub emails: Vec<SentMail>,
     email_preview: bool,
@@ -119,10 +119,10 @@ impl Interp {
     /// An interpreter with the given tracking mode.
     pub fn with_tracking(tracking: Tracking) -> Self {
         let (vfs, http) = match tracking {
-            Tracking::On => (Vfs::new(), Channel::new(ChannelKind::Http)),
+            Tracking::On => (Vfs::new(), Runtime::global().open(GateKind::Http)),
             Tracking::Off => (
                 Vfs::with_mode(VfsTracking::Off),
-                Channel::unguarded(ChannelKind::Http),
+                Gate::unguarded(GateKind::Http),
             ),
         };
         Interp {
@@ -702,8 +702,8 @@ impl Interp {
                     return Ok(Value::Null);
                 }
                 let mut ch = match self.tracking {
-                    Tracking::On => Channel::new(ChannelKind::Email),
-                    Tracking::Off => Channel::unguarded(ChannelKind::Email),
+                    Tracking::On => Runtime::global().open(GateKind::Email),
+                    Tracking::Off => Gate::unguarded(GateKind::Email),
                 };
                 ch.context_mut().set_str("email", to.as_str());
                 ch.write(body).map_err(|e| {

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use resin_core::ResinError;
+use resin_core::FlowError;
 
 /// Errors produced by the SQL engine and the RESIN query filter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,7 +16,7 @@ pub enum SqlError {
     /// Type error during evaluation.
     Type(String),
     /// A policy (injection guard, merge, serialization) rejected the query.
-    Policy(ResinError),
+    Policy(FlowError),
 }
 
 impl SqlError {
@@ -45,21 +45,21 @@ impl fmt::Display for SqlError {
 
 impl std::error::Error for SqlError {}
 
-impl From<ResinError> for SqlError {
-    fn from(e: ResinError) -> Self {
+impl From<FlowError> for SqlError {
+    fn from(e: FlowError) -> Self {
         SqlError::Policy(e)
     }
 }
 
 impl From<resin_core::SerializeError> for SqlError {
     fn from(e: resin_core::SerializeError) -> Self {
-        SqlError::Policy(ResinError::Serialize(e))
+        SqlError::Policy(FlowError::Serialize(e))
     }
 }
 
 impl From<resin_core::PolicyViolation> for SqlError {
     fn from(v: resin_core::PolicyViolation) -> Self {
-        SqlError::Policy(ResinError::Violation(v))
+        SqlError::Policy(FlowError::Denied(v))
     }
 }
 

@@ -43,6 +43,8 @@ pub mod value;
 
 pub use engine::{Database, QueryResult, Table};
 pub use error::{Result, SqlError};
-pub use rewrite::{GuardMode, ResinDb, TCell, TaintedResult, Tracking, POLICY_COL_PREFIX};
+pub use rewrite::{
+    GuardMode, ResinDb, SqlGuardFilter, TCell, TaintedResult, Tracking, POLICY_COL_PREFIX,
+};
 pub use txn::{IntegrityCheck, Transaction};
 pub use value::Value;

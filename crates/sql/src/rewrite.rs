@@ -23,8 +23,8 @@
 use std::ops::Range;
 
 use resin_core::{
-    deserialize_set, deserialize_spans, serialize_set, serialize_spans, PolicyViolation,
-    SqlSanitized, Tainted, TaintedString, UntrustedData,
+    deserialize_set, deserialize_spans, serialize_set, serialize_spans, Context, Filter, FlowError,
+    Gate, GateKind, PolicyViolation, Runtime, SqlSanitized, Tainted, TaintedString, UntrustedData,
 };
 
 use crate::ast::{ColumnDef, ColumnType, Expr, LitValue, Literal, Projection, Statement};
@@ -127,6 +127,82 @@ impl TaintedResult {
     }
 }
 
+/// The SQL-injection data flow assertion as a gate filter (§5.3).
+///
+/// [`ResinDb`] mounts one of these onto the [`Runtime`] registry's sql
+/// gate and exports every query through it, so the injection guard runs at
+/// the same interposition point as every other boundary check. Standalone
+/// use works too: mount it on any gate whose writes are SQL text.
+///
+/// Error mapping: violations surface as [`FlowError::Denied`]; a query the
+/// guard's tokenizer cannot lex surfaces as [`FlowError::Rejected`] with
+/// the lex message (the structured `SqlError::Lex` position is only
+/// available from the engine's own parse step).
+#[derive(Debug, Clone, Copy)]
+pub struct SqlGuardFilter {
+    mode: GuardMode,
+}
+
+impl SqlGuardFilter {
+    /// A guard filter enforcing `mode`.
+    pub fn new(mode: GuardMode) -> Self {
+        SqlGuardFilter { mode }
+    }
+
+    /// The enforced guard mode.
+    pub fn mode(&self) -> GuardMode {
+        self.mode
+    }
+}
+
+impl Filter for SqlGuardFilter {
+    fn filter_write(
+        &self,
+        data: TaintedString,
+        _offset: u64,
+        _context: &Context,
+    ) -> Result<TaintedString, FlowError> {
+        guard_query(self.mode, data).map_err(|e| match e {
+            SqlError::Policy(flow) => flow,
+            other => FlowError::Rejected(other.to_string()),
+        })
+    }
+}
+
+/// Applies an injection-guard `mode` to one query.
+fn guard_query(mode: GuardMode, sql: TaintedString) -> Result<TaintedString> {
+    match mode {
+        GuardMode::Off => Ok(sql),
+        GuardMode::MarkerCheck => {
+            let bad = sql.ranges_where(|s| s.has::<UntrustedData>() && !s.has::<SqlSanitized>());
+            if let Some(r) = bad.first() {
+                let snippet = sql.slice(r.clone());
+                return Err(PolicyViolation::new(
+                    "SqlGuard",
+                    format!(
+                        "unsanitized untrusted data in SQL query at bytes {}..{}: `{}`",
+                        r.start,
+                        r.end,
+                        snippet.as_str()
+                    ),
+                )
+                .into());
+            }
+            Ok(sql)
+        }
+        GuardMode::StructureCheck => {
+            let tokens = lex_tainted(&sql, false)?;
+            check_structure_untainted(&sql, &tokens)?;
+            Ok(sql)
+        }
+        GuardMode::AutoSanitize => {
+            let tokens = lex_tainted(&sql, true)?;
+            check_structure_untainted(&sql, &tokens)?;
+            Ok(sanitize_query(&sql, &tokens))
+        }
+    }
+}
+
 /// A database wrapped by the RESIN SQL filter.
 #[derive(Debug, Default)]
 pub struct ResinDb {
@@ -170,10 +246,22 @@ impl ResinDb {
         self.query(&TaintedString::from(sql))
     }
 
+    /// The SQL boundary for one query: the registry's sql gate (unguarded
+    /// by default — rewriting is this crate's job) with this database's
+    /// injection guard mounted on the filter chain.
+    fn query_gate(&self) -> Gate {
+        let mut gate = Runtime::global().open(GateKind::Sql);
+        gate.add_filter(Box::new(SqlGuardFilter::new(self.guard)));
+        gate
+    }
+
     /// Executes a (possibly tainted) query through the RESIN SQL filter.
     pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
-        // 1. Injection guard.
-        let sql = self.guard_check(sql)?;
+        // 1. Injection guard: the query crosses the SQL gate.
+        let sql = self
+            .query_gate()
+            .export(sql.clone())
+            .map_err(SqlError::from)?;
 
         // 2. Parse.
         let tokens = lex(sql.as_str())?;
@@ -206,42 +294,6 @@ impl ResinDb {
                 // low overhead for exactly this reason (§7.2).
                 let res = self.db.execute(&other)?;
                 Ok(plain_result(res))
-            }
-        }
-    }
-
-    // ---- guards ----
-
-    fn guard_check(&self, sql: &TaintedString) -> Result<TaintedString> {
-        match self.guard {
-            GuardMode::Off => Ok(sql.clone()),
-            GuardMode::MarkerCheck => {
-                let bad =
-                    sql.ranges_where(|s| s.has::<UntrustedData>() && !s.has::<SqlSanitized>());
-                if let Some(r) = bad.first() {
-                    let snippet = sql.slice(r.clone());
-                    return Err(PolicyViolation::new(
-                        "SqlGuard",
-                        format!(
-                            "unsanitized untrusted data in SQL query at bytes {}..{}: `{}`",
-                            r.start,
-                            r.end,
-                            snippet.as_str()
-                        ),
-                    )
-                    .into());
-                }
-                Ok(sql.clone())
-            }
-            GuardMode::StructureCheck => {
-                let tokens = lex_tainted(sql, false)?;
-                check_structure_untainted(sql, &tokens)?;
-                Ok(sql.clone())
-            }
-            GuardMode::AutoSanitize => {
-                let tokens = lex_tainted(sql, true)?;
-                check_structure_untainted(sql, &tokens)?;
-                Ok(sanitize_query(sql, &tokens))
             }
         }
     }

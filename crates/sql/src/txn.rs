@@ -89,7 +89,7 @@ impl<'a, 'c> Transaction<'a, 'c> {
         for check in &checks {
             if let Err(v) = check(self.db) {
                 self.db.restore(std::mem::take(&mut self.snapshot));
-                return Err(SqlError::Policy(resin_core::ResinError::Violation(v)));
+                return Err(SqlError::Policy(resin_core::FlowError::Denied(v)));
             }
         }
         Ok(())

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use resin_core::ResinError;
+use resin_core::FlowError;
 
 /// Errors produced by the virtual filesystem.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,14 +18,14 @@ pub enum VfsError {
     /// The path is syntactically invalid (e.g. escapes the root).
     InvalidPath(String),
     /// A policy or persistent filter rejected the operation.
-    Policy(ResinError),
+    Policy(FlowError),
 }
 
 impl VfsError {
     /// True if the error is a data flow assertion failure.
     pub fn is_violation(&self) -> bool {
         matches!(self, VfsError::Policy(e) if e.is_violation())
-            || matches!(self, VfsError::Policy(ResinError::FilterRejected(_)))
+            || matches!(self, VfsError::Policy(FlowError::Rejected(_)))
     }
 }
 
@@ -44,21 +44,21 @@ impl fmt::Display for VfsError {
 
 impl std::error::Error for VfsError {}
 
-impl From<ResinError> for VfsError {
-    fn from(e: ResinError) -> Self {
+impl From<FlowError> for VfsError {
+    fn from(e: FlowError) -> Self {
         VfsError::Policy(e)
     }
 }
 
 impl From<resin_core::PolicyViolation> for VfsError {
     fn from(v: resin_core::PolicyViolation) -> Self {
-        VfsError::Policy(ResinError::Violation(v))
+        VfsError::Policy(FlowError::Denied(v))
     }
 }
 
 impl From<resin_core::SerializeError> for VfsError {
     fn from(e: resin_core::SerializeError) -> Self {
-        VfsError::Policy(ResinError::Serialize(e))
+        VfsError::Policy(FlowError::Serialize(e))
     }
 }
 
@@ -72,10 +72,10 @@ mod tests {
 
     #[test]
     fn violation_detection() {
-        let e = VfsError::Policy(ResinError::Violation(PolicyViolation::new("P", "m")));
+        let e = VfsError::Policy(FlowError::Denied(PolicyViolation::new("P", "m")));
         assert!(e.is_violation());
         assert!(!VfsError::NotFound("/x".into()).is_violation());
-        let f = VfsError::Policy(ResinError::FilterRejected("w".into()));
+        let f = VfsError::Policy(FlowError::Rejected("w".into()));
         assert!(f.is_violation());
     }
 

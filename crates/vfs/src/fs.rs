@@ -19,12 +19,13 @@
 use std::collections::BTreeMap;
 
 use resin_core::{
-    deserialize_spans, serialize_spans, ChannelKind, Context, ResinError, TaintedString,
+    deserialize_spans, serialize_spans, Context, FlowError, FnFilter, Gate, GateKind, Runtime,
+    TaintedString,
 };
 
 use crate::error::{Result, VfsError};
 use crate::path::{normalize, to_absolute};
-use crate::pfilter::{deserialize_filter, serialize_filter, DirOp, PersistentFilterRef};
+use crate::pfilter::{deserialize_filter, serialize_filter, DirOp, GateMount, PersistentFilterRef};
 
 /// xattr key holding a file's serialized content policies.
 pub const XATTR_POLICY: &str = "user.resin.policy";
@@ -131,14 +132,17 @@ impl Vfs {
         self.mode
     }
 
-    /// A file-channel context with no authenticated user.
+    /// A file-gate context with no authenticated user.
+    ///
+    /// Resolved from the global [`Runtime`]'s file gate, so registry-level
+    /// annotations on the file surface reach every vfs operation.
     pub fn anonymous_ctx() -> Context {
-        Context::new(ChannelKind::File)
+        Runtime::global().open(GateKind::File).into_context()
     }
 
-    /// A file-channel context for an authenticated `user`.
+    /// A file-gate context for an authenticated `user`.
     pub fn user_ctx(user: &str) -> Context {
-        let mut c = Context::new(ChannelKind::File);
+        let mut c = Self::anonymous_ctx();
         c.set_str("user", user);
         c
     }
@@ -212,20 +216,33 @@ impl Vfs {
         Ok(Vec::new())
     }
 
-    fn check_write_allowed(&self, comps: &[String], path: &str, ctx: &Context) -> Result<()> {
-        for f in self.governing_filters(comps)? {
-            f.check_write(path, ctx)
-                .map_err(|v| VfsError::Policy(ResinError::Violation(v)))?;
+    /// The data-flow gate for one file operation: the registry's file gate
+    /// (unguarded — persistence is this crate's job), carrying the caller's
+    /// context plus the file path, with every governing persistent filter
+    /// mounted on the chain.
+    fn file_gate(&self, comps: &[String], path: &str, ctx: &Context) -> Result<Gate> {
+        let mut gate = Runtime::global().open(GateKind::File);
+        // Merge the caller's entries over the registry-configured context
+        // (rather than replacing it), so registry-level file-surface
+        // annotations still reach every filter.
+        for (key, value) in ctx.iter() {
+            gate.context_mut().set(key, value.clone());
         }
-        Ok(())
+        gate.context_mut().set_str("path", path);
+        for f in self.governing_filters(comps)? {
+            gate.add_filter(Box::new(GateMount::new(f, path)));
+        }
+        Ok(gate)
     }
 
-    fn check_read_allowed(&self, comps: &[String], path: &str, ctx: &Context) -> Result<()> {
-        for f in self.governing_filters(comps)? {
-            f.check_read(path, ctx)
-                .map_err(|v| VfsError::Policy(ResinError::Violation(v)))?;
+    /// The caller's context merged over the registry-configured file-gate
+    /// context, so registry-level annotations reach every filter hook.
+    fn merged_file_ctx(ctx: &Context) -> Context {
+        let mut merged = Runtime::global().open(GateKind::File).into_context();
+        for (key, value) in ctx.iter() {
+            merged.set(key, value.clone());
         }
-        Ok(())
+        merged
     }
 
     fn check_dir_op_allowed(
@@ -235,9 +252,14 @@ impl Vfs {
         entry: &str,
         ctx: &Context,
     ) -> Result<()> {
-        for f in self.governing_filters(parent)? {
-            f.check_dir_op(op, entry, ctx)
-                .map_err(|v| VfsError::Policy(ResinError::Violation(v)))?;
+        let filters = self.governing_filters(parent)?;
+        if filters.is_empty() {
+            return Ok(());
+        }
+        let merged = Self::merged_file_ctx(ctx);
+        for f in filters {
+            f.check_dir_op(op, entry, &merged)
+                .map_err(|v| VfsError::Policy(FlowError::Denied(v)))?;
         }
         Ok(())
     }
@@ -319,9 +341,14 @@ impl Vfs {
             }
             _ => {}
         }
-        // Deleting is a write to the file and a dir-op on the parent.
-        self.check_write_allowed(&comps, path, ctx)?;
-        self.check_dir_op_allowed(&parent, DirOp::Delete, &name, ctx)?;
+        // Deleting is a write to the file and a dir-op on the parent
+        // (tracking off bypasses the gate, like write_file/read_file).
+        if self.mode == TrackingMode::On {
+            self.file_gate(&comps, path, ctx)?
+                .export(TaintedString::new())
+                .map_err(VfsError::from)?;
+            self.check_dir_op_allowed(&parent, DirOp::Delete, &name, ctx)?;
+        }
         self.get_dir_mut(&parent)?.children.remove(&name);
         Ok(())
     }
@@ -395,12 +422,27 @@ impl Vfs {
             None => return Err(VfsError::InvalidPath(path.to_string())),
         };
         let creating = self.get_node(&comps).is_none();
-        if self.mode == TrackingMode::On {
-            self.check_write_allowed(&comps, path, ctx)?;
+        // Route the data through the file gate: governing persistent
+        // filters interpose exactly like any other boundary's filters.
+        // (Tracking off — the unmodified-runtime baseline — bypasses the
+        // gate and borrows the data as-is.)
+        let exported;
+        let data: &TaintedString = if self.mode == TrackingMode::On {
+            let gate = self.file_gate(&comps, path, ctx)?;
+            let data = if gate.filter_count() == 0 && gate.rule_count() == 0 {
+                // No interposition: skip the identity export and its clone.
+                data
+            } else {
+                exported = gate.export(data.clone()).map_err(VfsError::from)?;
+                &exported
+            };
             if creating {
                 self.check_dir_op_allowed(&parent, DirOp::Create, &name, ctx)?;
             }
-        }
+            data
+        } else {
+            data
+        };
         let serialized = if self.mode == TrackingMode::On && !data.is_untainted() {
             Some(serialize_spans(data))
         } else {
@@ -449,11 +491,22 @@ impl Vfs {
         if self.mode == TrackingMode::Off {
             return Ok(TaintedString::from(file.content.as_str()));
         }
-        self.check_read_allowed(&comps, path, ctx)?;
-        match file.xattrs.get(XATTR_POLICY) {
-            Some(spans) => Ok(deserialize_spans(&file.content, spans)?),
-            None => Ok(TaintedString::from(file.content.as_str())),
+        // Pull the raw content in through the file gate: the governing
+        // mounts authorize the read first, then a revival filter (appended
+        // after them) deserializes the persistent policies — so unauthorized
+        // readers never trigger (or observe errors from) deserialization.
+        let mut gate = self.file_gate(&comps, path, ctx)?;
+        if let Some(spans) = file.xattrs.get(XATTR_POLICY) {
+            let spans = spans.clone();
+            gate.add_filter(Box::new(FnFilter::on_read(move |data, _, _| {
+                deserialize_spans(data.as_str(), &spans).map_err(FlowError::from)
+            })));
         }
+        gate.feed(TaintedString::from(file.content.as_str()));
+        Ok(gate
+            .read()
+            .map_err(VfsError::from)?
+            .expect("exactly one datum queued on the gate"))
     }
 
     /// Reads raw bytes, bypassing policy revival and filters.

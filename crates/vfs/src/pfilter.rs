@@ -15,7 +15,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock, RwLock};
 
-use resin_core::{Acl, Context, PolicyViolation, Right, SerializeError};
+use resin_core::{
+    Acl, Context, Filter, FlowError, GateKind, PolicyViolation, Right, SerializeError,
+    TaintedString,
+};
 
 use crate::error::{Result, VfsError};
 
@@ -164,6 +167,66 @@ pub fn deserialize_filter(s: &str) -> Result<PersistentFilterRef> {
     factory(&fields).map_err(VfsError::from)
 }
 
+// ---- gate integration ----
+
+/// Mounts a persistent filter onto a core file [`Gate`](resin_core::Gate).
+///
+/// The vfs resolves the file gate from the
+/// [`Runtime`](resin_core::Runtime) registry and pushes one mount per
+/// governing persistent filter: data flowing *into* the file runs
+/// `check_write`, data flowing *out* runs `check_read`, with the gate's
+/// context (user, path, ...) passed through — the same interposition every
+/// other I/O surface gets.
+pub struct GateMount {
+    filter: PersistentFilterRef,
+    path: String,
+}
+
+impl GateMount {
+    /// Mounts `filter`, reporting violations against `path`.
+    pub fn new(filter: PersistentFilterRef, path: impl Into<String>) -> Self {
+        GateMount {
+            filter,
+            path: path.into(),
+        }
+    }
+}
+
+impl Filter for GateMount {
+    fn filter_write(
+        &self,
+        data: TaintedString,
+        _offset: u64,
+        context: &Context,
+    ) -> Result<TaintedString, FlowError> {
+        self.filter
+            .check_write(&self.path, context)
+            .map_err(|v| FlowError::Denied(v.on_channel(GateKind::File)))?;
+        Ok(data)
+    }
+
+    fn filter_read(
+        &self,
+        data: TaintedString,
+        _offset: u64,
+        context: &Context,
+    ) -> Result<TaintedString, FlowError> {
+        self.filter
+            .check_read(&self.path, context)
+            .map_err(|v| FlowError::Denied(v.on_channel(GateKind::File)))?;
+        Ok(data)
+    }
+}
+
+impl fmt::Debug for GateMount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GateMount")
+            .field("filter", &self.filter.name())
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
 // ---- stock filters ----
 
 /// Write access control by ACL (the MoinMoin write-ACL assertion, §5.1, and
@@ -226,10 +289,9 @@ impl PersistentFilter for AclWriteFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use resin_core::ChannelKind;
 
     fn ctx(user: &str) -> Context {
-        let mut c = Context::new(ChannelKind::File);
+        let mut c = Context::new(GateKind::File);
         c.set_str("user", user);
         c
     }
@@ -239,9 +301,7 @@ mod tests {
         let f = AclWriteFilter::new(Acl::new().grant("alice", &[Right::Write]));
         assert!(f.check_write("/x", &ctx("alice")).is_ok());
         assert!(f.check_write("/x", &ctx("bob")).is_err());
-        assert!(f
-            .check_write("/x", &Context::new(ChannelKind::File))
-            .is_err());
+        assert!(f.check_write("/x", &Context::new(GateKind::File)).is_err());
         assert!(
             f.check_read("/x", &ctx("bob")).is_ok(),
             "read hook default-allows"

@@ -7,7 +7,7 @@
 //! [`resin_core::PasswordPolicy::export_check`] decide whether the flow is
 //! the legitimate reminder (to the account holder) or a leak.
 
-use resin_core::{Channel, ChannelKind, Result, TaintedString};
+use resin_core::{GateKind, Result, Runtime, TaintedString};
 
 use crate::response::Response;
 
@@ -70,13 +70,13 @@ impl Mailer {
             http.echo_str("</pre>")?;
             return Ok(());
         }
-        let mut channel = Channel::new(ChannelKind::Email);
-        channel.context_mut().set_str("email", to);
-        channel.write(body)?;
+        let mut gate = Runtime::global().open(GateKind::Email);
+        gate.context_mut().set_str("email", to);
+        gate.write(body)?;
         self.sent.push(SentEmail {
             to: to.to_string(),
             subject: subject.to_string(),
-            body: channel.output_text(),
+            body: gate.output_text(),
         });
         Ok(())
     }

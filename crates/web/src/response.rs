@@ -1,20 +1,20 @@
 //! HTTP responses: the outbound HTTP channel plus output buffering (§5.5).
 
-use resin_core::{Channel, ChannelKind, ResinError, Result, TaintedString};
+use resin_core::{FlowError, Gate, GateKind, Result, Runtime, TaintedString};
 
 use crate::splitting::check_header_splitting;
 
 /// An HTTP response under construction.
 ///
-/// The body is written through a RESIN [`Channel`] of kind
-/// [`ChannelKind::Http`], so every `echo` crosses the default filter and
-/// any policy's `export_check` runs with the response's context (current
-/// user, `priv_chair`, ...). Headers are guarded against response
-/// splitting (§5.4).
+/// The body is written through the [`Runtime`] registry's HTTP [`Gate`],
+/// so every `echo` crosses the default filter and any policy's
+/// `export_check` runs with the response's context (current user,
+/// `priv_chair`, ...). Headers are guarded against response splitting
+/// (§5.4).
 pub struct Response {
     status: u16,
     headers: Vec<(String, TaintedString)>,
-    channel: Channel,
+    gate: Gate,
 }
 
 impl Default for Response {
@@ -29,21 +29,21 @@ impl Response {
         Response {
             status: 200,
             headers: Vec::new(),
-            channel: Channel::new(ChannelKind::Http),
+            gate: Runtime::global().open(GateKind::Http),
         }
     }
 
     /// A response whose channel context carries the authenticated user.
     pub fn for_user(user: &str) -> Self {
         let mut r = Response::new();
-        r.channel.context_mut().set_str("user", user);
+        r.gate.context_mut().set_str("user", user);
         r
     }
 
     /// Marks the channel as belonging to the program chair (HotCRP's
     /// `$Me->privChair`, used by [`resin_core::PasswordPolicy`]).
     pub fn set_priv_chair(&mut self, is_chair: bool) -> &mut Self {
-        self.channel.context_mut().set("priv_chair", is_chair);
+        self.gate.context_mut().set("priv_chair", is_chair);
         self
     }
 
@@ -58,9 +58,15 @@ impl Response {
         self.status
     }
 
-    /// The response's HTTP channel (to add filters or annotate context).
-    pub fn channel_mut(&mut self) -> &mut Channel {
-        &mut self.channel
+    /// The response's HTTP gate (to add filters or annotate context).
+    pub fn gate_mut(&mut self) -> &mut Gate {
+        &mut self.gate
+    }
+
+    /// v1 name for [`Response::gate_mut`].
+    #[deprecated(since = "0.2.0", note = "use `gate_mut`")]
+    pub fn channel_mut(&mut self) -> &mut Gate {
+        &mut self.gate
     }
 
     /// Adds a header after checking for user-supplied CR-LF-CR-LF
@@ -80,17 +86,17 @@ impl Response {
     ///
     /// A policy violation aborts the write: nothing becomes visible.
     pub fn echo(&mut self, data: TaintedString) -> Result<()> {
-        self.channel.write(data)
+        self.gate.write(data)
     }
 
     /// Writes untainted text.
     pub fn echo_str(&mut self, s: &str) -> Result<()> {
-        self.channel.write_str(s)
+        self.gate.write_str(s)
     }
 
     /// The body text that actually crossed the boundary.
     pub fn body(&self) -> String {
-        self.channel.output_text()
+        self.gate.output_text()
     }
 
     /// Runs `f` with output buffering (§5.5): output produced inside `f` is
@@ -100,16 +106,16 @@ impl Response {
     ///
     /// Returns the error from `f` (after applying the fallback) so callers
     /// can distinguish the two outcomes.
-    pub fn buffered<F, G>(&mut self, f: F, fallback: G) -> Result<(), ResinError>
+    pub fn buffered<F, G>(&mut self, f: F, fallback: G) -> Result<(), FlowError>
     where
         F: FnOnce(&mut Response) -> Result<()>,
         G: FnOnce(&mut Response) -> Result<()>,
     {
-        let mark = self.channel.output_mark();
+        let mark = self.gate.output_mark();
         match f(self) {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.channel.truncate_output(mark);
+                self.gate.truncate_output(mark);
                 fallback(self)?;
                 Err(e)
             }

@@ -7,7 +7,7 @@
 //! password disclosure." The paper patched 49 lines of `mod_php` for this;
 //! here the two server behaviours are two functions over the VFS.
 
-use resin_core::{ResinError, TaintedString};
+use resin_core::{FlowError, TaintedString};
 use resin_vfs::{Vfs, VfsError};
 
 use crate::response::Response;
@@ -17,7 +17,7 @@ use crate::response::Response;
 /// Reads the file with policy revival and writes it through the response's
 /// HTTP boundary, so persistent policies get their `export_check`.
 pub fn serve_static_aware(vfs: &Vfs, path: &str, response: &mut Response) -> Result<(), VfsError> {
-    let ctx = resin_core::Context::new(resin_core::ChannelKind::File);
+    let ctx = Vfs::anonymous_ctx();
     let data = vfs.read_file(path, &ctx)?;
     response.echo(data).map_err(VfsError::Policy)?;
     Ok(())
@@ -26,22 +26,22 @@ pub fn serve_static_aware(vfs: &Vfs, path: &str, response: &mut Response) -> Res
 /// A stock web server: raw bytes straight to the client, no policy checks.
 pub fn serve_static_naive(vfs: &Vfs, path: &str, response: &mut Response) -> Result<(), VfsError> {
     let raw = vfs.read_raw(path)?;
-    // Write around the channel: a non-RESIN server has no boundary filters.
+    // Raw read: a non-RESIN server revives no policies, so nothing guards.
     response
         .echo(TaintedString::from(raw))
-        .map_err(|e: ResinError| VfsError::Policy(e))?;
+        .map_err(|e: FlowError| VfsError::Policy(e))?;
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use resin_core::{ChannelKind, Context, PasswordPolicy};
+    use resin_core::PasswordPolicy;
     use std::sync::Arc;
 
     fn vfs_with_password_file() -> Vfs {
         let mut fs = Vfs::new();
-        let ctx = Context::new(ChannelKind::File);
+        let ctx = Vfs::anonymous_ctx();
         fs.mkdir_p("/htdocs", &ctx).unwrap();
         let mut content = TaintedString::from("alice:");
         content.push_tainted(&TaintedString::with_policy(
@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn aware_server_serves_plain_files() {
         let mut fs = Vfs::new();
-        let ctx = Context::new(ChannelKind::File);
+        let ctx = Vfs::anonymous_ctx();
         fs.mkdir_p("/htdocs", &ctx).unwrap();
         fs.write_file(
             "/htdocs/index.html",

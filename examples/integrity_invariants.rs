@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use resin::core::boundary::InternalBoundary;
 use resin::core::prelude::*;
 use resin::sql::{ResinDb, Transaction};
 
@@ -63,8 +62,8 @@ fn main() {
     println!("valid transfer committed");
 
     // --- Internal boundaries: the auth module cannot leak passwords ---
-    let auth_exit = InternalBoundary::new("auth").deny::<PasswordPolicy>();
-    let hash_exit = InternalBoundary::new("auth.hash").strip::<PasswordPolicy>();
+    let auth_exit = Gate::internal("auth").deny::<PasswordPolicy>();
+    let hash_exit = Gate::internal("auth.hash").strip::<PasswordPolicy>();
 
     let mut pw = TaintedString::from("s3cret");
     pw.add_policy(Arc::new(PasswordPolicy::new("u@x")));

@@ -26,16 +26,19 @@ fn main() {
         email_body.policies_at(0)
     );
 
-    // 3. FILTER OBJECTS — boundaries check assertions on export.
+    // 3. GATES — boundaries check assertions on export. The runtime's
+    // registry owns the default gate for every I/O surface.
+    let rt = Runtime::global();
+
     // An HTTP response to some browser? Denied.
-    let mut http = Channel::new(ChannelKind::Http);
+    let mut http = rt.open(GateKind::Http);
     match http.write(email_body.clone()) {
         Err(e) => println!("HTTP export: BLOCKED — {e}"),
         Ok(()) => unreachable!("the password policy must fire"),
     }
 
     // Email to the account holder? Allowed.
-    let mut email = Channel::new(ChannelKind::Email);
+    let mut email = rt.open(GateKind::Email);
     email.context_mut().set_str("email", "u@foo.com");
     email.write(email_body.clone()).expect("owner may receive");
     println!(
@@ -44,7 +47,7 @@ fn main() {
     );
 
     // Email to anyone else? Denied.
-    let mut other = Channel::new(ChannelKind::Email);
+    let mut other = rt.open(GateKind::Email);
     other.context_mut().set_str("email", "adversary@evil.com");
     match other.write(email_body) {
         Err(e) => println!("email to adversary: BLOCKED — {e}"),

@@ -17,8 +17,10 @@
 //! * [`apps`](resin_apps) — the evaluation applications of Table 4 with
 //!   wired-in vulnerabilities and assertions.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! All boundaries go through one abstraction: the
+//! [`Gate`](resin_core::Gate), resolved from the
+//! [`Runtime`](resin_core::Runtime)'s registry. See `README.md` for a
+//! tour of the API and the crate map.
 
 pub use resin_apps as apps;
 pub use resin_core as core;

@@ -32,7 +32,7 @@ fn unknown_policy_class_in_xattr_fails_read() {
     fs.set_xattr("/d/f", XATTR_POLICY, "0..4|MysteryPolicy{}")
         .unwrap();
     let err = fs.read_file("/d/f", &Vfs::anonymous_ctx()).unwrap_err();
-    let VfsError::Policy(ResinError::Serialize(se)) = &err else {
+    let VfsError::Policy(FlowError::Serialize(se)) = &err else {
         panic!("wrong error: {err}");
     };
     assert!(se.to_string().contains("MysteryPolicy"));
@@ -88,9 +88,9 @@ fn sql_policy_column_tampering_fails_select() {
 }
 
 #[test]
-fn policy_violation_does_not_poison_channel() {
-    // After a blocked write, the channel keeps working for clean data.
-    let mut ch = Channel::new(ChannelKind::Http);
+fn policy_violation_does_not_poison_gate() {
+    // After a blocked write, the gate keeps working for clean data.
+    let mut ch = Runtime::global().open(GateKind::Http);
     let secret = TaintedString::with_policy("pw", Arc::new(PasswordPolicy::new("u@x")));
     assert!(ch.write(secret).is_err());
     ch.write_str("still alive").unwrap();

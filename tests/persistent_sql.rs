@@ -64,7 +64,7 @@ fn password_flows_to_owner_through_full_stack() {
     let mut db = db_with_password();
     let r = db.query_str("SELECT password FROM userdb").unwrap();
     let pw = r.cell(0, "password").unwrap().as_text().unwrap().clone();
-    let mut mail = Channel::new(ChannelKind::Email);
+    let mut mail = Runtime::global().open(GateKind::Email);
     mail.context_mut().set_str("email", "victim@foo.com");
     let mut body = TaintedString::from("your password: ");
     body.push_tainted(&pw);
