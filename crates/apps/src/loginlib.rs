@@ -145,8 +145,8 @@ mod tests {
             .read_file(PASSWORD_FILE, &Vfs::anonymous_ctx())
             .unwrap();
         // "victim:" prefix is unlabeled; the password bytes are labeled.
-        assert!(data.policies_at(0).is_empty());
+        assert!(data.label_at(0).is_empty());
         let idx = data.as_str().find("hunter2").unwrap();
-        assert!(data.policies_at(idx).has::<PasswordPolicy>());
+        assert!(data.label_at(idx).has::<PasswordPolicy>());
     }
 }

@@ -5,15 +5,17 @@
 //!    slice throughput when a policy covers one range vs when every byte
 //!    of both operands carries it, and measure the false-sharing cost of
 //!    whole-value labeling (slices keep policies they shouldn't).
-//! 2. **Policy-set representation** — empty-set fast path (null pointer)
-//!    vs one-element set: the cost of the 10% propagation overhead knob.
+//! 2. **Policy-set representation** — the deprecated `PolicySet` view vs
+//!    raw interned `Label` handles: what the interning refactor bought.
 //! 3. **SQL policy columns** — rewrite cost scaling with column count is
 //!    covered by `sql_ops` (6 vs 10 columns).
+
+#![allow(deprecated)] // measuring the compat PolicySet view on purpose
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use resin_core::{EmptyPolicy, PolicySet, TaintedString, UntrustedData};
+use resin_core::{EmptyPolicy, Label, PolicyRef, PolicySet, TaintedString, UntrustedData};
 
 fn ablation_byte_range(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/concat_slice");
@@ -72,6 +74,20 @@ fn ablation_policy_set(c: &mut Criterion) {
     });
     g.bench_function("union_one_one", |bench| {
         bench.iter(|| std::hint::black_box(one.union(&one)));
+    });
+    // The raw label path the compat view delegates to: a Copy handle.
+    let l1 = Label::of(&(Arc::new(EmptyPolicy::new()) as PolicyRef));
+    let mut l5 = Label::EMPTY;
+    for i in 0..5 {
+        l5 = l5.union(Label::of(
+            &(Arc::new(UntrustedData::from_source(format!("l{i}"))) as PolicyRef),
+        ));
+    }
+    g.bench_function("label_copy", |bench| {
+        bench.iter(|| std::hint::black_box(l5));
+    });
+    g.bench_function("label_union_memoized", |bench| {
+        bench.iter(|| std::hint::black_box(l1.union(l5)));
     });
     g.finish();
 }

@@ -66,12 +66,59 @@ fn gate_write(c: &mut Criterion) {
         });
     });
 
+    // Distinct-policy scaling: with interned labels, a guarded write over 8
+    // distinct policies must stay within ~1.3x of the single-policy cost
+    // (the old PolicySet path grew linearly in structural comparisons).
+    for n in [1usize, 8] {
+        let mut data = plain.clone();
+        for i in 0..n {
+            data.add_policy(Arc::new(UntrustedData::from_source(format!("gw-{i}"))));
+        }
+        let mut gate = Gate::new(GateKind::Http);
+        g.bench_function(BenchmarkId::new("guarded_distinct", n), |b| {
+            b.iter(|| write_batch(&mut gate, &data));
+        });
+    }
+
+    g.finish();
+}
+
+/// Concat-heavy variant: each write assembles its payload from parts
+/// carrying different labels — the page-building workload where span
+/// append/coalesce and label dedup dominate.
+fn gate_write_concat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gate_write_concat");
+    g.throughput(Throughput::Elements(OPS as u64));
+
+    for n in [1usize, 8] {
+        let parts: Vec<TaintedString> = (0..n)
+            .map(|i| {
+                let mut p = TaintedString::from("eight.. bytes!! ");
+                p.add_policy(Arc::new(UntrustedData::from_source(format!("part-{i}"))));
+                p
+            })
+            .collect();
+        let mut gate = Gate::new(GateKind::Http);
+        g.bench_function(BenchmarkId::new("concat_parts", n), |b| {
+            b.iter(|| {
+                for _ in 0..OPS {
+                    let mut body = TaintedString::from("hdr:");
+                    for p in &parts {
+                        body.push_tainted(p);
+                    }
+                    gate.write(body).unwrap();
+                    gate.clear_output();
+                }
+            });
+        });
+    }
+
     g.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = gate_write
+    targets = gate_write, gate_write_concat
 }
 criterion_main!(benches);

@@ -37,7 +37,7 @@ fn seed_int(config: Config) -> Value {
     match config {
         Config::ResinEmptyPolicy => Value::Int(
             7,
-            resin_core::PolicySet::single(Arc::new(EmptyPolicy::new())),
+            resin_core::Label::of(&(Arc::new(EmptyPolicy::new()) as resin_core::PolicyRef)),
         ),
         _ => Value::int(7),
     }

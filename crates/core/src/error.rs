@@ -1,9 +1,7 @@
 //! Error types shared by the RESIN runtime.
 //!
-//! The v2 surface centres on one taxonomy, [`FlowError`]: every way a data
-//! flow can fail to cross a gate is one of its variants. The v1 names
-//! (`ResinError`, with `Violation`/`FilterRejected` variants) survive as a
-//! deprecated alias.
+//! The surface centres on one taxonomy, [`FlowError`]: every way a data
+//! flow can fail to cross a gate is one of its variants.
 
 use std::fmt;
 
@@ -184,14 +182,6 @@ impl From<SerializeError> for FlowError {
     }
 }
 
-/// v1 name for [`FlowError`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `FlowError` (the `Violation` variant is now \
-    `Denied`, `FilterRejected` is now `Rejected`)"
-)]
-pub type ResinError = FlowError;
-
 /// Result alias used throughout the runtime.
 pub type Result<T, E = FlowError> = std::result::Result<T, E>;
 
@@ -234,12 +224,5 @@ mod tests {
         assert!(!FlowError::runtime("x").is_violation());
         assert!(!FlowError::rejected("y").is_violation());
         assert!(FlowError::denied("P", "m").is_violation());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn v1_alias_still_works() {
-        let e: ResinError = FlowError::denied("P", "m");
-        assert!(e.is_violation());
     }
 }

@@ -58,7 +58,13 @@ impl Filter for DefaultFilter {
         _offset: u64,
         context: &Context,
     ) -> Result<TaintedString> {
-        for policy in data.policies().iter() {
+        // Collecting the distinct policies is label arithmetic (memoized
+        // span unions); only the final resolution touches policy objects.
+        let label = data.label();
+        if label.is_empty() {
+            return Ok(data);
+        }
+        for policy in label.policies().iter() {
             policy
                 .export_check(context)
                 .map_err(|v| FlowError::Denied(v.on_channel(context.kind().clone())))?;
@@ -143,67 +149,6 @@ impl Filter for FnFilter {
     }
 }
 
-/// v1 guarded function-call boundary; delegates to a named
-/// [`Gate`](crate::gate::Gate).
-///
-/// RESIN lets programmers attach filters to function-call interfaces —
-/// e.g. an encryption function is a natural boundary where confidentiality
-/// policies should be stripped (§3.2). New code should use
-/// [`Gate::internal`](crate::gate::Gate::internal) (or the builder) and
-/// [`Gate::call`](crate::gate::Gate::call) directly.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Gate::internal(name)` / `GateBuilder` and `Gate::call`"
-)]
-pub struct FuncBoundary {
-    gate: crate::gate::Gate,
-    ret_filters: Vec<Box<dyn Filter>>,
-}
-
-#[allow(deprecated)]
-impl FuncBoundary {
-    /// Creates a boundary with the given custom gate name.
-    pub fn new(name: &'static str) -> Self {
-        FuncBoundary {
-            gate: crate::gate::Gate::internal(name),
-            ret_filters: Vec::new(),
-        }
-    }
-
-    /// Mutable access to the boundary context.
-    pub fn context_mut(&mut self) -> &mut Context {
-        self.gate.context_mut()
-    }
-
-    /// Adds a filter over the call's arguments.
-    pub fn filter_args(&mut self, f: Box<dyn Filter>) -> &mut Self {
-        self.gate.add_filter(f);
-        self
-    }
-
-    /// Adds a filter over the call's return value.
-    pub fn filter_ret(&mut self, f: Box<dyn Filter>) -> &mut Self {
-        self.ret_filters.push(f);
-        self
-    }
-
-    /// Calls `func` with filtered arguments and filters its return value.
-    pub fn call<F>(&self, args: Vec<TaintedString>, func: F) -> Result<TaintedString>
-    where
-        F: FnOnce(Vec<TaintedString>) -> Result<TaintedString>,
-    {
-        let mut filtered = Vec::with_capacity(args.len());
-        for a in args {
-            filtered.push(self.gate.export(a)?);
-        }
-        let mut ret = func(filtered)?;
-        for f in &self.ret_filters {
-            ret = f.filter_read(ret, 0, self.gate.context())?;
-        }
-        Ok(ret)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,17 +211,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn func_boundary_shim_strips_policy_like_encryption() {
+    fn gate_call_strips_policy_like_encryption() {
         // An encryption function is a natural boundary: strip passwords.
-        let mut b = FuncBoundary::new("encrypt");
-        b.filter_args(Box::new(FnFilter::on_write(|mut data, _, _| {
-            data.remove_policy_type::<PasswordPolicy>();
-            Ok(data)
-        })));
+        let gate = crate::gate::Gate::internal("encrypt").strip::<PasswordPolicy>();
         let mut secret = TaintedString::from("pw");
         secret.add_policy(Arc::new(PasswordPolicy::new("u@x")));
-        let out = b
+        let out = gate
             .call(vec![secret], |args| {
                 // "Encrypt" = reverse.
                 let s: String = args[0].as_str().chars().rev().collect();

@@ -677,7 +677,7 @@ mod tests {
             .strip::<PasswordPolicy>();
         assert_eq!(g.rule_count(), 2);
         let secret = TaintedString::with_policy("s", pw("u@x"));
-        assert!(g.export(secret).unwrap().policies().is_empty());
+        assert!(g.export(secret).unwrap().label().is_empty());
         let mixed = TaintedString::with_policy("x", Arc::new(UntrustedData::new()));
         assert!(g.export(mixed).is_err());
     }

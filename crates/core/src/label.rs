@@ -1,0 +1,662 @@
+//! Interned policy labels: O(1) handles for policy sets.
+//!
+//! The paper stores "a pointer, that points to a set of policy objects" per
+//! datum (§4). Representing that literally as a shared vector makes every
+//! `union`/`contains` a structural scan — O(n²) policy comparisons on the
+//! merge- and concat-heavy hot paths. This module interns instead:
+//!
+//! * a [`PolicyInterner`] assigns each structurally-distinct policy object a
+//!   [`PolicyId`] (keyed on `name()` + `serialize_fields()`, sound because
+//!   policies are immutable once attached);
+//! * a [`LabelTable`] interns each canonical, sorted set of `PolicyId`s as a
+//!   [`Label`] handle, with [`Label::EMPTY`] reserved for the empty set and
+//!   a memoized pairwise-union cache.
+//!
+//! After interning, set **union**, **equality**, and **dedup** are integer
+//! table hits — no policy is compared structurally ever again. `Label` is
+//! `Copy`, hashable, and cheap to ship across threads, which is what the
+//! sharding/caching work on the ROADMAP needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use resin_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let untrusted: PolicyRef = Arc::new(UntrustedData::new());
+//! let sanitized: PolicyRef = Arc::new(SqlSanitized::new());
+//!
+//! let a = Label::of(&untrusted);
+//! let b = Label::of(&sanitized);
+//! let ab = a.union(b);            // memoized: an integer table hit
+//! assert_eq!(ab, b.union(a));     // canonical: equality is `u32 ==`
+//! assert_eq!(ab.union(a), ab);    // idempotent
+//! assert!(ab.has::<UntrustedData>() && ab.has::<SqlSanitized>());
+//!
+//! // Structurally equal policies intern to the same id, so dedup is free.
+//! let again: PolicyRef = Arc::new(UntrustedData::new());
+//! assert_eq!(a, Label::of(&again));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::policy::{Policy, PolicyRef};
+
+/// The interned identity of one structurally-distinct policy object.
+///
+/// Two policy objects receive the same `PolicyId` exactly when they agree on
+/// `name()` and `serialize_fields()` — the same key the persistent-policy
+/// serializer uses (§3.4.1), so an id round-trips through storage.
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let a = PolicyId::intern(&(Arc::new(PasswordPolicy::new("u@x")) as PolicyRef));
+/// let b = PolicyId::intern(&(Arc::new(PasswordPolicy::new("u@x")) as PolicyRef));
+/// assert_eq!(a, b, "structural duplicates share an id");
+/// assert_eq!(a.resolve().name(), "PasswordPolicy");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PolicyId(u32);
+
+impl PolicyId {
+    /// Interns `policy`, returning its stable id.
+    pub fn intern(policy: &PolicyRef) -> PolicyId {
+        LabelTable::global().intern_policy(policy)
+    }
+
+    /// The canonical policy object for this id.
+    pub fn resolve(self) -> PolicyRef {
+        LabelTable::global().resolve_policy(self)
+    }
+
+    /// The raw table index (stable for the life of the process).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// An O(1) handle for an interned policy set.
+///
+/// `Label` replaces the per-datum `Arc<Vec<PolicyRef>>` of earlier
+/// revisions: the set itself lives once in the global [`LabelTable`], and
+/// data carries this 4-byte `Copy` handle. Union, equality, and dedup are
+/// table hits; only operations that genuinely need the policy *objects*
+/// (running `export_check`, downcasting) resolve through the table.
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let l = Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef));
+/// assert!(!l.is_empty());
+/// assert_eq!(l.len(), 1);
+/// assert!(l.has::<UntrustedData>());
+/// assert_eq!(l.union(Label::EMPTY), l);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+impl Label {
+    /// The empty policy set. The zero handle, so untainted data costs one
+    /// integer compare — the moral equivalent of the paper's null pointer.
+    pub const EMPTY: Label = Label(0);
+
+    /// The label for a single policy (interning it if new).
+    pub fn of(policy: &PolicyRef) -> Label {
+        LabelTable::global().label_of(policy)
+    }
+
+    /// The label for one already-interned policy id.
+    pub fn from_id(id: PolicyId) -> Label {
+        LabelTable::global().intern_ids(vec![id])
+    }
+
+    /// Builds a label from policies, deduplicating structurally.
+    pub fn from_policies<'a, I>(policies: I) -> Label
+    where
+        I: IntoIterator<Item = &'a PolicyRef>,
+    {
+        let table = LabelTable::global();
+        let mut ids: Vec<PolicyId> = policies
+            .into_iter()
+            .map(|p| table.intern_policy(p))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        table.intern_ids(ids)
+    }
+
+    /// True when no policy is attached.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of policies in the set.
+    pub fn len(self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            LabelTable::global().entry(self).ids.len()
+        }
+    }
+
+    /// The sorted policy ids of the set.
+    pub fn ids(self) -> Arc<[PolicyId]> {
+        LabelTable::global().entry(self).ids
+    }
+
+    /// The canonical policy objects of the set (shared, not cloned).
+    pub fn policies(self) -> Arc<Vec<PolicyRef>> {
+        LabelTable::global().entry(self).refs
+    }
+
+    /// Set union — an O(1) memoized table hit after the first computation.
+    ///
+    /// ```
+    /// use resin_core::Label;
+    /// assert_eq!(Label::EMPTY.union(Label::EMPTY), Label::EMPTY);
+    /// ```
+    pub fn union(self, other: Label) -> Label {
+        if self == other || other.is_empty() {
+            return self;
+        }
+        if self.is_empty() {
+            return other;
+        }
+        LabelTable::global().union(self, other)
+    }
+
+    /// True if the set contains the policy with `id`.
+    pub fn contains(self, id: PolicyId) -> bool {
+        !self.is_empty() && self.ids().binary_search(&id).is_ok()
+    }
+
+    /// True if the set contains a policy structurally equal to `policy`.
+    pub fn contains_policy(self, policy: &PolicyRef) -> bool {
+        self.contains(PolicyId::intern(policy))
+    }
+
+    /// True if any policy in the set has concrete type `T`.
+    pub fn has<T: Policy>(self) -> bool {
+        !self.is_empty()
+            && self
+                .policies()
+                .iter()
+                .any(|p| p.as_any().downcast_ref::<T>().is_some())
+    }
+
+    /// True if any policy reports `name()` equal to `name`.
+    pub fn has_named(self, name: &str) -> bool {
+        !self.is_empty() && self.policies().iter().any(|p| p.name() == name)
+    }
+
+    /// The label with `id` added.
+    pub fn insert(self, id: PolicyId) -> Label {
+        self.union(Label::from_id(id))
+    }
+
+    /// The label with `id` removed (no-op when absent).
+    pub fn remove(self, id: PolicyId) -> Label {
+        if !self.contains(id) {
+            return self;
+        }
+        let ids: Vec<PolicyId> = self.ids().iter().copied().filter(|&i| i != id).collect();
+        LabelTable::global().intern_ids(ids)
+    }
+
+    /// The label keeping only policies satisfying `pred`.
+    pub fn retain<F>(self, pred: F) -> Label
+    where
+        F: Fn(&PolicyRef) -> bool,
+    {
+        if self.is_empty() {
+            return self;
+        }
+        let entry = LabelTable::global().entry(self);
+        let ids: Vec<PolicyId> = entry
+            .ids
+            .iter()
+            .zip(entry.refs.iter())
+            .filter(|(_, p)| pred(p))
+            .map(|(&id, _)| id)
+            .collect();
+        if ids.len() == entry.ids.len() {
+            self
+        } else {
+            LabelTable::global().intern_ids(ids)
+        }
+    }
+
+    /// The label with every policy of concrete type `T` removed.
+    pub fn without_type<T: Policy>(self) -> Label {
+        self.retain(|p| p.as_any().downcast_ref::<T>().is_none())
+    }
+
+    /// The raw table index of this label.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Label::EMPTY
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Label[]");
+        }
+        let refs = self.policies();
+        let names: Vec<&str> = refs.iter().map(|p| p.name()).collect();
+        write!(f, "Label{names:?}")
+    }
+}
+
+// ---- the interner ----
+
+/// Key under which a policy is interned: class name + serialized fields
+/// (the same identity the persistent-policy format uses, §3.4.1) + the
+/// policy's [`intern_discriminator`](Policy::intern_discriminator), which
+/// keeps policies whose behaviour lives outside their fields (script
+/// policies carrying interpreted code) from conflating.
+#[derive(PartialEq, Eq, Hash)]
+struct PolicyKey {
+    name: String,
+    fields: Vec<(String, String)>,
+    discriminator: u64,
+}
+
+impl PolicyKey {
+    fn of(policy: &PolicyRef) -> PolicyKey {
+        PolicyKey {
+            name: policy.name().to_string(),
+            fields: policy.serialize_fields(),
+            discriminator: policy.intern_discriminator(),
+        }
+    }
+}
+
+/// Assigns each structurally-distinct policy object a stable [`PolicyId`].
+///
+/// Interning is keyed on `name()` + `serialize_fields()` +
+/// [`intern_discriminator`](Policy::intern_discriminator). This is sound
+/// because policies are immutable once attached and their behaviour is a
+/// pure function of that key (the contract [`Policy::policy_eq`] already
+/// relies on for name + fields; policies carrying code override the
+/// discriminator). The first object interned under a key becomes the
+/// canonical [`PolicyRef`] every resolution returns.
+///
+/// The interner grows monotonically for the life of the process — ids are
+/// never recycled, so a `PolicyId` (or a serialized reference to one) can
+/// never dangle. The flip side: entries are never evicted, so policies
+/// keyed on unbounded user data (one `PasswordPolicy` per account, say)
+/// accumulate for the process lifetime. That is the deliberate trade for
+/// O(1) handles; eviction/sharding is future work and must preserve the
+/// no-dangle guarantee.
+#[derive(Default)]
+pub struct PolicyInterner {
+    policies: Vec<PolicyRef>,
+    by_key: HashMap<PolicyKey, u32>,
+}
+
+impl PolicyInterner {
+    /// Interns `policy`, returning its id (existing id for duplicates).
+    fn intern(&mut self, key: PolicyKey, policy: &PolicyRef) -> PolicyId {
+        if let Some(&id) = self.by_key.get(&key) {
+            return PolicyId(id);
+        }
+        let id = u32::try_from(self.policies.len()).expect("policy interner overflow");
+        self.policies.push(policy.clone());
+        self.by_key.insert(key, id);
+        PolicyId(id)
+    }
+
+    /// Number of distinct policies interned.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+}
+
+// ---- the label table ----
+
+#[derive(Clone)]
+struct LabelEntry {
+    /// Sorted, deduplicated member ids (canonical form).
+    ids: Arc<[PolicyId]>,
+    /// Resolved canonical policy objects, index-aligned with `ids`.
+    refs: Arc<Vec<PolicyRef>>,
+}
+
+#[derive(Default)]
+struct TableInner {
+    interner: PolicyInterner,
+    /// `sets[0]` is the empty set; labels index this vector.
+    sets: Vec<LabelEntry>,
+    by_ids: HashMap<Arc<[PolicyId]>, u32>,
+    union_cache: HashMap<(u32, u32), u32>,
+}
+
+/// The process-wide intern table for policies and policy sets.
+///
+/// All [`Label`] and [`PolicyId`] operations go through the global table
+/// ([`LabelTable::global`]); the handles themselves stay plain integers.
+/// The table only ever grows, so handles are valid for the process
+/// lifetime. Reads (resolution, union-cache hits) take a shared lock;
+/// first-time interning takes the exclusive lock briefly.
+pub struct LabelTable {
+    inner: RwLock<TableInner>,
+}
+
+impl LabelTable {
+    /// The global table.
+    pub fn global() -> &'static LabelTable {
+        static TABLE: OnceLock<LabelTable> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let empty = LabelEntry {
+                ids: Arc::from(Vec::<PolicyId>::new()),
+                refs: Arc::new(Vec::new()),
+            };
+            let inner = TableInner {
+                sets: vec![empty], // index 0 = Label::EMPTY
+                ..TableInner::default()
+            };
+            LabelTable {
+                inner: RwLock::new(inner),
+            }
+        })
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, TableInner> {
+        self.inner.read().expect("label table poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, TableInner> {
+        self.inner.write().expect("label table poisoned")
+    }
+
+    /// Interns one policy, returning its [`PolicyId`].
+    pub fn intern_policy(&self, policy: &PolicyRef) -> PolicyId {
+        // Compute the key outside the lock (serialize_fields may allocate).
+        let key = PolicyKey::of(policy);
+        if let Some(&id) = self.read().interner.by_key.get(&key) {
+            return PolicyId(id);
+        }
+        self.write().interner.intern(key, policy)
+    }
+
+    /// The canonical policy object for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this table.
+    pub fn resolve_policy(&self, id: PolicyId) -> PolicyRef {
+        self.read().interner.policies[id.0 as usize].clone()
+    }
+
+    /// The label for a single policy.
+    pub fn label_of(&self, policy: &PolicyRef) -> Label {
+        let id = self.intern_policy(policy);
+        self.intern_ids(vec![id])
+    }
+
+    /// Interns a set of ids (sorted and deduplicated here) as a label.
+    pub fn intern_ids(&self, mut ids: Vec<PolicyId>) -> Label {
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            return Label::EMPTY;
+        }
+        let ids: Arc<[PolicyId]> = ids.into();
+        if let Some(&idx) = self.read().by_ids.get(&ids) {
+            return Label(idx);
+        }
+        let refs: Vec<PolicyRef> = {
+            let inner = self.read();
+            ids.iter()
+                .map(|id| inner.interner.policies[id.0 as usize].clone())
+                .collect()
+        };
+        let mut inner = self.write();
+        if let Some(&idx) = inner.by_ids.get(&ids) {
+            return Label(idx); // raced: another thread interned it first
+        }
+        let idx = u32::try_from(inner.sets.len()).expect("label table overflow");
+        inner.sets.push(LabelEntry {
+            ids: ids.clone(),
+            refs: Arc::new(refs),
+        });
+        inner.by_ids.insert(ids, idx);
+        Label(idx)
+    }
+
+    fn entry(&self, label: Label) -> LabelEntry {
+        self.read().sets[label.0 as usize].clone()
+    }
+
+    fn union(&self, a: Label, b: Label) -> Label {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if let Some(&idx) = self.read().union_cache.get(&key) {
+            return Label(idx);
+        }
+        // Merge the two sorted id lists outside the write lock.
+        let (ea, eb) = (self.entry(a), self.entry(b));
+        let mut merged = Vec::with_capacity(ea.ids.len() + eb.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < ea.ids.len() && j < eb.ids.len() {
+            match ea.ids[i].cmp(&eb.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(ea.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(eb.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(ea.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&ea.ids[i..]);
+        merged.extend_from_slice(&eb.ids[j..]);
+        let result = self.intern_ids(merged);
+        self.write().union_cache.insert(key, result.0);
+        result
+    }
+
+    /// Number of distinct policies interned.
+    pub fn policy_count(&self) -> usize {
+        self.read().interner.len()
+    }
+
+    /// Number of distinct labels interned (including the empty label).
+    pub fn label_count(&self) -> usize {
+        self.read().sets.len()
+    }
+
+    /// Number of memoized pairwise unions.
+    pub fn union_cache_len(&self) -> usize {
+        self.read().union_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{HtmlSanitized, PasswordPolicy, SqlSanitized, UntrustedData};
+
+    fn pw(email: &str) -> PolicyRef {
+        Arc::new(PasswordPolicy::new(email))
+    }
+
+    fn untrusted() -> PolicyRef {
+        Arc::new(UntrustedData::new())
+    }
+
+    #[test]
+    fn empty_label_is_zero() {
+        assert!(Label::EMPTY.is_empty());
+        assert_eq!(Label::EMPTY.len(), 0);
+        assert_eq!(Label::EMPTY.index(), 0);
+        assert_eq!(Label::default(), Label::EMPTY);
+        assert!(!Label::EMPTY.has::<UntrustedData>());
+        assert!(!Label::EMPTY.has_named("UntrustedData"));
+    }
+
+    #[test]
+    fn structural_duplicates_share_ids_and_labels() {
+        let a = PolicyId::intern(&pw("a@x"));
+        let b = PolicyId::intern(&pw("a@x"));
+        assert_eq!(a, b);
+        let c = PolicyId::intern(&pw("b@x"));
+        assert_ne!(a, c);
+        assert_eq!(Label::of(&pw("a@x")), Label::of(&pw("a@x")));
+        assert_ne!(Label::of(&pw("a@x")), Label::of(&pw("b@x")));
+    }
+
+    #[test]
+    fn union_laws() {
+        let a = Label::of(&pw("a@x"));
+        let b = Label::of(&pw("b@x"));
+        let c = Label::of(&untrusted());
+        // Idempotent / identity.
+        assert_eq!(a.union(a), a);
+        assert_eq!(a.union(Label::EMPTY), a);
+        assert_eq!(Label::EMPTY.union(a), a);
+        // Commutative / associative — equality is handle equality.
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        assert_eq!(a.union(b).len(), 2);
+    }
+
+    #[test]
+    fn union_is_memoized() {
+        let a = Label::of(&pw("memo-a@x"));
+        let b = Label::of(&pw("memo-b@x"));
+        let first = a.union(b);
+        let before = LabelTable::global().label_count();
+        let second = a.union(b);
+        assert_eq!(first, second);
+        assert_eq!(
+            LabelTable::global().label_count(),
+            before,
+            "second union allocates nothing"
+        );
+    }
+
+    #[test]
+    fn membership_and_type_queries() {
+        let u = untrusted();
+        let l = Label::of(&u).union(Label::of(&(Arc::new(SqlSanitized::new()) as PolicyRef)));
+        assert!(l.contains(PolicyId::intern(&u)));
+        assert!(l.contains_policy(&untrusted()), "structural membership");
+        assert!(l.has::<UntrustedData>());
+        assert!(l.has::<SqlSanitized>());
+        assert!(!l.has::<HtmlSanitized>());
+        assert!(l.has_named("UntrustedData"));
+        assert!(!l.has_named("Nope"));
+    }
+
+    #[test]
+    fn insert_remove_retain() {
+        let id_u = PolicyId::intern(&untrusted());
+        let id_p = PolicyId::intern(&pw("r@x"));
+        let l = Label::EMPTY.insert(id_u).insert(id_p);
+        assert_eq!(l.len(), 2);
+        let no_u = l.remove(id_u);
+        assert!(!no_u.has::<UntrustedData>());
+        assert!(no_u.has::<PasswordPolicy>());
+        assert_eq!(l.remove(PolicyId::intern(&pw("absent@x"))), l);
+        assert_eq!(l.without_type::<UntrustedData>(), no_u);
+        assert_eq!(l.retain(|_| true), l, "full retain returns same handle");
+        assert_eq!(l.retain(|_| false), Label::EMPTY);
+    }
+
+    #[test]
+    fn resolution_returns_canonical_object() {
+        let id = PolicyId::intern(&pw("canon@x"));
+        let p = id.resolve();
+        assert_eq!(p.name(), "PasswordPolicy");
+        let l = Label::from_id(id);
+        assert_eq!(l.policies().len(), 1);
+        assert_eq!(l.ids().len(), 1);
+        assert_eq!(l.ids()[0], id);
+    }
+
+    #[test]
+    fn from_policies_dedups() {
+        let l = Label::from_policies([&untrusted(), &untrusted(), &pw("d@x")]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn debug_renders_names() {
+        let l = Label::of(&untrusted());
+        assert!(format!("{l:?}").contains("UntrustedData"));
+        assert_eq!(format!("{:?}", Label::EMPTY), "Label[]");
+    }
+
+    #[test]
+    fn discriminator_keeps_behaviourally_distinct_policies_apart() {
+        // Two policies with identical name + fields but different
+        // behaviour (modeled by the discriminator, as script policies
+        // carrying different class bodies do) must not conflate.
+        #[derive(Debug)]
+        struct CodeCarrying(u64);
+        impl crate::policy::Policy for CodeCarrying {
+            fn name(&self) -> &str {
+                "DiscriminatorTestPolicy"
+            }
+            fn intern_discriminator(&self) -> u64 {
+                self.0
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let a: PolicyRef = Arc::new(CodeCarrying(1));
+        let b: PolicyRef = Arc::new(CodeCarrying(2));
+        let same_as_a: PolicyRef = Arc::new(CodeCarrying(1));
+        assert_ne!(PolicyId::intern(&a), PolicyId::intern(&b));
+        assert_eq!(PolicyId::intern(&a), PolicyId::intern(&same_as_a));
+        // Resolution returns the object with the matching behaviour.
+        let got = PolicyId::intern(&b).resolve();
+        assert_eq!(
+            got.as_any()
+                .downcast_ref::<CodeCarrying>()
+                .expect("same type")
+                .0,
+            2
+        );
+    }
+
+    #[test]
+    fn table_stats_grow_monotonically() {
+        let t = LabelTable::global();
+        let before = t.policy_count();
+        let _ = Label::of(&pw("stats-unique@x"));
+        assert!(t.policy_count() > before);
+        assert!(t.label_count() >= 1);
+        let _ = t.union_cache_len(); // smoke: accessible
+        let interner_len = t.read().interner.len();
+        assert!(!t.read().interner.is_empty());
+        assert_eq!(interner_len, t.policy_count());
+    }
+}

@@ -9,8 +9,12 @@
 //! * **Policy objects** ([`policy::Policy`]) encapsulate assertion code and
 //!   metadata specific to a datum — e.g. "this password may only be emailed
 //!   to its owner".
-//! * **Data tracking** ([`taint`]) propagates policy objects along with
-//!   data, at byte granularity, as the application copies and moves it.
+//! * **Interned labels** ([`label::Label`]) are the per-datum
+//!   representation of a policy set: a 4-byte `Copy` handle into the
+//!   process-wide [`label::LabelTable`], making union, equality, and dedup
+//!   O(1) table hits instead of structural scans.
+//! * **Data tracking** ([`taint`]) propagates labels along with data, at
+//!   byte granularity, as the application copies and moves it.
 //! * **Gates** ([`gate::Gate`]) define data flow boundaries (sockets,
 //!   files, SQL, email, HTTP, code import, module exits, function calls)
 //!   where assertions are checked by invoking each policy's `export_check`.
@@ -33,6 +37,9 @@
 //! let mut body = TaintedString::from("Your password is: ");
 //! body.push_tainted(&password);
 //!
+//! // ...carrying its interned label with it...
+//! assert!(body.label().has::<PasswordPolicy>());
+//!
 //! // ...and the registry's default gates enforce the assertion.
 //! let mut http = rt.open(GateKind::Http);
 //! assert!(http.write(body.clone()).is_err()); // disclosure prevented
@@ -42,12 +49,11 @@
 //! assert!(email.write(body).is_ok()); // owner's address: allowed
 //! ```
 
-pub mod boundary;
-pub mod channel;
 pub mod context;
 pub mod error;
 pub mod filter;
 pub mod gate;
+pub mod label;
 pub mod merge;
 pub mod policies;
 pub mod policy;
@@ -56,40 +62,38 @@ pub mod runtime;
 pub mod serialize;
 pub mod taint;
 
-/// One-stop imports for applications using the runtime (the v2 surface).
+/// One-stop imports for applications using the runtime (the v3 surface).
 ///
-/// The deprecated v1 names (`Channel`, `ChannelKind`, `ResinError`,
-/// `FuncBoundary`) are re-exported too so v1 code keeps compiling, but new
-/// code should use `Gate`/`GateBuilder`/`GateKind`, the `Runtime`
-/// registry, and the `FlowError` taxonomy.
+/// The deprecated `PolicySet` view (and its `serialize_set` /
+/// `deserialize_set` helpers) is re-exported so label-oblivious code keeps
+/// compiling, but new code should use `Label` / `PolicyId` and the
+/// `serialize_label` / `deserialize_label` helpers.
 pub mod prelude {
     pub use crate::context::{Context, CtxValue};
     pub use crate::error::{FlowError, PolicyViolation, Result, SerializeError};
     pub use crate::filter::{DefaultFilter, Filter, FnFilter};
     pub use crate::gate::{Gate, GateBuilder, GateKind};
+    pub use crate::label::{Label, LabelTable, PolicyId, PolicyInterner};
     pub use crate::merge::{merge_many, merge_sets};
     pub use crate::policies::{
         Acl, AuthenticData, CodeApproval, EmptyPolicy, HtmlSanitized, PagePolicy, PasswordPolicy,
         Right, SqlSanitized, UntrustedData,
     };
     pub use crate::policy::{downcast_policy, MergeDecision, Policy, PolicyRef};
-    pub use crate::policy_set::PolicySet;
     pub use crate::runtime::{GateFactory, GateRegistry, Runtime};
     pub use crate::serialize::{
-        deserialize_policy, deserialize_set, deserialize_spans, register_policy_class,
-        serialize_policy, serialize_set, serialize_spans,
+        deserialize_label, deserialize_policy, deserialize_spans, register_policy_class,
+        serialize_label, serialize_policy, serialize_spans,
     };
     pub use crate::taint::{
         policy_add, policy_get, policy_remove, Labeled, Tainted, TaintedString,
     };
 
-    // v1 compatibility surface.
+    // Deprecated compatibility surface (the PolicySet generation).
     #[allow(deprecated)]
-    pub use crate::channel::{Channel, ChannelKind};
+    pub use crate::policy_set::PolicySet;
     #[allow(deprecated)]
-    pub use crate::error::ResinError;
-    #[allow(deprecated)]
-    pub use crate::filter::FuncBoundary;
+    pub use crate::serialize::{deserialize_set, serialize_set};
 }
 
 pub use prelude::*;

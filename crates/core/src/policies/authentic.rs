@@ -2,8 +2,8 @@
 
 use std::any::Any;
 
+use crate::label::Label;
 use crate::policy::{MergeDecision, Policy};
-use crate::policy_set::PolicySet;
 
 /// Marks data whose authenticity has been verified.
 ///
@@ -25,7 +25,7 @@ impl Policy for AuthenticData {
         "AuthenticData"
     }
 
-    fn merge(&self, others: &PolicySet) -> MergeDecision {
+    fn merge(&self, others: Label) -> MergeDecision {
         if others.has::<AuthenticData>() {
             MergeDecision::Keep
         } else {
@@ -45,9 +45,9 @@ mod tests {
     #[test]
     fn merge_is_intersection() {
         let p = AuthenticData::new();
-        let with = PolicySet::single(std::sync::Arc::new(AuthenticData::new()));
-        let without = PolicySet::empty();
-        assert!(matches!(p.merge(&with), MergeDecision::Keep));
-        assert!(matches!(p.merge(&without), MergeDecision::Drop));
+        let with =
+            Label::of(&(std::sync::Arc::new(AuthenticData::new()) as crate::policy::PolicyRef));
+        assert!(matches!(p.merge(with), MergeDecision::Keep));
+        assert!(matches!(p.merge(Label::EMPTY), MergeDecision::Drop));
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use crate::context::Context;
 use crate::error::PolicyViolation;
-use crate::policy_set::PolicySet;
+use crate::label::Label;
 
 /// A reference-counted, type-erased policy object.
 ///
@@ -71,8 +71,8 @@ pub trait Policy: Any + Send + Sync + fmt::Debug {
     }
 
     /// Merge strategy when a datum carrying this policy is combined with a
-    /// datum carrying `_others` (§3.4.2). Default: union (`Keep`).
-    fn merge(&self, _others: &PolicySet) -> MergeDecision {
+    /// datum labeled `_others` (§3.4.2). Default: union (`Keep`).
+    fn merge(&self, _others: Label) -> MergeDecision {
         MergeDecision::Keep
     }
 
@@ -91,6 +91,22 @@ pub trait Policy: Any + Send + Sync + fmt::Debug {
     /// fields.
     fn policy_eq(&self, other: &dyn Policy) -> bool {
         self.name() == other.name() && self.serialize_fields() == other.serialize_fields()
+    }
+
+    /// Extra interning discriminator for policies whose *behaviour* is not
+    /// a pure function of `name()` + `serialize_fields()`.
+    ///
+    /// The label interner canonicalizes structurally-equal policies to one
+    /// [`PolicyId`](crate::label::PolicyId), and every resolution returns
+    /// the first-interned object. That is sound only when same name + same
+    /// fields implies same behaviour. A policy that carries *code* outside
+    /// its fields (e.g. a script-defined policy capturing an interpreted
+    /// class body) must override this to return a value distinguishing
+    /// behaviourally-different instances — a pointer-derived identity of
+    /// the captured code works, since the interner keeps the policy (and
+    /// hence the pointee) alive for the process lifetime. Default: `0`.
+    fn intern_discriminator(&self) -> u64 {
+        0
     }
 
     /// Upcast for downcasting to a concrete policy type.

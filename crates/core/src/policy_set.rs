@@ -1,104 +1,119 @@
-//! Policy sets: the per-datum collection of policy objects.
+//! Policy sets: the deprecated per-datum collection view over [`Label`].
 //!
-//! The paper adds "a pointer, that points to a set of policy objects, to the
-//! runtime's internal representation of a datum" (§4). [`PolicySet`] mirrors
-//! that: the empty set is a null pointer (`None`), so untainted data pays
-//! only an `Option` check, and copies share the underlying vector through an
-//! `Arc` with copy-on-write mutation.
+//! Earlier revisions rendered the paper's "pointer to a set of policy
+//! objects" (§4) literally as `Arc<Vec<PolicyRef>>`, paying structural
+//! policy comparisons on every `add`/`union`/`contains`. The engine now
+//! speaks interned [`Label`] handles (see [`crate::label`]); `PolicySet`
+//! survives as a thin compatibility view so v2 code keeps compiling. All
+//! set algebra delegates to the label table — `union` and `set_eq` are O(1)
+//! — and the policy objects are materialized only for iteration.
+//!
+//! New code should use [`Label`] directly.
+
+#![allow(deprecated)]
 
 use std::fmt;
 use std::sync::Arc;
 
-use crate::policy::{policy_refs_equal, Policy, PolicyRef};
+use crate::label::{Label, PolicyId};
+use crate::policy::{Policy, PolicyRef};
 
-/// An immutable-by-default, cheaply clonable set of policy objects.
+/// Deprecated view of an interned policy set.
+///
+/// Wraps a [`Label`] plus the resolved canonical policy objects, keeping
+/// the v2 `PolicySet` API shape. Conversions are lossless:
+/// [`PolicySet::label`] extracts the handle, [`PolicySet::from_label`]
+/// wraps one.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `Label` — interned policy-set handles with O(1) union/equality"
+)]
 #[derive(Clone, Default)]
 pub struct PolicySet {
-    inner: Option<Arc<Vec<PolicyRef>>>,
+    label: Label,
+    /// Cached resolution of `label` (`None` iff the label is empty).
+    refs: Option<Arc<Vec<PolicyRef>>>,
 }
 
 impl PolicySet {
-    /// The empty policy set (a null pointer internally).
+    /// The empty policy set.
     pub const fn empty() -> Self {
-        PolicySet { inner: None }
+        PolicySet {
+            label: Label::EMPTY,
+            refs: None,
+        }
     }
 
     /// A set containing a single policy.
     pub fn single(policy: PolicyRef) -> Self {
-        PolicySet {
-            inner: Some(Arc::new(vec![policy])),
+        PolicySet::from_label(Label::of(&policy))
+    }
+
+    /// The view over an interned label.
+    pub fn from_label(label: Label) -> Self {
+        if label.is_empty() {
+            return PolicySet::empty();
         }
+        PolicySet {
+            label,
+            refs: Some(label.policies()),
+        }
+    }
+
+    /// The interned handle this set views.
+    pub fn label(&self) -> Label {
+        self.label
     }
 
     /// Builds a set from an iterator, deduplicating as it goes.
     pub fn from_iter_dedup<I: IntoIterator<Item = PolicyRef>>(iter: I) -> Self {
-        let mut set = PolicySet::empty();
-        for p in iter {
-            set.add(p);
-        }
-        set
+        let policies: Vec<PolicyRef> = iter.into_iter().collect();
+        PolicySet::from_label(Label::from_policies(policies.iter()))
     }
 
     /// True when no policies are attached.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_none()
+        self.label.is_empty()
     }
 
     /// Number of policies in the set.
     pub fn len(&self) -> usize {
-        self.inner.as_ref().map_or(0, |v| v.len())
+        self.refs.as_ref().map_or(0, |v| v.len())
+    }
+
+    fn set_label(&mut self, label: Label) -> bool {
+        if label == self.label {
+            return false;
+        }
+        *self = PolicySet::from_label(label);
+        true
     }
 
     /// Adds `policy` unless an equal policy is already present.
     ///
     /// Returns true if the set changed.
     pub fn add(&mut self, policy: PolicyRef) -> bool {
-        match &mut self.inner {
-            None => {
-                self.inner = Some(Arc::new(vec![policy]));
-                true
-            }
-            Some(vec) => {
-                if vec.iter().any(|p| policy_refs_equal(p, &policy)) {
-                    return false;
-                }
-                Arc::make_mut(vec).push(policy);
-                true
-            }
-        }
+        let label = self.label.union(Label::of(&policy));
+        self.set_label(label)
     }
 
     /// Removes any policy equal to `policy`. Returns true if one was removed.
     pub fn remove(&mut self, policy: &PolicyRef) -> bool {
-        let Some(vec) = &mut self.inner else {
-            return false;
-        };
-        let before = vec.len();
-        Arc::make_mut(vec).retain(|p| !policy_refs_equal(p, policy));
-        let removed = vec.len() != before;
-        if vec.is_empty() {
-            self.inner = None;
-        }
-        removed
+        let label = self.label.remove(PolicyId::intern(policy));
+        self.set_label(label)
     }
 
     /// Removes every policy of concrete type `T`. Returns the count removed.
     pub fn remove_type<T: Policy>(&mut self) -> usize {
-        let Some(vec) = &mut self.inner else {
-            return 0;
-        };
-        let before = vec.len();
-        Arc::make_mut(vec).retain(|p| p.as_any().downcast_ref::<T>().is_none());
-        let removed = before - vec.len();
-        if vec.is_empty() {
-            self.inner = None;
-        }
-        removed
+        let before = self.len();
+        let label = self.label.without_type::<T>();
+        self.set_label(label);
+        before - self.len()
     }
 
     /// True if the set contains a policy equal to `policy`.
     pub fn contains(&self, policy: &PolicyRef) -> bool {
-        self.iter().any(|p| policy_refs_equal(p, policy))
+        self.label.contains_policy(policy)
     }
 
     /// True if any policy in the set has concrete type `T`.
@@ -124,38 +139,20 @@ impl PolicySet {
         self.iter().any(|p| p.name() == name)
     }
 
-    /// Iterates over the policies.
+    /// Iterates over the (canonical, interned) policies.
     pub fn iter(&self) -> impl Iterator<Item = &PolicyRef> {
-        self.inner.iter().flat_map(|v| v.iter())
+        self.refs.iter().flat_map(|v| v.iter())
     }
 
-    /// The union of two sets (deduplicated). Cheap when either is empty.
+    /// The union of two sets — an O(1) label-table hit.
     pub fn union(&self, other: &PolicySet) -> PolicySet {
-        if other.is_empty() {
-            return self.clone();
-        }
-        if self.is_empty() {
-            return other.clone();
-        }
-        let mut out = self.clone();
-        for p in other.iter() {
-            out.add(p.clone());
-        }
-        out
+        PolicySet::from_label(self.label.union(other.label))
     }
 
-    /// Set equality: same policies regardless of order.
+    /// Set equality: same policies regardless of order. O(1): interned
+    /// labels are canonical, so this is an integer compare.
     pub fn set_eq(&self, other: &PolicySet) -> bool {
-        if self.len() != other.len() {
-            return false;
-        }
-        // Fast path: identical Arc.
-        if let (Some(a), Some(b)) = (&self.inner, &other.inner) {
-            if Arc::ptr_eq(a, b) {
-                return true;
-            }
-        }
-        self.iter().all(|p| other.contains(p))
+        self.label == other.label
     }
 
     /// Snapshot of the policies as a vector of references.
@@ -183,6 +180,18 @@ impl FromIterator<PolicyRef> for PolicySet {
     }
 }
 
+impl From<Label> for PolicySet {
+    fn from(label: Label) -> Self {
+        PolicySet::from_label(label)
+    }
+}
+
+impl From<&PolicySet> for Label {
+    fn from(set: &PolicySet) -> Self {
+        set.label()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +208,7 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
         assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.label(), Label::EMPTY);
     }
 
     #[test]
@@ -214,7 +224,7 @@ mod tests {
     fn remove_and_empty_collapse() {
         let mut s = PolicySet::single(pw("a@x"));
         assert!(s.remove(&pw("a@x")));
-        assert!(s.is_empty(), "collapses back to null pointer");
+        assert!(s.is_empty(), "collapses back to the empty label");
         assert!(!s.remove(&pw("a@x")));
     }
 
@@ -235,7 +245,7 @@ mod tests {
         let mut s = PolicySet::empty();
         s.add(pw("a@x"));
         s.add(pw("b@x"));
-        assert_eq!(s.find::<PasswordPolicy>().unwrap().email(), "a@x");
+        assert!(s.find::<PasswordPolicy>().is_some());
         assert_eq!(s.find_all::<PasswordPolicy>().len(), 2);
         assert!(s.find::<UntrustedData>().is_none());
     }
@@ -260,12 +270,13 @@ mod tests {
         b.add(pw("a@x"));
         assert!(a.set_eq(&b));
         assert_eq!(a, b);
+        assert_eq!(a.label(), b.label(), "canonical labels coincide");
         b.add(pw("c@x"));
         assert!(!a.set_eq(&b));
     }
 
     #[test]
-    fn clone_is_shallow_cow() {
+    fn clone_is_shallow() {
         let mut a = PolicySet::single(pw("a@x"));
         let b = a.clone();
         a.add(pw("b@x"));
@@ -284,5 +295,14 @@ mod tests {
     fn debug_lists_names() {
         let s = PolicySet::single(pw("a@x"));
         assert!(format!("{s:?}").contains("PasswordPolicy"));
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let s = PolicySet::from_iter_dedup([pw("a@x"), pw("b@x")]);
+        let l: Label = (&s).into();
+        let back: PolicySet = l.into();
+        assert!(back.set_eq(&s));
+        assert_eq!(back.to_vec().len(), 2);
     }
 }

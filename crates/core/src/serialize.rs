@@ -10,22 +10,31 @@
 //! ```text
 //! policy  :=  Name{key=value;key=value}
 //! set     :=  policy,policy,...
-//! spans   :=  start..end|set;start..end|set;...
+//! spans   :=  #table#span;span;...        (interned format)
+//! table   :=  policy,policy,...           (deduplicated, indexed from 0)
+//! span    :=  start..end|idx,idx,...      (indexes into the table)
 //! ```
 //!
-//! Metacharacters inside names/keys/values are `%XX`-escaped.
+//! Metacharacters inside names/keys/values are `%XX`-escaped. The spans
+//! format persists the **deduplicated policy table once** and has each
+//! span reference table indexes — the serialized twin of the in-memory
+//! [`Label`] interning: a string with a thousand spans over two distinct
+//! policies stores two policy bodies, not a thousand. The legacy format
+//! (`start..end|set;...`, inline sets per span) is still parsed on read.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::error::SerializeError;
+use crate::label::Label;
 use crate::policies::Acl;
 use crate::policies::{
     AuthenticData, CodeApproval, EmptyPolicy, HtmlSanitized, PagePolicy, PasswordPolicy,
     SqlSanitized, UntrustedData,
 };
 use crate::policy::PolicyRef;
+#[allow(deprecated)]
 use crate::policy_set::PolicySet;
 use crate::taint::TaintedString;
 
@@ -136,7 +145,7 @@ fn install_defaults(map: &mut HashMap<String, Deserializer>) {
 
 // ---- escaping ----
 
-const META: &[char] = &['%', '{', '}', ';', ',', '=', '|'];
+const META: &[char] = &['%', '{', '}', ';', ',', '=', '|', '#'];
 
 fn escape(s: &str) -> String {
     if !s.contains(META) {
@@ -222,12 +231,41 @@ pub fn deserialize_policy(s: &str) -> Result<PolicyRef, SerializeError> {
     deser(&fields)
 }
 
-/// Serializes a policy set (comma-joined policies). Empty set → empty string.
-pub fn serialize_set(set: &PolicySet) -> String {
-    set.iter()
+/// Serializes an interned label (comma-joined policies). The empty label
+/// serializes to the empty string.
+pub fn serialize_label(label: Label) -> String {
+    if label.is_empty() {
+        return String::new();
+    }
+    label
+        .policies()
+        .iter()
         .map(serialize_policy)
         .collect::<Vec<_>>()
         .join(",")
+}
+
+/// Deserializes a label, interning each revived policy.
+///
+/// The round-trip is canonical: structurally equal policies intern to the
+/// same [`PolicyId`](crate::label::PolicyId), so
+/// `deserialize_label(&serialize_label(l)) == l` for any `l`.
+pub fn deserialize_label(s: &str) -> Result<Label, SerializeError> {
+    if s.is_empty() {
+        return Ok(Label::EMPTY);
+    }
+    let mut policies = Vec::new();
+    for part in split_top_level(s, ',') {
+        policies.push(deserialize_policy(part)?);
+    }
+    Ok(Label::from_policies(policies.iter()))
+}
+
+/// Serializes a policy set (comma-joined policies). Empty set → empty string.
+#[deprecated(since = "0.3.0", note = "use `serialize_label`")]
+#[allow(deprecated)]
+pub fn serialize_set(set: &PolicySet) -> String {
+    serialize_label(set.label())
 }
 
 /// Splits on `sep`, but only outside `{...}` (metacharacters inside names
@@ -252,51 +290,114 @@ fn split_top_level(s: &str, sep: char) -> Vec<&str> {
 }
 
 /// Deserializes a policy set.
+#[deprecated(since = "0.3.0", note = "use `deserialize_label`")]
+#[allow(deprecated)]
 pub fn deserialize_set(s: &str) -> Result<PolicySet, SerializeError> {
-    if s.is_empty() {
-        return Ok(PolicySet::empty());
-    }
-    let mut set = PolicySet::empty();
-    for part in split_top_level(s, ',') {
-        set.add(deserialize_policy(part)?);
-    }
-    Ok(set)
+    Ok(PolicySet::from_label(deserialize_label(s)?))
 }
 
 /// Serializes the byte-range policy spans of a tainted string.
 ///
 /// This is what the file filter stores in an extended attribute: policies
 /// are tracked for file data at byte granularity, as for strings (§3.4.1).
+///
+/// The output is the interned format: `#table#spans`, where the table
+/// lists each distinct policy once and spans reference table indexes —
+/// mirroring the in-memory [`Label`] interning, so heavily-spanned data
+/// pays for each distinct policy body once.
 pub fn serialize_spans(data: &TaintedString) -> String {
-    data.spans()
-        .map(|(r, set)| format!("{}..{}|{}", r.start, r.end, serialize_set(set)))
-        .collect::<Vec<_>>()
-        .join(";")
+    if data.is_untainted() {
+        return String::new();
+    }
+    // Local dedup table: serialized policy body -> index.
+    let mut table: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut spans: Vec<String> = Vec::new();
+    for (r, label) in data.spans() {
+        let idxs: Vec<String> = label
+            .policies()
+            .iter()
+            .map(|p| {
+                let body = serialize_policy(p);
+                let i = *index.entry(body.clone()).or_insert_with(|| {
+                    table.push(body);
+                    table.len() - 1
+                });
+                i.to_string()
+            })
+            .collect();
+        spans.push(format!("{}..{}|{}", r.start, r.end, idxs.join(",")));
+    }
+    format!("#{}#{}", table.join(","), spans.join(";"))
+}
+
+fn parse_range(range: &str) -> Result<(usize, usize), SerializeError> {
+    let (a, b) = range
+        .split_once("..")
+        .ok_or_else(|| SerializeError::Malformed(format!("bad range `{range}`")))?;
+    let start: usize = a
+        .parse()
+        .map_err(|_| SerializeError::Malformed(format!("bad start `{a}`")))?;
+    let end: usize = b
+        .parse()
+        .map_err(|_| SerializeError::Malformed(format!("bad end `{b}`")))?;
+    Ok((start, end))
 }
 
 /// Re-attaches serialized spans to `text`, producing a tainted string.
+///
+/// Accepts both the interned `#table#spans` format and the legacy
+/// per-span-inline-set format (`start..end|set;...`).
 pub fn deserialize_spans(text: &str, spans: &str) -> Result<TaintedString, SerializeError> {
     let mut out = TaintedString::from(text);
     if spans.is_empty() {
         return Ok(out);
     }
+    if let Some(rest) = spans.strip_prefix('#') {
+        // Interned format: `#table#spans`.
+        let parts = split_top_level(rest, '#');
+        let [table_src, spans_src] = parts.as_slice() else {
+            return Err(SerializeError::Malformed(format!(
+                "expected `#table#spans`, got `{spans}`"
+            )));
+        };
+        let mut labels: Vec<Label> = Vec::new();
+        if !table_src.is_empty() {
+            for part in split_top_level(table_src, ',') {
+                let policy = deserialize_policy(part)?;
+                labels.push(Label::of(&policy));
+            }
+        }
+        if spans_src.is_empty() {
+            return Ok(out);
+        }
+        for part in split_top_level(spans_src, ';') {
+            let (range, idxs) = part
+                .split_once('|')
+                .ok_or_else(|| SerializeError::Malformed(format!("bad span `{part}`")))?;
+            let (start, end) = parse_range(range)?;
+            let mut label = Label::EMPTY;
+            for idx in idxs.split(',').filter(|s| !s.is_empty()) {
+                let i: usize = idx
+                    .parse()
+                    .map_err(|_| SerializeError::Malformed(format!("bad index `{idx}`")))?;
+                let l = labels.get(i).ok_or_else(|| {
+                    SerializeError::Malformed(format!("index `{i}` outside the policy table"))
+                })?;
+                label = label.union(*l);
+            }
+            out.add_label_range(start..end, label);
+        }
+        return Ok(out);
+    }
+    // Legacy format: inline policy sets per span.
     for part in split_top_level(spans, ';') {
         let (range, set) = part
             .split_once('|')
             .ok_or_else(|| SerializeError::Malformed(format!("bad span `{part}`")))?;
-        let (a, b) = range
-            .split_once("..")
-            .ok_or_else(|| SerializeError::Malformed(format!("bad range `{range}`")))?;
-        let start: usize = a
-            .parse()
-            .map_err(|_| SerializeError::Malformed(format!("bad start `{a}`")))?;
-        let end: usize = b
-            .parse()
-            .map_err(|_| SerializeError::Malformed(format!("bad end `{b}`")))?;
-        let set = deserialize_set(set)?;
-        for p in set.iter() {
-            out.add_policy_range(start..end, p.clone());
-        }
+        let (start, end) = parse_range(range)?;
+        let label = deserialize_label(set)?;
+        out.add_label_range(start..end, label);
     }
     Ok(out)
 }
@@ -347,7 +448,21 @@ mod tests {
     }
 
     #[test]
-    fn set_roundtrip() {
+    fn label_roundtrip_is_canonical() {
+        let label = Label::from_policies([
+            &(Arc::new(UntrustedData::new()) as PolicyRef),
+            &(Arc::new(SqlSanitized::new()) as PolicyRef),
+        ]);
+        let s = serialize_label(label);
+        let back = deserialize_label(&s).unwrap();
+        assert_eq!(back, label, "round-trip returns the same handle");
+        assert_eq!(serialize_label(Label::EMPTY), "");
+        assert_eq!(deserialize_label("").unwrap(), Label::EMPTY);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_wrappers_roundtrip() {
         let mut set = PolicySet::empty();
         set.add(Arc::new(UntrustedData::new()));
         set.add(Arc::new(SqlSanitized::new()));
@@ -366,6 +481,45 @@ mod tests {
         let spans = serialize_spans(&data);
         let back = deserialize_spans("hello world", &spans).unwrap();
         assert!(back.taint_eq(&data));
+    }
+
+    #[test]
+    fn spans_format_dedups_policy_table() {
+        // Two disjoint spans with the same policy: the table stores the
+        // policy body once; both spans reference index 0.
+        let mut data = TaintedString::from("abcdefgh");
+        data.add_policy_range(0..2, Arc::new(UntrustedData::new()));
+        data.add_policy_range(4..6, Arc::new(UntrustedData::new()));
+        let spans = serialize_spans(&data);
+        assert_eq!(spans, "#UntrustedData{}#0..2|0;4..6|0");
+        assert_eq!(
+            spans.matches("UntrustedData").count(),
+            1,
+            "policy body persisted once"
+        );
+        assert!(deserialize_spans("abcdefgh", &spans)
+            .unwrap()
+            .taint_eq(&data));
+        assert_eq!(serialize_spans(&TaintedString::from("plain")), "");
+    }
+
+    #[test]
+    fn legacy_span_format_still_parses() {
+        let legacy = "0..5|UntrustedData{};6..11|HtmlSanitized{}";
+        let back = deserialize_spans("hello world", legacy).unwrap();
+        assert!(back.label_at(0).has::<UntrustedData>());
+        assert!(back.label_at(6).has::<HtmlSanitized>());
+        assert!(back.label_at(5).is_empty());
+    }
+
+    #[test]
+    fn interned_spans_malformed_inputs_are_errors() {
+        assert!(deserialize_spans("x", "#only-one-part").is_err());
+        assert!(deserialize_spans("x", "#a#b#c").is_err());
+        assert!(deserialize_spans("x", "#UntrustedData{}#0..1|7").is_err());
+        assert!(deserialize_spans("x", "#UntrustedData{}#0..1|z").is_err());
+        assert!(deserialize_spans("x", "#Mystery{}#0..1|0").is_err());
+        assert!(deserialize_spans("x", "#UntrustedData{}#junk").is_err());
     }
 
     #[test]

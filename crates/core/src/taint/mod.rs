@@ -4,7 +4,8 @@
 //! [`Tainted`]) plus the free-function API of Table 3
 //! ([`policy_add`], [`policy_remove`], [`policy_get`]), which mirrors the
 //! paper's Python prototype where `policy_add` returns a new string with
-//! the same contents but a different policy set.
+//! the same contents but a different policy set. Policy sets are interned
+//! [`Label`] handles throughout.
 
 pub mod spans;
 pub mod string;
@@ -14,13 +15,13 @@ pub use spans::{Span, SpanMap};
 pub use string::TaintedString;
 pub use value::Tainted;
 
+use crate::label::Label;
 use crate::policy::PolicyRef;
-use crate::policy_set::PolicySet;
 
-/// Anything that can carry a policy set.
+/// Anything that can carry a policy label.
 pub trait Labeled {
-    /// The union of all attached policies.
-    fn policy_set(&self) -> PolicySet;
+    /// The union of all attached policies, as an interned label.
+    fn label(&self) -> Label;
     /// Attaches a policy to the whole datum.
     fn attach(&mut self, policy: PolicyRef);
     /// Removes a policy from the whole datum.
@@ -28,8 +29,8 @@ pub trait Labeled {
 }
 
 impl Labeled for TaintedString {
-    fn policy_set(&self) -> PolicySet {
-        self.policies()
+    fn label(&self) -> Label {
+        TaintedString::label(self)
     }
     fn attach(&mut self, policy: PolicyRef) {
         self.add_policy(policy);
@@ -40,8 +41,8 @@ impl Labeled for TaintedString {
 }
 
 impl<T: Clone> Labeled for Tainted<T> {
-    fn policy_set(&self) -> PolicySet {
-        self.policies().clone()
+    fn label(&self) -> Label {
+        Tainted::label(self)
     }
     fn attach(&mut self, policy: PolicyRef) {
         self.add_policy(policy);
@@ -75,10 +76,10 @@ pub fn policy_remove<L: Labeled>(mut data: L, policy: &PolicyRef) -> L {
     data
 }
 
-/// Returns the set of policies associated with `data` (Table 3:
+/// Returns the label of policies associated with `data` (Table 3:
 /// `policy_get`).
-pub fn policy_get<L: Labeled>(data: &L) -> PolicySet {
-    data.policy_set()
+pub fn policy_get<L: Labeled>(data: &L) -> Label {
+    data.label()
 }
 
 #[cfg(test)]

@@ -1,25 +1,29 @@
-//! Byte-range policy maps.
+//! Byte-range label maps.
 //!
 //! RESIN tracks policies at character granularity (§3.4): in PHP, "each
 //! policy object contains a character range for which the policy applies"
 //! (§4). [`SpanMap`] is that structure: a sorted, non-overlapping,
-//! coalesced list of byte ranges, each labeled with a non-empty
-//! [`PolicySet`]. Bytes not covered by any span carry the empty set.
+//! coalesced list of byte ranges, each carrying a non-empty interned
+//! [`Label`]. Bytes not covered by any span carry [`Label::EMPTY`].
+//!
+//! Because labels are canonical handles, coalescing adjacent equal spans is
+//! an integer compare and unioning a label into a range is an O(1)
+//! memoized table hit — no structural policy comparison happens here.
 
 use std::ops::Range;
 
+use crate::label::{Label, PolicyId};
 use crate::policy::{Policy, PolicyRef};
-use crate::policy_set::PolicySet;
 
 /// One labeled byte range. `end` is exclusive.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Span {
     /// First byte covered.
     pub start: usize,
     /// One past the last byte covered.
     pub end: usize,
-    /// Policies applying to every byte in `start..end` (never empty).
-    pub policies: PolicySet,
+    /// Label applying to every byte in `start..end` (never empty).
+    pub label: Label,
 }
 
 impl Span {
@@ -28,7 +32,7 @@ impl Span {
     }
 }
 
-/// A normalized map from byte ranges to policy sets.
+/// A normalized map from byte ranges to labels.
 #[derive(Debug, Clone, Default)]
 pub struct SpanMap {
     spans: Vec<Span>,
@@ -50,13 +54,13 @@ impl SpanMap {
         self.spans.len()
     }
 
-    /// Iterates `(range, policies)` pairs in byte order.
-    pub fn iter(&self) -> impl Iterator<Item = (Range<usize>, &PolicySet)> {
-        self.spans.iter().map(|s| (s.range(), &s.policies))
+    /// Iterates `(range, label)` pairs in byte order.
+    pub fn iter(&self) -> impl Iterator<Item = (Range<usize>, Label)> + '_ {
+        self.spans.iter().map(|s| (s.range(), s.label))
     }
 
-    /// The policy set covering byte `idx` (empty if uncovered).
-    pub fn at(&self, idx: usize) -> PolicySet {
+    /// The label covering byte `idx` ([`Label::EMPTY`] if uncovered).
+    pub fn at(&self, idx: usize) -> Label {
         match self
             .spans
             .binary_search_by(|s| {
@@ -70,16 +74,17 @@ impl SpanMap {
             })
             .ok()
         {
-            Some(i) => self.spans[i].policies.clone(),
-            None => PolicySet::empty(),
+            Some(i) => self.spans[i].label,
+            None => Label::EMPTY,
         }
     }
 
-    /// The union of all policies anywhere in the map.
-    pub fn union_all(&self) -> PolicySet {
-        let mut out = PolicySet::empty();
+    /// The union of all labels anywhere in the map — memoized label unions,
+    /// no policy objects touched.
+    pub fn union_all(&self) -> Label {
+        let mut out = Label::EMPTY;
         for s in &self.spans {
-            out = out.union(&s.policies);
+            out = out.union(s.label);
         }
         out
     }
@@ -90,18 +95,18 @@ impl SpanMap {
             let tail = Span {
                 start: pos,
                 end: self.spans[i].end,
-                policies: self.spans[i].policies.clone(),
+                label: self.spans[i].label,
             };
             self.spans[i].end = pos;
             self.spans.insert(i + 1, tail);
         }
     }
 
-    /// Applies `f` to the policy set of every byte in `range` (uncovered
-    /// bytes see the empty set), then renormalizes.
+    /// Applies `f` to the label of every byte in `range` (uncovered bytes
+    /// see [`Label::EMPTY`]), then renormalizes.
     pub fn edit<F>(&mut self, range: Range<usize>, f: F)
     where
-        F: Fn(&PolicySet) -> PolicySet,
+        F: Fn(Label) -> Label,
     {
         if range.start >= range.end {
             return;
@@ -112,12 +117,12 @@ impl SpanMap {
         // Transform covered segments inside the range.
         for s in &mut self.spans {
             if s.start >= range.start && s.end <= range.end {
-                s.policies = f(&s.policies);
+                s.label = f(s.label);
             }
         }
 
-        // Fill gaps inside the range with f(empty), if non-empty.
-        let fill = f(&PolicySet::empty());
+        // Fill gaps inside the range with f(EMPTY), if non-empty.
+        let fill = f(Label::EMPTY);
         if !fill.is_empty() {
             let mut gaps: Vec<Span> = Vec::new();
             let mut cursor = range.start;
@@ -129,7 +134,7 @@ impl SpanMap {
                     gaps.push(Span {
                         start: cursor,
                         end: s.start,
-                        policies: fill.clone(),
+                        label: fill,
                     });
                 }
                 cursor = s.end;
@@ -138,7 +143,7 @@ impl SpanMap {
                 gaps.push(Span {
                     start: cursor,
                     end: range.end,
-                    policies: fill,
+                    label: fill,
                 });
             }
             self.spans.extend(gaps);
@@ -148,37 +153,27 @@ impl SpanMap {
 
     /// Adds `policy` to every byte in `range`.
     pub fn add_policy(&mut self, range: Range<usize>, policy: PolicyRef) {
-        self.edit(range, |set| {
-            let mut s = set.clone();
-            s.add(policy.clone());
-            s
-        });
+        let label = Label::of(&policy);
+        self.add_label(range, label);
     }
 
-    /// Adds every policy in `set` to every byte in `range`.
-    pub fn add_policies(&mut self, range: Range<usize>, set: &PolicySet) {
-        if set.is_empty() {
+    /// Unions `label` into every byte in `range`.
+    pub fn add_label(&mut self, range: Range<usize>, label: Label) {
+        if label.is_empty() {
             return;
         }
-        self.edit(range, |cur| cur.union(set));
+        self.edit(range, |cur| cur.union(label));
     }
 
     /// Removes any policy equal to `policy` from every byte in `range`.
     pub fn remove_policy(&mut self, range: Range<usize>, policy: &PolicyRef) {
-        self.edit(range, |set| {
-            let mut s = set.clone();
-            s.remove(policy);
-            s
-        });
+        let id = PolicyId::intern(policy);
+        self.edit(range, |l| l.remove(id));
     }
 
     /// Removes every policy of type `T` from every byte in `range`.
     pub fn remove_type<T: Policy>(&mut self, range: Range<usize>) {
-        self.edit(range, |set| {
-            let mut s = set.clone();
-            s.remove_type::<T>();
-            s
-        });
+        self.edit(range, |l| l.without_type::<T>());
     }
 
     /// Extracts the sub-map for `range`, rebased to offset zero.
@@ -191,7 +186,7 @@ impl SpanMap {
                 out.push(Span {
                     start: start - range.start,
                     end: end - range.start,
-                    policies: s.policies.clone(),
+                    label: s.label,
                 });
             }
         }
@@ -206,17 +201,17 @@ impl SpanMap {
             self.spans.push(Span {
                 start: s.start + offset,
                 end: s.end + offset,
-                policies: s.policies.clone(),
+                label: s.label,
             });
         }
         self.normalize();
     }
 
-    /// True if every byte in `0..len` has at least one policy satisfying
-    /// `pred`. Vacuously true when `len == 0`.
+    /// True if every byte in `0..len` has a label satisfying `pred`.
+    /// Vacuously true when `len == 0`.
     pub fn all_bytes<F>(&self, len: usize, pred: F) -> bool
     where
-        F: Fn(&PolicySet) -> bool,
+        F: Fn(Label) -> bool,
     {
         if len == 0 {
             return true;
@@ -227,56 +222,57 @@ impl SpanMap {
                 break;
             }
             if s.start > cursor {
-                // An uncovered gap: the empty set must satisfy the predicate.
-                if !pred(&PolicySet::empty()) {
+                // An uncovered gap: the empty label must satisfy the predicate.
+                if !pred(Label::EMPTY) {
                     return false;
                 }
             }
-            if !pred(&s.policies) {
+            if !pred(s.label) {
                 return false;
             }
             cursor = s.end;
         }
-        if cursor < len && !pred(&PolicySet::empty()) {
+        if cursor < len && !pred(Label::EMPTY) {
             return false;
         }
         true
     }
 
-    /// True if any byte in `0..len` has a policy set satisfying `pred`.
+    /// True if any byte in `0..len` has a label satisfying `pred`.
     pub fn any_byte<F>(&self, len: usize, pred: F) -> bool
     where
-        F: Fn(&PolicySet) -> bool,
+        F: Fn(Label) -> bool,
     {
-        !self.all_bytes(len, |set| !pred(set))
+        !self.all_bytes(len, |l| !pred(l))
     }
 
-    /// Byte ranges (clipped to `0..len`) whose policy set satisfies `pred`.
+    /// Byte ranges (clipped to `0..len`) whose label satisfies `pred`.
     pub fn ranges_where<F>(&self, len: usize, pred: F) -> Vec<Range<usize>>
     where
-        F: Fn(&PolicySet) -> bool,
+        F: Fn(Label) -> bool,
     {
         let mut out = Vec::new();
         for s in &self.spans {
             if s.start >= len {
                 break;
             }
-            if pred(&s.policies) {
+            if pred(s.label) {
                 out.push(s.start..s.end.min(len));
             }
         }
         out
     }
 
-    /// Drops empty sets, sorts, and coalesces adjacent equal spans.
+    /// Drops empty labels, sorts, and coalesces adjacent equal spans.
+    /// Coalescing is an integer compare on label handles.
     fn normalize(&mut self) {
         self.spans
-            .retain(|s| !s.policies.is_empty() && s.start < s.end);
+            .retain(|s| !s.label.is_empty() && s.start < s.end);
         self.spans.sort_by_key(|s| s.start);
         let mut out: Vec<Span> = Vec::with_capacity(self.spans.len());
         for s in self.spans.drain(..) {
             if let Some(last) = out.last_mut() {
-                if last.end == s.start && last.policies.set_eq(&s.policies) {
+                if last.end == s.start && last.label == s.label {
                     last.end = s.end;
                     continue;
                 }
@@ -354,6 +350,16 @@ mod tests {
     }
 
     #[test]
+    fn remove_specific_policy() {
+        let mut m = SpanMap::new();
+        m.add_policy(0..4, untrusted());
+        m.add_policy(0..4, sanitized());
+        m.remove_policy(0..4, &untrusted());
+        assert!(!m.at(0).has::<UntrustedData>());
+        assert!(m.at(0).has::<SqlSanitized>());
+    }
+
+    #[test]
     fn slice_rebases() {
         let mut m = SpanMap::new();
         m.add_policy(2..5, untrusted());
@@ -379,22 +385,22 @@ mod tests {
     fn all_bytes_and_gaps() {
         let mut m = SpanMap::new();
         m.add_policy(0..3, untrusted());
-        assert!(m.all_bytes(3, |s| s.has::<UntrustedData>()));
+        assert!(m.all_bytes(3, |l| l.has::<UntrustedData>()));
         assert!(
-            !m.all_bytes(4, |s| s.has::<UntrustedData>()),
+            !m.all_bytes(4, |l| l.has::<UntrustedData>()),
             "byte 3 uncovered"
         );
         m.add_policy(5..8, untrusted());
-        assert!(!m.all_bytes(8, |s| s.has::<UntrustedData>()), "gap 3..5");
-        assert!(m.any_byte(8, |s| s.has::<UntrustedData>()));
-        assert!(!m.any_byte(8, |s| s.has::<SqlSanitized>()));
+        assert!(!m.all_bytes(8, |l| l.has::<UntrustedData>()), "gap 3..5");
+        assert!(m.any_byte(8, |l| l.has::<UntrustedData>()));
+        assert!(!m.any_byte(8, |l| l.has::<SqlSanitized>()));
     }
 
     #[test]
     fn all_bytes_vacuous_on_empty() {
         let m = SpanMap::new();
         assert!(m.all_bytes(0, |_| false));
-        assert!(!m.all_bytes(1, |s| !s.is_empty()));
+        assert!(!m.all_bytes(1, |l| !l.is_empty()));
     }
 
     #[test]
@@ -402,7 +408,7 @@ mod tests {
         let mut m = SpanMap::new();
         m.add_policy(2..5, untrusted());
         m.add_policy(7..12, untrusted());
-        let r = m.ranges_where(10, |s| s.has::<UntrustedData>());
+        let r = m.ranges_where(10, |l| l.has::<UntrustedData>());
         assert_eq!(r, vec![2..5, 7..10]);
     }
 
@@ -430,6 +436,13 @@ mod tests {
     fn empty_range_edit_is_noop() {
         let mut m = SpanMap::new();
         m.add_policy(3..3, untrusted());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn add_empty_label_is_noop() {
+        let mut m = SpanMap::new();
+        m.add_label(0..5, Label::EMPTY);
         assert!(m.is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! Tainted strings: byte strings that carry byte-range policy sets.
+//! Tainted strings: byte strings that carry byte-range labels.
 //!
 //! This is the workhorse of RESIN's data tracking (§3.4): when the
 //! application copies or moves string data, the attached policies travel
@@ -6,18 +6,23 @@
 //! `"bar"` (policy *p2*) yields `"foobar"` whose first three bytes carry
 //! only *p1* and last three only *p2*; slicing back out `"foo"` yields a
 //! string carrying only *p1*.
+//!
+//! Policy sets are interned [`Label`] handles, so the concat-heavy paths
+//! (append, normalize, coalesce) never compare policies structurally.
 
 use std::fmt;
 use std::ops::Range;
 
 use crate::error::Result;
+use crate::label::Label;
 use crate::merge::merge_many;
 use crate::policy::{Policy, PolicyRef};
+#[allow(deprecated)]
 use crate::policy_set::PolicySet;
 use crate::taint::spans::SpanMap;
 use crate::taint::value::Tainted;
 
-/// A string whose bytes carry policy sets.
+/// A string whose bytes carry interned policy labels.
 ///
 /// The text is UTF-8 (a Rust `String`); policy ranges are byte ranges, as in
 /// the paper's PHP prototype. Operations that move bytes verbatim (concat,
@@ -37,9 +42,35 @@ impl TaintedString {
     }
 
     /// A string with `policy` applied to every byte.
+    ///
+    /// # The empty-string contract
+    ///
+    /// Policies attach to *bytes* (the paper's character-granularity model,
+    /// §3.4). An empty string has no bytes, so attaching a policy to it is
+    /// a **no-op**: `with_policy("", p)` returns an untainted empty string,
+    /// and concatenating it into other data propagates nothing. Callers
+    /// holding possibly-empty sensitive values must either check
+    /// [`is_empty`](TaintedString::is_empty) before relying on the label to
+    /// travel, or label the non-empty container the value flows into.
+    ///
+    /// ```
+    /// use resin_core::prelude::*;
+    /// use std::sync::Arc;
+    ///
+    /// let empty = TaintedString::with_policy("", Arc::new(PasswordPolicy::new("u@x")));
+    /// assert!(empty.is_untainted(), "no bytes, no label");
+    /// ```
     pub fn with_policy(text: impl Into<String>, policy: PolicyRef) -> Self {
         let mut s = TaintedString::from(text.into());
         s.add_policy(policy);
+        s
+    }
+
+    /// A string with `label` applied to every byte (same empty-string
+    /// contract as [`with_policy`](TaintedString::with_policy)).
+    pub fn with_label(text: impl Into<String>, label: Label) -> Self {
+        let mut s = TaintedString::from(text.into());
+        s.add_label(label);
         s
     }
 
@@ -66,6 +97,11 @@ impl TaintedString {
     // ---- policy management (Table 3: policy_add / policy_remove / policy_get) ----
 
     /// Attaches `policy` to every byte.
+    ///
+    /// Interns the policy once; after that the per-span work is label
+    /// arithmetic. On an **empty string this is a no-op** — policies attach
+    /// to bytes, and there are none (see
+    /// [`with_policy`](TaintedString::with_policy) for the full contract).
     pub fn add_policy(&mut self, policy: PolicyRef) {
         let len = self.len();
         self.spans.add_policy(0..len, policy);
@@ -78,10 +114,24 @@ impl TaintedString {
             .add_policy(range.start.min(len)..range.end.min(len), policy);
     }
 
-    /// Attaches every policy in `set` to every byte.
-    pub fn add_policies(&mut self, set: &PolicySet) {
+    /// Unions `label` into every byte (no-op on an empty string).
+    pub fn add_label(&mut self, label: Label) {
         let len = self.len();
-        self.spans.add_policies(0..len, set);
+        self.spans.add_label(0..len, label);
+    }
+
+    /// Unions `label` into the bytes in `range`.
+    pub fn add_label_range(&mut self, range: Range<usize>, label: Label) {
+        let len = self.len();
+        self.spans
+            .add_label(range.start.min(len)..range.end.min(len), label);
+    }
+
+    /// Attaches every policy in `set` to every byte.
+    #[deprecated(since = "0.3.0", note = "use `add_label`")]
+    #[allow(deprecated)]
+    pub fn add_policies(&mut self, set: &PolicySet) {
+        self.add_label(set.label());
     }
 
     /// Removes any policy equal to `policy` from every byte.
@@ -101,18 +151,34 @@ impl TaintedString {
         self.spans = SpanMap::new();
     }
 
-    /// The union of all policies attached anywhere in the string.
-    pub fn policies(&self) -> PolicySet {
+    /// The union of all labels attached anywhere in the string — memoized
+    /// label unions, O(spans) handle operations.
+    pub fn label(&self) -> Label {
         self.spans.union_all()
     }
 
-    /// The policy set of byte `idx` (empty if uncovered or out of range).
-    pub fn policies_at(&self, idx: usize) -> PolicySet {
+    /// The label of byte `idx` ([`Label::EMPTY`] if uncovered or out of
+    /// range).
+    pub fn label_at(&self, idx: usize) -> Label {
         self.spans.at(idx)
     }
 
-    /// Iterates `(byte_range, policies)` spans in order.
-    pub fn spans(&self) -> impl Iterator<Item = (Range<usize>, &PolicySet)> {
+    /// The union of all policies attached anywhere in the string.
+    #[deprecated(since = "0.3.0", note = "use `label`")]
+    #[allow(deprecated)]
+    pub fn policies(&self) -> PolicySet {
+        PolicySet::from_label(self.label())
+    }
+
+    /// The policy set of byte `idx` (empty if uncovered or out of range).
+    #[deprecated(since = "0.3.0", note = "use `label_at`")]
+    #[allow(deprecated)]
+    pub fn policies_at(&self, idx: usize) -> PolicySet {
+        PolicySet::from_label(self.label_at(idx))
+    }
+
+    /// Iterates `(byte_range, label)` spans in order.
+    pub fn spans(&self) -> impl Iterator<Item = (Range<usize>, Label)> + '_ {
         self.spans.iter()
     }
 
@@ -123,7 +189,7 @@ impl TaintedString {
 
     /// True if any byte carries a policy of type `T`.
     pub fn has_policy<T: Policy>(&self) -> bool {
-        self.spans.any_byte(self.len(), |s| s.has::<T>())
+        self.spans.any_byte(self.len(), |l| l.has::<T>())
     }
 
     /// True if *every* byte carries a policy of type `T`.
@@ -131,20 +197,20 @@ impl TaintedString {
     /// This is the check the script-injection import filter performs: each
     /// character of imported code must carry `CodeApproval` (Figure 6).
     pub fn all_bytes_have<T: Policy>(&self) -> bool {
-        self.spans.all_bytes(self.len(), |s| s.has::<T>())
+        self.spans.all_bytes(self.len(), |l| l.has::<T>())
     }
 
-    /// Byte ranges whose policy set satisfies `pred`.
+    /// Byte ranges whose label satisfies `pred`.
     pub fn ranges_where<F>(&self, pred: F) -> Vec<Range<usize>>
     where
-        F: Fn(&PolicySet) -> bool,
+        F: Fn(Label) -> bool,
     {
         self.spans.ranges_where(self.len(), pred)
     }
 
     /// Byte ranges that carry a `T` policy.
     pub fn ranges_with<T: Policy>(&self) -> Vec<Range<usize>> {
-        self.ranges_where(|s| s.has::<T>())
+        self.ranges_where(|l| l.has::<T>())
     }
 
     // ---- verbatim data movement (no merging, §3.4) ----
@@ -338,9 +404,8 @@ impl TaintedString {
             .trim()
             .parse()
             .map_err(|e| crate::error::FlowError::runtime(format!("not an integer: {e}")))?;
-        let sets: Vec<PolicySet> = self.spans.iter().map(|(_, s)| s.clone()).collect();
-        let merged = merge_many(sets.iter())?;
-        Ok(Tainted::with_policies(v, merged))
+        let merged = merge_many(self.spans.iter().map(|(_, l)| l))?;
+        Ok(Tainted::with_label(v, merged))
     }
 
     /// Consumes the string, dropping all policies (explicit declassify).
@@ -348,17 +413,15 @@ impl TaintedString {
         self.text
     }
 
-    /// Taint-aware equality: same text *and* same policy spans.
+    /// Taint-aware equality: same text *and* same policy spans. Span labels
+    /// are canonical handles, so this never compares policies structurally.
     pub fn taint_eq(&self, other: &TaintedString) -> bool {
         if self.text != other.text {
             return false;
         }
         let a: Vec<_> = self.spans.iter().collect();
         let b: Vec<_> = other.spans.iter().collect();
-        a.len() == b.len()
-            && a.iter()
-                .zip(b.iter())
-                .all(|((ra, pa), (rb, pb))| ra == rb && pa.set_eq(pb))
+        a == b
     }
 }
 
@@ -398,7 +461,7 @@ impl fmt::Debug for TaintedString {
         let spans: Vec<String> = self
             .spans
             .iter()
-            .map(|(r, s)| format!("{}..{}{:?}", r.start, r.end, s))
+            .map(|(r, l)| format!("{}..{}{:?}", r.start, r.end, l))
             .collect();
         if !spans.is_empty() {
             write!(f, " <{}>", spans.join(", "))?;
@@ -427,7 +490,7 @@ impl PartialEq<&str> for TaintedString {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policies::{HtmlSanitized, UntrustedData};
+    use crate::policies::{HtmlSanitized, PasswordPolicy, UntrustedData};
     use std::sync::Arc;
 
     fn untrusted(s: &str) -> TaintedString {
@@ -441,22 +504,23 @@ mod tests {
         let bar = TaintedString::with_policy("bar", Arc::new(HtmlSanitized::new()));
         let combined = foo.concat(&bar);
         assert_eq!(combined.as_str(), "foobar");
-        assert!(combined.policies_at(0).has::<UntrustedData>());
-        assert!(!combined.policies_at(0).has::<HtmlSanitized>());
-        assert!(combined.policies_at(3).has::<HtmlSanitized>());
-        assert!(!combined.policies_at(3).has::<UntrustedData>());
+        assert!(combined.label_at(0).has::<UntrustedData>());
+        assert!(!combined.label_at(0).has::<HtmlSanitized>());
+        assert!(combined.label_at(3).has::<HtmlSanitized>());
+        assert!(!combined.label_at(3).has::<UntrustedData>());
 
         let front = combined.slice(0..3);
         assert_eq!(front.as_str(), "foo");
-        assert!(front.policies().has::<UntrustedData>());
-        assert!(!front.policies().has::<HtmlSanitized>());
+        assert!(front.label().has::<UntrustedData>());
+        assert!(!front.label().has::<HtmlSanitized>());
     }
 
     #[test]
     fn untainted_fast_path() {
         let s = TaintedString::from("hello");
         assert!(s.is_untainted());
-        assert!(s.policies().is_empty());
+        assert!(s.label().is_empty());
+        assert_eq!(s.label(), Label::EMPTY);
         assert_eq!(s.len(), 5);
     }
 
@@ -465,8 +529,8 @@ mod tests {
         let mut s = untrusted("evil");
         s.push_str("-safe");
         assert_eq!(s.as_str(), "evil-safe");
-        assert!(s.policies_at(0).has::<UntrustedData>());
-        assert!(s.policies_at(4).is_empty());
+        assert!(s.label_at(0).has::<UntrustedData>());
+        assert!(s.label_at(4).is_empty());
     }
 
     #[test]
@@ -496,7 +560,7 @@ mod tests {
         s.add_policy_range(3..6, Arc::new(UntrustedData::new()));
         let r = s.replace("<b>", &TaintedString::from("&lt;b&gt;"));
         assert_eq!(r.as_str(), "hi &lt;b&gt;");
-        assert!(r.policies_at(0).is_empty());
+        assert!(r.label_at(0).is_empty());
         // The replacement text is untainted.
         assert!(!r.has_policy::<UntrustedData>());
     }
@@ -507,9 +571,9 @@ mod tests {
         let evil = untrusted("bob");
         let r = s.replace("NAME", &evil);
         assert_eq!(r.as_str(), "x=bob;");
-        assert!(r.policies_at(2).has::<UntrustedData>());
-        assert!(r.policies_at(0).is_empty());
-        assert!(r.policies_at(5).is_empty());
+        assert!(r.label_at(2).has::<UntrustedData>());
+        assert!(r.label_at(0).is_empty());
+        assert!(r.label_at(5).is_empty());
     }
 
     #[test]
@@ -570,7 +634,7 @@ mod tests {
         let s = untrusted("42");
         let v = s.to_int().unwrap();
         assert_eq!(v.value(), &42);
-        assert!(v.policies().has::<UntrustedData>());
+        assert!(v.label().has::<UntrustedData>());
         assert!(TaintedString::from("nope").to_int().is_err());
     }
 
@@ -604,5 +668,46 @@ mod tests {
     fn all_bytes_have_on_empty_string() {
         let s = TaintedString::new();
         assert!(s.all_bytes_have::<UntrustedData>(), "vacuously true");
+    }
+
+    #[test]
+    fn with_label_applies_whole_label() {
+        let l = Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef))
+            .union(Label::of(&(Arc::new(HtmlSanitized::new()) as PolicyRef)));
+        let s = TaintedString::with_label("xy", l);
+        assert_eq!(s.label(), l);
+        assert_eq!(s.label_at(1).len(), 2);
+    }
+
+    #[test]
+    fn empty_string_policy_is_noop_by_contract() {
+        // The documented contract: policies attach to bytes; an empty
+        // string has none, so the attach is silently a no-op.
+        let s = TaintedString::with_policy("", Arc::new(PasswordPolicy::new("u@x")));
+        assert!(s.is_untainted());
+        assert!(s.label().is_empty());
+
+        let mut t = TaintedString::new();
+        t.add_policy(Arc::new(PasswordPolicy::new("u@x")));
+        t.add_label(Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef)));
+        assert!(t.is_untainted());
+
+        // Concatenating an empty carrier propagates nothing.
+        let mut msg = TaintedString::from("hello");
+        msg.push_tainted(&s);
+        assert!(msg.is_untainted());
+        assert_eq!(msg.as_str(), "hello");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_policy_set_views_still_work() {
+        let s = untrusted("ab");
+        assert!(s.policies().has::<UntrustedData>());
+        assert!(s.policies_at(0).has::<UntrustedData>());
+        assert!(s.policies_at(9).is_empty());
+        let mut t = TaintedString::from("cd");
+        t.add_policies(&s.policies());
+        assert!(t.all_bytes_have::<UntrustedData>());
     }
 }

@@ -1,22 +1,25 @@
 //! Tainted scalar values.
 //!
-//! Scalars (integers, floats) cannot carry byte-range policies; they carry a
-//! single policy set for the whole datum. Combining two tainted scalars
-//! merges their policy sets through the merge engine (§3.4.2) — this is the
-//! "integer addition" row of Table 5.
+//! Scalars (integers, floats) cannot carry byte-range policies; they carry
+//! a single whole-datum [`Label`]. Combining two tainted scalars merges
+//! their labels through the merge engine (§3.4.2) — this is the "integer
+//! addition" row of Table 5. Since a `Label` is a 4-byte `Copy` handle,
+//! propagating it through `map`/`combine` costs nothing.
 
 use std::fmt;
 
 use crate::error::Result;
+use crate::label::Label;
 use crate::merge::merge_sets;
 use crate::policy::{Policy, PolicyRef};
+#[allow(deprecated)]
 use crate::policy_set::PolicySet;
 
-/// A scalar value labeled with a policy set.
-#[derive(Clone)]
+/// A scalar value labeled with an interned policy set.
+#[derive(Clone, Copy)]
 pub struct Tainted<T> {
     value: T,
-    policies: PolicySet,
+    label: Label,
 }
 
 impl<T> Tainted<T> {
@@ -24,7 +27,7 @@ impl<T> Tainted<T> {
     pub fn new(value: T) -> Self {
         Tainted {
             value,
-            policies: PolicySet::empty(),
+            label: Label::EMPTY,
         }
     }
 
@@ -32,13 +35,23 @@ impl<T> Tainted<T> {
     pub fn with_policy(value: T, policy: PolicyRef) -> Self {
         Tainted {
             value,
-            policies: PolicySet::single(policy),
+            label: Label::of(&policy),
         }
     }
 
+    /// Wraps a value with an existing label.
+    pub fn with_label(value: T, label: Label) -> Self {
+        Tainted { value, label }
+    }
+
     /// Wraps a value with an existing policy set.
+    #[deprecated(since = "0.3.0", note = "use `with_label`")]
+    #[allow(deprecated)]
     pub fn with_policies(value: T, policies: PolicySet) -> Self {
-        Tainted { value, policies }
+        Tainted {
+            value,
+            label: policies.label(),
+        }
     }
 
     /// The wrapped value.
@@ -51,46 +64,58 @@ impl<T> Tainted<T> {
         self.value
     }
 
+    /// The attached label.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
     /// The attached policy set.
-    pub fn policies(&self) -> &PolicySet {
-        &self.policies
+    #[deprecated(since = "0.3.0", note = "use `label`")]
+    #[allow(deprecated)]
+    pub fn policies(&self) -> PolicySet {
+        PolicySet::from_label(self.label)
     }
 
     /// Attaches a policy.
     pub fn add_policy(&mut self, policy: PolicyRef) {
-        self.policies.add(policy);
+        self.label = self.label.union(Label::of(&policy));
+    }
+
+    /// Unions a label in.
+    pub fn add_label(&mut self, label: Label) {
+        self.label = self.label.union(label);
     }
 
     /// Removes a policy.
     pub fn remove_policy(&mut self, policy: &PolicyRef) {
-        self.policies.remove(policy);
+        self.label = self.label.remove(crate::label::PolicyId::intern(policy));
     }
 
     /// True if a policy of type `P` is attached.
     pub fn has_policy<P: Policy>(&self) -> bool {
-        self.policies.has::<P>()
+        self.label.has::<P>()
     }
 
-    /// Maps the value, keeping the same policy set (unary operations
-    /// propagate labels unchanged).
+    /// Maps the value, keeping the same label (unary operations propagate
+    /// labels unchanged).
     pub fn map<U, F: FnOnce(&T) -> U>(&self, f: F) -> Tainted<U> {
         Tainted {
             value: f(&self.value),
-            policies: self.policies.clone(),
+            label: self.label,
         }
     }
 
-    /// Combines two tainted values with `f`, merging their policy sets.
+    /// Combines two tainted values with `f`, merging their labels.
     ///
     /// Fails if any policy's `merge` method vetoes the combination.
     pub fn combine<U, V, F>(&self, other: &Tainted<U>, f: F) -> Result<Tainted<V>>
     where
         F: FnOnce(&T, &U) -> V,
     {
-        let merged = merge_sets(&self.policies, &other.policies)?;
+        let merged = merge_sets(self.label, other.label)?;
         Ok(Tainted {
             value: f(&self.value, &other.value),
-            policies: merged,
+            label: merged,
         })
     }
 }
@@ -114,7 +139,7 @@ impl Tainted<i64> {
 
 impl<T: fmt::Debug> fmt::Debug for Tainted<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tainted({:?}, {:?})", self.value, self.policies)
+        write!(f, "Tainted({:?}, {:?})", self.value, self.label)
     }
 }
 
@@ -163,6 +188,7 @@ mod tests {
         let b = a.map(|v| v * 2);
         assert_eq!(b.value(), &20);
         assert!(b.has_policy::<UntrustedData>());
+        assert_eq!(a.label(), b.label(), "same interned handle");
     }
 
     #[test]
@@ -190,5 +216,14 @@ mod tests {
         a.remove_policy(&p);
         assert!(!a.has_policy::<UntrustedData>());
         assert_eq!(a.into_value(), 1);
+    }
+
+    #[test]
+    fn with_label_and_add_label() {
+        let l = Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef));
+        let mut a = Tainted::with_label(9i64, l);
+        assert_eq!(a.label(), l);
+        a.add_label(Label::EMPTY);
+        assert_eq!(a.label(), l);
     }
 }

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use resin_core::{
     merge_sets, register_policy_class, AuthenticData, CodeApproval, Context, CtxValue, EmptyPolicy,
-    Gate, GateKind, HtmlSanitized, PolicyRef, PolicySet, PolicyViolation, Runtime, SqlSanitized,
+    Gate, GateKind, HtmlSanitized, Label, PolicyRef, PolicyViolation, Runtime, SqlSanitized,
     TaintedString, UntrustedData,
 };
 use resin_vfs::{TrackingMode as VfsTracking, Vfs};
@@ -542,7 +542,7 @@ impl Interp {
                     BinOp::Mod => a % b,
                     _ => unreachable!(),
                 };
-                let pol = self.merge_int_policies(pa, pb)?;
+                let pol = self.merge_int_policies(*pa, *pb)?;
                 Ok(Value::Int(n, pol))
             }
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
@@ -576,7 +576,7 @@ impl Interp {
     fn add_values(&mut self, l: Value, r: Value) -> R<Value> {
         match (&l, &r) {
             (Value::Int(a, pa), Value::Int(b, pb)) => {
-                let pol = self.merge_int_policies(pa, pb)?;
+                let pol = self.merge_int_policies(*pa, *pb)?;
                 Ok(Value::Int(a.wrapping_add(*b), pol))
             }
             (Value::Str(_), _) | (_, Value::Str(_)) => {
@@ -600,9 +600,9 @@ impl Interp {
         }
     }
 
-    fn merge_int_policies(&self, pa: &PolicySet, pb: &PolicySet) -> R<PolicySet> {
+    fn merge_int_policies(&self, pa: Label, pb: Label) -> R<Label> {
         if self.tracking == Tracking::Off {
-            return Ok(PolicySet::empty());
+            return Ok(Label::EMPTY);
         }
         merge_sets(pa, pb).map_err(|e| {
             Flow::Error(LangError {
@@ -734,10 +734,7 @@ impl Interp {
                         s.add_policy(policy);
                         Ok(Value::Str(s))
                     }
-                    Value::Int(n, mut p) => {
-                        p.add(policy);
-                        Ok(Value::Int(n, p))
-                    }
+                    Value::Int(n, p) => Ok(Value::Int(n, p.union(Label::of(&policy)))),
                     other => Err(rt(format!(
                         "policy_add: cannot label {}",
                         other.type_name()
@@ -750,6 +747,7 @@ impl Interp {
                 match args.remove(0) {
                     Value::Str(mut s) => {
                         let to_remove: Vec<PolicyRef> = s
+                            .label()
                             .policies()
                             .iter()
                             .filter(|p| p.name() == cname.as_str())
@@ -761,11 +759,7 @@ impl Interp {
                         Ok(Value::Str(s))
                     }
                     Value::Int(n, p) => {
-                        let kept: PolicySet = p
-                            .iter()
-                            .filter(|q| q.name() != cname.as_str())
-                            .cloned()
-                            .collect();
+                        let kept = p.retain(|q| q.name() != cname.as_str());
                         Ok(Value::Int(n, kept))
                     }
                     other => Err(rt(format!(
@@ -776,13 +770,15 @@ impl Interp {
             }
             "policy_get" => {
                 arity(1)?;
-                let set = match &args[0] {
-                    Value::Str(s) => s.policies(),
-                    Value::Int(_, p) => p.clone(),
-                    _ => PolicySet::empty(),
+                let label = match &args[0] {
+                    Value::Str(s) => s.label(),
+                    Value::Int(_, p) => *p,
+                    _ => Label::EMPTY,
                 };
                 Ok(Value::new_array(
-                    set.iter()
+                    label
+                        .policies()
+                        .iter()
                         .map(|p| Value::str(p.name().to_string()))
                         .collect(),
                 ))
@@ -859,7 +855,7 @@ impl Interp {
             "int" => {
                 arity(1)?;
                 match &args[0] {
-                    Value::Int(n, p) => Ok(Value::Int(*n, p.clone())),
+                    Value::Int(n, p) => Ok(Value::Int(*n, *p)),
                     Value::Str(s) => {
                         if self.tracking == Tracking::Off {
                             let n: i64 =
@@ -875,7 +871,7 @@ impl Interp {
                                 violation: e.is_violation(),
                             })
                         })?;
-                        Ok(Value::Int(*t.value(), t.policies().clone()))
+                        Ok(Value::Int(*t.value(), t.label()))
                     }
                     Value::Bool(b) => Ok(Value::int(*b as i64)),
                     other => Err(rt(format!("int: unsupported {}", other.type_name()))),
@@ -1208,8 +1204,8 @@ mod tests {
         let Value::Str(msg) = i.globals.get("msg").unwrap() else {
             panic!()
         };
-        assert!(msg.policies_at(0).is_empty());
-        assert!(msg.policies_at(11).has::<UntrustedData>());
+        assert!(msg.label_at(0).is_empty());
+        assert!(msg.label_at(11).has::<UntrustedData>());
     }
 
     #[test]
@@ -1247,6 +1243,38 @@ mod tests {
             .unwrap_err();
         assert!(err.violation, "{err}");
         assert_eq!(i.http_output(), "", "nothing leaked");
+    }
+
+    #[test]
+    fn same_named_script_policies_keep_their_own_behaviour() {
+        // Two interpreters define a class with the same name and the same
+        // fields but opposite export_check bodies. The global interner
+        // must not canonicalize the second policy to the first class's
+        // code (the class Arc is the intern discriminator).
+        let mut permissive = Interp::new();
+        permissive
+            .run(
+                r#"class Gatekeeper {
+                     fn init(tag) { this.tag = tag; }
+                     fn export_check(context) { return; }
+                   }
+                   echo(policy_add("ok", new Gatekeeper("t")));"#,
+            )
+            .unwrap();
+        assert_eq!(permissive.http_output(), "ok");
+
+        let mut strict = Interp::new();
+        let err = strict
+            .run(
+                r#"class Gatekeeper {
+                     fn init(tag) { this.tag = tag; }
+                     fn export_check(context) { throw "never"; }
+                   }
+                   echo(policy_add("no", new Gatekeeper("t")));"#,
+            )
+            .unwrap_err();
+        assert!(err.violation, "strict class must enforce its own code");
+        assert_eq!(strict.http_output(), "", "nothing leaked");
     }
 
     #[test]

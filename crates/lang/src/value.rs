@@ -3,9 +3,10 @@
 //! The key reproduction detail from §4: the runtime's internal
 //! representation of a datum carries a pointer to a set of policy objects.
 //! In RSL, `Value::Str` carries byte-range policies via
-//! [`TaintedString`], and `Value::Int` carries a whole-datum [`PolicySet`]
-//! (integers cannot do byte-level tracking — the paper's integer-addition
-//! microbenchmark measures exactly this path).
+//! [`TaintedString`], and `Value::Int` carries a whole-datum interned
+//! [`Label`] (integers cannot do byte-level tracking — the paper's
+//! integer-addition microbenchmark measures exactly this path). A label is
+//! a 4-byte `Copy` handle, so integer propagation costs nothing.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -13,7 +14,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use resin_core::{Context, PolicySet, PolicyViolation, TaintedString};
+use resin_core::{Context, Label, PolicyViolation, TaintedString};
 
 use crate::ast::{ClassDecl, FnDecl};
 
@@ -24,8 +25,8 @@ pub enum Value {
     Null,
     /// Boolean.
     Bool(bool),
-    /// Integer with its policy set.
-    Int(i64, PolicySet),
+    /// Integer with its interned policy label.
+    Int(i64, Label),
     /// String with byte-range policies.
     Str(TaintedString),
     /// Mutable array (reference semantics).
@@ -47,7 +48,7 @@ pub struct Obj {
 impl Value {
     /// Integer without policies.
     pub fn int(n: i64) -> Value {
-        Value::Int(n, PolicySet::empty())
+        Value::Int(n, Label::EMPTY)
     }
 
     /// String from plain text.
@@ -114,7 +115,7 @@ impl Value {
             Value::Bool(b) => TaintedString::from(if *b { "true" } else { "false" }),
             Value::Int(n, pol) => {
                 let mut s = TaintedString::from(n.to_string());
-                s.add_policies(pol);
+                s.add_label(*pol);
                 s
             }
             Value::Str(s) => s.clone(),
@@ -313,6 +314,16 @@ impl resin_core::Policy for ScriptPolicy {
             .iter()
             .map(|(k, v)| (k.clone(), v.encode()))
             .collect()
+    }
+
+    /// A script policy's behaviour lives in the captured class AST, not in
+    /// its fields, so two same-named, same-field policies from *different*
+    /// class declarations (two scripts, two interpreter instances) must not
+    /// intern to one id. The class `Arc` address is a sound discriminator:
+    /// the interner keeps the policy — and hence the `Arc` — alive for the
+    /// process lifetime, so the address is never reused.
+    fn intern_discriminator(&self) -> u64 {
+        self.class.as_ref().map_or(0, |c| Arc::as_ptr(c) as u64)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

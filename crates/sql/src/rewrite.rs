@@ -23,8 +23,9 @@
 use std::ops::Range;
 
 use resin_core::{
-    deserialize_set, deserialize_spans, serialize_set, serialize_spans, Context, Filter, FlowError,
-    Gate, GateKind, PolicyViolation, Runtime, SqlSanitized, Tainted, TaintedString, UntrustedData,
+    deserialize_label, deserialize_spans, serialize_label, serialize_spans, Context, Filter,
+    FlowError, Gate, GateKind, Label, PolicyViolation, Runtime, SqlSanitized, Tainted,
+    TaintedString, UntrustedData,
 };
 
 use crate::ast::{ColumnDef, ColumnType, Expr, LitValue, Literal, Projection, Statement};
@@ -100,7 +101,7 @@ impl TCell {
             TCell::Null => TaintedString::new(),
             TCell::Int(i) => {
                 let mut s = TaintedString::from(i.value().to_string());
-                s.add_policies(i.policies());
+                s.add_label(i.label());
                 s
             }
             TCell::Text(t) => t.clone(),
@@ -174,7 +175,7 @@ fn guard_query(mode: GuardMode, sql: TaintedString) -> Result<TaintedString> {
     match mode {
         GuardMode::Off => Ok(sql),
         GuardMode::MarkerCheck => {
-            let bad = sql.ranges_where(|s| s.has::<UntrustedData>() && !s.has::<SqlSanitized>());
+            let bad = sql.ranges_where(|l| l.has::<UntrustedData>() && !l.has::<SqlSanitized>());
             if let Some(r) = bad.first() {
                 let snippet = sql.slice(r.clone());
                 return Err(PolicyViolation::new(
@@ -501,11 +502,11 @@ fn policy_blob_for(sql: &TaintedString, expr: &Expr) -> String {
             }
         }
         LitValue::Int(_) => {
-            let pol = sql.slice(lit.span.clone()).policies();
-            if pol.is_empty() {
+            let label = sql.slice(lit.span.clone()).label();
+            if label.is_empty() {
                 String::new()
             } else {
-                serialize_set(&pol)
+                serialize_label(label)
             }
         }
         LitValue::Null => String::new(),
@@ -517,12 +518,12 @@ fn revive_cell(data: &Value, policy: &Value) -> Result<TCell> {
     Ok(match data {
         Value::Null => TCell::Null,
         Value::Int(i) => {
-            let set = if blob.is_empty() {
-                resin_core::PolicySet::empty()
+            let label = if blob.is_empty() {
+                Label::EMPTY
             } else {
-                deserialize_set(blob)?
+                deserialize_label(blob)?
             };
-            TCell::Int(Tainted::with_policies(*i, set))
+            TCell::Int(Tainted::with_label(*i, label))
         }
         Value::Text(s) => {
             if blob.is_empty() {
@@ -557,7 +558,7 @@ fn plain_result(res: QueryResult) -> TaintedResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use resin_core::{PasswordPolicy, PolicySet};
+    use resin_core::PasswordPolicy;
     use std::sync::Arc;
 
     fn untrusted(s: &str) -> TaintedString {
@@ -822,8 +823,8 @@ mod tests {
         let r = db.query_str("SELECT name, pw FROM users").unwrap();
         assert!(r.cell(0, "pw").unwrap().is_null());
         assert_eq!(
-            r.cell(0, "name").unwrap().as_text().unwrap().policies(),
-            PolicySet::empty()
+            r.cell(0, "name").unwrap().as_text().unwrap().label(),
+            Label::EMPTY
         );
     }
 }

@@ -77,15 +77,14 @@ pub fn lex_tainted(query: &TaintedString, tolerant: bool) -> Result<Vec<Token>> 
     }
 }
 
-fn is_untrusted_at(query: Option<&TaintedString>, pos: usize) -> bool {
-    match query {
-        Some(q) => q.policies_at(pos).has::<UntrustedData>(),
-        None => false,
-    }
-}
-
 fn lex_inner(src: &str, taint: Option<&TaintedString>) -> Result<Vec<Token>> {
     let bytes = src.as_bytes();
+    // Resolve the untrusted ranges once (tolerant mode only) instead of a
+    // label-table hit per quote position.
+    let untrusted: Vec<std::ops::Range<usize>> = taint
+        .map(|q| q.ranges_with::<UntrustedData>())
+        .unwrap_or_default();
+    let is_untrusted_at = |pos: usize| untrusted.iter().any(|r| r.contains(&pos));
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < bytes.len() {
@@ -166,7 +165,7 @@ fn lex_inner(src: &str, taint: Option<&TaintedString>) -> Result<Vec<Token>> {
                         }
                         Some(b'\'') => {
                             // Tolerant mode: an *untrusted* quote is data.
-                            if is_untrusted_at(taint, i) {
+                            if is_untrusted_at(i) {
                                 content.push('\'');
                                 i += 1;
                                 continue;

@@ -649,8 +649,8 @@ mod tests {
         // Reading revives the policy at the same byte range.
         let back = fs.read_file("/data/pw.txt", &anon()).unwrap();
         assert!(back.taint_eq(&secret));
-        assert!(back.policies_at(0).is_empty());
-        assert!(back.policies_at(5).has::<PasswordPolicy>());
+        assert!(back.label_at(0).is_empty());
+        assert!(back.label_at(5).has::<PasswordPolicy>());
     }
 
     #[test]
@@ -703,8 +703,8 @@ mod tests {
         fs.append_file("/d/log", &t, &anon()).unwrap();
         let back = fs.read_file("/d/log", &anon()).unwrap();
         assert_eq!(back.as_str(), "plain:tainted");
-        assert!(back.policies_at(0).is_empty());
-        assert!(back.policies_at(6).has::<UntrustedData>());
+        assert!(back.label_at(0).is_empty());
+        assert!(back.label_at(6).has::<UntrustedData>());
     }
 
     #[test]
@@ -848,10 +848,12 @@ mod tests {
         let page = TaintedString::with_policy("wiki text", Arc::new(PagePolicy::new(acl)));
         fs.write_file("/wiki/Front", &page, &anon()).unwrap();
         let back = fs.read_file("/wiki/Front", &anon()).unwrap();
-        let pol = back.policies();
+        let pol = back.label();
         assert!(pol.has::<PagePolicy>());
-        assert!(pol
-            .find::<PagePolicy>()
+        let policies = pol.policies();
+        assert!(policies
+            .iter()
+            .find_map(|p| p.as_any().downcast_ref::<PagePolicy>())
             .unwrap()
             .acl()
             .may("alice", Right::Read));

@@ -3,9 +3,9 @@
 //! disclosure vulnerability of §2.
 //!
 //! RESIN annotates each outgoing-email filter object with the message's
-//! recipient (§3.2.1), which is what lets
-//! [`resin_core::PasswordPolicy::export_check`] decide whether the flow is
-//! the legitimate reminder (to the account holder) or a leak.
+//! recipient (§3.2.1), which is what lets the `export_check` of
+//! [`resin_core::PasswordPolicy`] decide whether the flow is the
+//! legitimate reminder (to the account holder) or a leak.
 
 use resin_core::{GateKind, Result, Runtime, TaintedString};
 

@@ -32,7 +32,7 @@ pub fn html_escape(input: &TaintedString) -> TaintedString {
 
 /// Strategy 1: every untrusted byte must carry the sanitizer's marker.
 pub fn check_html_markers(output: &TaintedString) -> Result<()> {
-    let bad = output.ranges_where(|s| s.has::<UntrustedData>() && !s.has::<HtmlSanitized>());
+    let bad = output.ranges_where(|l| l.has::<UntrustedData>() && !l.has::<HtmlSanitized>());
     if let Some(r) = bad.first() {
         let snippet = output.slice(r.clone());
         return Err(PolicyViolation::new(
@@ -59,6 +59,9 @@ pub fn check_html_markers(output: &TaintedString) -> Result<()> {
 pub fn check_html_structure(output: &TaintedString) -> Result<()> {
     let bytes = output.as_str().as_bytes();
     let lower = output.as_str().to_ascii_lowercase();
+    // Resolve the untrusted ranges once (a handful of coalesced spans)
+    // instead of a label-table hit per byte.
+    let untrusted = output.ranges_with::<UntrustedData>();
     let mut in_tag = false;
     let mut in_script = false;
     let mut i = 0usize;
@@ -74,7 +77,7 @@ pub fn check_html_structure(output: &TaintedString) -> Result<()> {
             }
         }
         let structural = in_tag || in_script || c == b'<' || c == b'>';
-        if structural && output.policies_at(i).has::<UntrustedData>() {
+        if structural && untrusted.iter().any(|r| r.contains(&i)) {
             return Err(PolicyViolation::new(
                 "XssGuard",
                 format!("untrusted data in HTML structure at byte {i}"),

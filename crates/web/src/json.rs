@@ -48,11 +48,13 @@ fn escape_plain(s: &str) -> String {
 /// literals) carries untrusted bytes.
 pub fn check_json_structure(json: &TaintedString) -> Result<()> {
     let bytes = json.as_str().as_bytes();
+    // Resolve the untrusted ranges once instead of per byte.
+    let untrusted = json.ranges_with::<UntrustedData>();
     let mut in_str = false;
     let mut escaped = false;
     for (i, &b) in bytes.iter().enumerate() {
         let structural = !in_str || b == b'"';
-        if structural && json.policies_at(i).has::<UntrustedData>() {
+        if structural && untrusted.iter().any(|r| r.contains(&i)) {
             return Err(PolicyViolation::new(
                 "JsonGuard",
                 format!("untrusted data in JSON structure at byte {i}"),

@@ -151,8 +151,11 @@ mod tests {
     #[test]
     fn source_recorded() {
         let r = Request::get("/").with_param("q", "x");
-        let pol = r.param("q").unwrap().policies();
-        let u = pol.find::<UntrustedData>().unwrap();
+        let pol = r.param("q").unwrap().label().policies();
+        let u = pol
+            .iter()
+            .find_map(|p| p.as_any().downcast_ref::<UntrustedData>())
+            .unwrap();
         assert_eq!(u.source(), Some("http_param"));
     }
 }

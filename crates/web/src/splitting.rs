@@ -13,10 +13,12 @@ use resin_core::{PolicyViolation, Result, TaintedString, UntrustedData};
 /// [`UntrustedData`].
 pub fn check_header_splitting(value: &TaintedString) -> Result<()> {
     let text = value.as_str();
+    // Resolve the untrusted ranges once instead of per byte.
+    let untrusted = value.ranges_with::<UntrustedData>();
     let mut from = 0usize;
     while let Some(pos) = text[from..].find("\r\n\r\n") {
         let start = from + pos;
-        let tainted = (start..start + 4).any(|i| value.policies_at(i).has::<UntrustedData>());
+        let tainted = (start..start + 4).any(|i| untrusted.iter().any(|r| r.contains(&i)));
         if tainted {
             return Err(PolicyViolation::new(
                 "HttpSplitGuard",

@@ -52,9 +52,10 @@ mod tests {
         let r = w.lookup("example.com");
         assert_eq!(r.as_str(), "Registrant: Example Corp");
         assert!(r.all_bytes_have::<UntrustedData>());
-        let u = r
-            .policies()
-            .find::<UntrustedData>()
+        let policies = r.label().policies();
+        let u = policies
+            .iter()
+            .find_map(|p| p.as_any().downcast_ref::<UntrustedData>())
             .unwrap()
             .source()
             .map(String::from);

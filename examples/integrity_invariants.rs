@@ -76,6 +76,6 @@ fn main() {
     let digest_input = hash_exit.export(pw).unwrap();
     println!(
         "hash boundary declassified: {} policies remain",
-        digest_input.policies().len()
+        digest_input.label().len()
     );
 }

@@ -22,8 +22,8 @@ fn main() {
     println!("composed email body ({} bytes)", email_body.len());
     println!("  policies anywhere: {:?}", policy_get(&email_body));
     println!(
-        "  byte 0 policies: {:?} (the greeting is not sensitive)",
-        email_body.policies_at(0)
+        "  byte 0 label: {:?} (the greeting is not sensitive)",
+        email_body.label_at(0)
     );
 
     // 3. GATES — boundaries check assertions on export. The runtime's
@@ -61,6 +61,6 @@ fn main() {
     );
     let combined = greeting.concat(&TaintedString::from("world"));
     let world = combined.slice(6..11);
-    assert!(world.policies().is_empty());
+    assert!(world.label().is_empty());
     println!("byte-level tracking: slice of clean bytes is clean");
 }

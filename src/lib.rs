@@ -4,23 +4,24 @@
 //! Kaashoek — *Improving Application Security with Data Flow Assertions*,
 //! SOSP 2009). This meta-crate re-exports the whole workspace:
 //!
-//! * [`core`](resin_core) — policy objects, byte-range data tracking,
-//!   filter objects, channels, persistent-policy serialization.
-//! * [`vfs`](resin_vfs) — a filesystem with extended attributes,
-//!   persistent policies, and persistent write-access filters.
-//! * [`sql`](resin_sql) — a SQL engine with policy-column rewriting and
-//!   the SQL-injection guards.
-//! * [`web`](resin_web) — HTTP/email channels, sanitizers, XSS guards,
-//!   output buffering, RESIN-aware static file serving.
-//! * [`lang`](resin_lang) — RSL, a scripting language whose interpreter
-//!   carries RESIN tracking (the modified-PHP stand-in).
-//! * [`apps`](resin_apps) — the evaluation applications of Table 4 with
-//!   wired-in vulnerabilities and assertions.
+//! * [`core`] — policy objects, interned policy labels, byte-range data
+//!   tracking, filter objects, gates, persistent-policy serialization.
+//! * [`vfs`] — a filesystem with extended attributes, persistent
+//!   policies, and persistent write-access filters.
+//! * [`sql`] — a SQL engine with policy-column rewriting and the
+//!   SQL-injection guards.
+//! * [`web`] — HTTP/email gates, sanitizers, XSS guards, output
+//!   buffering, RESIN-aware static file serving.
+//! * [`lang`] — RSL, a scripting language whose interpreter carries
+//!   RESIN tracking (the modified-PHP stand-in).
+//! * [`apps`] — the evaluation applications of Table 4 with wired-in
+//!   vulnerabilities and assertions.
 //!
 //! All boundaries go through one abstraction: the
 //! [`Gate`](resin_core::Gate), resolved from the
-//! [`Runtime`](resin_core::Runtime)'s registry. See `README.md` for a
-//! tour of the API and the crate map.
+//! [`Runtime`](resin_core::Runtime)'s registry; every datum carries an
+//! interned [`Label`](resin_core::Label) handle for its policy set. See
+//! `README.md` for a tour of the API and the crate map.
 
 pub use resin_apps as apps;
 pub use resin_core as core;

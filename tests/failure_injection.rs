@@ -83,7 +83,7 @@ fn sql_policy_column_tampering_fails_select() {
         .unwrap();
     // Rebuild a ResinDb around equivalent state by replay: verify the
     // deserializer rejects the corrupt blob directly instead.
-    let err = resin::core::deserialize_set("corrupt{").unwrap_err();
+    let err = resin::core::deserialize_label("corrupt{").unwrap_err();
     assert!(err.to_string().contains("corrupt") || !err.to_string().is_empty());
 }
 

@@ -1,6 +1,6 @@
-//! Integration suite for the v2 `Gate` API: builder composition, deny vs
-//! strip rules, filter-chain ordering, registry lookup, and the deprecated
-//! v1 shims (`Channel`, `InternalBoundary`) delegating correctly.
+//! Integration suite for the `Gate` API: builder composition, deny vs
+//! strip rules, filter-chain ordering, registry lookup, and interned
+//! labels flowing through gate boundaries.
 
 use std::sync::{Arc, Mutex};
 
@@ -87,7 +87,7 @@ fn deny_and_strip_compose_on_one_gate() {
         .deny::<UntrustedData>()
         .strip::<PasswordPolicy>();
     // Password: stripped, allowed.
-    assert!(gate.export(password("u@x")).unwrap().policies().is_empty());
+    assert!(gate.export(password("u@x")).unwrap().label().is_empty());
     // Untrusted: denied even though another rule would strip.
     let evil = TaintedString::with_policy("x", Arc::new(UntrustedData::new()));
     assert!(gate.export(evil).is_err());
@@ -268,46 +268,48 @@ fn unregistered_custom_surface_falls_back_guarded() {
     assert!(gate.write(password("u@x")).is_err());
 }
 
-// ---- deprecated v1 shims ----
+// ---- interned labels across gates ----
 
 #[test]
-#[allow(deprecated)]
-fn channel_shim_delegates_to_gate() {
-    // `Channel` is a type alias for `Gate`: same construction, same checks.
-    let mut ch = Channel::new(ChannelKind::Http);
-    assert!(ch.write(password("u@x")).is_err());
-    ch.write_str("ok").unwrap();
-    assert_eq!(ch.output_text(), "ok");
+fn labels_survive_gate_transit_with_same_handle() {
+    // A label is a canonical handle: the data that crosses a gate carries
+    // the *same* interned label out the other side.
+    let mut body = TaintedString::from("pfx ");
+    body.push_tainted(&password("u@x"));
+    let label = body.label();
 
-    let mut mail = Channel::new(ChannelKind::Email);
-    mail.context_mut().set_str("email", "u@x");
-    mail.write(password("u@x")).unwrap();
-    assert_eq!(mail.output_text(), "s3cret");
-
-    // The alias really is the same type.
-    let as_gate: Gate = Channel::unguarded(ChannelKind::Socket);
-    assert_eq!(as_gate.kind(), &GateKind::Socket);
+    let mut mail = Gate::builder(GateKind::Email)
+        .context("email", "u@x")
+        .build();
+    mail.write(body).unwrap();
+    assert_eq!(mail.output()[0].label(), label, "same handle after transit");
 }
 
 #[test]
-#[allow(deprecated)]
-fn internal_boundary_shim_delegates_to_gate() {
-    use resin::core::boundary::InternalBoundary;
-
-    let deny = InternalBoundary::new("auth").deny::<PasswordPolicy>();
-    assert!(deny.export(password("u@x")).unwrap_err().is_violation());
-    assert_eq!(deny.as_gate().name(), Some("auth"));
-
-    let strip = InternalBoundary::new("auth.hash").strip::<PasswordPolicy>();
-    let out = strip.export(password("u@x")).unwrap();
-    assert!(!out.has_policy::<PasswordPolicy>());
+fn strip_rule_rewrites_labels() {
+    let gate = Gate::internal("auth.hash").strip::<PasswordPolicy>();
+    let mut data = password("u@x");
+    data.add_policy(Arc::new(UntrustedData::new()));
+    let out = gate.export(data).unwrap();
+    let label = out.label();
+    assert!(!label.has::<PasswordPolicy>(), "stripped");
+    assert!(label.has::<UntrustedData>(), "unrelated policy kept");
+    assert_eq!(
+        label,
+        Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef)),
+        "canonical single-policy label"
+    );
 }
 
 #[test]
-#[allow(deprecated)]
-fn resin_error_alias_matches_flow_error() {
-    let e: ResinError = FlowError::denied("P", "m");
-    assert!(e.is_violation());
-    // Same type, so the new variants match through the old name.
-    assert!(matches!(e, ResinError::Denied(_)));
+fn policy_set_compat_view_mirrors_labels() {
+    // The deprecated PolicySet view and the Label API agree.
+    #[allow(deprecated)]
+    {
+        let data = password("u@x");
+        let set: PolicySet = PolicySet::from_label(data.label());
+        assert!(set.has::<PasswordPolicy>());
+        assert_eq!(set.label(), data.label());
+        assert!(set.set_eq(&PolicySet::from_label(password("u@x").label())));
+    }
 }

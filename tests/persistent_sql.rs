@@ -37,8 +37,11 @@ fn figure4_roundtrip_preserves_policy() {
         pw.has_policy::<PasswordPolicy>(),
         "policy revived from the policy column"
     );
-    let p = pw.policies();
-    let p = p.find::<PasswordPolicy>().unwrap();
+    let policies = pw.label().policies();
+    let p = policies
+        .iter()
+        .find_map(|p| downcast_policy::<PasswordPolicy>(p))
+        .unwrap();
     assert_eq!(p.email(), "victim@foo.com");
 }
 

@@ -85,25 +85,105 @@ proptest! {
     }
 
     /// Merging is commutative for the stock policies (union + intersection
-    /// strategies).
+    /// strategies). Since labels are canonical, commutativity is handle
+    /// equality.
     #[test]
     fn merge_commutative(has_u1 in any::<bool>(), has_a1 in any::<bool>(),
                          has_u2 in any::<bool>(), has_a2 in any::<bool>()) {
         let mk = |u: bool, a: bool| {
-            let mut s = PolicySet::empty();
-            if u { s.add(Arc::new(UntrustedData::new())); }
-            if a { s.add(Arc::new(AuthenticData::new())); }
-            s
+            let mut l = Label::EMPTY;
+            if u { l = l.union(Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef))); }
+            if a { l = l.union(Label::of(&(Arc::new(AuthenticData::new()) as PolicyRef))); }
+            l
         };
-        let s1 = mk(has_u1, has_a1);
-        let s2 = mk(has_u2, has_a2);
-        let m12 = merge_sets(&s1, &s2).unwrap();
-        let m21 = merge_sets(&s2, &s1).unwrap();
-        prop_assert!(m12.set_eq(&m21));
+        let l1 = mk(has_u1, has_a1);
+        let l2 = mk(has_u2, has_a2);
+        let m12 = merge_sets(l1, l2).unwrap();
+        let m21 = merge_sets(l2, l1).unwrap();
+        prop_assert_eq!(m12, m21);
         // Union strategy: untrusted iff either side was.
         prop_assert_eq!(m12.has::<UntrustedData>(), has_u1 || has_u2);
         // Intersection strategy: authentic iff both sides were.
         prop_assert_eq!(m12.has::<AuthenticData>(), has_a1 && has_a2);
+    }
+
+    /// Label union is idempotent, commutative, and associative, and label
+    /// equality holds exactly when the underlying policy sets are equal —
+    /// for arbitrary subsets of a pool of distinct policies.
+    #[test]
+    fn label_union_laws(picks_a in prop::collection::vec(0usize..6, 0..6),
+                        picks_b in prop::collection::vec(0usize..6, 0..6),
+                        picks_c in prop::collection::vec(0usize..6, 0..6)) {
+        let pool: Vec<PolicyRef> = vec![
+            Arc::new(UntrustedData::new()),
+            Arc::new(UntrustedData::from_source("whois")),
+            Arc::new(AuthenticData::new()),
+            Arc::new(SqlSanitized::new()),
+            Arc::new(HtmlSanitized::new()),
+            Arc::new(PasswordPolicy::new("law@x")),
+        ];
+        let mk = |picks: &[usize]| {
+            let mut l = Label::EMPTY;
+            for &i in picks { l = l.union(Label::of(&pool[i])); }
+            l
+        };
+        let (a, b, c) = (mk(&picks_a), mk(&picks_b), mk(&picks_c));
+        // Idempotent / identity.
+        prop_assert_eq!(a.union(a), a);
+        prop_assert_eq!(a.union(Label::EMPTY), a);
+        // Commutative / associative.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+        // Label equality ⇔ policy-set equality.
+        let set_of = |l: Label| {
+            let mut ids: Vec<_> = l.ids().to_vec();
+            ids.sort();
+            ids
+        };
+        prop_assert_eq!(a == b, set_of(a) == set_of(b));
+        // Membership after union.
+        for &i in picks_a.iter().chain(&picks_b) {
+            prop_assert!(a.union(b).contains_policy(&pool[i]) ||
+                         !(picks_a.contains(&i) || picks_b.contains(&i)));
+        }
+    }
+
+    /// The interner round-trips through the persistent-policy serializer:
+    /// deserializing a serialized label yields the *same handle*.
+    #[test]
+    fn label_serializer_roundtrip(picks in prop::collection::vec(0usize..6, 0..6)) {
+        let pool: Vec<PolicyRef> = vec![
+            Arc::new(UntrustedData::new()),
+            Arc::new(UntrustedData::from_source("upload")),
+            Arc::new(AuthenticData::new()),
+            Arc::new(SqlSanitized::new()),
+            Arc::new(HtmlSanitized::new()),
+            Arc::new(PasswordPolicy::new("rt@x")),
+        ];
+        let mut label = Label::EMPTY;
+        for &i in &picks { label = label.union(Label::of(&pool[i])); }
+        let s = serialize_label(label);
+        let back = deserialize_label(&s).unwrap();
+        prop_assert_eq!(back, label);
+    }
+
+    /// Interned span serialization round-trips arbitrary taint layouts and
+    /// persists each distinct policy body exactly once.
+    #[test]
+    fn interned_spans_dedup_table(
+        text in "[a-z]{8,32}",
+        ranges in prop::collection::vec((0usize..32, 0usize..32), 1..5),
+    ) {
+        let mut data = TaintedString::from(text.as_str());
+        for (a, b) in ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            data.add_policy_range(lo..hi, Arc::new(UntrustedData::new()));
+        }
+        let spans = serialize_spans(&data);
+        let back = deserialize_spans(data.as_str(), &spans).unwrap();
+        prop_assert!(back.taint_eq(&data));
+        prop_assert!(spans.matches("UntrustedData").count() <= 1,
+                     "policy body persisted at most once: {}", spans);
     }
 
     /// SQL: a stored tainted cell always comes back with its policy, for
