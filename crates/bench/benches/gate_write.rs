@@ -66,6 +66,35 @@ fn gate_write(c: &mut Criterion) {
         });
     });
 
+    // Zero-copy write: the borrowed export path. With capture on the
+    // output copy remains; with capture off nothing is cloned at all.
+    let mut by_ref = Gate::new(GateKind::Http);
+    g.bench_function(BenchmarkId::from_parameter("guarded_plain_ref"), |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                by_ref.write_ref(&plain).unwrap();
+                by_ref.clear_output();
+            }
+        });
+    });
+    let mut by_ref_nocap = Gate::builder(GateKind::Http).capture(false).build();
+    g.bench_function(BenchmarkId::from_parameter("guarded_no_capture_ref"), |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                by_ref_nocap.write_ref(&plain).unwrap();
+            }
+        });
+    });
+    let mut tainted_ref = Gate::new(GateKind::Http);
+    g.bench_function(BenchmarkId::from_parameter("guarded_tainted_ref"), |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                tainted_ref.write_ref(&tainted).unwrap();
+                tainted_ref.clear_output();
+            }
+        });
+    });
+
     // Distinct-policy scaling: with interned labels, a guarded write over 8
     // distinct policies must stay within ~1.3x of the single-policy cost
     // (the old PolicySet path grew linearly in structural comparisons).

@@ -1,0 +1,106 @@
+//! Tainted-string composition microbench: the page/query-assembly hot path.
+//!
+//! Tracks the cost of building one output out of many tainted fragments —
+//! the workload the `TaintedStrBuilder` and the structural `SpanMap`
+//! invariants exist for. `concat_all` at 1k fragments is the headline
+//! number in BENCH_*.json.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resin_core::prelude::*;
+
+/// Alternating tainted/untainted fragments, `n` of them, 16 bytes each.
+fn fragments(n: usize) -> Vec<TaintedString> {
+    (0..n)
+        .map(|i| {
+            let text = format!("frag-{i:04}-payload");
+            if i % 2 == 0 {
+                TaintedString::with_policy(
+                    text,
+                    Arc::new(UntrustedData::from_source(format!("src-{}", i % 4))),
+                )
+            } else {
+                TaintedString::from(text)
+            }
+        })
+        .collect()
+}
+
+fn string_builder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("string_builder");
+
+    for n in [16usize, 256, 1_000] {
+        let parts = fragments(n);
+        g.throughput(Throughput::Elements(n as u64));
+
+        // The concat entry point the interpreter / web / sql layers use.
+        g.bench_function(BenchmarkId::new("concat_all", n), |b| {
+            b.iter(|| TaintedString::concat_all(parts.iter()));
+        });
+
+        // Naive left-fold `concat` (clone per step): the shape of the
+        // unconverted application loop.
+        g.bench_function(BenchmarkId::new("fold_concat", n), |b| {
+            b.iter(|| {
+                let mut out = TaintedString::new();
+                for p in &parts {
+                    out = out.concat(p);
+                }
+                out
+            });
+        });
+
+        // The builder with a pre-sized text buffer: the migration target
+        // for every concat loop.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        g.bench_function(BenchmarkId::new("builder", n), |b| {
+            b.iter(|| {
+                let mut out = TaintedStrBuilder::with_capacity(total);
+                for p in &parts {
+                    out.push_tainted(p);
+                }
+                out.build()
+            });
+        });
+    }
+
+    g.finish();
+}
+
+/// Concat-heavy page render: escape N untrusted fragments, interleave them
+/// with page chrome through a builder, and push the finished page through
+/// a guarded HTTP gate — the MoinMoin/HotCRP page-build shape end to end.
+fn page_render(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_render");
+
+    for n in [64usize, 1_000] {
+        let comments = fragments(n);
+        let escaped: Vec<TaintedString> = comments.iter().map(resin_web::html_escape).collect();
+        let mut gate = Gate::builder(GateKind::Http).capture(false).build();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::new("escape_build_write", n), |b| {
+            b.iter(|| {
+                let mut page = TaintedStrBuilder::with_capacity(n * 48);
+                page.push_str("<html><body><ul>");
+                for e in &escaped {
+                    page.push_str("<li>");
+                    page.push_tainted(e);
+                    page.push_str("</li>");
+                }
+                page.push_str("</ul></body></html>");
+                let page = page.build();
+                gate.write_ref(&page).unwrap();
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = string_builder, page_render
+}
+criterion_main!(benches);

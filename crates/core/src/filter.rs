@@ -7,6 +7,8 @@
 //! `export_check` on every policy of the in-transit data and always lets
 //! policy-free data through.
 
+use std::borrow::Cow;
+
 use crate::context::Context;
 use crate::error::{FlowError, Result};
 use crate::taint::TaintedString;
@@ -39,6 +41,27 @@ pub trait Filter: Send + Sync {
     ) -> Result<TaintedString> {
         Ok(data)
     }
+
+    /// Copy-on-write variant of [`filter_write`](Filter::filter_write):
+    /// the [`Gate`](crate::gate::Gate) outbound path hands each filter a
+    /// [`Cow`], so a filter that only *checks* (the overwhelmingly common
+    /// case — the default filter, guard filters, persistent-filter mounts)
+    /// can forward borrowed data untouched and the whole chain completes
+    /// without cloning the in-transit `TaintedString`.
+    ///
+    /// The provided implementation routes through `filter_write`, cloning a
+    /// borrowed value first — always correct. Filters that pass data
+    /// through unmodified should override this to return `Ok(data)` after
+    /// their checks.
+    fn filter_write_cow<'a>(
+        &self,
+        data: Cow<'a, TaintedString>,
+        offset: u64,
+        context: &Context,
+    ) -> Result<Cow<'a, TaintedString>> {
+        self.filter_write(data.into_owned(), offset, context)
+            .map(Cow::Owned)
+    }
 }
 
 /// The default filter attached to every guarded gate (Figure 3).
@@ -51,6 +74,24 @@ pub trait Filter: Send + Sync {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DefaultFilter;
 
+impl DefaultFilter {
+    /// Figure 3: `export_check` on every distinct policy of the data.
+    /// Collecting the distinct policies is label arithmetic (memoized span
+    /// unions); only the final resolution touches policy objects.
+    fn check(data: &TaintedString, context: &Context) -> Result<()> {
+        let label = data.label();
+        if label.is_empty() {
+            return Ok(());
+        }
+        for policy in label.policies().iter() {
+            policy
+                .export_check(context)
+                .map_err(|v| FlowError::Denied(v.on_channel(context.kind().clone())))?;
+        }
+        Ok(())
+    }
+}
+
 impl Filter for DefaultFilter {
     fn filter_write(
         &self,
@@ -58,17 +99,19 @@ impl Filter for DefaultFilter {
         _offset: u64,
         context: &Context,
     ) -> Result<TaintedString> {
-        // Collecting the distinct policies is label arithmetic (memoized
-        // span unions); only the final resolution touches policy objects.
-        let label = data.label();
-        if label.is_empty() {
-            return Ok(data);
-        }
-        for policy in label.policies().iter() {
-            policy
-                .export_check(context)
-                .map_err(|v| FlowError::Denied(v.on_channel(context.kind().clone())))?;
-        }
+        Self::check(&data, context)?;
+        Ok(data)
+    }
+
+    // Pure check: the data is forwarded exactly as it arrived, so a
+    // borrowed value stays borrowed across the whole chain.
+    fn filter_write_cow<'a>(
+        &self,
+        data: Cow<'a, TaintedString>,
+        _offset: u64,
+        context: &Context,
+    ) -> Result<Cow<'a, TaintedString>> {
+        Self::check(&data, context)?;
         Ok(data)
     }
 }
@@ -144,6 +187,19 @@ impl Filter for FnFilter {
     ) -> Result<TaintedString> {
         match &self.write {
             Some(f) => f(data, offset, context),
+            None => Ok(data),
+        }
+    }
+
+    fn filter_write_cow<'a>(
+        &self,
+        data: Cow<'a, TaintedString>,
+        offset: u64,
+        context: &Context,
+    ) -> Result<Cow<'a, TaintedString>> {
+        match &self.write {
+            // A closure may alter the data, so it needs ownership.
+            Some(f) => f(data.into_owned(), offset, context).map(Cow::Owned),
             None => Ok(data),
         }
     }

@@ -30,6 +30,7 @@
 //!    policy's `export_check`);
 //! 4. the **capture sink** — whatever survives becomes visible output.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use crate::context::{Context, CtxValue};
@@ -319,36 +320,66 @@ impl Gate {
     /// configured policy classes, so sensitive data cannot escape the
     /// module even through code paths the module author forgot about.
     pub fn export(&self, data: TaintedString) -> Result<TaintedString> {
+        self.check_deny(&data)?;
         let mut buf = data;
         for rule in &self.rules {
-            if (rule.matches)(&buf) {
-                match rule.action {
-                    RuleAction::Deny => {
-                        return Err(FlowError::Denied(
-                            PolicyViolation::new(
-                                self.violation_source(),
-                                format!(
-                                    "`{}`-labeled data may not leave gate `{}`",
-                                    rule.class,
-                                    self.name.unwrap_or(self.kind.type_name()),
-                                ),
-                            )
-                            .on_channel(self.kind.clone()),
-                        ));
-                    }
-                    RuleAction::Strip => {}
-                }
-            }
-        }
-        for rule in &self.rules {
             if let Some(strip) = &rule.strip {
-                strip(&mut buf);
+                if (rule.matches)(&buf) {
+                    strip(&mut buf);
+                }
             }
         }
         for f in &self.filters {
             buf = f.filter_write(buf, self.write_offset, &self.context)?;
         }
         Ok(buf)
+    }
+
+    /// Copy-on-write form of [`Gate::export`]: the outbound path over a
+    /// [`Cow`].
+    ///
+    /// Deny rules and check-only filters inspect the data without taking
+    /// ownership, so a `Cow::Borrowed` input crosses the whole chain
+    /// without a single clone unless a strip rule or a rewriting filter
+    /// actually modifies it — the zero-copy write path for callers that
+    /// keep their data (see [`Gate::write_ref`]).
+    pub fn export_cow<'a>(&self, data: Cow<'a, TaintedString>) -> Result<Cow<'a, TaintedString>> {
+        self.check_deny(&data)?;
+        let mut buf = data;
+        for rule in &self.rules {
+            if let Some(strip) = &rule.strip {
+                // Only take ownership when the rule's class is present:
+                // stripping an absent policy is a no-op and must not
+                // force a copy.
+                if (rule.matches)(&buf) {
+                    strip(buf.to_mut());
+                }
+            }
+        }
+        for f in &self.filters {
+            buf = f.filter_write_cow(buf, self.write_offset, &self.context)?;
+        }
+        Ok(buf)
+    }
+
+    /// Runs the deny rules against in-transit data.
+    fn check_deny(&self, data: &TaintedString) -> Result<()> {
+        for rule in &self.rules {
+            if rule.action == RuleAction::Deny && (rule.matches)(data) {
+                return Err(FlowError::Denied(
+                    PolicyViolation::new(
+                        self.violation_source(),
+                        format!(
+                            "`{}`-labeled data may not leave gate `{}`",
+                            rule.class,
+                            self.name.unwrap_or(self.kind.type_name()),
+                        ),
+                    )
+                    .on_channel(self.kind.clone()),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Writes `data` across the boundary.
@@ -364,6 +395,27 @@ impl Gate {
         }
         if self.capture {
             self.written.push(buf);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` across the boundary *by reference* — the zero-copy
+    /// hot path for callers that keep their buffer (templates, retries,
+    /// fan-out to several gates).
+    ///
+    /// When the filter chain passes the data through unmodified (the
+    /// common case for the default chain), nothing is cloned on the way:
+    /// a sink observes the borrow, and only a capturing gate copies once
+    /// at the very end to retain the output.
+    pub fn write_ref(&mut self, data: &TaintedString) -> Result<()> {
+        let buf = self.export_cow(Cow::Borrowed(data))?;
+        self.write_offset += buf.len() as u64;
+        if let Some(sink) = &self.sink {
+            sink(&buf);
+        }
+        if self.capture {
+            // Clones only if the chain left the data borrowed.
+            self.written.push(buf.into_owned());
         }
         Ok(())
     }
@@ -711,6 +763,64 @@ mod tests {
             .unwrap();
         assert_eq!(out.as_str(), "wp");
         assert!(!out.has_policy::<PasswordPolicy>());
+    }
+
+    #[test]
+    fn write_ref_is_equivalent_to_write() {
+        let mut g = Gate::new(GateKind::Http);
+        let body = TaintedString::from("shared template body");
+        g.write_ref(&body).unwrap();
+        g.write_ref(&body).unwrap();
+        assert_eq!(g.output_text(), "shared template bodyshared template body");
+        assert_eq!(g.write_offset(), 40);
+
+        // A violation through the borrowed path leaves nothing visible.
+        let mut secret = TaintedString::from("pw");
+        secret.add_policy(pw("u@x"));
+        assert!(g.write_ref(&secret).is_err());
+        assert_eq!(g.output_mark(), 2);
+    }
+
+    #[test]
+    fn write_ref_strip_rule_copies_only_on_match() {
+        // Strip rules must not force a copy when their class is absent,
+        // and must still declassify (on a private copy) when present.
+        let mut g = Gate::builder(GateKind::Http)
+            .strip::<PasswordPolicy>()
+            .build();
+        let plain = TaintedString::from("no password here");
+        g.write_ref(&plain).unwrap();
+
+        let secret = TaintedString::with_policy("s3cret", pw("u@x"));
+        g.write_ref(&secret).unwrap();
+        assert!(
+            secret.has_policy::<PasswordPolicy>(),
+            "caller's copy untouched"
+        );
+        assert!(
+            !g.output()[1].has_policy::<PasswordPolicy>(),
+            "output stripped"
+        );
+    }
+
+    #[test]
+    fn export_cow_borrows_through_checking_chain() {
+        use std::borrow::Cow;
+        let g = Gate::new(GateKind::Http);
+        let data = TaintedString::from("plain");
+        let out = g.export_cow(Cow::Borrowed(&data)).unwrap();
+        assert!(
+            matches!(out, Cow::Borrowed(_)),
+            "check-only chain must not clone"
+        );
+
+        // A rewriting filter takes ownership.
+        let g2 = Gate::builder(GateKind::Http)
+            .filter(FnFilter::on_write(|d, _, _| Ok(d.replace_str("a", "b"))))
+            .build();
+        let out2 = g2.export_cow(Cow::Borrowed(&data)).unwrap();
+        assert!(matches!(out2, Cow::Owned(_)));
+        assert_eq!(out2.as_str(), "plbin");
     }
 
     #[test]

@@ -234,9 +234,10 @@ impl TaintedString {
 
     /// Concatenates two tainted strings into a new one.
     pub fn concat(&self, other: &TaintedString) -> TaintedString {
-        let mut out = self.clone();
-        out.push_tainted(other);
-        out
+        let mut b = TaintedStrBuilder::with_capacity(self.len() + other.len());
+        b.push_tainted(self);
+        b.push_tainted(other);
+        b.build()
     }
 
     /// Concatenates many parts.
@@ -244,11 +245,11 @@ impl TaintedString {
     where
         I: IntoIterator<Item = &'a TaintedString>,
     {
-        let mut out = TaintedString::new();
+        let mut b = TaintedStrBuilder::new();
         for p in parts {
-            out.push_tainted(p);
+            b.push_tainted(p);
         }
-        out
+        b.build()
     }
 
     /// Extracts `range` as a new tainted string (byte indices; must lie on
@@ -306,29 +307,29 @@ impl TaintedString {
     where
         I: IntoIterator<Item = &'a TaintedString>,
     {
-        let mut out = TaintedString::new();
+        let mut b = TaintedStrBuilder::new();
         for (i, p) in parts.into_iter().enumerate() {
             if i > 0 {
-                out.push_str(sep);
+                b.push_str(sep);
             }
-            out.push_tainted(p);
+            b.push_tainted(p);
         }
-        out
+        b.build()
     }
 
     /// Replaces every occurrence of `from` with the tainted `to`,
     /// preserving the taint of untouched bytes and of the replacement.
     pub fn replace(&self, from: &str, to: &TaintedString) -> TaintedString {
         assert!(!from.is_empty(), "pattern must be non-empty");
-        let mut out = TaintedString::new();
+        let mut b = TaintedStrBuilder::with_capacity(self.len());
         let mut start = 0usize;
         while let Some(pos) = self.text[start..].find(from) {
-            out.push_tainted(&self.slice(start..start + pos));
-            out.push_tainted(to);
+            b.push_tainted(&self.slice(start..start + pos));
+            b.push_tainted(to);
             start += pos + from.len();
         }
-        out.push_tainted(&self.slice(start..self.text.len()));
-        out
+        b.push_tainted(&self.slice(start..self.text.len()));
+        b.build()
     }
 
     /// Replaces with untainted replacement text.
@@ -362,11 +363,11 @@ impl TaintedString {
 
     /// Repeats the string `n` times, repeating the policy ranges too.
     pub fn repeat(&self, n: usize) -> TaintedString {
-        let mut out = TaintedString::new();
+        let mut b = TaintedStrBuilder::with_capacity(self.len() * n);
         for _ in 0..n {
-            out.push_tainted(self);
+            b.push_tainted(self);
         }
-        out
+        b.build()
     }
 
     // ---- text queries (taint-oblivious) ----
@@ -484,6 +485,114 @@ impl Eq for TaintedString {}
 impl PartialEq<&str> for TaintedString {
     fn eq(&self, other: &&str) -> bool {
         self.text == *other
+    }
+}
+
+/// An amortized-O(1)-per-fragment builder for [`TaintedString`]s.
+///
+/// Composing a page, query, or response out of many fragments is *the*
+/// taint-propagation hot path (the paper's Table 5 concat rows). Folding
+/// [`TaintedString::concat`] re-walks the accumulated spans per step; this
+/// builder instead appends each fragment's text and spans in O(fragment)
+/// — the span list stays normalized structurally (one coalesce check at
+/// each seam), so [`build`](TaintedStrBuilder::build) hands the finished
+/// string over without any deferred re-sort pass.
+///
+/// # Examples
+///
+/// ```
+/// use resin_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let name = TaintedString::with_policy("bob", Arc::new(UntrustedData::new()));
+/// let mut b = TaintedStrBuilder::with_capacity(32);
+/// b.push_str("hello, ");
+/// b.push_tainted(&name);
+/// b.push_char('!');
+/// let s = b.build();
+/// assert_eq!(s.as_str(), "hello, bob!");
+/// assert!(s.label_at(7).has::<UntrustedData>());
+/// assert!(s.label_at(0).is_empty());
+/// ```
+#[derive(Default)]
+pub struct TaintedStrBuilder {
+    text: String,
+    spans: SpanMap,
+}
+
+impl TaintedStrBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TaintedStrBuilder::default()
+    }
+
+    /// An empty builder whose text buffer is pre-sized for `bytes` bytes —
+    /// use when the output length is known (or estimable) up front.
+    pub fn with_capacity(bytes: usize) -> Self {
+        TaintedStrBuilder {
+            text: String::with_capacity(bytes),
+            spans: SpanMap::new(),
+        }
+    }
+
+    /// Bytes accumulated so far.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Appends untainted text.
+    pub fn push_str(&mut self, s: &str) {
+        self.text.push_str(s);
+    }
+
+    /// Appends a single untainted char.
+    pub fn push_char(&mut self, c: char) {
+        self.text.push(c);
+    }
+
+    /// Appends a tainted fragment, carrying its policy spans along.
+    pub fn push_tainted(&mut self, other: &TaintedString) {
+        let offset = self.text.len();
+        self.text.push_str(&other.text);
+        self.spans.append(&other.spans, offset);
+    }
+
+    /// Appends text with `label` applied to every byte of it (no-op label
+    /// attach when `text` is empty, per the byte-granularity contract).
+    pub fn push_label(&mut self, text: &str, label: Label) {
+        let start = self.text.len();
+        self.text.push_str(text);
+        self.spans.push_coalesced(start, self.text.len(), label);
+    }
+
+    /// Finishes the string. The span map was kept normalized at every push,
+    /// so this is O(1) — no deferred sort or coalesce pass.
+    pub fn build(self) -> TaintedString {
+        TaintedString {
+            text: self.text,
+            spans: self.spans,
+        }
+    }
+}
+
+impl<'a> Extend<&'a TaintedString> for TaintedStrBuilder {
+    fn extend<I: IntoIterator<Item = &'a TaintedString>>(&mut self, iter: I) {
+        for p in iter {
+            self.push_tainted(p);
+        }
+    }
+}
+
+impl<'a> FromIterator<&'a TaintedString> for TaintedString {
+    fn from_iter<I: IntoIterator<Item = &'a TaintedString>>(iter: I) -> TaintedString {
+        let mut b = TaintedStrBuilder::new();
+        b.extend(iter);
+        b.build()
     }
 }
 
@@ -697,6 +806,69 @@ mod tests {
         msg.push_tainted(&s);
         assert!(msg.is_untainted());
         assert_eq!(msg.as_str(), "hello");
+    }
+
+    #[test]
+    fn builder_matches_fold_concat() {
+        let parts = [
+            untrusted("evil"),
+            TaintedString::from("-safe-"),
+            untrusted("more"),
+            TaintedString::new(),
+            untrusted("tail"),
+        ];
+        let mut b = TaintedStrBuilder::new();
+        for p in &parts {
+            b.push_tainted(p);
+        }
+        let built = b.build();
+        let mut folded = TaintedString::new();
+        for p in &parts {
+            folded = folded.concat(p);
+        }
+        assert!(built.taint_eq(&folded));
+        assert_eq!(built.as_str(), "evil-safe-moretail");
+    }
+
+    #[test]
+    fn builder_mixed_pushes() {
+        let mut b = TaintedStrBuilder::with_capacity(64);
+        assert!(b.is_empty());
+        b.push_str("a=");
+        b.push_label(
+            "v1",
+            Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef)),
+        );
+        b.push_char('&');
+        b.push_label(
+            "",
+            Label::of(&(Arc::new(UntrustedData::new()) as PolicyRef)),
+        );
+        b.push_label("v2", Label::EMPTY);
+        assert_eq!(b.len(), 7);
+        let s = b.build();
+        assert_eq!(s.as_str(), "a=v1&v2");
+        assert_eq!(s.ranges_with::<UntrustedData>(), vec![2..4]);
+        assert!(s.label_at(5).is_empty());
+    }
+
+    #[test]
+    fn builder_coalesces_adjacent_equal_fragments() {
+        let mut b = TaintedStrBuilder::new();
+        b.push_tainted(&untrusted("ab"));
+        b.push_tainted(&untrusted("cd"));
+        let s = b.build();
+        assert_eq!(s.span_count(), 1, "seam coalesced");
+        assert!(s.all_bytes_have::<UntrustedData>());
+    }
+
+    #[test]
+    fn from_iterator_collects_tainted() {
+        let parts = [untrusted("x"), TaintedString::from("y")];
+        let s: TaintedString = parts.iter().collect();
+        assert_eq!(s.as_str(), "xy");
+        assert!(s.label_at(0).has::<UntrustedData>());
+        assert!(s.label_at(1).is_empty());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! trajectory in `BENCH_*.json`; swap in the real criterion crate for
 //! statistically rigorous confidence intervals.
 //!
+//! Setting `RESIN_BENCH_QUICK=1` switches every bench to a smoke-test
+//! profile (2 samples, milliseconds of measurement) — the shim's
+//! equivalent of criterion's `--quick`, used by CI to keep bench code from
+//! rotting without paying for stable numbers.
+//!
 //! [criterion.rs]: https://github.com/bheisler/criterion.rs
 
 use std::fmt;
@@ -206,15 +211,35 @@ struct Report {
     max_ns: f64,
 }
 
+/// True when `RESIN_BENCH_QUICK` is set to a truthy value (anything but
+/// empty or `0`): the smoke-test profile used by CI to prove every bench
+/// still runs, without paying for stable numbers.
+fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK
+        .get_or_init(|| std::env::var("RESIN_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
 fn run_bench<F>(config: &Criterion, mut f: F) -> Report
 where
     F: FnMut(&mut Bencher),
 {
+    // Quick mode overrides whatever the bench configured — the equivalent
+    // of criterion's `--quick` for this shim.
+    let (sample_size, measurement_time, warm_up_time) = if quick_mode() {
+        (2usize, Duration::from_millis(4), Duration::from_millis(1))
+    } else {
+        (
+            config.sample_size,
+            config.measurement_time,
+            config.warm_up_time,
+        )
+    };
     // Calibrate: find an iteration count that takes roughly
     // measurement_time / sample_size per sample.
     let mut iters: u64 = 1;
-    let target = config.measurement_time.as_secs_f64() / config.sample_size as f64;
-    let warm_up_deadline = Instant::now() + config.warm_up_time;
+    let target = measurement_time.as_secs_f64() / sample_size as f64;
+    let warm_up_deadline = Instant::now() + warm_up_time;
     loop {
         let mut b = Bencher {
             iters,
@@ -233,8 +258,8 @@ where
         iters = iters.saturating_mul(2);
     }
 
-    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
-    for _ in 0..config.sample_size {
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
         let mut b = Bencher {
             iters,
             elapsed: Duration::ZERO,

@@ -580,15 +580,17 @@ impl Interp {
                 Ok(Value::Int(a.wrapping_add(*b), pol))
             }
             (Value::Str(_), _) | (_, Value::Str(_)) => {
+                let a = l.to_tainted();
+                let b = r.to_tainted();
                 if self.tracking == Tracking::Off {
                     // Unmodified runtime: plain text concatenation.
-                    let mut s = String::new();
-                    s.push_str(l.to_tainted().as_str());
-                    s.push_str(r.to_tainted().as_str());
+                    let mut s = String::with_capacity(a.len() + b.len());
+                    s.push_str(a.as_str());
+                    s.push_str(b.as_str());
                     Ok(Value::Str(TaintedString::from(s)))
                 } else {
-                    let a = l.to_tainted();
-                    let b = r.to_tainted();
+                    // The Table 5 concat opcode: a pre-sized builder append
+                    // inside `concat`, spans carried with a seam coalesce.
                     Ok(Value::Str(a.concat(&b)))
                 }
             }

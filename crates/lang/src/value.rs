@@ -14,7 +14,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use resin_core::{Context, Label, PolicyViolation, TaintedString};
+use resin_core::{Context, Label, PolicyViolation, TaintedStrBuilder, TaintedString};
 
 use crate::ast::{ClassDecl, FnDecl};
 
@@ -120,14 +120,20 @@ impl Value {
             }
             Value::Str(s) => s.clone(),
             Value::Array(a) => {
-                let items: Vec<TaintedString> = a.borrow().iter().map(|v| v.to_tainted()).collect();
-                let mut out = TaintedString::from("[");
-                out.push_tainted(&TaintedString::join(", ", items.iter()));
-                out.push_str("]");
-                out
+                let mut out = TaintedStrBuilder::new();
+                out.push_char('[');
+                for (i, v) in a.borrow().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_tainted(&v.to_tainted());
+                }
+                out.push_char(']');
+                out.build()
             }
             Value::Map(m) => {
-                let mut out = TaintedString::from("{");
+                let mut out = TaintedStrBuilder::new();
+                out.push_char('{');
                 for (i, (k, v)) in m.borrow().iter().enumerate() {
                     if i > 0 {
                         out.push_str(", ");
@@ -136,8 +142,8 @@ impl Value {
                     out.push_str(": ");
                     out.push_tainted(&v.to_tainted());
                 }
-                out.push_str("}");
-                out
+                out.push_char('}');
+                out.build()
             }
             Value::Object(o) => TaintedString::from(format!("<{}>", o.borrow().class.name)),
         }

@@ -20,6 +20,7 @@
 //! * [`GuardMode::AutoSanitize`] — the variation: untrusted quotes cannot
 //!   terminate literals, and the query is re-emitted safely escaped.
 
+use std::borrow::Cow;
 use std::ops::Range;
 
 use resin_core::{
@@ -160,18 +161,35 @@ impl Filter for SqlGuardFilter {
     fn filter_write(
         &self,
         data: TaintedString,
+        offset: u64,
+        context: &Context,
+    ) -> Result<TaintedString, FlowError> {
+        self.filter_write_cow(Cow::Owned(data), offset, context)
+            .map(Cow::into_owned)
+    }
+
+    // Only `AutoSanitize` rewrites the query; the checking modes forward
+    // borrowed data untouched, so a `write_ref`/`export_cow` through the
+    // sql gate stays copy-free.
+    fn filter_write_cow<'a>(
+        &self,
+        data: Cow<'a, TaintedString>,
         _offset: u64,
         _context: &Context,
-    ) -> Result<TaintedString, FlowError> {
-        guard_query(self.mode, data).map_err(|e| match e {
+    ) -> Result<Cow<'a, TaintedString>, FlowError> {
+        guard_query_cow(self.mode, data).map_err(|e| match e {
             SqlError::Policy(flow) => flow,
             other => FlowError::Rejected(other.to_string()),
         })
     }
 }
 
-/// Applies an injection-guard `mode` to one query.
-fn guard_query(mode: GuardMode, sql: TaintedString) -> Result<TaintedString> {
+/// Applies an injection-guard `mode` to one query, rewriting it only when
+/// the mode calls for it.
+fn guard_query_cow<'a>(
+    mode: GuardMode,
+    sql: Cow<'a, TaintedString>,
+) -> Result<Cow<'a, TaintedString>> {
     match mode {
         GuardMode::Off => Ok(sql),
         GuardMode::MarkerCheck => {
@@ -199,7 +217,7 @@ fn guard_query(mode: GuardMode, sql: TaintedString) -> Result<TaintedString> {
         GuardMode::AutoSanitize => {
             let tokens = lex_tainted(&sql, true)?;
             check_structure_untainted(&sql, &tokens)?;
-            Ok(sanitize_query(&sql, &tokens))
+            Ok(Cow::Owned(sanitize_query(&sql, &tokens)))
         }
     }
 }
@@ -258,10 +276,11 @@ impl ResinDb {
 
     /// Executes a (possibly tainted) query through the RESIN SQL filter.
     pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
-        // 1. Injection guard: the query crosses the SQL gate.
-        let sql = self
-            .query_gate()
-            .export(sql.clone())
+        // 1. Injection guard: the query crosses the SQL gate. Borrowed
+        // export: the query is only cloned if a guard actually rewrites it.
+        let gate = self.query_gate();
+        let sql = gate
+            .export_cow(Cow::Borrowed(sql))
             .map_err(SqlError::from)?;
 
         // 2. Parse.

@@ -15,7 +15,7 @@
 
 use std::ops::Range;
 
-use resin_core::{TaintedString, UntrustedData};
+use resin_core::{TaintedStrBuilder, TaintedString, UntrustedData};
 
 use crate::error::{Result, SqlError};
 
@@ -267,26 +267,26 @@ fn lex_inner(src: &str, taint: Option<&TaintedString>) -> Result<Vec<Token>> {
 /// quotes can no longer change the query structure. Taint is preserved
 /// byte-for-byte for the copied content.
 pub fn sanitize_query(query: &TaintedString, tokens: &[Token]) -> TaintedString {
-    let mut out = TaintedString::new();
+    let mut out = TaintedStrBuilder::with_capacity(query.len() + tokens.len());
     for (idx, t) in tokens.iter().enumerate() {
         if idx > 0 {
-            out.push(' ');
+            out.push_char(' ');
         }
         match &t.tok {
             Tok::Str(_) => {
                 // Slice the literal's interior (excluding delimiters) from
                 // the tainted source, then re-escape quotes.
                 let inner = query.slice(t.span.start + 1..t.span.end - 1);
-                out.push('\'');
+                out.push_char('\'');
                 out.push_tainted(&inner.replace_str("'", "''"));
-                out.push('\'');
+                out.push_char('\'');
             }
             _ => {
                 out.push_tainted(&query.slice(t.span.clone()));
             }
         }
     }
-    out
+    out.build()
 }
 
 #[cfg(test)]

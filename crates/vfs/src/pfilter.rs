@@ -205,6 +205,20 @@ impl Filter for GateMount {
         Ok(data)
     }
 
+    // The mount only consults the context, never the data: borrowed data
+    // passes through the gate without a copy.
+    fn filter_write_cow<'a>(
+        &self,
+        data: std::borrow::Cow<'a, TaintedString>,
+        _offset: u64,
+        context: &Context,
+    ) -> Result<std::borrow::Cow<'a, TaintedString>, FlowError> {
+        self.filter
+            .check_write(&self.path, context)
+            .map_err(|v| FlowError::Denied(v.on_channel(GateKind::File)))?;
+        Ok(data)
+    }
+
     fn filter_read(
         &self,
         data: TaintedString,

@@ -13,19 +13,46 @@
 
 use std::sync::Arc;
 
-use resin_core::{HtmlSanitized, PolicyViolation, Result, TaintedString, UntrustedData};
+use resin_core::{
+    HtmlSanitized, PolicyViolation, Result, TaintedStrBuilder, TaintedString, UntrustedData,
+};
+
+/// Single-pass byte-escape walker shared by the HTML and JSON encoders:
+/// untouched stretches are carried span-for-span, escape sequences are
+/// server text (untainted, as in a `replace` with an untainted
+/// replacement). `table` maps a byte to its replacement, `None` for
+/// pass-through; only ASCII bytes may be escaped, so UTF-8 boundaries are
+/// never split.
+pub(crate) fn escape_bytes(
+    input: &TaintedString,
+    table: fn(u8) -> Option<&'static str>,
+) -> TaintedString {
+    let text = input.as_str();
+    let mut out = TaintedStrBuilder::with_capacity(text.len() + 8);
+    let mut start = 0usize;
+    for (i, b) in text.bytes().enumerate() {
+        let Some(rep) = table(b) else { continue };
+        out.push_tainted(&input.slice(start..i));
+        out.push_str(rep);
+        start = i + 1;
+    }
+    out.push_tainted(&input.slice(start..text.len()));
+    out.build()
+}
 
 /// Escapes HTML metacharacters and attaches the [`HtmlSanitized`] marker.
 ///
 /// This is "the existing sanitization function" of §5.3 step 3: it both
 /// neutralizes the data *and* records the evidence that it did.
 pub fn html_escape(input: &TaintedString) -> TaintedString {
-    let mut out = input
-        .replace_str("&", "&amp;")
-        .replace_str("<", "&lt;")
-        .replace_str(">", "&gt;")
-        .replace_str("\"", "&quot;")
-        .replace_str("'", "&#39;");
+    let mut out = escape_bytes(input, |b| match b {
+        b'&' => Some("&amp;"),
+        b'<' => Some("&lt;"),
+        b'>' => Some("&gt;"),
+        b'"' => Some("&quot;"),
+        b'\'' => Some("&#39;"),
+        _ => None,
+    });
     out.add_policy(Arc::new(HtmlSanitized::new()));
     out
 }

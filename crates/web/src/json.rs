@@ -9,35 +9,42 @@
 
 use std::collections::BTreeMap;
 
-use resin_core::{PolicyViolation, Result, TaintedString, UntrustedData};
+use resin_core::{PolicyViolation, Result, TaintedStrBuilder, TaintedString, UntrustedData};
 
 /// Encodes a string map as a JSON object, preserving value taint.
 ///
 /// Keys are assumed server-controlled; values are escaped byte-for-byte so
 /// untrusted content stays inside string literals.
 pub fn encode_object(fields: &BTreeMap<String, TaintedString>) -> TaintedString {
-    let mut out = TaintedString::from("{");
+    let mut out = TaintedStrBuilder::with_capacity(64);
+    out.push_char('{');
     for (i, (k, v)) in fields.iter().enumerate() {
         if i > 0 {
-            out.push_str(",");
+            out.push_char(',');
         }
-        out.push_str(&format!("\"{}\":\"", escape_plain(k)));
+        out.push_char('"');
+        out.push_str(&escape_plain(k));
+        out.push_str("\":\"");
         out.push_tainted(&escape_tainted(v));
-        out.push_str("\"");
+        out.push_char('"');
     }
-    out.push_str("}");
-    out
+    out.push_char('}');
+    out.build()
 }
 
-/// Escapes JSON string content, preserving taint.
+/// Escapes JSON string content, preserving taint. One pass: untouched
+/// stretches carry their spans, escape sequences are server text.
 pub fn escape_tainted(v: &TaintedString) -> TaintedString {
-    v.replace_str("\\", "\\\\")
-        .replace_str("\"", "\\\"")
-        .replace_str("\n", "\\n")
-        .replace_str("\r", "\\r")
-        .replace_str("\t", "\\t")
-        .replace_str("<", "\\u003c")
-        .replace_str(">", "\\u003e")
+    crate::html::escape_bytes(v, |b| match b {
+        b'\\' => Some("\\\\"),
+        b'"' => Some("\\\""),
+        b'\n' => Some("\\n"),
+        b'\r' => Some("\\r"),
+        b'\t' => Some("\\t"),
+        b'<' => Some("\\u003c"),
+        b'>' => Some("\\u003e"),
+        _ => None,
+    })
 }
 
 fn escape_plain(s: &str) -> String {

@@ -89,6 +89,13 @@ impl Response {
         self.gate.write(data)
     }
 
+    /// Writes body data by reference — the zero-copy path for fragments
+    /// the caller keeps (shared templates, repeated chrome). The filter
+    /// chain borrows the data; see [`resin_core::Gate::write_ref`].
+    pub fn echo_ref(&mut self, data: &TaintedString) -> Result<()> {
+        self.gate.write_ref(data)
+    }
+
     /// Writes untainted text.
     pub fn echo_str(&mut self, s: &str) -> Result<()> {
         self.gate.write_str(s)
@@ -173,6 +180,19 @@ mod tests {
         chair.set_priv_chair(true);
         chair.echo(secret).unwrap();
         assert_eq!(chair.body(), "pw");
+    }
+
+    #[test]
+    fn echo_ref_shares_the_template() {
+        let mut r = Response::new();
+        let chrome = TaintedString::from("<nav>menu</nav>");
+        r.echo_ref(&chrome).unwrap();
+        r.echo_ref(&chrome).unwrap();
+        assert_eq!(r.body(), "<nav>menu</nav><nav>menu</nav>");
+
+        let secret = TaintedString::with_policy("pw", Arc::new(PasswordPolicy::new("u@x")));
+        assert!(r.echo_ref(&secret).is_err());
+        assert!(!r.body().contains("pw"));
     }
 
     #[test]

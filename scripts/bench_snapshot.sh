@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Dumps the medians of the key benchmarks to a BENCH_<n>.json snapshot so
+# the perf trajectory is tracked in-repo, PR over PR.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_3.json}"
+BENCHES=(string_builder gate_write label_ops)
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+for b in "${BENCHES[@]}"; do
+    echo "running bench: $b" >&2
+    cargo bench --bench "$b" 2>/dev/null | grep 'time:' >>"$RAW"
+done
+
+# Lines look like:
+#   group/name  time: [12.3 µs 13.4 µs 15.6 µs]  thrpt: ...
+# so the median is field 5 and its unit field 6. Convert to nanoseconds
+# and emit one JSON entry per bench.
+awk -v q='"' '
+    /time:/ {
+        name = $1
+        med = $5
+        unit = $6
+        if (unit == "ns")      ns = med
+        else if (unit == "ms") ns = med * 1e6
+        else if (unit == "s")  ns = med * 1e9
+        else                   ns = med * 1e3   # µs
+        printf "  %s%s%s: %.1f,\n", q, name, q, ns
+    }
+' "$RAW" | sed '$ s/,$//' >"$RAW.entries"
+
+{
+    echo "{"
+    cat "$RAW.entries"
+    echo "}"
+} >"$OUT"
+rm -f "$RAW.entries"
+
+echo "wrote $OUT ($(grep -c ':' "$OUT") medians, ns)"

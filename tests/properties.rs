@@ -217,4 +217,72 @@ proptest! {
         let back = fs.read_file("/d/f", &ctx).unwrap();
         prop_assert!(back.taint_eq(&data));
     }
+
+    /// The builder is observationally the left-fold of `concat`: same text,
+    /// same spans, for arbitrary fragment sequences (untainted, fully
+    /// tainted, partially tainted, doubly labeled, empty).
+    #[test]
+    fn builder_equals_fold_concat(frags in prop::collection::vec(("[a-z]{0,8}", 0usize..4), 0..12)) {
+        let parts: Vec<TaintedString> = frags.iter().map(|(text, mode)| mk_fragment(text, *mode)).collect();
+
+        let mut b = TaintedStrBuilder::new();
+        for p in &parts {
+            b.push_tainted(p);
+        }
+        let built = b.build();
+
+        let mut folded = TaintedString::new();
+        for p in &parts {
+            folded = folded.concat(p);
+        }
+        prop_assert!(built.taint_eq(&folded));
+    }
+
+    /// Structural `append` (no re-sort) preserves every SpanMap
+    /// normalization law on the concatenation result: spans sorted,
+    /// non-overlapping, non-empty, non-empty-labeled, and no two touching
+    /// spans share a label.
+    #[test]
+    fn append_preserves_normalization_laws(frags in prop::collection::vec(("[a-z]{0,8}", 0usize..4), 0..12)) {
+        let mut b = TaintedStrBuilder::new();
+        for (text, mode) in &frags {
+            b.push_tainted(&mk_fragment(text, *mode));
+        }
+        let built = b.build();
+
+        let spans: Vec<_> = built.spans().collect();
+        for (r, l) in &spans {
+            prop_assert!(r.start < r.end, "no empty span: {r:?}");
+            prop_assert!(!l.is_empty(), "no empty label");
+            prop_assert!(r.end <= built.len(), "span in bounds");
+        }
+        for w in spans.windows(2) {
+            let ((a, la), (b, lb)) = (&w[0], &w[1]);
+            prop_assert!(a.end <= b.start, "sorted, non-overlapping: {a:?} vs {b:?}");
+            prop_assert!(
+                !(a.end == b.start && la == lb),
+                "touching equal-label spans must coalesce: {a:?} {b:?}"
+            );
+        }
+    }
+}
+
+/// A fragment in one of four taint shapes, keyed by `mode`.
+fn mk_fragment(text: &str, mode: usize) -> TaintedString {
+    match mode {
+        0 => TaintedString::from(text),
+        1 => untrusted(text),
+        2 => {
+            // Taint only the first half.
+            let mut t = TaintedString::from(text);
+            t.add_policy_range(0..text.len() / 2, Arc::new(UntrustedData::new()));
+            t
+        }
+        _ => {
+            // Two policies with offset overlapping ranges.
+            let mut t = untrusted(text);
+            t.add_policy_range(text.len() / 3..text.len(), Arc::new(HtmlSanitized::new()));
+            t
+        }
+    }
 }
