@@ -26,6 +26,7 @@ pub mod hotcrp;
 pub mod loginlib;
 pub mod moinwiki;
 pub mod scriptinj;
+pub mod webapp;
 
 pub use attacks::{run_all, table4, AttackOutcome, Table4Row};
 pub use filemgr::FileManager;
@@ -35,3 +36,4 @@ pub use hotcrp::HotCrp;
 pub use loginlib::LoginLib;
 pub use moinwiki::MoinWiki;
 pub use scriptinj::ScriptHost;
+pub use webapp::{ForumApp, WikiApp};

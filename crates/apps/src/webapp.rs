@@ -1,0 +1,572 @@
+//! The paper applications served concurrently: forum and wiki as
+//! [`WebApp`]s behind the worker-pool dispatcher.
+//!
+//! This is the serving topology of §6 — many users hitting one
+//! application over shared state — rebuilt on the concurrent substrate:
+//!
+//! * [`ForumApp`]: a phpBB-style forum whose posts live in a
+//!   [`SharedDb`] (policy columns persist taint across storage, the
+//!   injection guard rides the sql gate) and whose logins live in a
+//!   shared [`SessionStore`]. Every worker holds the same state; every
+//!   request gets its own `Response`/`Context`.
+//! * [`WikiApp`]: the MoinMoin core behind an `RwLock` — concurrent
+//!   readers render pages in parallel, editors serialize on the lock,
+//!   and the VFS read/write ACL assertions fire exactly as they do
+//!   single-threaded.
+//!
+//! Both apps keep their wired-in vulnerable endpoints (`/view_raw`,
+//! `/raw`, `/redirect`) so the attack suite can verify that XSS, SQL
+//! injection, and response splitting **fail closed** when driven through
+//! the concurrent dispatcher.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use resin_core::{FlowError, TaintedString};
+use resin_sql::{GuardMode, SharedDb, Tracking};
+use resin_web::server::WebApp;
+use resin_web::{check_html_markers, html_escape, Request, Response, SessionStore};
+
+use crate::moinwiki::MoinWiki;
+
+/// Writes `html` to the response after the XSS marker assertion (§5.3).
+fn emit_html(html: TaintedString, resp: &mut Response) -> Result<(), FlowError> {
+    check_html_markers(&html)?;
+    resp.echo(html)
+}
+
+/// The shared `/login` route: param `user` → session + `Set-Cookie`.
+fn login_route(
+    sessions: &SessionStore,
+    req: &Request,
+    resp: &mut Response,
+) -> Result<(), FlowError> {
+    let user = req.param_or_empty("user");
+    if user.is_empty() {
+        resp.set_status(400);
+        return resp.echo_str("missing user");
+    }
+    let sid = sessions.login(user.as_str());
+    // The sid is server-generated (trusted); the splitting guard on
+    // set_header sees no untrusted bytes in it.
+    resp.set_header("Set-Cookie", TaintedString::from(format!("sid={sid}")))?;
+    resp.echo_str(&sid)
+}
+
+/// Resolves the request's session cookie to a user, annotating the
+/// response context. Returns `None` (and a 403 page) for missing or
+/// unknown sids — including the forged/guessed sids the predictable
+/// generator used to allow.
+fn authenticate(
+    sessions: &SessionStore,
+    req: &Request,
+    resp: &mut Response,
+) -> Result<Option<String>, FlowError> {
+    let Some(user) = req.cookie("sid").and_then(|sid| sessions.user_for(sid)) else {
+        resp.set_status(403);
+        resp.echo_str("not logged in")?;
+        return Ok(None);
+    };
+    resp.gate_mut().context_mut().set_str("user", user.as_str());
+    Ok(Some(user))
+}
+
+/// The forum, served from shared storage.
+///
+/// Routes: `/login` (param `user`), `/post` (param `body`, cookie `sid`),
+/// `/view` + `/view_raw` (param `id`), `/search` (param `q`),
+/// `/redirect` (param `to`). The `_raw` and `redirect` endpoints carry
+/// the wired-in bugs; the assertions block them.
+pub struct ForumApp {
+    db: SharedDb,
+    sessions: Arc<SessionStore>,
+    next_id: AtomicI64,
+}
+
+impl ForumApp {
+    /// A forum over a fresh shared database, auto-sanitize guarded.
+    pub fn new(sessions: Arc<SessionStore>) -> Self {
+        let db = SharedDb::with_modes(Tracking::On, GuardMode::AutoSanitize);
+        db.query_str("CREATE TABLE posts (id INTEGER, body TEXT)")
+            .expect("posts schema");
+        ForumApp {
+            db,
+            sessions,
+            next_id: AtomicI64::new(1),
+        }
+    }
+
+    /// The shared database handle (benches seed and trim through this).
+    pub fn db(&self) -> &SharedDb {
+        &self.db
+    }
+
+    /// The shared session store.
+    pub fn sessions(&self) -> &Arc<SessionStore> {
+        &self.sessions
+    }
+
+    /// Stores a post body (server-side path used by tests/benches to seed
+    /// content without a request).
+    pub fn seed_post(&self, body: &TaintedString) -> i64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut q = TaintedString::from(format!("INSERT INTO posts VALUES ({id}, '"));
+        q.push_tainted(body);
+        q.push_str("')");
+        self.db.query(&q).expect("seed post");
+        id
+    }
+
+    fn fetch_body(&self, id: &TaintedString) -> Result<Option<TaintedString>, FlowError> {
+        let mut q = TaintedString::from("SELECT body FROM posts WHERE id = ");
+        q.push_tainted(id);
+        let r = self.db.query(&q).map_err(sql_flow_error)?;
+        Ok(r.cell(0, "body")
+            .and_then(|c| c.as_text())
+            .map(|t| t.to_owned()))
+    }
+}
+
+/// Maps a SQL-layer error onto the flow-error taxonomy the web layer
+/// reports (guard violations pass through unchanged).
+fn sql_flow_error(e: resin_sql::SqlError) -> FlowError {
+    match e {
+        resin_sql::SqlError::Policy(flow) => flow,
+        other => FlowError::runtime(other.to_string()),
+    }
+}
+
+impl WebApp for ForumApp {
+    fn handle(&self, req: &Request, resp: &mut Response) -> Result<(), FlowError> {
+        match req.path() {
+            "/login" => login_route(&self.sessions, req, resp),
+            "/logout" => {
+                if let Some(sid) = req.cookie("sid") {
+                    self.sessions.logout(sid.as_str());
+                }
+                resp.echo_str("bye")
+            }
+            "/post" => {
+                if authenticate(&self.sessions, req, resp)?.is_none() {
+                    return Ok(());
+                }
+                let body = req.param_or_empty("body");
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let mut q = TaintedString::from(format!("INSERT INTO posts VALUES ({id}, '"));
+                q.push_tainted(&body);
+                q.push_str("')");
+                // The injection guard runs on the sql gate: hostile quotes
+                // are neutralized, the body's taint persists via the
+                // policy column.
+                self.db.query(&q).map_err(sql_flow_error)?;
+                resp.echo_str(&format!("posted {id}"))
+            }
+            "/view" => {
+                // The *correct* render path: escape, then the XSS marker
+                // assertion double-checks at the output gate.
+                let Some(body) = self.fetch_body(&req.param_or_empty("id"))? else {
+                    resp.set_status(404);
+                    return resp.echo_str("no such post");
+                };
+                let mut html = TaintedString::from("<div class=\"post\">");
+                html.push_tainted(&html_escape(&body));
+                html.push_str("</div>");
+                emit_html(html, resp)
+            }
+            "/view_raw" => {
+                // BUG (wired in): no html_escape — the XSS assertion is
+                // the only thing standing between a stored script and the
+                // victim's browser.
+                let Some(body) = self.fetch_body(&req.param_or_empty("id"))? else {
+                    resp.set_status(404);
+                    return resp.echo_str("no such post");
+                };
+                let mut html = TaintedString::from("<div class=\"post\">");
+                html.push_tainted(&body);
+                html.push_str("</div>");
+                emit_html(html, resp)
+            }
+            "/search" => {
+                let q = req.param_or_empty("q");
+                let mut sql = TaintedString::from("SELECT body FROM posts WHERE body LIKE '%");
+                sql.push_tainted(&q);
+                sql.push_str("%'");
+                let r = self.db.query(&sql).map_err(sql_flow_error)?;
+                resp.echo_str(&format!("{} hits:", r.rows.len()))?;
+                for i in 0..r.rows.len() {
+                    let Some(body) = r.cell(i, "body").and_then(|c| c.as_text()) else {
+                        continue;
+                    };
+                    let mut html = TaintedString::from("<div class=\"hit\">");
+                    html.push_tainted(&html_escape(body));
+                    html.push_str("</div>");
+                    emit_html(html, resp)?;
+                }
+                Ok(())
+            }
+            "/redirect" => {
+                // BUG (wired in): the target lands in a header verbatim;
+                // the splitting guard is the only defense.
+                let to = req.param_or_empty("to");
+                resp.set_status(302);
+                resp.set_header("Location", to)?;
+                resp.echo_str("redirecting")
+            }
+            _ => {
+                resp.set_status(404);
+                resp.echo_str("no such route")
+            }
+        }
+    }
+}
+
+/// The wiki, shared across workers behind one `RwLock`.
+///
+/// Routes: `/login` (param `user`), `/view` + `/raw` (param `page`),
+/// `/edit` (params `page`, `body`, cookie `sid`). `/raw` is the wired-in
+/// ACL-bypass endpoint; the persistent `PagePolicy` blocks it.
+pub struct WikiApp {
+    wiki: RwLock<MoinWiki>,
+    sessions: Arc<SessionStore>,
+}
+
+impl WikiApp {
+    /// Wraps a prepared wiki for serving.
+    pub fn new(wiki: MoinWiki, sessions: Arc<SessionStore>) -> Self {
+        WikiApp {
+            wiki: RwLock::new(wiki),
+            sessions,
+        }
+    }
+
+    // A panicking request is answered 500 by the dispatcher and must not
+    // wedge the wiki for everyone else; the VFS state is consistent at
+    // every panic point (writes go file-at-a-time through the gates), so
+    // the poison-recovering accessors apply.
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, MoinWiki> {
+        resin_core::sync::rlock(&self.wiki)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, MoinWiki> {
+        resin_core::sync::wlock(&self.wiki)
+    }
+}
+
+/// Maps VFS errors onto flow errors for the dispatcher's outcome slot.
+fn vfs_flow_error(e: resin_vfs::VfsError) -> FlowError {
+    match e {
+        resin_vfs::VfsError::Policy(flow) => flow,
+        other => FlowError::runtime(other.to_string()),
+    }
+}
+
+impl WebApp for WikiApp {
+    fn handle(&self, req: &Request, resp: &mut Response) -> Result<(), FlowError> {
+        match req.path() {
+            "/login" => login_route(&self.sessions, req, resp),
+            "/view" => {
+                let Some(user) = authenticate(&self.sessions, req, resp)? else {
+                    return Ok(());
+                };
+                let page = req.param_or_empty("page");
+                self.read()
+                    .view_page(page.as_str(), resp, &user)
+                    .map_err(vfs_flow_error)
+            }
+            "/raw" => {
+                // BUG (wired in): no application ACL check; only the
+                // persistent PagePolicy stands.
+                let Some(user) = authenticate(&self.sessions, req, resp)? else {
+                    return Ok(());
+                };
+                let page = req.param_or_empty("page");
+                self.read()
+                    .view_page_raw(page.as_str(), resp, &user)
+                    .map_err(vfs_flow_error)
+            }
+            "/edit" => {
+                let Some(user) = authenticate(&self.sessions, req, resp)? else {
+                    return Ok(());
+                };
+                let page = req.param_or_empty("page");
+                let body = req.param_or_empty("body");
+                self.write()
+                    .edit_page(page.as_str(), body.as_str(), &user)
+                    .map_err(vfs_flow_error)?;
+                resp.echo_str("saved")
+            }
+            _ => {
+                resp.set_status(404);
+                resp.echo_str("no such route")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resin_core::{Acl, Right};
+    use resin_web::server::Server;
+
+    fn forum_server(workers: usize) -> (Server, Arc<SessionStore>) {
+        let sessions = Arc::new(SessionStore::new());
+        let app = Arc::new(ForumApp::new(Arc::clone(&sessions)));
+        (Server::start(app, workers), sessions)
+    }
+
+    fn login(server: &Server, user: &str) -> String {
+        let page = server.serve(Request::post("/login").with_param("user", user));
+        assert!(page.outcome.is_ok(), "{:?}", page.outcome);
+        page.body
+    }
+
+    #[test]
+    fn forum_end_to_end_login_post_render() {
+        let (server, sessions) = forum_server(4);
+        let sid = login(&server, "alice");
+        assert!(sid.starts_with("sid-"));
+        assert_eq!(sessions.len(), 1);
+
+        let page = server.serve(
+            Request::post("/post")
+                .with_cookie("sid", &sid)
+                .with_param("body", "hello concurrent world"),
+        );
+        assert!(page.outcome.is_ok(), "{:?}", page.outcome);
+        let id = page.body.strip_prefix("posted ").unwrap().to_string();
+
+        let page = server.serve(Request::get("/view").with_param("id", &id));
+        assert!(page.outcome.is_ok(), "{:?}", page.outcome);
+        assert!(page.body.contains("hello concurrent world"));
+    }
+
+    #[test]
+    fn forum_post_requires_session() {
+        let (server, _) = forum_server(2);
+        let page = server.serve(
+            Request::post("/post")
+                .with_cookie("sid", "sid-totally-guessed")
+                .with_param("body", "spam"),
+        );
+        assert_eq!(page.status, 403, "forged sids bounce");
+    }
+
+    #[test]
+    fn stored_xss_fails_closed_through_dispatcher() {
+        let (server, _) = forum_server(4);
+        let sid = login(&server, "mallory");
+        let page = server.serve(
+            Request::post("/post")
+                .with_cookie("sid", &sid)
+                .with_param("body", "<script>steal(document.cookie)</script>"),
+        );
+        let id = page.body.strip_prefix("posted ").unwrap().to_string();
+
+        // The buggy raw endpoint: the XSS assertion blocks the render.
+        let page = server.serve(Request::get("/view_raw").with_param("id", &id));
+        assert!(page.blocked(), "XSS must fail closed: {:?}", page.outcome);
+        assert!(!page.body.contains("<script>"));
+
+        // The correct endpoint still shows the (escaped) post.
+        let page = server.serve(Request::get("/view").with_param("id", &id));
+        assert!(page.outcome.is_ok());
+        assert!(page.body.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn sql_injection_fails_closed_through_dispatcher() {
+        let (server, _) = forum_server(4);
+        let sid = login(&server, "alice");
+        server
+            .serve(
+                Request::post("/post")
+                    .with_cookie("sid", &sid)
+                    .with_param("body", "precious data"),
+            )
+            .outcome
+            .unwrap();
+
+        // Numeric-position injection cannot be quoted away: blocked.
+        let page = server.serve(Request::get("/view").with_param("id", "1 OR 1=1"));
+        assert!(page.blocked(), "SQLi must fail closed: {:?}", page.outcome);
+
+        // Literal-position injection is neutralized: matches nothing.
+        let page = server.serve(Request::get("/search").with_param("q", "x' OR '1'='1"));
+        assert!(page.outcome.is_ok(), "{:?}", page.outcome);
+        assert!(page.body.starts_with("0 hits"), "{}", page.body);
+
+        // Benign usage still works.
+        let page = server.serve(Request::get("/search").with_param("q", "precious"));
+        assert!(page.body.starts_with("1 hits"), "{}", page.body);
+    }
+
+    #[test]
+    fn response_splitting_fails_closed_through_dispatcher() {
+        let (server, _) = forum_server(4);
+        for evil in [
+            "/evil\r\n\r\n<script>x()</script>",
+            "/evil\n\nHTTP/1.1 200 OK", // the LF-only bypass
+            "/evil\r\n\npayload",
+        ] {
+            let page = server.serve(Request::get("/redirect").with_param("to", evil));
+            assert!(
+                page.blocked(),
+                "splitting must fail closed for {evil:?}: {:?}",
+                page.outcome
+            );
+            assert!(page.headers.is_empty(), "no header may be set");
+        }
+        // A benign target sets the header.
+        let page = server.serve(Request::get("/redirect").with_param("to", "/home"));
+        assert!(page.outcome.is_ok());
+        assert_eq!(page.headers.len(), 1, "Location present");
+        assert_eq!(page.headers[0].0, "Location");
+    }
+
+    #[test]
+    fn concurrent_posts_and_views_keep_assertions() {
+        // Hammer the pool from many submitting threads: benign and hostile
+        // requests interleaved across workers; every hostile one must be
+        // blocked, every benign one served.
+        let (server, _) = forum_server(4);
+        let sid = login(&server, "alice");
+        let evil_id = {
+            let page = server.serve(
+                Request::post("/post")
+                    .with_cookie("sid", &sid)
+                    .with_param("body", "<script>evil()</script>"),
+            );
+            page.body.strip_prefix("posted ").unwrap().to_string()
+        };
+        let mut tickets = Vec::new();
+        for i in 0..48 {
+            let req = match i % 4 {
+                0 => Request::post("/post")
+                    .with_cookie("sid", &sid)
+                    .with_param("body", &format!("benign post {i}")),
+                1 => Request::get("/view_raw").with_param("id", &evil_id),
+                2 => Request::get("/view").with_param("id", "1 OR 1=1"),
+                _ => Request::get("/search").with_param("q", "benign"),
+            };
+            tickets.push((i % 4, server.submit(req)));
+        }
+        for (kind, t) in tickets {
+            let page = t.wait();
+            match kind {
+                0 => assert!(page.outcome.is_ok(), "post: {:?}", page.outcome),
+                1 => assert!(page.blocked(), "raw view of script must block"),
+                2 => assert!(page.blocked(), "numeric SQLi must block"),
+                _ => assert!(page.outcome.is_ok(), "search: {:?}", page.outcome),
+            }
+        }
+    }
+
+    fn wiki_server(workers: usize) -> Server {
+        let mut wiki = MoinWiki::new(true);
+        wiki.create_page(
+            "Public",
+            Acl::new()
+                .grant("*", &[Right::Read])
+                .grant("alice", &[Right::Write]),
+            "welcome all",
+            "alice",
+        );
+        wiki.create_page(
+            "Secret",
+            Acl::new().grant("alice", &[Right::Read, Right::Write]),
+            "the secret plans",
+            "alice",
+        );
+        let sessions = Arc::new(SessionStore::new());
+        Server::start(Arc::new(WikiApp::new(wiki, sessions)), workers)
+    }
+
+    #[test]
+    fn wiki_end_to_end_view_edit() {
+        let server = wiki_server(4);
+        let alice = login(&server, "alice");
+        let page = server.serve(
+            Request::get("/view")
+                .with_cookie("sid", &alice)
+                .with_param("page", "Secret"),
+        );
+        assert!(page.outcome.is_ok(), "{:?}", page.outcome);
+        assert!(page.body.contains("secret plans"));
+
+        let page = server.serve(
+            Request::post("/edit")
+                .with_cookie("sid", &alice)
+                .with_param("page", "Public")
+                .with_param("body", "v2 by alice"),
+        );
+        assert!(page.outcome.is_ok(), "{:?}", page.outcome);
+
+        let mallory = login(&server, "mallory");
+        let page = server.serve(
+            Request::get("/view")
+                .with_cookie("sid", &mallory)
+                .with_param("page", "Public"),
+        );
+        assert!(page.body.contains("v2 by alice"));
+    }
+
+    #[test]
+    fn wiki_acl_bypass_fails_closed_through_dispatcher() {
+        let server = wiki_server(4);
+        let mallory = login(&server, "mallory");
+        // The app's own check 403s the normal path...
+        let page = server.serve(
+            Request::get("/view")
+                .with_cookie("sid", &mallory)
+                .with_param("page", "Secret"),
+        );
+        assert_eq!(page.status, 403);
+        // ...and the persistent PagePolicy blocks the raw endpoint.
+        let page = server.serve(
+            Request::get("/raw")
+                .with_cookie("sid", &mallory)
+                .with_param("page", "Secret"),
+        );
+        assert!(page.blocked(), "ACL bypass must fail closed");
+        assert!(!page.body.contains("secret plans"));
+        // Vandalism through the dispatcher hits the write-ACL filter.
+        let page = server.serve(
+            Request::post("/edit")
+                .with_cookie("sid", &mallory)
+                .with_param("page", "Secret")
+                .with_param("body", "defaced"),
+        );
+        assert!(page.blocked(), "write ACL must fail closed");
+    }
+
+    #[test]
+    fn wiki_concurrent_readers_and_editor() {
+        let server = wiki_server(4);
+        let alice = login(&server, "alice");
+        let mallory = login(&server, "mallory");
+        let mut tickets = Vec::new();
+        for i in 0..32 {
+            let req = match i % 3 {
+                0 => Request::get("/view")
+                    .with_cookie("sid", &alice)
+                    .with_param("page", "Public"),
+                1 => Request::post("/edit")
+                    .with_cookie("sid", &alice)
+                    .with_param("page", "Public")
+                    .with_param("body", &format!("rev {i}")),
+                _ => Request::get("/raw")
+                    .with_cookie("sid", &mallory)
+                    .with_param("page", "Secret"),
+            };
+            tickets.push((i % 3, server.submit(req)));
+        }
+        for (kind, t) in tickets {
+            let page = t.wait();
+            match kind {
+                0 | 1 => assert!(page.outcome.is_ok(), "{:?}", page.outcome),
+                _ => assert!(page.blocked(), "raw secret read must stay blocked"),
+            }
+        }
+    }
+}

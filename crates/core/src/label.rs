@@ -382,12 +382,17 @@ impl LabelTable {
         })
     }
 
+    // The table is append-only and every write-locked section leaves it
+    // consistent at each possible panic point (a pushed policy or set whose
+    // index entry was never written is merely unreachable — no handed-out
+    // handle can dangle), so a poisoned lock is recoverable; see
+    // [`crate::sync`].
     fn read(&self) -> std::sync::RwLockReadGuard<'_, TableInner> {
-        self.inner.read().expect("label table poisoned")
+        crate::sync::rlock(&self.inner)
     }
 
     fn write(&self) -> std::sync::RwLockWriteGuard<'_, TableInner> {
-        self.inner.write().expect("label table poisoned")
+        crate::sync::wlock(&self.inner)
     }
 
     /// Interns one policy, returning its [`PolicyId`].
@@ -645,6 +650,33 @@ mod tests {
                 .0,
             2
         );
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        // A worker thread that panics while holding the write lock used to
+        // poison the global table, turning every later intern/resolve in
+        // the whole process into a panic. The table is append-only, so the
+        // lock state is always consistent — recover and keep going.
+        let table = LabelTable::global();
+        let _ = std::thread::spawn(|| {
+            let _guard = LabelTable::global().inner.write();
+            panic!("worker dies while holding the label-table lock");
+        })
+        .join();
+        assert!(table.inner.is_poisoned(), "the panic poisoned the lock");
+        // Interning from another thread must still work end-to-end:
+        // policy interner, label sets, and the union cache.
+        let l = std::thread::spawn(|| {
+            let a = Label::of(&(Arc::new(UntrustedData::from_source("post-poison")) as PolicyRef));
+            let b = Label::of(&pw("post-poison@x"));
+            a.union(b)
+        })
+        .join()
+        .expect("interning after poison must not panic");
+        assert_eq!(l.len(), 2);
+        assert!(l.has::<UntrustedData>());
+        assert!(l.has::<PasswordPolicy>());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod policy;
 pub mod policy_set;
 pub mod runtime;
 pub mod serialize;
+pub mod sync;
 pub mod taint;
 
 /// One-stop imports for applications using the runtime (the v3 surface).

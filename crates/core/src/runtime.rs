@@ -80,11 +80,11 @@ impl GateRegistry {
         registry
     }
 
+    // Registrations are single `insert`/`get` steps, so the map is
+    // consistent at every panic point and a poisoned lock is recoverable
+    // (see `crate::sync`).
     fn set_factory(&self, key: String, factory: GateFactory) {
-        self.factories
-            .write()
-            .expect("gate registry poisoned")
-            .insert(key, factory);
+        crate::sync::wlock(&self.factories).insert(key, factory);
     }
 
     /// Registers (or replaces) the default gate for a surface.
@@ -101,18 +101,12 @@ impl GateRegistry {
 
     /// True if a default is registered for `kind`.
     pub fn contains(&self, kind: &GateKind) -> bool {
-        self.factories
-            .read()
-            .expect("gate registry poisoned")
-            .contains_key(&GateRegistry::key(kind))
+        crate::sync::rlock(&self.factories).contains_key(&GateRegistry::key(kind))
     }
 
     /// The registered surface names, sorted.
     pub fn surfaces(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .factories
-            .read()
-            .expect("gate registry poisoned")
+        let mut names: Vec<String> = crate::sync::rlock(&self.factories)
             .keys()
             .cloned()
             .collect();
@@ -126,10 +120,7 @@ impl GateRegistry {
     /// a surface is always safe — an unknown boundary gets the paper's
     /// default filter rather than no filter.
     pub fn open(&self, kind: GateKind) -> Gate {
-        let factory = self
-            .factories
-            .read()
-            .expect("gate registry poisoned")
+        let factory = crate::sync::rlock(&self.factories)
             .get(&GateRegistry::key(&kind))
             .cloned();
         match factory {

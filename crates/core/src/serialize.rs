@@ -61,18 +61,12 @@ pub fn register_policy_class(
     name: impl Into<String>,
     deserializer: impl Fn(&FieldMap) -> Result<PolicyRef, SerializeError> + Send + Sync + 'static,
 ) {
-    registry()
-        .write()
-        .expect("policy registry poisoned")
-        .insert(name.into(), Arc::new(deserializer));
+    crate::sync::wlock(registry()).insert(name.into(), Arc::new(deserializer));
 }
 
 /// True if `name` is a registered policy class.
 pub fn is_registered(name: &str) -> bool {
-    registry()
-        .read()
-        .expect("policy registry poisoned")
-        .contains_key(name)
+    crate::sync::rlock(registry()).contains_key(name)
 }
 
 fn field(fields: &FieldMap, class: &str, key: &str) -> Result<String, SerializeError> {
@@ -222,9 +216,7 @@ pub fn deserialize_policy(s: &str) -> Result<PolicyRef, SerializeError> {
             fields.insert(unescape(k)?, unescape(v)?);
         }
     }
-    let deser = registry()
-        .read()
-        .expect("policy registry poisoned")
+    let deser = crate::sync::rlock(registry())
         .get(&name)
         .cloned()
         .ok_or(SerializeError::UnknownClass(name))?;

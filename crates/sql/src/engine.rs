@@ -4,6 +4,12 @@
 //! scan. It is deliberately policy-oblivious — the RESIN integration
 //! (policy columns, injection guards) lives in [`crate::rewrite`], exactly
 //! as the paper layers its SQL filter over an unmodified database.
+//!
+//! The per-table operations (`table_insert`, `table_select`,
+//! `table_update`, `table_delete`) are free functions over a single
+//! [`Table`], so they serve two storage layouts: the single-threaded
+//! [`Database`] here (a plain map of tables) and the lock-sharded
+//! [`crate::shard::ShardedDatabase`] (one `RwLock` per table).
 
 use std::collections::BTreeMap;
 
@@ -98,6 +104,16 @@ impl Database {
         self.execute(&stmt)
     }
 
+    /// Installs `table` under `name` (transaction-rollback support).
+    pub(crate) fn set_table(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Removes `name` entirely (transaction-rollback support).
+    pub(crate) fn remove_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
     fn create_table(
         &mut self,
         name: &str,
@@ -110,19 +126,8 @@ impl Database {
             }
             return Err(SqlError::schema(format!("table `{name}` already exists")));
         }
-        let mut seen = std::collections::BTreeSet::new();
-        for c in columns {
-            if !seen.insert(&c.name) {
-                return Err(SqlError::schema(format!("duplicate column `{}`", c.name)));
-            }
-        }
-        self.tables.insert(
-            name.to_string(),
-            Table {
-                columns: columns.to_vec(),
-                rows: Vec::new(),
-            },
-        );
+        let table = new_table(columns)?;
+        self.tables.insert(name.to_string(), table);
         Ok(QueryResult::default())
     }
 
@@ -134,41 +139,9 @@ impl Database {
     ) -> Result<QueryResult> {
         let t = self
             .tables
-            .get(table)
-            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
-        // Map provided positions to storage positions.
-        let positions: Vec<usize> = match columns {
-            None => (0..t.columns.len()).collect(),
-            Some(cols) => cols
-                .iter()
-                .map(|c| {
-                    t.col_index(c)
-                        .ok_or_else(|| SqlError::schema(format!("no column `{c}` in `{table}`")))
-                })
-                .collect::<Result<_>>()?,
-        };
-        let width = t.columns.len();
-        let mut staged = Vec::with_capacity(rows.len());
-        for row in rows {
-            if row.len() != positions.len() {
-                return Err(SqlError::schema(format!(
-                    "expected {} values, got {}",
-                    positions.len(),
-                    row.len()
-                )));
-            }
-            let mut storage = vec![Value::Null; width];
-            for (expr, &pos) in row.iter().zip(&positions) {
-                storage[pos] = eval_const(expr)?;
-            }
-            staged.push(storage);
-        }
-        let affected = staged.len();
-        self.tables
             .get_mut(table)
-            .expect("checked above")
-            .rows
-            .extend(staged);
+            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+        let affected = table_insert(t, table, columns, rows)?;
         Ok(QueryResult {
             affected,
             ..QueryResult::default()
@@ -180,58 +153,7 @@ impl Database {
             .tables
             .get(&sel.table)
             .ok_or_else(|| SqlError::schema(format!("no such table `{}`", sel.table)))?;
-        let mut matched: Vec<&Vec<Value>> = Vec::new();
-        for row in &t.rows {
-            if matches_where(t, row, sel.where_clause.as_ref())? {
-                matched.push(row);
-            }
-        }
-        if let Some((col, desc)) = &sel.order_by {
-            let idx = t
-                .col_index(col)
-                .ok_or_else(|| SqlError::schema(format!("no column `{col}`")))?;
-            matched.sort_by(|a, b| {
-                let ord = a[idx].compare(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
-                if *desc {
-                    ord.reverse()
-                } else {
-                    ord
-                }
-            });
-        }
-        if let Some(limit) = sel.limit {
-            matched.truncate(limit);
-        }
-        match &sel.projection {
-            Projection::CountStar => Ok(QueryResult {
-                columns: vec!["count".to_string()],
-                rows: vec![vec![Value::Int(matched.len() as i64)]],
-                affected: 0,
-            }),
-            Projection::Star => Ok(QueryResult {
-                columns: t.columns.iter().map(|c| c.name.clone()).collect(),
-                rows: matched.into_iter().cloned().collect(),
-                affected: 0,
-            }),
-            Projection::Columns(cols) => {
-                let idxs: Vec<usize> = cols
-                    .iter()
-                    .map(|c| {
-                        t.col_index(c)
-                            .ok_or_else(|| SqlError::schema(format!("no column `{c}`")))
-                    })
-                    .collect::<Result<_>>()?;
-                let rows = matched
-                    .into_iter()
-                    .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
-                    .collect();
-                Ok(QueryResult {
-                    columns: cols.clone(),
-                    rows,
-                    affected: 0,
-                })
-            }
-        }
+        table_select(t, sel)
     }
 
     fn update(
@@ -242,31 +164,9 @@ impl Database {
     ) -> Result<QueryResult> {
         let t = self
             .tables
-            .get(table)
+            .get_mut(table)
             .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
-        let idxs: Vec<(usize, Value)> = assignments
-            .iter()
-            .map(|(c, e)| {
-                let i = t
-                    .col_index(c)
-                    .ok_or_else(|| SqlError::schema(format!("no column `{c}`")))?;
-                Ok((i, eval_const(e)?))
-            })
-            .collect::<Result<_>>()?;
-        // Evaluate the predicate against the immutable borrow first.
-        let mut hits = Vec::new();
-        for (ri, row) in t.rows.iter().enumerate() {
-            if matches_where(t, row, where_clause)? {
-                hits.push(ri);
-            }
-        }
-        let affected = hits.len();
-        let t = self.tables.get_mut(table).expect("checked above");
-        for ri in hits {
-            for (ci, v) in &idxs {
-                t.rows[ri][*ci] = v.clone();
-            }
-        }
+        let affected = table_update(t, assignments, where_clause)?;
         Ok(QueryResult {
             affected,
             ..QueryResult::default()
@@ -276,33 +176,181 @@ impl Database {
     fn delete(&mut self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
         let t = self
             .tables
-            .get(table)
+            .get_mut(table)
             .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
-        let mut hits = Vec::new();
-        for (ri, row) in t.rows.iter().enumerate() {
-            if matches_where(t, row, where_clause)? {
-                hits.push(ri);
-            }
-        }
-        let affected = hits.len();
-        if affected > 0 {
-            let rows = &mut self.tables.get_mut(table).expect("checked above").rows;
-            let mut hit_iter = hits.into_iter().peekable();
-            let mut idx = 0usize;
-            rows.retain(|_| {
-                let drop_row = hit_iter.peek() == Some(&idx);
-                if drop_row {
-                    hit_iter.next();
-                }
-                idx += 1;
-                !drop_row
-            });
-        }
+        let affected = table_delete(t, where_clause)?;
         Ok(QueryResult {
             affected,
             ..QueryResult::default()
         })
     }
+}
+
+// ---- per-table operations, shared by both storage layouts ----
+
+/// Validates `columns` and builds an empty [`Table`].
+pub(crate) fn new_table(columns: &[ColumnDef]) -> Result<Table> {
+    let mut seen = std::collections::BTreeSet::new();
+    for c in columns {
+        if !seen.insert(&c.name) {
+            return Err(SqlError::schema(format!("duplicate column `{}`", c.name)));
+        }
+    }
+    Ok(Table {
+        columns: columns.to_vec(),
+        rows: Vec::new(),
+    })
+}
+
+/// Inserts `rows` into `t` (`name` is for error messages only), returning
+/// the number of rows added. All rows are validated before any is stored.
+pub(crate) fn table_insert(
+    t: &mut Table,
+    name: &str,
+    columns: Option<&[String]>,
+    rows: &[Vec<Expr>],
+) -> Result<usize> {
+    // Map provided positions to storage positions.
+    let positions: Vec<usize> = match columns {
+        None => (0..t.columns.len()).collect(),
+        Some(cols) => cols
+            .iter()
+            .map(|c| {
+                t.col_index(c)
+                    .ok_or_else(|| SqlError::schema(format!("no column `{c}` in `{name}`")))
+            })
+            .collect::<Result<_>>()?,
+    };
+    let width = t.columns.len();
+    let mut staged = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != positions.len() {
+            return Err(SqlError::schema(format!(
+                "expected {} values, got {}",
+                positions.len(),
+                row.len()
+            )));
+        }
+        let mut storage = vec![Value::Null; width];
+        for (expr, &pos) in row.iter().zip(&positions) {
+            storage[pos] = eval_const(expr)?;
+        }
+        staged.push(storage);
+    }
+    let affected = staged.len();
+    t.rows.extend(staged);
+    Ok(affected)
+}
+
+/// Runs a SELECT against one table.
+pub(crate) fn table_select(t: &Table, sel: &SelectStmt) -> Result<QueryResult> {
+    let mut matched: Vec<&Vec<Value>> = Vec::new();
+    for row in &t.rows {
+        if matches_where(t, row, sel.where_clause.as_ref())? {
+            matched.push(row);
+        }
+    }
+    if let Some((col, desc)) = &sel.order_by {
+        let idx = t
+            .col_index(col)
+            .ok_or_else(|| SqlError::schema(format!("no column `{col}`")))?;
+        matched.sort_by(|a, b| {
+            let ord = a[idx].compare(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(limit) = sel.limit {
+        matched.truncate(limit);
+    }
+    match &sel.projection {
+        Projection::CountStar => Ok(QueryResult {
+            columns: vec!["count".to_string()],
+            rows: vec![vec![Value::Int(matched.len() as i64)]],
+            affected: 0,
+        }),
+        Projection::Star => Ok(QueryResult {
+            columns: t.columns.iter().map(|c| c.name.clone()).collect(),
+            rows: matched.into_iter().cloned().collect(),
+            affected: 0,
+        }),
+        Projection::Columns(cols) => {
+            let idxs: Vec<usize> = cols
+                .iter()
+                .map(|c| {
+                    t.col_index(c)
+                        .ok_or_else(|| SqlError::schema(format!("no column `{c}`")))
+                })
+                .collect::<Result<_>>()?;
+            let rows = matched
+                .into_iter()
+                .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            Ok(QueryResult {
+                columns: cols.clone(),
+                rows,
+                affected: 0,
+            })
+        }
+    }
+}
+
+/// Applies an UPDATE to one table, returning the affected-row count.
+pub(crate) fn table_update(
+    t: &mut Table,
+    assignments: &[(String, Expr)],
+    where_clause: Option<&Expr>,
+) -> Result<usize> {
+    let idxs: Vec<(usize, Value)> = assignments
+        .iter()
+        .map(|(c, e)| {
+            let i = t
+                .col_index(c)
+                .ok_or_else(|| SqlError::schema(format!("no column `{c}`")))?;
+            Ok((i, eval_const(e)?))
+        })
+        .collect::<Result<_>>()?;
+    // Evaluate the predicate against the immutable borrow first.
+    let mut hits = Vec::new();
+    for (ri, row) in t.rows.iter().enumerate() {
+        if matches_where(t, row, where_clause)? {
+            hits.push(ri);
+        }
+    }
+    let affected = hits.len();
+    for ri in hits {
+        for (ci, v) in &idxs {
+            t.rows[ri][*ci] = v.clone();
+        }
+    }
+    Ok(affected)
+}
+
+/// Applies a DELETE to one table, returning the affected-row count.
+pub(crate) fn table_delete(t: &mut Table, where_clause: Option<&Expr>) -> Result<usize> {
+    let mut hits = Vec::new();
+    for (ri, row) in t.rows.iter().enumerate() {
+        if matches_where(t, row, where_clause)? {
+            hits.push(ri);
+        }
+    }
+    let affected = hits.len();
+    if affected > 0 {
+        let mut hit_iter = hits.into_iter().peekable();
+        let mut idx = 0usize;
+        t.rows.retain(|_| {
+            let drop_row = hit_iter.peek() == Some(&idx);
+            if drop_row {
+                hit_iter.next();
+            }
+            idx += 1;
+            !drop_row
+        });
+    }
+    Ok(affected)
 }
 
 fn eval_const(expr: &Expr) -> Result<Value> {

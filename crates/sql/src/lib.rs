@@ -37,6 +37,7 @@ pub mod engine;
 pub mod error;
 pub mod parser;
 pub mod rewrite;
+pub mod shard;
 pub mod token;
 pub mod txn;
 pub mod value;
@@ -46,5 +47,6 @@ pub use error::{Result, SqlError};
 pub use rewrite::{
     GuardMode, ResinDb, SqlGuardFilter, TCell, TaintedResult, Tracking, POLICY_COL_PREFIX,
 };
+pub use shard::{ShardedDatabase, SharedDb, SharedIntegrityCheck, SharedTransaction};
 pub use txn::{IntegrityCheck, Transaction};
 pub use value::Value;

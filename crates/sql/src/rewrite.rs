@@ -30,7 +30,7 @@ use resin_core::{
 };
 
 use crate::ast::{ColumnDef, ColumnType, Expr, LitValue, Literal, Projection, Statement};
-use crate::engine::{Database, QueryResult};
+use crate::engine::{Database, QueryResult, Table};
 use crate::error::{Result, SqlError};
 use crate::token::{lex, lex_tainted, sanitize_query, Token};
 use crate::value::Value;
@@ -222,6 +222,108 @@ fn guard_query_cow<'a>(
     }
 }
 
+/// What the RESIN rewriting layer needs from a storage engine.
+///
+/// Implemented by the single-threaded [`Database`] (exclusive `&mut`
+/// access) and by `&`[`crate::shard::ShardedDatabase`] (interior
+/// table-level locking), so the exact same rewriting + guard pipeline
+/// serves [`ResinDb`] and [`crate::shard::SharedDb`].
+pub(crate) trait QueryBackend {
+    /// Executes one parsed statement.
+    fn execute(&mut self, stmt: &Statement) -> Result<QueryResult>;
+
+    /// All column names of `table` (including policy columns), or a schema
+    /// error when the table does not exist.
+    fn columns_of(&self, table: &str) -> Result<Vec<String>>;
+}
+
+impl QueryBackend for Database {
+    fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        Database::execute(self, stmt)
+    }
+
+    fn columns_of(&self, table: &str) -> Result<Vec<String>> {
+        let t = self
+            .table(table)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+        Ok(t.columns.iter().map(|c| c.name.clone()).collect())
+    }
+}
+
+/// The registry's sql gate with `guard` mounted on the filter chain.
+pub(crate) fn query_gate(guard: GuardMode) -> Gate {
+    let mut gate = Runtime::global().open(GateKind::Sql);
+    gate.add_filter(Box::new(SqlGuardFilter::new(guard)));
+    gate
+}
+
+/// The guard + parse front half of the query pipeline: the query crosses
+/// the SQL gate (borrowed export — only cloned if a guard rewrites it)
+/// and comes back parsed. Transactions call this directly so they can
+/// read the statement's write set *after* any guard rewriting.
+pub(crate) fn prepare_query<'a>(
+    sql: &'a TaintedString,
+    guard: GuardMode,
+) -> Result<(Cow<'a, TaintedString>, Statement)> {
+    let gate = query_gate(guard);
+    let sql = gate
+        .export_cow(Cow::Borrowed(sql))
+        .map_err(SqlError::from)?;
+    let tokens = lex(sql.as_str())?;
+    let stmt = crate::parser::parse(&tokens)?;
+    Ok((sql, stmt))
+}
+
+/// The full RESIN query pipeline over any backend: guard, parse, rewrite,
+/// execute.
+pub(crate) fn guarded_query<B: QueryBackend>(
+    backend: &mut B,
+    sql: &TaintedString,
+    tracking: Tracking,
+    guard: GuardMode,
+) -> Result<TaintedResult> {
+    let (sql, stmt) = prepare_query(sql, guard)?;
+    run_prepared(backend, &sql, stmt, tracking)
+}
+
+/// The rewrite + execute back half of the pipeline, on an already
+/// guarded-and-parsed statement.
+pub(crate) fn run_prepared<B: QueryBackend>(
+    backend: &mut B,
+    sql: &TaintedString,
+    stmt: Statement,
+    tracking: Tracking,
+) -> Result<TaintedResult> {
+    if tracking == Tracking::Off {
+        let res = backend.execute(&stmt)?;
+        return Ok(plain_result(res));
+    }
+    match stmt {
+        Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => create_rewritten(backend, &name, columns, if_not_exists),
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => insert_rewritten(backend, sql, &table, columns, rows),
+        Statement::Select(sel) => select_rewritten(backend, sel),
+        Statement::Update {
+            table,
+            assignments,
+            where_clause,
+        } => update_rewritten(backend, sql, &table, assignments, where_clause),
+        other @ (Statement::Delete { .. } | Statement::DropTable { .. }) => {
+            // DELETE/DROP need no rewriting — the paper notes DELETE's
+            // low overhead for exactly this reason (§7.2).
+            let res = backend.execute(&other)?;
+            Ok(plain_result(res))
+        }
+    }
+}
+
 /// A database wrapped by the RESIN SQL filter.
 #[derive(Debug, Default)]
 pub struct ResinDb {
@@ -255,9 +357,16 @@ impl ResinDb {
         &self.db
     }
 
-    /// Replaces the engine state (transaction rollback support).
-    pub(crate) fn restore(&mut self, snapshot: Database) {
-        self.db = snapshot;
+    /// Restores one table to a snapshot (transaction rollback support):
+    /// `Some` puts the saved table back, `None` drops a table that did not
+    /// exist when the snapshot was taken.
+    pub(crate) fn restore_table(&mut self, name: &str, snapshot: Option<Table>) {
+        match snapshot {
+            Some(t) => self.db.set_table(name, t),
+            None => {
+                self.db.remove_table(name);
+            }
+        }
     }
 
     /// Executes an untainted query string.
@@ -265,205 +374,171 @@ impl ResinDb {
         self.query(&TaintedString::from(sql))
     }
 
-    /// The SQL boundary for one query: the registry's sql gate (unguarded
-    /// by default — rewriting is this crate's job) with this database's
-    /// injection guard mounted on the filter chain.
-    fn query_gate(&self) -> Gate {
-        let mut gate = Runtime::global().open(GateKind::Sql);
-        gate.add_filter(Box::new(SqlGuardFilter::new(self.guard)));
-        gate
-    }
-
     /// Executes a (possibly tainted) query through the RESIN SQL filter.
     pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
-        // 1. Injection guard: the query crosses the SQL gate. Borrowed
-        // export: the query is only cloned if a guard actually rewrites it.
-        let gate = self.query_gate();
-        let sql = gate
-            .export_cow(Cow::Borrowed(sql))
-            .map_err(SqlError::from)?;
+        guarded_query(&mut self.db, sql, self.tracking, self.guard)
+    }
 
-        // 2. Parse.
-        let tokens = lex(sql.as_str())?;
-        let stmt = crate::parser::parse(&tokens)?;
+    /// The current guard mode (transactions prepare with it).
+    pub(crate) fn guard_mode(&self) -> GuardMode {
+        self.guard
+    }
 
-        // 3. Rewrite + execute.
-        if self.tracking == Tracking::Off {
-            let res = self.db.execute(&stmt)?;
+    /// Runs the back half of the pipeline on a prepared statement
+    /// (transaction support — the caller already guarded and parsed).
+    pub(crate) fn run_prepared(
+        &mut self,
+        sql: &TaintedString,
+        stmt: Statement,
+    ) -> Result<TaintedResult> {
+        run_prepared(&mut self.db, sql, stmt, self.tracking)
+    }
+}
+
+// ---- rewriting ----
+
+fn user_columns<B: QueryBackend>(backend: &B, table: &str) -> Result<Vec<String>> {
+    Ok(backend
+        .columns_of(table)?
+        .into_iter()
+        .filter(|n| !n.starts_with(POLICY_COL_PREFIX))
+        .collect())
+}
+
+fn create_rewritten<B: QueryBackend>(
+    backend: &mut B,
+    name: &str,
+    mut columns: Vec<ColumnDef>,
+    if_not_exists: bool,
+) -> Result<TaintedResult> {
+    for c in &columns {
+        if c.name.starts_with(POLICY_COL_PREFIX) {
+            return Err(SqlError::schema(format!(
+                "column name `{}` collides with the policy column prefix",
+                c.name
+            )));
+        }
+    }
+    let shadows: Vec<ColumnDef> = columns
+        .iter()
+        .map(|c| ColumnDef {
+            name: format!("{POLICY_COL_PREFIX}{}", c.name),
+            ty: ColumnType::Text,
+        })
+        .collect();
+    columns.extend(shadows);
+    let res = backend.execute(&Statement::CreateTable {
+        name: name.to_string(),
+        columns,
+        if_not_exists,
+    })?;
+    Ok(plain_result(res))
+}
+
+fn insert_rewritten<B: QueryBackend>(
+    backend: &mut B,
+    sql: &TaintedString,
+    table: &str,
+    columns: Option<Vec<String>>,
+    rows: Vec<Vec<Expr>>,
+) -> Result<TaintedResult> {
+    let cols = match columns {
+        Some(c) => c,
+        None => user_columns(backend, table)?,
+    };
+    let mut new_cols = cols.clone();
+    new_cols.extend(cols.iter().map(|c| format!("{POLICY_COL_PREFIX}{c}")));
+    let mut new_rows = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut shadows = Vec::with_capacity(row.len());
+        for expr in &row {
+            shadows.push(Expr::Lit(Literal {
+                value: LitValue::Text(policy_blob_for(sql, expr)),
+                span: 0..0,
+            }));
+        }
+        let mut new_row = row;
+        new_row.extend(shadows);
+        new_rows.push(new_row);
+    }
+    let res = backend.execute(&Statement::Insert {
+        table: table.to_string(),
+        columns: Some(new_cols),
+        rows: new_rows,
+    })?;
+    Ok(plain_result(res))
+}
+
+fn update_rewritten<B: QueryBackend>(
+    backend: &mut B,
+    sql: &TaintedString,
+    table: &str,
+    assignments: Vec<(String, Expr)>,
+    where_clause: Option<Expr>,
+) -> Result<TaintedResult> {
+    let mut new_assignments = Vec::with_capacity(assignments.len() * 2);
+    for (col, expr) in assignments {
+        let blob = policy_blob_for(sql, &expr);
+        new_assignments.push((
+            format!("{POLICY_COL_PREFIX}{col}"),
+            Expr::Lit(Literal {
+                value: LitValue::Text(blob),
+                span: 0..0,
+            }),
+        ));
+        new_assignments.push((col, expr));
+    }
+    let res = backend.execute(&Statement::Update {
+        table: table.to_string(),
+        assignments: new_assignments,
+        where_clause,
+    })?;
+    Ok(plain_result(res))
+}
+
+fn select_rewritten<B: QueryBackend>(
+    backend: &mut B,
+    sel: crate::ast::SelectStmt,
+) -> Result<TaintedResult> {
+    let data_cols: Vec<String> = match &sel.projection {
+        Projection::CountStar => {
+            let res = backend.execute(&Statement::Select(sel))?;
             return Ok(plain_result(res));
         }
-        match stmt {
-            Statement::CreateTable {
-                name,
-                columns,
-                if_not_exists,
-            } => self.create_rewritten(&name, columns, if_not_exists),
-            Statement::Insert {
-                table,
-                columns,
-                rows,
-            } => self.insert_rewritten(&sql, &table, columns, rows),
-            Statement::Select(sel) => self.select_rewritten(sel),
-            Statement::Update {
-                table,
-                assignments,
-                where_clause,
-            } => self.update_rewritten(&sql, &table, assignments, where_clause),
-            other @ (Statement::Delete { .. } | Statement::DropTable { .. }) => {
-                // DELETE/DROP need no rewriting — the paper notes DELETE's
-                // low overhead for exactly this reason (§7.2).
-                let res = self.db.execute(&other)?;
-                Ok(plain_result(res))
-            }
-        }
-    }
-
-    // ---- rewriting ----
-
-    fn user_columns(&self, table: &str) -> Result<Vec<String>> {
-        let t = self
-            .db
-            .table(table)
-            .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
-        Ok(t.columns
-            .iter()
-            .map(|c| c.name.clone())
-            .filter(|n| !n.starts_with(POLICY_COL_PREFIX))
-            .collect())
-    }
-
-    fn create_rewritten(
-        &mut self,
-        name: &str,
-        mut columns: Vec<ColumnDef>,
-        if_not_exists: bool,
-    ) -> Result<TaintedResult> {
-        for c in &columns {
-            if c.name.starts_with(POLICY_COL_PREFIX) {
-                return Err(SqlError::schema(format!(
-                    "column name `{}` collides with the policy column prefix",
-                    c.name
-                )));
-            }
-        }
-        let shadows: Vec<ColumnDef> = columns
-            .iter()
-            .map(|c| ColumnDef {
-                name: format!("{POLICY_COL_PREFIX}{}", c.name),
-                ty: ColumnType::Text,
-            })
-            .collect();
-        columns.extend(shadows);
-        let res = self.db.execute(&Statement::CreateTable {
-            name: name.to_string(),
-            columns,
-            if_not_exists,
-        })?;
-        Ok(plain_result(res))
-    }
-
-    fn insert_rewritten(
-        &mut self,
-        sql: &TaintedString,
-        table: &str,
-        columns: Option<Vec<String>>,
-        rows: Vec<Vec<Expr>>,
-    ) -> Result<TaintedResult> {
-        let cols = match columns {
-            Some(c) => c,
-            None => self.user_columns(table)?,
-        };
-        let mut new_cols = cols.clone();
-        new_cols.extend(cols.iter().map(|c| format!("{POLICY_COL_PREFIX}{c}")));
-        let mut new_rows = Vec::with_capacity(rows.len());
-        for row in rows {
-            let mut shadows = Vec::with_capacity(row.len());
-            for expr in &row {
-                shadows.push(Expr::Lit(Literal {
-                    value: LitValue::Text(policy_blob_for(sql, expr)),
-                    span: 0..0,
-                }));
-            }
-            let mut new_row = row;
-            new_row.extend(shadows);
-            new_rows.push(new_row);
-        }
-        let res = self.db.execute(&Statement::Insert {
-            table: table.to_string(),
-            columns: Some(new_cols),
-            rows: new_rows,
-        })?;
-        Ok(plain_result(res))
-    }
-
-    fn update_rewritten(
-        &mut self,
-        sql: &TaintedString,
-        table: &str,
-        assignments: Vec<(String, Expr)>,
-        where_clause: Option<Expr>,
-    ) -> Result<TaintedResult> {
-        let mut new_assignments = Vec::with_capacity(assignments.len() * 2);
-        for (col, expr) in assignments {
-            let blob = policy_blob_for(sql, &expr);
-            new_assignments.push((
-                format!("{POLICY_COL_PREFIX}{col}"),
-                Expr::Lit(Literal {
-                    value: LitValue::Text(blob),
-                    span: 0..0,
-                }),
-            ));
-            new_assignments.push((col, expr));
-        }
-        let res = self.db.execute(&Statement::Update {
-            table: table.to_string(),
-            assignments: new_assignments,
-            where_clause,
-        })?;
-        Ok(plain_result(res))
-    }
-
-    fn select_rewritten(&mut self, sel: crate::ast::SelectStmt) -> Result<TaintedResult> {
-        let data_cols: Vec<String> = match &sel.projection {
-            Projection::CountStar => {
-                let res = self.db.execute(&Statement::Select(sel))?;
-                return Ok(plain_result(res));
-            }
-            Projection::Star => self.user_columns(&sel.table)?,
-            Projection::Columns(cols) => {
-                for c in cols {
-                    if c.starts_with(POLICY_COL_PREFIX) {
-                        return Err(SqlError::schema(format!(
-                            "cannot select policy column `{c}` directly"
-                        )));
-                    }
+        Projection::Star => user_columns(backend, &sel.table)?,
+        Projection::Columns(cols) => {
+            for c in cols {
+                if c.starts_with(POLICY_COL_PREFIX) {
+                    return Err(SqlError::schema(format!(
+                        "cannot select policy column `{c}` directly"
+                    )));
                 }
-                cols.clone()
             }
-        };
-        let mut fetch = data_cols.clone();
-        fetch.extend(data_cols.iter().map(|c| format!("{POLICY_COL_PREFIX}{c}")));
-        let rewritten = crate::ast::SelectStmt {
-            projection: Projection::Columns(fetch),
-            ..sel
-        };
-        let res = self.db.execute(&Statement::Select(rewritten))?;
-        // Re-attach policies: columns [0..n) are data, [n..2n) policies.
-        let n = data_cols.len();
-        let mut rows = Vec::with_capacity(res.rows.len());
-        for row in res.rows {
-            let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                out.push(revive_cell(&row[i], &row[n + i])?);
-            }
-            rows.push(out);
+            cols.clone()
         }
-        Ok(TaintedResult {
-            columns: data_cols,
-            rows,
-            affected: 0,
-        })
+    };
+    let mut fetch = data_cols.clone();
+    fetch.extend(data_cols.iter().map(|c| format!("{POLICY_COL_PREFIX}{c}")));
+    let rewritten = crate::ast::SelectStmt {
+        projection: Projection::Columns(fetch),
+        ..sel
+    };
+    let res = backend.execute(&Statement::Select(rewritten))?;
+    // Re-attach policies: columns [0..n) are data, [n..2n) policies.
+    let n = data_cols.len();
+    let mut rows = Vec::with_capacity(res.rows.len());
+    for row in res.rows {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(revive_cell(&row[i], &row[n + i])?);
+        }
+        rows.push(out);
     }
+    Ok(TaintedResult {
+        columns: data_cols,
+        rows,
+        affected: 0,
+    })
 }
 
 fn check_structure_untainted(sql: &TaintedString, tokens: &[Token]) -> Result<()> {

@@ -1,0 +1,562 @@
+//! Concurrent storage: a table-sharded engine behind an `Arc`.
+//!
+//! The single-threaded [`Database`](crate::Database) serves one request at
+//! a time through `&mut`. Serving the paper's workloads under real traffic
+//! (§6 runs the applications inside live web servers) needs the opposite:
+//! many worker threads sharing one database. [`SharedDb`] provides that:
+//!
+//! * storage is a [`ShardedDatabase`] — a catalog `RwLock` mapping table
+//!   names to `Arc<RwLock<Table>>`, so locking is **per table**: readers
+//!   of `posts` never contend with writers of `sessions`, and two readers
+//!   of the same table proceed in parallel;
+//! * the RESIN rewriting + injection-guard pipeline is the exact same code
+//!   [`ResinDb`](crate::ResinDb) runs (policy columns, guards, the sql
+//!   gate) — `SharedDb` implements the crate's internal `QueryBackend`
+//!   over the sharded storage;
+//! * `SharedDb` is `Clone` (an `Arc` handle): hand one to every worker.
+//!
+//! Transactions ([`SharedDb::begin`]) use the same lazy copy-on-write
+//! snapshot strategy as [`Transaction`](crate::Transaction): a table is
+//! snapshotted only on its first write inside the transaction, so touching
+//! one small table never clones the whole database.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use resin_core::sync::{rlock, wlock};
+
+use resin_core::{PolicyViolation, TaintedString};
+
+use crate::ast::Statement;
+use crate::engine::{
+    new_table, table_delete, table_insert, table_select, table_update, QueryResult, Table,
+};
+use crate::error::{Result, SqlError};
+use crate::rewrite::{
+    guarded_query, prepare_query, run_prepared, GuardMode, QueryBackend, TaintedResult, Tracking,
+};
+use crate::txn::{statement_write_target, TxnSnapshots};
+
+type TableShard = Arc<RwLock<Table>>;
+
+/// The lock-sharded storage engine: one `RwLock` per table plus a catalog
+/// lock for schema changes.
+///
+/// All methods take `&self`. Row statements hold the catalog lock in
+/// shared mode (readers never block each other; per-table locks provide
+/// the sharding), schema statements take it exclusively — so DDL
+/// serializes cleanly against in-flight row work.
+#[derive(Debug, Default)]
+pub struct ShardedDatabase {
+    catalog: RwLock<BTreeMap<String, TableShard>>,
+}
+
+// Both lock levels guard data that is consistent at every panic point
+// (rows are staged before being extended in; catalog changes are single
+// map operations), so a panicking worker must not poison the database for
+// every other request — the poison-recovering accessors of
+// `resin_core::sync` apply.
+
+impl ShardedDatabase {
+    /// An empty sharded database.
+    pub fn new() -> Self {
+        ShardedDatabase::default()
+    }
+
+    fn resolve<'a>(
+        catalog: &'a BTreeMap<String, TableShard>,
+        name: &str,
+    ) -> Result<&'a TableShard> {
+        catalog
+            .get(name)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{name}`")))
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        rlock(&self.catalog).keys().cloned().collect()
+    }
+
+    /// A point-in-time copy of one table, if it exists.
+    pub fn snapshot_table(&self, name: &str) -> Option<Table> {
+        let catalog = rlock(&self.catalog);
+        let shard = catalog.get(name)?;
+        let copy = rlock(shard).clone();
+        Some(copy)
+    }
+
+    /// Restores one table to a snapshot: `Some` replaces (or re-creates)
+    /// the table, `None` drops it.
+    pub fn restore_table(&self, name: &str, snapshot: Option<Table>) {
+        match snapshot {
+            Some(t) => {
+                let mut catalog = wlock(&self.catalog);
+                match catalog.get(name) {
+                    // Swap contents in place so concurrent holders of the
+                    // shard Arc observe the restored state too.
+                    Some(shard) => *wlock(shard) = t,
+                    None => {
+                        catalog.insert(name.to_string(), Arc::new(RwLock::new(t)));
+                    }
+                }
+            }
+            None => {
+                wlock(&self.catalog).remove(name);
+            }
+        }
+    }
+
+    /// Executes one parsed statement against the sharded storage.
+    ///
+    /// Row statements hold the catalog lock in *shared* mode for their
+    /// whole run (sharding comes from the per-table locks), so a schema
+    /// change — which takes the catalog lock exclusively — serializes
+    /// against in-flight row work instead of detaching a shard mid-write:
+    /// a write racing a `DROP TABLE` either lands before the drop or
+    /// reports "no such table", never a silently-lost `Ok`.
+    pub fn execute(&self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
+                let mut catalog = wlock(&self.catalog);
+                if catalog.contains_key(name) {
+                    // Existence wins over column validation, matching the
+                    // single-threaded engine: IF NOT EXISTS on an existing
+                    // table is a no-op even for an invalid column list.
+                    if *if_not_exists {
+                        return Ok(QueryResult::default());
+                    }
+                    return Err(SqlError::schema(format!("table `{name}` already exists")));
+                }
+                let table = new_table(columns)?;
+                catalog.insert(name.clone(), Arc::new(RwLock::new(table)));
+                Ok(QueryResult::default())
+            }
+            Statement::DropTable { name } => {
+                if wlock(&self.catalog).remove(name).is_none() {
+                    return Err(SqlError::schema(format!("no such table `{name}`")));
+                }
+                Ok(QueryResult::default())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let catalog = rlock(&self.catalog);
+                let shard = Self::resolve(&catalog, table)?;
+                let mut t = wlock(shard);
+                let affected = table_insert(&mut t, table, columns.as_deref(), rows)?;
+                Ok(QueryResult {
+                    affected,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Select(sel) => {
+                let catalog = rlock(&self.catalog);
+                let shard = Self::resolve(&catalog, &sel.table)?;
+                let t = rlock(shard);
+                table_select(&t, sel)
+            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                let catalog = rlock(&self.catalog);
+                let shard = Self::resolve(&catalog, table)?;
+                let mut t = wlock(shard);
+                let affected = table_update(&mut t, assignments, where_clause.as_ref())?;
+                Ok(QueryResult {
+                    affected,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let catalog = rlock(&self.catalog);
+                let shard = Self::resolve(&catalog, table)?;
+                let mut t = wlock(shard);
+                let affected = table_delete(&mut t, where_clause.as_ref())?;
+                Ok(QueryResult {
+                    affected,
+                    ..QueryResult::default()
+                })
+            }
+        }
+    }
+
+    /// Parses and executes a query string (tests and diagnostics).
+    pub fn execute_str(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = crate::parser::parse_str(sql)?;
+        self.execute(&stmt)
+    }
+}
+
+// The rewriting layer drives storage through `&mut B`; a shared reference
+// to the sharded engine is itself the backend (interior locking), so the
+// same pipeline works without exclusive access to the database.
+impl QueryBackend for &ShardedDatabase {
+    fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        ShardedDatabase::execute(self, stmt)
+    }
+
+    fn columns_of(&self, table: &str) -> Result<Vec<String>> {
+        let catalog = rlock(&self.catalog);
+        let shard = ShardedDatabase::resolve(&catalog, table)?;
+        let t = rlock(shard);
+        Ok(t.columns.iter().map(|c| c.name.clone()).collect())
+    }
+}
+
+/// An `Arc`-shareable RESIN database: clone a handle per worker thread.
+///
+/// Each handle carries its own [`Tracking`]/[`GuardMode`] settings (so a
+/// trusted maintenance path can run unguarded while request handlers keep
+/// the injection guard), while all handles share the same sharded storage.
+///
+/// # Examples
+///
+/// ```
+/// use resin_sql::{GuardMode, SharedDb};
+///
+/// let db = SharedDb::new();
+/// db.query_str("CREATE TABLE posts (id INTEGER, body TEXT)").unwrap();
+///
+/// let handle = db.clone();
+/// let t = std::thread::spawn(move || {
+///     handle.query_str("INSERT INTO posts VALUES (1, 'hello')").unwrap();
+/// });
+/// t.join().unwrap();
+/// let r = db.query_str("SELECT body FROM posts").unwrap();
+/// assert_eq!(r.rows.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedDb {
+    inner: Arc<ShardedDatabase>,
+    tracking: Tracking,
+    guard: GuardMode,
+}
+
+impl SharedDb {
+    /// A RESIN-tracked shared database with no injection guard.
+    pub fn new() -> Self {
+        SharedDb::default()
+    }
+
+    /// A shared database with explicit tracking and guard settings.
+    pub fn with_modes(tracking: Tracking, guard: GuardMode) -> Self {
+        SharedDb {
+            inner: Arc::new(ShardedDatabase::new()),
+            tracking,
+            guard,
+        }
+    }
+
+    /// Sets the injection guard **for this handle** (other clones keep
+    /// theirs — storage is shared, modes are per handle).
+    pub fn set_guard(&mut self, guard: GuardMode) {
+        self.guard = guard;
+    }
+
+    /// The enforced guard mode of this handle.
+    pub fn guard(&self) -> GuardMode {
+        self.guard
+    }
+
+    /// The underlying sharded engine (for tests and diagnostics).
+    pub fn raw(&self) -> &ShardedDatabase {
+        &self.inner
+    }
+
+    /// Executes a (possibly tainted) query through the RESIN SQL filter.
+    ///
+    /// Unlike [`ResinDb::query`](crate::ResinDb::query) this takes `&self`:
+    /// any number of workers may query concurrently.
+    pub fn query(&self, sql: &TaintedString) -> Result<TaintedResult> {
+        let mut backend: &ShardedDatabase = &self.inner;
+        guarded_query(&mut backend, sql, self.tracking, self.guard)
+    }
+
+    /// Executes an untainted query string.
+    pub fn query_str(&self, sql: &str) -> Result<TaintedResult> {
+        self.query(&TaintedString::from(sql))
+    }
+
+    /// Opens a transaction on the shared database.
+    pub fn begin(&self) -> SharedTransaction<'static> {
+        SharedTransaction {
+            db: self.clone(),
+            snapshots: TxnSnapshots::default(),
+            checks: Vec::new(),
+            finished: false,
+        }
+    }
+}
+
+/// An integrity assertion for a [`SharedTransaction`], checked at commit
+/// time. Checks must be read-only: writes they perform are not covered by
+/// the transaction's snapshots.
+pub type SharedIntegrityCheck<'c> =
+    Box<dyn Fn(&SharedDb) -> std::result::Result<(), PolicyViolation> + Send + 'c>;
+
+/// A transaction on a [`SharedDb`] with lazy copy-on-write snapshots.
+///
+/// A table is snapshotted only when the transaction first writes it;
+/// queries against other tables — from this transaction or from other
+/// threads — never pay for a clone. Rollback restores exactly the touched
+/// tables.
+///
+/// Isolation is *per table*: concurrent writers to a table this
+/// transaction later rolls back will lose their writes to the restore
+/// (last-writer-wins). Partition writes by table — the same discipline the
+/// lock sharding already rewards.
+pub struct SharedTransaction<'c> {
+    db: SharedDb,
+    snapshots: TxnSnapshots,
+    checks: Vec<SharedIntegrityCheck<'c>>,
+    finished: bool,
+}
+
+impl<'c> SharedTransaction<'c> {
+    /// Registers an integrity assertion to run at commit.
+    pub fn add_check(&mut self, check: SharedIntegrityCheck<'c>) {
+        self.checks.push(check);
+    }
+
+    /// Table names snapshotted so far (sorted). Untouched tables never
+    /// appear here — that is the copy-on-write guarantee.
+    pub fn snapshotted_tables(&self) -> Vec<&str> {
+        self.snapshots.names()
+    }
+
+    /// Executes a query inside the transaction (all RESIN rewriting and
+    /// guards apply as usual).
+    ///
+    /// The write target comes from the statement as prepared — parsed
+    /// *after* any guard rewriting, i.e. exactly what executes — so a
+    /// query only ever snapshots the one table it writes.
+    pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
+        let (sql, stmt) = prepare_query(sql, self.db.guard)?;
+        if let Some(name) = statement_write_target(&stmt) {
+            let name = name.to_string();
+            let inner = &self.db.inner;
+            self.snapshots
+                .record_with(&name, || inner.snapshot_table(&name));
+        }
+        let mut backend: &ShardedDatabase = &self.db.inner;
+        run_prepared(&mut backend, &sql, stmt, self.db.tracking)
+    }
+
+    /// Executes an untainted query inside the transaction.
+    pub fn query_str(&mut self, sql: &str) -> Result<TaintedResult> {
+        self.query(&TaintedString::from(sql))
+    }
+
+    fn restore(&mut self) {
+        for (name, snap) in self.snapshots.drain() {
+            self.db.raw().restore_table(&name, snap);
+        }
+    }
+
+    /// Runs the integrity checks; keeps the changes if all pass, restores
+    /// the touched tables otherwise.
+    pub fn commit(mut self) -> Result<()> {
+        self.finished = true;
+        let checks = std::mem::take(&mut self.checks);
+        for check in &checks {
+            if let Err(v) = check(&self.db) {
+                self.restore();
+                return Err(SqlError::Policy(resin_core::FlowError::Denied(v)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards all changes made inside the transaction.
+    pub fn rollback(mut self) {
+        self.finished = true;
+        self.restore();
+    }
+}
+
+impl Drop for SharedTransaction<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.restore();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resin_core::UntrustedData;
+    use std::sync::Arc;
+
+    fn posts_db() -> SharedDb {
+        let db = SharedDb::new();
+        db.query_str("CREATE TABLE posts (id INTEGER, body TEXT)")
+            .unwrap();
+        db.query_str("CREATE TABLE sessions (sid TEXT, user TEXT)")
+            .unwrap();
+        db
+    }
+
+    fn untrusted(s: &str) -> TaintedString {
+        TaintedString::with_policy(s, Arc::new(UntrustedData::new()))
+    }
+
+    #[test]
+    fn policy_roundtrip_through_shared_storage() {
+        let db = posts_db();
+        let mut q = TaintedString::from("INSERT INTO posts VALUES (1, '");
+        q.push_tainted(&untrusted("hello"));
+        q.push_str("')");
+        db.query(&q).unwrap();
+        let r = db.query_str("SELECT body FROM posts").unwrap();
+        let cell = r.cell(0, "body").unwrap().as_text().unwrap();
+        assert_eq!(cell.as_str(), "hello");
+        assert!(cell.has_policy::<UntrustedData>(), "taint survives storage");
+    }
+
+    #[test]
+    fn injection_guard_applies_per_handle() {
+        let db = posts_db();
+        let mut guarded = db.clone();
+        guarded.set_guard(GuardMode::StructureCheck);
+        let mut q = TaintedString::from("SELECT body FROM posts WHERE id = ");
+        q.push_tainted(&untrusted("1 OR 1=1"));
+        assert!(guarded.query(&q).unwrap_err().is_violation());
+        // The unguarded handle shares storage but not the guard.
+        assert_eq!(db.guard(), GuardMode::Off);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let db = posts_db();
+        let other = db.clone();
+        other
+            .query_str("INSERT INTO posts VALUES (7, 'shared')")
+            .unwrap();
+        let r = db.query_str("SELECT body FROM posts WHERE id = 7").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn txn_snapshots_only_touched_tables() {
+        let db = posts_db();
+        db.query_str("INSERT INTO posts VALUES (1, 'keep')")
+            .unwrap();
+        let mut txn = db.begin();
+        txn.query_str("INSERT INTO sessions VALUES ('s1', 'alice')")
+            .unwrap();
+        assert_eq!(
+            txn.snapshotted_tables(),
+            vec!["sessions"],
+            "posts was never cloned"
+        );
+        txn.rollback();
+        let r = db.query_str("SELECT COUNT(*) FROM sessions").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &0);
+        let r = db.query_str("SELECT COUNT(*) FROM posts").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &1);
+    }
+
+    #[test]
+    fn txn_commit_check_failure_restores() {
+        let db = posts_db();
+        let mut txn = db.begin();
+        txn.add_check(Box::new(|db| {
+            let r = db
+                .query_str("SELECT COUNT(*) FROM posts WHERE id > 100")
+                .map_err(|e| PolicyViolation::new("IdRange", e.to_string()))?;
+            if r.rows[0][0].as_int().map(|v| *v.value()) == Some(0) {
+                Ok(())
+            } else {
+                Err(PolicyViolation::new("IdRange", "id above 100"))
+            }
+        }));
+        txn.query_str("INSERT INTO posts VALUES (999, 'out of range')")
+            .unwrap();
+        assert!(txn.commit().is_err());
+        let r = db.query_str("SELECT COUNT(*) FROM posts").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &0);
+    }
+
+    #[test]
+    fn txn_create_table_rolls_back_to_absent() {
+        let db = posts_db();
+        {
+            let mut txn = db.begin();
+            txn.query_str("CREATE TABLE scratch (x INTEGER)").unwrap();
+            txn.query_str("INSERT INTO scratch VALUES (1)").unwrap();
+            // Dropped uncommitted.
+        }
+        assert!(db.query_str("SELECT COUNT(*) FROM scratch").is_err());
+    }
+
+    #[test]
+    fn drop_table_rolls_back() {
+        let db = posts_db();
+        db.query_str("INSERT INTO posts VALUES (1, 'precious')")
+            .unwrap();
+        let mut txn = db.begin();
+        txn.query_str("DROP TABLE posts").unwrap();
+        assert!(db.query_str("SELECT COUNT(*) FROM posts").is_err());
+        txn.rollback();
+        let r = db.query_str("SELECT body FROM posts").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn if_not_exists_matches_single_threaded_engine() {
+        // Existence must win over column validation, exactly as in
+        // `Database::create_table`: IF NOT EXISTS on an existing table is
+        // a no-op even when the new column list is invalid.
+        let db = posts_db();
+        db.query_str("CREATE TABLE IF NOT EXISTS posts (a INTEGER, a INTEGER)")
+            .unwrap();
+        let mut single = crate::ResinDb::new();
+        single.query_str("CREATE TABLE posts (id INTEGER)").unwrap();
+        single
+            .query_str("CREATE TABLE IF NOT EXISTS posts (a INTEGER, a INTEGER)")
+            .unwrap();
+        // A fresh create with a duplicate column still fails on both.
+        assert!(db
+            .query_str("CREATE TABLE dup (a INTEGER, a INTEGER)")
+            .is_err());
+    }
+
+    #[test]
+    fn guard_rewritten_txn_query_snapshots_one_table() {
+        // The write target is read off the post-guard parse: a statement
+        // the AutoSanitize guard must rewrite before it parses strictly
+        // still snapshots only the table it writes.
+        let mut db = posts_db();
+        db.set_guard(GuardMode::AutoSanitize);
+        let mut txn = db.begin();
+        let mut q = TaintedString::from("INSERT INTO posts VALUES (1, '");
+        q.push_tainted(&untrusted("o'hara says hi"));
+        q.push_str("')");
+        txn.query(&q).unwrap();
+        assert_eq!(txn.snapshotted_tables(), vec!["posts"]);
+        txn.rollback();
+        let r = db.query_str("SELECT COUNT(*) FROM posts").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &0);
+    }
+
+    #[test]
+    fn select_policy_columns_still_hidden() {
+        let db = posts_db();
+        db.query_str("INSERT INTO posts VALUES (1, 'x')").unwrap();
+        let r = db.query_str("SELECT * FROM posts").unwrap();
+        assert_eq!(r.columns, vec!["id", "body"]);
+        assert!(db.query_str("SELECT __rp_body FROM posts").is_err());
+    }
+}

@@ -3,19 +3,76 @@
 //! The paper's planned approach to data *integrity* invariants: "using
 //! transactions to buffer database or file system changes, and checking a
 //! programmer-specified assertion before committing them." A
-//! [`Transaction`] snapshots the database, applies queries, and runs the
+//! [`Transaction`] buffers changes, applies queries, and runs the
 //! programmer's integrity checks at commit; if any check fails, every
 //! buffered change is rolled back.
+//!
+//! Snapshots are **lazy and per table**: a table is copied only when the
+//! transaction first writes it. An earlier revision cloned the whole
+//! database at `begin`, which made opening a transaction O(total rows) —
+//! ruinous once one hot table sits next to large cold ones. The write
+//! target of each statement is read off the *prepared* statement — the
+//! parse produced after any guard rewriting (`prepare_query`), i.e.
+//! exactly what executes — so every executed write is covered and no
+//! statement is parsed twice.
+
+use std::collections::BTreeMap;
 
 use resin_core::{PolicyViolation, TaintedString};
 
-use crate::engine::Database;
+use crate::ast::Statement;
+use crate::engine::Table;
 use crate::error::{Result, SqlError};
-use crate::rewrite::{ResinDb, TaintedResult};
+use crate::rewrite::{prepare_query, ResinDb, TaintedResult};
 
 /// A programmer-specified integrity assertion, checked at commit time
 /// against the post-transaction database state.
+///
+/// Checks must be read-only: a write performed inside a check bypasses the
+/// transaction's snapshot tracking and is not rolled back.
 pub type IntegrityCheck<'c> = Box<dyn Fn(&mut ResinDb) -> Result<(), PolicyViolation> + 'c>;
+
+/// The table a prepared statement writes (`None` for reads). Total over
+/// [`Statement`], so every statement that can execute has its write
+/// coverage known before it runs.
+pub(crate) fn statement_write_target(stmt: &Statement) -> Option<&str> {
+    match stmt {
+        Statement::Select(_) => None,
+        Statement::CreateTable { name, .. } | Statement::DropTable { name } => Some(name),
+        Statement::Insert { table, .. }
+        | Statement::Update { table, .. }
+        | Statement::Delete { table, .. } => Some(table),
+    }
+}
+
+/// The lazy per-table snapshot set shared by [`Transaction`] and
+/// [`crate::shard::SharedTransaction`]: first write records a copy,
+/// rollback drains the copies back through a storage-specific restore.
+#[derive(Default)]
+pub(crate) struct TxnSnapshots {
+    /// name → state at first touch (`None` = did not exist, so rollback
+    /// removes it).
+    map: BTreeMap<String, Option<Table>>,
+}
+
+impl TxnSnapshots {
+    /// Records `name` on first touch, fetching its current state lazily.
+    pub(crate) fn record_with(&mut self, name: &str, fetch: impl FnOnce() -> Option<Table>) {
+        if !self.map.contains_key(name) {
+            self.map.insert(name.to_string(), fetch());
+        }
+    }
+
+    /// Snapshotted table names, sorted.
+    pub(crate) fn names(&self) -> Vec<&str> {
+        self.map.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Takes the snapshots for restoring (leaves the set empty).
+    pub(crate) fn drain(&mut self) -> BTreeMap<String, Option<Table>> {
+        std::mem::take(&mut self.map)
+    }
+}
 
 /// An open transaction on a [`ResinDb`].
 ///
@@ -48,18 +105,18 @@ pub type IntegrityCheck<'c> = Box<dyn Fn(&mut ResinDb) -> Result<(), PolicyViola
 /// ```
 pub struct Transaction<'a, 'c> {
     db: &'a mut ResinDb,
-    snapshot: Database,
+    snapshots: TxnSnapshots,
     checks: Vec<IntegrityCheck<'c>>,
     finished: bool,
 }
 
 impl<'a, 'c> Transaction<'a, 'c> {
-    /// Opens a transaction, snapshotting the current state.
+    /// Opens a transaction. No data is copied here — tables are
+    /// snapshotted lazily, on their first write.
     pub fn begin(db: &'a mut ResinDb) -> Self {
-        let snapshot = db.raw().clone();
         Transaction {
             db,
-            snapshot,
+            snapshots: TxnSnapshots::default(),
             checks: Vec::new(),
             finished: false,
         }
@@ -70,25 +127,44 @@ impl<'a, 'c> Transaction<'a, 'c> {
         self.checks.push(check);
     }
 
+    /// Table names snapshotted so far (sorted). Untouched tables never
+    /// appear here — that is the copy-on-write guarantee.
+    pub fn snapshotted_tables(&self) -> Vec<&str> {
+        self.snapshots.names()
+    }
+
     /// Executes a query inside the transaction (all RESIN rewriting and
     /// guards apply as usual).
     pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
-        self.db.query(sql)
+        let (sql, stmt) = prepare_query(sql, self.db.guard_mode())?;
+        if let Some(name) = statement_write_target(&stmt) {
+            let name = name.to_string();
+            let db = &*self.db;
+            self.snapshots
+                .record_with(&name, || db.raw().table(&name).cloned());
+        }
+        self.db.run_prepared(&sql, stmt)
     }
 
     /// Executes an untainted query inside the transaction.
     pub fn query_str(&mut self, sql: &str) -> Result<TaintedResult> {
-        self.db.query_str(sql)
+        self.query(&TaintedString::from(sql))
+    }
+
+    fn restore(&mut self) {
+        for (name, snap) in self.snapshots.drain() {
+            self.db.restore_table(&name, snap);
+        }
     }
 
     /// Runs the integrity checks; keeps the changes if all pass, restores
-    /// the snapshot otherwise.
+    /// the touched tables otherwise.
     pub fn commit(mut self) -> Result<()> {
         self.finished = true;
         let checks = std::mem::take(&mut self.checks);
         for check in &checks {
             if let Err(v) = check(self.db) {
-                self.db.restore(std::mem::take(&mut self.snapshot));
+                self.restore();
                 return Err(SqlError::Policy(resin_core::FlowError::Denied(v)));
             }
         }
@@ -98,14 +174,14 @@ impl<'a, 'c> Transaction<'a, 'c> {
     /// Discards all changes made inside the transaction.
     pub fn rollback(mut self) {
         self.finished = true;
-        self.db.restore(std::mem::take(&mut self.snapshot));
+        self.restore();
     }
 }
 
 impl Drop for Transaction<'_, '_> {
     fn drop(&mut self) {
         if !self.finished {
-            self.db.restore(std::mem::take(&mut self.snapshot));
+            self.restore();
         }
     }
 }
@@ -231,5 +307,94 @@ mod tests {
         assert!(txn.commit().is_err(), "second check fires");
         let r = db.query_str("SELECT COUNT(*) FROM grades").unwrap();
         assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+    }
+
+    #[test]
+    fn untouched_tables_are_never_snapshotted() {
+        // The copy-on-write guarantee: begin is free, and a write to one
+        // table does not clone its neighbours.
+        let mut db = grades_db();
+        db.query_str("CREATE TABLE audit (entry TEXT)").unwrap();
+        let mut txn = Transaction::begin(&mut db);
+        assert!(txn.snapshotted_tables().is_empty(), "begin copies nothing");
+        txn.query_str("SELECT COUNT(*) FROM grades").unwrap();
+        assert!(
+            txn.snapshotted_tables().is_empty(),
+            "reads never snapshot either"
+        );
+        txn.query_str("UPDATE grades SET score = 1 WHERE student = 'ada'")
+            .unwrap();
+        assert_eq!(
+            txn.snapshotted_tables(),
+            vec!["grades"],
+            "only the written table is copied"
+        );
+        txn.rollback();
+        let r = db
+            .query_str("SELECT score FROM grades ORDER BY student")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &91);
+    }
+
+    #[test]
+    fn create_inside_txn_rolls_back_to_absent() {
+        let mut db = grades_db();
+        {
+            let mut txn = Transaction::begin(&mut db);
+            txn.query_str("CREATE TABLE scratch (x INTEGER)").unwrap();
+            txn.query_str("INSERT INTO scratch VALUES (1)").unwrap();
+        }
+        assert!(db.raw().table("scratch").is_none(), "create rolled back");
+    }
+
+    #[test]
+    fn guard_rewritten_query_snapshots_its_own_table_only() {
+        // A statement whose *raw* text does not parse strictly (untrusted
+        // quote mid-literal) but that the AutoSanitize guard rewrites into
+        // valid SQL: the write set must come from the post-guard parse, so
+        // only the written table is snapshotted — never everything.
+        let mut db = grades_db();
+        db.set_guard(crate::GuardMode::AutoSanitize);
+        db.query_str("CREATE TABLE audit (entry TEXT)").unwrap();
+        let mut txn = Transaction::begin(&mut db);
+        let mut q = TaintedString::from("INSERT INTO grades VALUES ('");
+        q.push_tainted(&TaintedString::with_policy(
+            "o'hara",
+            Arc::new(UntrustedData::new()),
+        ));
+        q.push_str("', 50)");
+        txn.query(&q).unwrap();
+        assert_eq!(
+            txn.snapshotted_tables(),
+            vec!["grades"],
+            "post-guard write set, not a whole-db fallback"
+        );
+        txn.rollback();
+        let r = db.query_str("SELECT COUNT(*) FROM grades").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+    }
+
+    #[test]
+    fn unparseable_statement_errors_without_executing() {
+        let mut db = grades_db();
+        let mut txn = Transaction::begin(&mut db);
+        assert!(txn.query_str("not sql at all").is_err());
+        assert!(
+            txn.snapshotted_tables().is_empty(),
+            "nothing executed, nothing snapshotted"
+        );
+    }
+
+    #[test]
+    fn write_target_extraction() {
+        let t = |sql: &str| {
+            let stmt = crate::parser::parse_str(sql).unwrap();
+            statement_write_target(&stmt).map(str::to_string)
+        };
+        assert_eq!(t("SELECT * FROM a"), None);
+        assert_eq!(t("INSERT INTO a VALUES (1)"), Some("a".to_string()));
+        assert_eq!(t("UPDATE b SET x = 1"), Some("b".to_string()));
+        assert_eq!(t("DELETE FROM c"), Some("c".to_string()));
+        assert_eq!(t("DROP TABLE d"), Some("d".to_string()));
     }
 }

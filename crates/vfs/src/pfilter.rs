@@ -121,10 +121,7 @@ pub fn register_filter_class(
         + Sync
         + 'static,
 ) {
-    registry()
-        .write()
-        .expect("filter registry poisoned")
-        .insert(name.into(), Arc::new(factory));
+    resin_core::sync::wlock(registry()).insert(name.into(), Arc::new(factory));
 }
 
 /// Serializes a persistent filter (class name + fields), same wire shape as
@@ -158,9 +155,7 @@ pub fn deserialize_filter(s: &str) -> Result<PersistentFilterRef> {
             fields.insert(k.to_string(), v.to_string());
         }
     }
-    let factory = registry()
-        .read()
-        .expect("filter registry poisoned")
+    let factory = resin_core::sync::rlock(registry())
         .get(name)
         .cloned()
         .ok_or_else(|| VfsError::from(SerializeError::UnknownClass(name.to_string())))?;

@@ -16,6 +16,9 @@
 //!   sessions, the phpBB whois attack path (§6.3), RESIN-aware static file
 //!   serving (§3.4.1), HTTP response splitting (§5.4), and JSON structure
 //!   protection (§5.4).
+//! * [`server`] — a worker-pool request dispatcher serving a shared
+//!   [`server::WebApp`] concurrently, one `Response`/`Context` per
+//!   request (the §6 many-users serving topology as a library).
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@ pub mod html;
 pub mod json;
 pub mod request;
 pub mod response;
+pub mod server;
 pub mod session;
 pub mod splitting;
 pub mod static_files;
@@ -58,6 +62,7 @@ pub use email::{Mailer, SentEmail};
 pub use html::{check_html_markers, check_html_structure, html_escape};
 pub use request::{Method, Request, Upload};
 pub use response::Response;
-pub use session::SessionStore;
+pub use server::{ServedPage, Server, Ticket, WebApp};
+pub use session::{EntropySource, SeededSource, SessionStore, SidSource};
 pub use static_files::{serve_static_aware, serve_static_naive};
 pub use whois::WhoisServer;

@@ -1,31 +1,164 @@
 //! Session management: cookie → authenticated user.
+//!
+//! The store is safe to share across worker threads (all methods take
+//! `&self`; the map lives behind an `RwLock`), which is what
+//! [`crate::server`]'s dispatcher needs: every concurrent request resolves
+//! its cookie against the same store.
+//!
+//! Session ids are derived from a real entropy source by default. An
+//! earlier revision derived them from `counter * 2654435761 % 0xffff_ffff`
+//! plus the user-name length — fully predictable, so any visitor could
+//! enumerate live sessions and hijack them. The generator is injectable
+//! ([`SidSource`]) so tests that need reproducible ids can use
+//! [`SeededSource`] without weakening the default.
 
 use std::collections::BTreeMap;
+use std::hash::{BuildHasher, Hasher};
+use std::io::Read;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use resin_core::sync::{rlock, wlock};
 
 use resin_core::TaintedString;
 
-/// A minimal session store.
+/// A source of 128-bit session-id material.
+///
+/// Implementations must be thread-safe: the store calls `next_sid`
+/// concurrently from every worker serving a login.
+pub trait SidSource: Send + Sync {
+    /// The next session-id value. Must not repeat in practice; for the
+    /// default source that means real entropy, for test sources a
+    /// deterministic non-repeating sequence.
+    fn next_sid(&self) -> u128;
+}
+
+/// The default source: OS entropy from `/dev/urandom`, falling back to
+/// hasher-seed mixing on platforms without it.
 #[derive(Debug, Default)]
+pub struct EntropySource;
+
+impl EntropySource {
+    fn os_entropy() -> Option<u128> {
+        // One shared fd for the process: logins on the serving path pay a
+        // read, not an open/read/close. `&File` is `Read`, and concurrent
+        // reads of /dev/urandom each get independent bytes.
+        static URANDOM: std::sync::OnceLock<Option<std::fs::File>> = std::sync::OnceLock::new();
+        let mut f = URANDOM
+            .get_or_init(|| std::fs::File::open("/dev/urandom").ok())
+            .as_ref()?;
+        let mut bytes = [0u8; 16];
+        f.read_exact(&mut bytes).ok()?;
+        Some(u128::from_le_bytes(bytes))
+    }
+
+    /// Fallback mixing for platforms without `/dev/urandom`: two
+    /// independently-seeded SipHash instances (`RandomState` draws its keys
+    /// from OS entropy) over a process-unique counter and the current time.
+    fn mixed_entropy() -> u128 {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        let word = |salt: u64| {
+            let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+            h.write_u64(salt);
+            h.write_u64(count);
+            h.write_u64(nanos);
+            h.finish()
+        };
+        ((word(0x9e37_79b9) as u128) << 64) | word(0x85eb_ca6b) as u128
+    }
+}
+
+impl SidSource for EntropySource {
+    fn next_sid(&self) -> u128 {
+        EntropySource::os_entropy().unwrap_or_else(EntropySource::mixed_entropy)
+    }
+}
+
+/// A deterministic source for tests: a seeded splitmix64 stream.
+///
+/// Two `SeededSource`s with the same seed produce the same sid sequence —
+/// never use it outside tests.
+#[derive(Debug)]
+pub struct SeededSource {
+    state: AtomicU64,
+}
+
+impl SeededSource {
+    /// A source replaying the stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeededSource {
+            state: AtomicU64::new(seed),
+        }
+    }
+}
+
+impl SidSource for SeededSource {
+    fn next_sid(&self) -> u128 {
+        let mut z = self
+            .state
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let lo = z ^ (z >> 31);
+        ((lo.rotate_left(32) as u128) << 64) | lo as u128
+    }
+}
+
+/// A minimal, concurrently-shareable session store.
 pub struct SessionStore {
-    sessions: BTreeMap<String, String>,
-    counter: u64,
+    sessions: RwLock<BTreeMap<String, String>>,
+    source: Box<dyn SidSource>,
+}
+
+impl std::fmt::Debug for SessionStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionStore")
+            .field("sessions", &self.len())
+            .finish()
+    }
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        SessionStore::new()
+    }
 }
 
 impl SessionStore {
-    /// An empty store.
+    /// An empty store backed by [`EntropySource`].
     pub fn new() -> Self {
-        SessionStore::default()
+        SessionStore::with_source(Box::new(EntropySource))
+    }
+
+    /// An empty store drawing sids from `source` (tests inject
+    /// [`SeededSource`] here).
+    pub fn with_source(source: Box<dyn SidSource>) -> Self {
+        SessionStore {
+            sessions: RwLock::new(BTreeMap::new()),
+            source,
+        }
+    }
+
+    // The map is always internally consistent (every write is one insert or
+    // remove), so a poisoned lock is recoverable (see `resin_core::sync`).
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, String>> {
+        rlock(&self.sessions)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, String>> {
+        wlock(&self.sessions)
     }
 
     /// Starts a session for `user`, returning the session id.
-    pub fn login(&mut self, user: &str) -> String {
-        self.counter += 1;
-        let sid = format!(
-            "sid-{:08x}-{}",
-            self.counter * 2654435761 % 0xffff_ffff,
-            user.len()
-        );
-        self.sessions.insert(sid.clone(), user.to_string());
+    pub fn login(&self, user: &str) -> String {
+        let sid = format!("sid-{:032x}", self.source.next_sid());
+        self.write().insert(sid.clone(), user.to_string());
         sid
     }
 
@@ -33,37 +166,38 @@ impl SessionStore {
     ///
     /// Works on tainted cookies: equality ignores taint, and the returned
     /// user name is server data, not user input.
-    pub fn user_for(&self, sid: &TaintedString) -> Option<&str> {
-        self.sessions.get(sid.as_str()).map(|s| s.as_str())
+    pub fn user_for(&self, sid: &TaintedString) -> Option<String> {
+        self.read().get(sid.as_str()).cloned()
     }
 
     /// Ends a session.
-    pub fn logout(&mut self, sid: &str) -> bool {
-        self.sessions.remove(sid).is_some()
+    pub fn logout(&self, sid: &str) -> bool {
+        self.write().remove(sid).is_some()
     }
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.read().len()
     }
 
     /// True when no sessions are live.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.read().is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn login_resolve_logout() {
-        let mut s = SessionStore::new();
+        let s = SessionStore::new();
         let sid = s.login("alice");
         assert_eq!(
             s.user_for(&TaintedString::from(sid.as_str())),
-            Some("alice")
+            Some("alice".to_string())
         );
         assert!(s.logout(&sid));
         assert!(!s.logout(&sid));
@@ -78,10 +212,59 @@ mod tests {
 
     #[test]
     fn sids_are_distinct() {
-        let mut s = SessionStore::new();
+        let s = SessionStore::new();
         let a = s.login("a");
         let b = s.login("a");
         assert_ne!(a, b);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn two_stores_never_overlap() {
+        // The old counter-based generator made every store emit the same
+        // guessable sequence; real entropy must not collide across stores.
+        let a = SessionStore::new();
+        let b = SessionStore::new();
+        let sids_a: BTreeSet<String> = (0..64).map(|_| a.login("u")).collect();
+        let sids_b: BTreeSet<String> = (0..64).map(|_| b.login("u")).collect();
+        assert_eq!(sids_a.len(), 64, "no collisions within a store");
+        assert_eq!(sids_b.len(), 64);
+        assert!(
+            sids_a.is_disjoint(&sids_b),
+            "two stores must not produce overlapping sid sequences"
+        );
+    }
+
+    #[test]
+    fn seeded_source_is_deterministic() {
+        let a = SessionStore::with_source(Box::new(SeededSource::new(42)));
+        let b = SessionStore::with_source(Box::new(SeededSource::new(42)));
+        let seq_a: Vec<String> = (0..8).map(|_| a.login("u")).collect();
+        let seq_b: Vec<String> = (0..8).map(|_| b.login("u")).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same sequence");
+        let c = SessionStore::with_source(Box::new(SeededSource::new(43)));
+        assert_ne!(seq_a[0], c.login("u"), "different seed diverges");
+    }
+
+    #[test]
+    fn concurrent_logins_all_land() {
+        let s = std::sync::Arc::new(SessionStore::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    (0..16)
+                        .map(|i| s.login(&format!("user-{t}-{i}")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all = BTreeSet::new();
+        for h in handles {
+            for sid in h.join().unwrap() {
+                assert!(all.insert(sid), "cross-thread sid collision");
+            }
+        }
+        assert_eq!(s.len(), 64);
     }
 }
