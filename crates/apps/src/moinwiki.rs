@@ -50,6 +50,31 @@ impl MoinWiki {
         w
     }
 
+    /// Opens (creating if needed) a disk-backed wiki rooted at `dir`:
+    /// pages, versions, page ACL xattrs, persistent write filters, and
+    /// every byte-range `PagePolicy` come back exactly as written — the
+    /// paper's "policies travel with the data into storage" across a real
+    /// process boundary. RESIN assertions are always on (durability
+    /// exists to keep them enforceable).
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<MoinWiki, VfsError> {
+        let mut w = MoinWiki {
+            vfs: Vfs::open_disk(dir)?,
+            resin: true,
+        };
+        w.vfs.mkdir_p("/pages", &Vfs::anonymous_ctx())?;
+        Ok(w)
+    }
+
+    /// Folds the write-ahead log into a fresh tree snapshot.
+    pub fn checkpoint(&mut self) -> Result<(), VfsError> {
+        self.vfs.checkpoint()
+    }
+
+    /// True if `name` exists as a page directory.
+    pub fn has_page(&self, name: &str) -> bool {
+        self.vfs.is_dir(&Self::page_dir(name))
+    }
+
     fn page_dir(name: &str) -> String {
         format!("/pages/{name}")
     }

@@ -96,6 +96,41 @@ impl ForumApp {
         }
     }
 
+    /// Opens (creating if needed) a durable forum rooted at `dir`: posts
+    /// and their policy columns are recovered from the last snapshot plus
+    /// the WAL, so a stored XSS payload is still blocked — and a stolen
+    /// password still fails closed — after a restart or crash.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        sessions: Arc<SessionStore>,
+    ) -> Result<Self, resin_sql::SqlError> {
+        let db = SharedDb::open_with_modes(dir, Tracking::On, GuardMode::AutoSanitize)?;
+        // Only a genuinely fresh store runs (and WAL-logs) the CREATE —
+        // an unconditional IF NOT EXISTS would append one no-op record
+        // per restart until a checkpoint.
+        if !db.raw().table_names().iter().any(|n| n == "posts") {
+            db.query_str("CREATE TABLE posts (id INTEGER, body TEXT)")?;
+        }
+        let r = db.query_str("SELECT id FROM posts ORDER BY id DESC LIMIT 1")?;
+        let next = r
+            .rows
+            .first()
+            .and_then(|row| row.first())
+            .and_then(|c| c.as_int())
+            .map(|t| *t.value() + 1)
+            .unwrap_or(1);
+        Ok(ForumApp {
+            db,
+            sessions,
+            next_id: AtomicI64::new(next),
+        })
+    }
+
+    /// Folds the WAL into a fresh snapshot.
+    pub fn checkpoint(&self) -> Result<(), resin_sql::SqlError> {
+        self.db.checkpoint()
+    }
+
     /// The shared database handle (benches seed and trim through this).
     pub fn db(&self) -> &SharedDb {
         &self.db
@@ -237,6 +272,22 @@ impl WikiApp {
             wiki: RwLock::new(wiki),
             sessions,
         }
+    }
+
+    /// Opens (creating if needed) a durable wiki rooted at `dir` for
+    /// serving: page ACL policies and persistent write filters survive
+    /// the process boundary, so `/raw` bypasses and vandalism keep
+    /// failing closed after a restart.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        sessions: Arc<SessionStore>,
+    ) -> Result<Self, resin_vfs::VfsError> {
+        Ok(WikiApp::new(MoinWiki::open(dir)?, sessions))
+    }
+
+    /// Folds the wiki's op log into a fresh snapshot.
+    pub fn checkpoint(&self) -> Result<(), resin_vfs::VfsError> {
+        self.write().checkpoint()
     }
 
     // A panicking request is answered 500 by the dispatcher and must not

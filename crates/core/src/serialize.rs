@@ -260,6 +260,29 @@ pub fn serialize_set(set: &PolicySet) -> String {
     serialize_label(set.label())
 }
 
+/// Version of the textual policy wire format.
+///
+/// Version 1 was the legacy per-span inline-set encoding
+/// (`start..end|set;...`); version 2 is the interned `#table#spans`
+/// encoding that persists the deduplicated policy table once. Both are
+/// still *parsed*; new data is always written as version 2. Durable
+/// storage (`resin_store`) embeds this number in its snapshot header so a
+/// future format change is detected at open time instead of surfacing as
+/// garbled policies.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Splits `s` on `sep` at brace depth zero — the tokenizer for every
+/// comma/semicolon/hash-joined list in the wire format.
+///
+/// Metacharacters inside policy names and field values are `%XX`-escaped
+/// by [`serialize_policy`], so brace depth is reliable: a separator inside
+/// `{...}` belongs to a field, not the list. Public so storage layers
+/// (e.g. `resin_store`'s snapshot encoder) can re-tokenize persisted
+/// blobs without deserializing policy objects.
+pub fn split_serialized(s: &str, sep: char) -> Vec<&str> {
+    split_top_level(s, sep)
+}
+
 /// Splits on `sep`, but only outside `{...}` (metacharacters inside names
 /// and values are escaped, so brace depth is reliable).
 fn split_top_level(s: &str, sep: char) -> Vec<&str> {

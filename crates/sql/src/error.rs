@@ -17,6 +17,9 @@ pub enum SqlError {
     Type(String),
     /// A policy (injection guard, merge, serialization) rejected the query.
     Policy(FlowError),
+    /// The durable store failed (I/O error, corrupt snapshot, unsupported
+    /// format version).
+    Storage(String),
 }
 
 impl SqlError {
@@ -39,6 +42,7 @@ impl fmt::Display for SqlError {
             SqlError::Schema(m) => write!(f, "schema error: {m}"),
             SqlError::Type(m) => write!(f, "type error: {m}"),
             SqlError::Policy(e) => write!(f, "{e}"),
+            SqlError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod ast;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod parser;

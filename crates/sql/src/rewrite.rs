@@ -26,7 +26,7 @@ use std::ops::Range;
 use resin_core::{
     deserialize_label, deserialize_spans, serialize_label, serialize_spans, Context, Filter,
     FlowError, Gate, GateKind, Label, PolicyViolation, Runtime, SqlSanitized, Tainted,
-    TaintedString, UntrustedData,
+    TaintedStrBuilder, TaintedString, UntrustedData,
 };
 
 use crate::ast::{ColumnDef, ColumnType, Expr, LitValue, Literal, Projection, Statement};
@@ -274,18 +274,6 @@ pub(crate) fn prepare_query<'a>(
     Ok((sql, stmt))
 }
 
-/// The full RESIN query pipeline over any backend: guard, parse, rewrite,
-/// execute.
-pub(crate) fn guarded_query<B: QueryBackend>(
-    backend: &mut B,
-    sql: &TaintedString,
-    tracking: Tracking,
-    guard: GuardMode,
-) -> Result<TaintedResult> {
-    let (sql, stmt) = prepare_query(sql, guard)?;
-    run_prepared(backend, &sql, stmt, tracking)
-}
-
 /// The rewrite + execute back half of the pipeline, on an already
 /// guarded-and-parsed statement.
 pub(crate) fn run_prepared<B: QueryBackend>(
@@ -325,11 +313,21 @@ pub(crate) fn run_prepared<B: QueryBackend>(
 }
 
 /// A database wrapped by the RESIN SQL filter.
+///
+/// By default the database is in-memory only. [`ResinDb::open`] attaches
+/// a durable [`resin_store`] snapshot+WAL underneath: every mutating
+/// statement is logged (post-guard, with its byte-range policies) before
+/// it executes, [`checkpoint`](ResinDb::checkpoint) folds the WAL into a
+/// fresh snapshot, and reopening the same directory — even after a crash
+/// that tore the WAL tail mid-record — recovers every cell *and every
+/// cell's policies*.
 #[derive(Debug, Default)]
 pub struct ResinDb {
     db: Database,
     tracking: Tracking,
     guard: GuardMode,
+    store: Option<crate::durable::SqlStore>,
+    torn_recovery: bool,
 }
 
 impl ResinDb {
@@ -344,7 +342,116 @@ impl ResinDb {
             db: Database::new(),
             tracking,
             guard,
+            store: None,
+            torn_recovery: false,
         }
+    }
+
+    /// Opens (creating if needed) a durable database rooted at `dir`,
+    /// recovering the last checkpoint plus the WAL's surviving prefix.
+    ///
+    /// Tracking is on and the guard off; use
+    /// [`open_with_modes`](ResinDb::open_with_modes) for other settings —
+    /// a store must be reopened with the same tracking mode it was
+    /// written under. Applications persisting **custom** policy classes
+    /// must register them (`register_policy_class`) before opening: WAL
+    /// replay revives each logged query's taint, which deserializes its
+    /// policies (snapshot cells stay serialized until a SELECT revives
+    /// them, exactly as in a live database).
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Self::open_with_modes(dir, Tracking::On, GuardMode::Off)
+    }
+
+    /// [`open`](ResinDb::open) with explicit tracking and guard settings.
+    pub fn open_with_modes(
+        dir: impl AsRef<std::path::Path>,
+        tracking: Tracking,
+        guard: GuardMode,
+    ) -> Result<Self> {
+        let (store, recovered) = crate::durable::SqlStore::open(dir)?;
+        let mut db = ResinDb {
+            db: Database::new(),
+            tracking,
+            guard,
+            store: None, // replay must not re-log
+            torn_recovery: recovered.torn_tail,
+        };
+        for (name, table) in recovered.tables {
+            db.db.set_table(&name, table);
+        }
+        for sql in &recovered.replay {
+            // The logged text is post-guard, so replay skips the gate and
+            // re-runs the same rewrite. A statement that errors here
+            // failed identically before the crash — skip it.
+            let _ = db.replay_stmt(sql);
+        }
+        db.store = Some(store);
+        Ok(db)
+    }
+
+    /// True when this open discarded a torn WAL tail: the store is
+    /// consistent, but acknowledged-but-unsynced work from the crashed
+    /// process may have been lost — worth logging or alerting on.
+    pub fn recovered_from_torn_wal(&self) -> bool {
+        self.torn_recovery
+    }
+
+    fn replay_stmt(&mut self, sql: &TaintedString) -> Result<()> {
+        let tokens = lex(sql.as_str())?;
+        let stmt = crate::parser::parse(&tokens)?;
+        run_prepared(&mut self.db, sql, stmt, self.tracking)?;
+        Ok(())
+    }
+
+    /// True when a durable store backs this database.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Folds the WAL into a fresh snapshot (no-op without a store).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if let Some(store) = self.store.as_mut() {
+            let db = &self.db;
+            store.checkpoint(
+                db.table_names()
+                    .into_iter()
+                    .map(|n| (n, db.table(n).expect("listed table exists"))),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints and releases the store. Skipping `close` loses nothing
+    /// — reopening replays the WAL — it just makes the next open fold the
+    /// log instead of loading one snapshot.
+    pub fn close(mut self) -> Result<()> {
+        self.checkpoint()
+    }
+
+    /// Whether WAL appends fsync before returning (default `true`;
+    /// benches and tests may trade tail durability for throughput).
+    pub fn set_wal_sync(&mut self, sync: bool) {
+        if let Some(store) = self.store.as_mut() {
+            store.set_sync(sync);
+        }
+    }
+
+    /// Appends one post-guard statement to the WAL.
+    pub(crate) fn wal_log(&mut self, sql: &TaintedString) -> Result<()> {
+        if let Some(store) = self.store.as_mut() {
+            store.log(sql)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a transaction's buffered statements as one atomic WAL
+    /// record: a crash mid-commit persists the whole transaction or none
+    /// of it, never a prefix.
+    pub(crate) fn wal_log_batch(&mut self, stmts: &[TaintedString]) -> Result<()> {
+        if let Some(store) = self.store.as_mut() {
+            store.log_batch(stmts)?;
+        }
+        Ok(())
     }
 
     /// Sets the injection guard.
@@ -375,8 +482,16 @@ impl ResinDb {
     }
 
     /// Executes a (possibly tainted) query through the RESIN SQL filter.
+    ///
+    /// On a durable database, mutating statements hit the WAL (write-ahead)
+    /// between the guard and execution — the `prepare_query`/`run_prepared`
+    /// seam — so what is logged is exactly what executes.
     pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
-        guarded_query(&mut self.db, sql, self.tracking, self.guard)
+        let (sql, stmt) = prepare_query(sql, self.guard)?;
+        if self.store.is_some() && crate::txn::statement_write_target(&stmt).is_some() {
+            self.wal_log(&sql)?;
+        }
+        run_prepared(&mut self.db, &sql, stmt, self.tracking)
     }
 
     /// The current guard mode (transactions prepare with it).
@@ -569,16 +684,31 @@ fn span_has_untrusted(sql: &TaintedString, span: &Range<usize>) -> bool {
 }
 
 /// Decodes a string literal's interior from the tainted query, carrying
-/// byte policies through `''` escape pairs. The collapsed quote loses the
-/// pair's policies (a 1-byte blind spot per escape; the surrounding bytes
-/// keep theirs).
+/// byte policies through `''` escape pairs: the collapsed quote gets the
+/// **union of both escape bytes' labels**, so an attacker-controlled quote
+/// that survives sanitization re-enters storage tainted. (An earlier
+/// revision used an untainted replacement here, leaving a 1-byte blind
+/// spot per escape pair that a stored-injection payload could hide in.)
 fn decode_literal(sql: &TaintedString, span: &Range<usize>) -> TaintedString {
     let interior = sql.slice(span.start + 1..span.end.saturating_sub(1));
-    if interior.contains("''") {
-        interior.replace_str("''", "'")
-    } else {
-        interior
+    if !interior.contains("''") {
+        return interior;
     }
+    let bytes = interior.as_str().as_bytes();
+    let mut out = TaintedStrBuilder::with_capacity(bytes.len());
+    let (mut i, mut start) = (0usize, 0usize);
+    while i < bytes.len() {
+        if bytes[i] == b'\'' && bytes.get(i + 1) == Some(&b'\'') {
+            out.push_tainted(&interior.slice(start..i));
+            out.push_label("'", interior.label_at(i).union(interior.label_at(i + 1)));
+            i += 2;
+            start = i;
+        } else {
+            i += 1;
+        }
+    }
+    out.push_tainted(&interior.slice(start..bytes.len()));
+    out.build()
 }
 
 /// The serialized policy blob for one inserted/assigned value.
@@ -863,6 +993,52 @@ mod tests {
         let mut q = TaintedString::from("SELECT id FROM t WHERE id = ");
         q.push_tainted(&untrusted("1 OR 1=1"));
         assert!(db.query(&q).unwrap_err().is_violation());
+    }
+
+    #[test]
+    fn escape_pair_collapse_keeps_taint() {
+        // The former 1-byte blind spot: `''` collapsing to `'` dropped the
+        // pair's policies, letting an attacker-controlled quote re-enter
+        // storage untainted. The collapsed byte must carry the union of
+        // both escape bytes' labels.
+        let mut db = setup();
+        let mut q = TaintedString::from("INSERT INTO users VALUES ('u', 'a");
+        q.push_tainted(&untrusted("''"));
+        q.push_str("b')");
+        db.query(&q).unwrap();
+        let r = db.query_str("SELECT pw FROM users").unwrap();
+        let cell = r.cell(0, "pw").unwrap().as_text().unwrap();
+        assert_eq!(cell.as_str(), "a'b");
+        assert!(
+            cell.label_at(1).has::<UntrustedData>(),
+            "collapsed quote keeps the pair's policies"
+        );
+        assert!(cell.label_at(0).is_empty(), "neighbours unchanged");
+        assert!(cell.label_at(2).is_empty());
+    }
+
+    #[test]
+    fn auto_sanitized_quote_stays_tainted_in_storage() {
+        // End to end through the AutoSanitize guard: the hostile quote is
+        // escaped on the way in and collapses back to one byte in the
+        // stored cell — which must still be fully untrusted, so a later
+        // naive query built from it is caught by the structure check.
+        let mut db = setup();
+        db.set_guard(GuardMode::AutoSanitize);
+        let mut q = TaintedString::from("INSERT INTO users VALUES ('u', '");
+        q.push_tainted(&untrusted("x' OR '1'='1"));
+        q.push_str("')");
+        db.query(&q).unwrap();
+        let r = db.query_str("SELECT pw FROM users").unwrap();
+        let cell = r.cell(0, "pw").unwrap().as_text().unwrap().clone();
+        assert_eq!(cell.as_str(), "x' OR '1'='1");
+        assert!(
+            cell.all_bytes_have::<UntrustedData>(),
+            "every stored byte — quotes included — stays untrusted"
+        );
+        db.set_guard(GuardMode::StructureCheck);
+        let q2 = build_login_query(&cell);
+        assert!(db.query(&q2).unwrap_err().is_violation());
     }
 
     #[test]

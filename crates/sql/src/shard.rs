@@ -21,19 +21,20 @@
 //! one small table never clones the whole database.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-use resin_core::sync::{rlock, wlock};
+use resin_core::sync::{mlock, rlock, wlock};
 
 use resin_core::{PolicyViolation, TaintedString};
 
 use crate::ast::Statement;
+use crate::durable::SqlStore;
 use crate::engine::{
     new_table, table_delete, table_insert, table_select, table_update, QueryResult, Table,
 };
 use crate::error::{Result, SqlError};
 use crate::rewrite::{
-    guarded_query, prepare_query, run_prepared, GuardMode, QueryBackend, TaintedResult, Tracking,
+    prepare_query, run_prepared, GuardMode, QueryBackend, TaintedResult, Tracking,
 };
 use crate::txn::{statement_write_target, TxnSnapshots};
 
@@ -46,9 +47,24 @@ type TableShard = Arc<RwLock<Table>>;
 /// shared mode (readers never block each other; per-table locks provide
 /// the sharding), schema statements take it exclusively — so DDL
 /// serializes cleanly against in-flight row work.
+///
+/// When opened durably ([`SharedDb::open`]), the catalog additionally
+/// carries the shared snapshot+WAL store; WAL appends serialize on its
+/// own mutex, never on the table locks.
 #[derive(Debug, Default)]
 pub struct ShardedDatabase {
     catalog: RwLock<BTreeMap<String, TableShard>>,
+    store: Mutex<Option<SqlStore>>,
+    /// Checkpoint exclusion: writers hold it shared across their WAL
+    /// append → execute window, `SharedDb::checkpoint` holds it
+    /// exclusively — so a snapshot can never land between a statement's
+    /// log record and its effect on the tables.
+    ckpt: RwLock<()>,
+    /// Open transactions that have written. Their table changes are live
+    /// but their WAL records are buffered until commit, so a checkpoint
+    /// waits for this to reach zero (`txn_done` signals each finish).
+    txn_writers: Mutex<usize>,
+    txn_done: Condvar,
 }
 
 // Both lock levels guard data that is consistent at every panic point
@@ -241,6 +257,8 @@ pub struct SharedDb {
     inner: Arc<ShardedDatabase>,
     tracking: Tracking,
     guard: GuardMode,
+    durable: bool,
+    torn_recovery: bool,
 }
 
 impl SharedDb {
@@ -255,7 +273,149 @@ impl SharedDb {
             inner: Arc::new(ShardedDatabase::new()),
             tracking,
             guard,
+            durable: false,
+            torn_recovery: false,
         }
+    }
+
+    /// Opens (creating if needed) a durable shared database rooted at
+    /// `dir`: loads the last checkpoint, replays the WAL's surviving
+    /// prefix (torn tail tolerated), and logs every subsequent mutating
+    /// statement write-ahead. All clones share the store.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        Self::open_with_modes(dir, Tracking::On, GuardMode::Off)
+    }
+
+    /// [`open`](SharedDb::open) with explicit tracking and guard settings
+    /// (reopen with the same tracking mode the store was written under).
+    pub fn open_with_modes(
+        dir: impl AsRef<std::path::Path>,
+        tracking: Tracking,
+        guard: GuardMode,
+    ) -> Result<Self> {
+        let (store, recovered) = SqlStore::open(dir)?;
+        let sharded = ShardedDatabase::new();
+        {
+            let mut catalog = wlock(&sharded.catalog);
+            for (name, t) in recovered.tables {
+                catalog.insert(name, Arc::new(RwLock::new(t)));
+            }
+        }
+        for sql in &recovered.replay {
+            // Post-guard text: skip the gate, re-run the same rewrite. A
+            // statement that errors here failed identically pre-crash.
+            let _ = Self::replay_on(&sharded, sql, tracking);
+        }
+        *mlock(&sharded.store) = Some(store);
+        Ok(SharedDb {
+            inner: Arc::new(sharded),
+            tracking,
+            guard,
+            durable: true,
+            torn_recovery: recovered.torn_tail,
+        })
+    }
+
+    /// True when this open discarded a torn WAL tail: the store is
+    /// consistent, but acknowledged-but-unsynced work from the crashed
+    /// process may have been lost — worth logging or alerting on.
+    pub fn recovered_from_torn_wal(&self) -> bool {
+        self.torn_recovery
+    }
+
+    fn replay_on(sharded: &ShardedDatabase, sql: &TaintedString, tracking: Tracking) -> Result<()> {
+        let tokens = crate::token::lex(sql.as_str())?;
+        let stmt = crate::parser::parse(&tokens)?;
+        let mut backend: &ShardedDatabase = sharded;
+        run_prepared(&mut backend, sql, stmt, tracking)?;
+        Ok(())
+    }
+
+    /// True when a durable store backs this database.
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Folds the WAL into a fresh snapshot (no-op without a store).
+    ///
+    /// The snapshot is statement-consistent: the checkpoint-exclusion
+    /// lock keeps it out of every writer's WAL-append → execute window
+    /// (a logged statement is never dropped unexecuted by the WAL
+    /// truncation), and it waits for open *writing* transactions to
+    /// finish (their table changes are live while their WAL records are
+    /// buffered until commit — snapshotting mid-transaction would
+    /// resurrect rollbacks or double-apply commits on recovery). The
+    /// image is encoded under every shard's read lock simultaneously, so
+    /// it is point-in-time consistent across tables.
+    pub fn checkpoint(&self) -> Result<()> {
+        if !self.durable {
+            return Ok(());
+        }
+        // Wait for writing transactions *without* holding the ckpt write
+        // lock: their owner thread may need the read lock (a plain
+        // durable write) before it can commit, so parking on the condvar
+        // with the write lock held would deadlock the database. New
+        // registrations take the read lock, so once the count reads zero
+        // *under* the write lock, no transaction can slip in.
+        let mut excl = wlock(&self.inner.ckpt);
+        loop {
+            if *mlock(&self.inner.txn_writers) == 0 {
+                break;
+            }
+            drop(excl);
+            {
+                let mut open = mlock(&self.inner.txn_writers);
+                while *open > 0 {
+                    open = self
+                        .inner
+                        .txn_done
+                        .wait(open)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            excl = wlock(&self.inner.ckpt);
+        }
+        let _excl = excl;
+        // Encode straight from the shard read guards — no whole-catalog
+        // deep copy. Holding every shard lock at once also makes the
+        // snapshot point-in-time consistent *across* tables: durable
+        // writers are already excluded by the ckpt lock, and readers take
+        // the same shared locks.
+        let catalog = rlock(&self.inner.catalog);
+        let shards: Vec<(&str, std::sync::RwLockReadGuard<'_, Table>)> = catalog
+            .iter()
+            .map(|(n, shard)| (n.as_str(), rlock(shard)))
+            .collect();
+        let mut guard = mlock(&self.inner.store);
+        let Some(store) = guard.as_mut() else {
+            return Ok(());
+        };
+        store.checkpoint(shards.iter().map(|(n, t)| (*n, &**t)))
+    }
+
+    /// Whether WAL appends fsync before returning (default `true`).
+    pub fn set_wal_sync(&self, sync: bool) {
+        if let Some(store) = mlock(&self.inner.store).as_mut() {
+            store.set_sync(sync);
+        }
+    }
+
+    /// Appends one post-guard statement to the shared WAL.
+    pub(crate) fn wal_log(&self, sql: &TaintedString) -> Result<()> {
+        self.wal_log_batch(std::slice::from_ref(sql))
+    }
+
+    /// Appends a transaction's buffered statements as one atomic WAL
+    /// record: a crash mid-commit persists the whole transaction or none
+    /// of it, never a prefix.
+    pub(crate) fn wal_log_batch(&self, stmts: &[TaintedString]) -> Result<()> {
+        if !self.durable {
+            return Ok(());
+        }
+        if let Some(store) = mlock(&self.inner.store).as_mut() {
+            store.log_batch(stmts)?;
+        }
+        Ok(())
     }
 
     /// Sets the injection guard **for this handle** (other clones keep
@@ -277,10 +437,29 @@ impl SharedDb {
     /// Executes a (possibly tainted) query through the RESIN SQL filter.
     ///
     /// Unlike [`ResinDb::query`](crate::ResinDb::query) this takes `&self`:
-    /// any number of workers may query concurrently.
+    /// any number of workers may query concurrently. On a durable database
+    /// mutating statements are WAL-logged write-ahead (appends serialize
+    /// on the store mutex), and recovery replays in WAL order. Two *racing*
+    /// writers to the same table may therefore recover in the other
+    /// interleaving than the one that executed — every statement is
+    /// preserved, but non-commuting racing writes (two UPDATEs of one row)
+    /// can recover to the other winner. Racing writers partitioned by
+    /// table — the discipline the lock sharding already rewards — recover
+    /// exactly. A statement that fails *execution* after logging stays in
+    /// the WAL as a no-op (replay fails identically and is skipped) until
+    /// the next checkpoint truncates it.
     pub fn query(&self, sql: &TaintedString) -> Result<TaintedResult> {
+        let (sql, stmt) = prepare_query(sql, self.guard)?;
+        let durable_write = self.durable && statement_write_target(&stmt).is_some();
+        // Shared checkpoint-exclusion across log + execute: a checkpoint
+        // must never truncate this statement's WAL record before its
+        // effect is in the tables it snapshots.
+        let _no_ckpt = durable_write.then(|| rlock(&self.inner.ckpt));
+        if durable_write {
+            self.wal_log(&sql)?;
+        }
         let mut backend: &ShardedDatabase = &self.inner;
-        guarded_query(&mut backend, sql, self.tracking, self.guard)
+        run_prepared(&mut backend, &sql, stmt, self.tracking)
     }
 
     /// Executes an untainted query string.
@@ -294,6 +473,8 @@ impl SharedDb {
             db: self.clone(),
             snapshots: TxnSnapshots::default(),
             checks: Vec::new(),
+            wal: Vec::new(),
+            registered: false,
             finished: false,
         }
     }
@@ -316,10 +497,22 @@ pub type SharedIntegrityCheck<'c> =
 /// transaction later rolls back will lose their writes to the restore
 /// (last-writer-wins). Partition writes by table — the same discipline the
 /// lock sharding already rewards.
+///
+/// The same discipline governs **durability**: a transaction's statements
+/// reach the WAL only at commit (as one atomic record), while its table
+/// changes are live immediately — so a non-transactional write that lands
+/// on a transaction-touched table between its write and its commit is
+/// logged *before* the transaction's record, and crash recovery replays
+/// them in that (WAL) order, not execution order. Writes partitioned by
+/// table recover exactly; interleaved same-table mixes may not.
 pub struct SharedTransaction<'c> {
     db: SharedDb,
     snapshots: TxnSnapshots,
     checks: Vec<SharedIntegrityCheck<'c>>,
+    wal: Vec<TaintedString>,
+    /// Counted in `txn_writers` (set on the first durable write, cleared
+    /// on drop) so checkpoints wait this transaction out.
+    registered: bool,
     finished: bool,
 }
 
@@ -343,6 +536,16 @@ impl<'c> SharedTransaction<'c> {
     /// query only ever snapshots the one table it writes.
     pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
         let (sql, stmt) = prepare_query(sql, self.db.guard)?;
+        let is_write = statement_write_target(&stmt).is_some();
+        if is_write && self.db.durable && !self.registered {
+            // First durable write: block out a running checkpoint, then
+            // stay counted until the transaction finishes — a snapshot
+            // taken mid-transaction would see live table changes whose
+            // WAL records are still buffered here.
+            let _gate = rlock(&self.db.inner.ckpt);
+            *mlock(&self.db.inner.txn_writers) += 1;
+            self.registered = true;
+        }
         if let Some(name) = statement_write_target(&stmt) {
             let name = name.to_string();
             let inner = &self.db.inner;
@@ -350,7 +553,13 @@ impl<'c> SharedTransaction<'c> {
                 .record_with(&name, || inner.snapshot_table(&name));
         }
         let mut backend: &ShardedDatabase = &self.db.inner;
-        run_prepared(&mut backend, &sql, stmt, self.db.tracking)
+        let res = run_prepared(&mut backend, &sql, stmt, self.db.tracking)?;
+        if is_write && self.db.durable {
+            // Buffered, not logged: the WAL only sees statements whose
+            // transaction committed, so a rollback recovers as a rollback.
+            self.wal.push(sql.into_owned());
+        }
+        Ok(res)
     }
 
     /// Executes an untainted query inside the transaction.
@@ -375,6 +584,14 @@ impl<'c> SharedTransaction<'c> {
                 return Err(SqlError::Policy(resin_core::FlowError::Denied(v)));
             }
         }
+        let wal = std::mem::take(&mut self.wal);
+        if let Err(e) = self.db.wal_log_batch(&wal) {
+            // The commit could not be made durable: take the writes back
+            // out of the live tables too, so the state the caller observes
+            // matches the state a restart would recover.
+            self.restore();
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -389,6 +606,11 @@ impl Drop for SharedTransaction<'_> {
     fn drop(&mut self) {
         if !self.finished {
             self.restore();
+        }
+        if self.registered {
+            self.registered = false;
+            *mlock(&self.db.inner.txn_writers) -= 1;
+            self.db.inner.txn_done.notify_all();
         }
     }
 }
@@ -549,6 +771,129 @@ mod tests {
         txn.rollback();
         let r = db.query_str("SELECT COUNT(*) FROM posts").unwrap();
         assert_eq!(r.rows[0][0].as_int().unwrap().value(), &0);
+    }
+
+    fn disk_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("resin-shard-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoint_waits_for_writing_transactions() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let dir = disk_dir("ckpt-txn");
+        {
+            let db = SharedDb::open(&dir).unwrap();
+            db.query_str("CREATE TABLE t (a INTEGER)").unwrap();
+            let mut txn = db.begin();
+            txn.query_str("INSERT INTO t VALUES (1)").unwrap();
+
+            let done = Arc::new(AtomicBool::new(false));
+            let (db2, done2) = (db.clone(), done.clone());
+            let h = std::thread::spawn(move || {
+                db2.checkpoint().unwrap();
+                done2.store(true, Ordering::SeqCst);
+            });
+            // Give the checkpoint ample time to (wrongly) complete: it
+            // must instead be parked on the open writing transaction,
+            // whose table change is live but whose WAL record is not.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            assert!(
+                !done.load(Ordering::SeqCst),
+                "checkpoint must wait for the writing transaction"
+            );
+            txn.rollback();
+            h.join().unwrap();
+            assert!(done.load(Ordering::SeqCst));
+        }
+        // The rolled-back row must not be resurrected by recovery.
+        let db = SharedDb::open(&dir).unwrap();
+        let r = db.query_str("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_does_not_deadlock_mixed_txn_and_plain_writes() {
+        // A checkpoint parked on an open writing transaction must not
+        // hold the ckpt write lock while waiting: the transaction's own
+        // thread may need the read lock (a plain durable write) before
+        // it can ever commit.
+        let dir = disk_dir("ckpt-deadlock");
+        {
+            let db = SharedDb::open(&dir).unwrap();
+            db.set_wal_sync(false);
+            db.query_str("CREATE TABLE t (a INTEGER)").unwrap();
+            let mut txn = db.begin();
+            txn.query_str("INSERT INTO t VALUES (1)").unwrap();
+            let db2 = db.clone();
+            let h = std::thread::spawn(move || db2.checkpoint().unwrap());
+            // Let the checkpoint reach its wait on the open transaction.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            // Pre-fix this deadlocked against the parked checkpoint.
+            db.query_str("INSERT INTO t VALUES (2)").unwrap();
+            txn.commit().unwrap();
+            h.join().unwrap();
+        }
+        let db = SharedDb::open(&dir).unwrap();
+        let r = db.query_str("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn txn_commit_is_one_atomic_wal_record() {
+        // A crash mid-commit must never persist a prefix of a
+        // transaction, so the whole buffered batch goes down as a single
+        // WAL record (and a single fsync).
+        let dir = disk_dir("txn-batch");
+        {
+            let db = SharedDb::open(&dir).unwrap();
+            db.query_str("CREATE TABLE t (a INTEGER)").unwrap();
+            let mut txn = db.begin();
+            txn.query_str("INSERT INTO t VALUES (1)").unwrap();
+            txn.query_str("INSERT INTO t VALUES (2)").unwrap();
+            txn.commit().unwrap();
+        }
+        {
+            let (store, recovered) = resin_store::Store::open(&dir).unwrap();
+            assert_eq!(
+                recovered.records.len(),
+                2,
+                "CREATE plus exactly one commit record"
+            );
+            drop(store);
+        }
+        let db = SharedDb::open(&dir).unwrap();
+        let r = db.query_str("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn committed_txn_then_checkpoint_never_double_applies() {
+        let dir = disk_dir("ckpt-commit");
+        {
+            let db = SharedDb::open(&dir).unwrap();
+            db.query_str("CREATE TABLE t (a INTEGER)").unwrap();
+            let mut txn = db.begin();
+            txn.query_str("INSERT INTO t VALUES (7)").unwrap();
+            txn.commit().unwrap();
+            db.checkpoint().unwrap();
+        }
+        let db = SharedDb::open(&dir).unwrap();
+        let r = db.query_str("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(
+            r.rows[0][0].as_int().unwrap().value(),
+            &1,
+            "snapshot covers the commit; its WAL record must not replay on top"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -275,10 +275,24 @@ pub fn sanitize_query(query: &TaintedString, tokens: &[Token]) -> TaintedString 
         match &t.tok {
             Tok::Str(_) => {
                 // Slice the literal's interior (excluding delimiters) from
-                // the tainted source, then re-escape quotes.
+                // the tainted source, then re-escape quotes. Both bytes of
+                // each emitted `''` carry the source quote's label — an
+                // untainted replacement here would launder the attacker's
+                // quote through the guard's own rewrite (the escape pair
+                // later collapses back to one byte in storage, and that
+                // byte must still read as untrusted).
                 let inner = query.slice(t.span.start + 1..t.span.end - 1);
                 out.push_char('\'');
-                out.push_tainted(&inner.replace_str("'", "''"));
+                let bytes = inner.as_str().as_bytes();
+                let mut start = 0usize;
+                for (i, &b) in bytes.iter().enumerate() {
+                    if b == b'\'' {
+                        out.push_tainted(&inner.slice(start..i));
+                        out.push_label("''", inner.label_at(i));
+                        start = i + 1;
+                    }
+                }
+                out.push_tainted(&inner.slice(start..bytes.len()));
                 out.push_char('\'');
             }
             _ => {

@@ -107,6 +107,7 @@ pub struct Transaction<'a, 'c> {
     db: &'a mut ResinDb,
     snapshots: TxnSnapshots,
     checks: Vec<IntegrityCheck<'c>>,
+    wal: Vec<TaintedString>,
     finished: bool,
 }
 
@@ -118,6 +119,7 @@ impl<'a, 'c> Transaction<'a, 'c> {
             db,
             snapshots: TxnSnapshots::default(),
             checks: Vec::new(),
+            wal: Vec::new(),
             finished: false,
         }
     }
@@ -137,13 +139,20 @@ impl<'a, 'c> Transaction<'a, 'c> {
     /// guards apply as usual).
     pub fn query(&mut self, sql: &TaintedString) -> Result<TaintedResult> {
         let (sql, stmt) = prepare_query(sql, self.db.guard_mode())?;
+        let is_write = statement_write_target(&stmt).is_some();
         if let Some(name) = statement_write_target(&stmt) {
             let name = name.to_string();
             let db = &*self.db;
             self.snapshots
                 .record_with(&name, || db.raw().table(&name).cloned());
         }
-        self.db.run_prepared(&sql, stmt)
+        let res = self.db.run_prepared(&sql, stmt)?;
+        if is_write && self.db.is_durable() {
+            // Buffered until commit: a rolled-back transaction must not
+            // replay after a restart.
+            self.wal.push(sql.into_owned());
+        }
+        Ok(res)
     }
 
     /// Executes an untainted query inside the transaction.
@@ -167,6 +176,14 @@ impl<'a, 'c> Transaction<'a, 'c> {
                 self.restore();
                 return Err(SqlError::Policy(resin_core::FlowError::Denied(v)));
             }
+        }
+        let wal = std::mem::take(&mut self.wal);
+        if let Err(e) = self.db.wal_log_batch(&wal) {
+            // The commit could not be made durable: roll the live tables
+            // back too, so the observed state matches what a restart
+            // would recover.
+            self.restore();
+            return Err(e);
         }
         Ok(())
     }

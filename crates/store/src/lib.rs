@@ -1,0 +1,37 @@
+//! # resin-store — durable storage for persistent policies
+//!
+//! RESIN's central promise is that policies travel *with* data into
+//! durable storage and come back on read (§3.4, §6.1). The in-memory SQL
+//! engine and vfs uphold that within a process; this crate makes it hold
+//! across process exits and crashes:
+//!
+//! * [`snapshot`] — a versioned binary image format whose header persists
+//!   the **deduplicated policy table once**, with per-cell/per-span `u32`
+//!   refs — the durable twin of the in-memory `Label` interning;
+//! * [`wal`] — checksummed append-only record framing whose replay
+//!   tolerates the torn tail an interrupted append leaves behind;
+//! * [`store::Store`] — one directory holding `snapshot.bin` + `wal.bin`,
+//!   with atomic checkpoints (temp file + rename), fsynced appends, and
+//!   sequence numbers that keep a crash between "rename snapshot" and
+//!   "truncate WAL" from double-applying operations.
+//!
+//! The store is deliberately *policy-oblivious*: policy bodies are opaque
+//! strings in `resin_core`'s textual wire format, tokenized (never
+//! deserialized) while building the table. Checkpointing and recovery
+//! therefore work without any policy class being registered — the paper's
+//! property that persisted policies outlive the code that produced them.
+//!
+//! The client layers live upstream: `resin_sql` snapshots its table
+//! catalog and logs post-guard statements; `resin_vfs` snapshots its tree
+//! and logs file operations. Both recover by replaying the WAL onto the
+//! last complete snapshot.
+
+pub mod error;
+pub mod io;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::{Result, StoreError};
+pub use snapshot::{SnapshotReader, SnapshotWriter, SpanRef, SNAPSHOT_VERSION};
+pub use store::{Recovered, Store};

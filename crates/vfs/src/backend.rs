@@ -1,0 +1,311 @@
+//! Durability backends for the vfs.
+//!
+//! The tree in [`crate::Vfs`] is the working state; a [`Backend`] is the
+//! durability sink underneath it. Every mutating file operation that
+//! commits to the tree is offered to the backend as an [`FsOp`]; a
+//! checkpoint hands it the whole encoded tree. Two impls:
+//!
+//! * [`MemBackend`] — the default: nothing persists (the seed behaviour,
+//!   and what `TrackingMode::Off` baselines measure against);
+//! * [`DiskBackend`] — a [`resin_store::Store`]: ops append to a
+//!   checksummed WAL, checkpoints write an atomic snapshot whose policy
+//!   xattrs are deduplicated through the shared policy table, and
+//!   [`DiskBackend::open`] recovers the last consistent tree even from a
+//!   torn WAL tail.
+//!
+//! Ops are logged **post-guard**: persistent filters and dir-op checks
+//! ran before the tree mutated, so recovery re-applies raw state changes
+//! without re-running (or needing the code of) any filter.
+
+use std::fmt;
+use std::path::Path;
+
+use resin_store::io::{put_str, put_u8, Cursor};
+use resin_store::{Store, StoreError};
+
+use crate::error::{Result, VfsError};
+
+impl From<StoreError> for VfsError {
+    fn from(e: StoreError) -> Self {
+        VfsError::Storage(e.to_string())
+    }
+}
+
+/// One committed mutation of the tree, as logged to a backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOp {
+    /// A directory came into existence (one op per created component).
+    Mkdir {
+        /// Absolute path of the created directory.
+        path: String,
+    },
+    /// A file's content was replaced (creating it if needed).
+    Write {
+        /// Absolute file path.
+        path: String,
+        /// The new content bytes.
+        content: String,
+        /// Serialized byte-range policies (`None` clears the policy
+        /// xattr, mirroring an untainted write).
+        policy: Option<String>,
+    },
+    /// A file or empty directory was removed.
+    Unlink {
+        /// Absolute path removed.
+        path: String,
+    },
+    /// A node moved.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// An extended attribute was set (persistent filters arrive here:
+    /// `attach_filter` is a `user.resin.filter` xattr write).
+    SetXattr {
+        /// Node path.
+        path: String,
+        /// Attribute key.
+        key: String,
+        /// Attribute value.
+        value: String,
+    },
+    /// An extended attribute was removed (e.g. `clear_filters`).
+    RemoveXattr {
+        /// Node path.
+        path: String,
+        /// Attribute key.
+        key: String,
+    },
+}
+
+const OP_MKDIR: u8 = 0;
+const OP_WRITE: u8 = 1;
+const OP_UNLINK: u8 = 2;
+const OP_RENAME: u8 = 3;
+const OP_SET_XATTR: u8 = 4;
+const OP_REMOVE_XATTR: u8 = 5;
+
+impl FsOp {
+    /// Encodes the op as a WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        match self {
+            FsOp::Mkdir { path } => {
+                put_u8(&mut buf, OP_MKDIR);
+                put_str(&mut buf, path);
+            }
+            FsOp::Write {
+                path,
+                content,
+                policy,
+            } => {
+                put_u8(&mut buf, OP_WRITE);
+                put_str(&mut buf, path);
+                put_str(&mut buf, content);
+                match policy {
+                    Some(p) => {
+                        put_u8(&mut buf, 1);
+                        put_str(&mut buf, p);
+                    }
+                    None => put_u8(&mut buf, 0),
+                }
+            }
+            FsOp::Unlink { path } => {
+                put_u8(&mut buf, OP_UNLINK);
+                put_str(&mut buf, path);
+            }
+            FsOp::Rename { from, to } => {
+                put_u8(&mut buf, OP_RENAME);
+                put_str(&mut buf, from);
+                put_str(&mut buf, to);
+            }
+            FsOp::SetXattr { path, key, value } => {
+                put_u8(&mut buf, OP_SET_XATTR);
+                put_str(&mut buf, path);
+                put_str(&mut buf, key);
+                put_str(&mut buf, value);
+            }
+            FsOp::RemoveXattr { path, key } => {
+                put_u8(&mut buf, OP_REMOVE_XATTR);
+                put_str(&mut buf, path);
+                put_str(&mut buf, key);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a WAL payload.
+    pub fn decode(payload: &[u8]) -> Result<FsOp> {
+        let mut c = Cursor::new(payload);
+        let op = match c.u8().map_err(VfsError::from)? {
+            OP_MKDIR => FsOp::Mkdir {
+                path: c.str().map_err(VfsError::from)?,
+            },
+            OP_WRITE => {
+                let path = c.str().map_err(VfsError::from)?;
+                let content = c.str().map_err(VfsError::from)?;
+                let policy = match c.u8().map_err(VfsError::from)? {
+                    0 => None,
+                    _ => Some(c.str().map_err(VfsError::from)?),
+                };
+                FsOp::Write {
+                    path,
+                    content,
+                    policy,
+                }
+            }
+            OP_UNLINK => FsOp::Unlink {
+                path: c.str().map_err(VfsError::from)?,
+            },
+            OP_RENAME => FsOp::Rename {
+                from: c.str().map_err(VfsError::from)?,
+                to: c.str().map_err(VfsError::from)?,
+            },
+            OP_SET_XATTR => FsOp::SetXattr {
+                path: c.str().map_err(VfsError::from)?,
+                key: c.str().map_err(VfsError::from)?,
+                value: c.str().map_err(VfsError::from)?,
+            },
+            OP_REMOVE_XATTR => FsOp::RemoveXattr {
+                path: c.str().map_err(VfsError::from)?,
+                key: c.str().map_err(VfsError::from)?,
+            },
+            other => return Err(VfsError::Storage(format!("unknown fs op tag {other}"))),
+        };
+        Ok(op)
+    }
+}
+
+/// The durability sink beneath a [`crate::Vfs`].
+pub trait Backend: fmt::Debug + Send + Sync {
+    /// Records one committed tree mutation.
+    fn log(&mut self, op: &FsOp) -> Result<()>;
+
+    /// Replaces the durable snapshot with `image` (the encoded tree) and
+    /// resets the op log.
+    fn checkpoint(&mut self, image: &[u8]) -> Result<()>;
+
+    /// True when ops actually persist (diagnostics and tests).
+    fn is_durable(&self) -> bool;
+}
+
+/// The default backend: nothing persists.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemBackend;
+
+impl Backend for MemBackend {
+    fn log(&mut self, _op: &FsOp) -> Result<()> {
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, _image: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn is_durable(&self) -> bool {
+        false
+    }
+}
+
+/// A disk-backed backend over a [`resin_store::Store`].
+#[derive(Debug)]
+pub struct DiskBackend {
+    store: Store,
+}
+
+/// What [`DiskBackend::open`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct VfsRecovered {
+    /// The last tree snapshot image, if a checkpoint was ever taken.
+    pub snapshot: Option<Vec<u8>>,
+    /// Ops committed after that snapshot, in order.
+    pub ops: Vec<FsOp>,
+    /// True when a torn WAL tail was discarded during recovery.
+    pub torn_tail: bool,
+}
+
+impl DiskBackend {
+    /// Opens (creating if needed) the store at `dir`, returning the
+    /// backend plus the state to rebuild: last snapshot and the WAL's
+    /// surviving op prefix (a torn tail is discarded and repaired).
+    pub fn open(dir: impl AsRef<Path>) -> Result<(DiskBackend, VfsRecovered)> {
+        let (store, recovered) = Store::open(dir).map_err(VfsError::from)?;
+        let mut ops = Vec::with_capacity(recovered.records.len());
+        for payload in &recovered.records {
+            ops.push(FsOp::decode(payload)?);
+        }
+        Ok((
+            DiskBackend { store },
+            VfsRecovered {
+                snapshot: recovered.snapshot,
+                ops,
+                torn_tail: recovered.torn_tail,
+            },
+        ))
+    }
+
+    /// Whether WAL appends fsync (see [`Store::set_sync`]).
+    pub fn set_sync(&mut self, sync: bool) {
+        self.store.set_sync(sync);
+    }
+}
+
+impl Backend for DiskBackend {
+    fn log(&mut self, op: &FsOp) -> Result<()> {
+        self.store.append(&op.encode()).map_err(VfsError::from)?;
+        Ok(())
+    }
+
+    fn checkpoint(&mut self, image: &[u8]) -> Result<()> {
+        self.store.checkpoint(image).map_err(VfsError::from)
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_roundtrip() {
+        let ops = vec![
+            FsOp::Mkdir { path: "/a".into() },
+            FsOp::Write {
+                path: "/a/f".into(),
+                content: "hello".into(),
+                policy: Some("#UntrustedData{}#0..5|0".into()),
+            },
+            FsOp::Write {
+                path: "/a/g".into(),
+                content: String::new(),
+                policy: None,
+            },
+            FsOp::Unlink {
+                path: "/a/g".into(),
+            },
+            FsOp::Rename {
+                from: "/a/f".into(),
+                to: "/a/h".into(),
+            },
+            FsOp::SetXattr {
+                path: "/a".into(),
+                key: "user.resin.filter".into(),
+                value: "AclWriteFilter{acl=alice:w}".into(),
+            },
+            FsOp::RemoveXattr {
+                path: "/a".into(),
+                key: "user.resin.filter".into(),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(&FsOp::decode(&op.encode()).unwrap(), op);
+        }
+        assert!(FsOp::decode(&[99]).is_err(), "unknown tag");
+        assert!(FsOp::decode(&[]).is_err(), "empty payload");
+    }
+}

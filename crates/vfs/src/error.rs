@@ -19,6 +19,9 @@ pub enum VfsError {
     InvalidPath(String),
     /// A policy or persistent filter rejected the operation.
     Policy(FlowError),
+    /// The durable backend failed (I/O error, corrupt snapshot,
+    /// unsupported format version).
+    Storage(String),
 }
 
 impl VfsError {
@@ -38,6 +41,7 @@ impl fmt::Display for VfsError {
             VfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
             VfsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
             VfsError::Policy(e) => write!(f, "{e}"),
+            VfsError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -22,7 +22,9 @@ use resin_core::{
     deserialize_spans, serialize_spans, Context, FlowError, FnFilter, Gate, GateKind, Runtime,
     TaintedString,
 };
+use resin_store::{SnapshotReader, SnapshotWriter};
 
+use crate::backend::{Backend, DiskBackend, FsOp, MemBackend};
 use crate::error::{Result, VfsError};
 use crate::path::{normalize, to_absolute};
 use crate::pfilter::{deserialize_filter, serialize_filter, DirOp, GateMount, PersistentFilterRef};
@@ -97,11 +99,23 @@ impl OpenFile {
     }
 }
 
-/// The in-memory filesystem.
+/// The filesystem: an in-memory working tree over a pluggable durability
+/// [`Backend`].
+///
+/// [`Vfs::new`] keeps everything in memory (the seed behaviour);
+/// [`Vfs::open_disk`] attaches a [`DiskBackend`], after which every
+/// committed mutation is WAL-logged post-guard, and
+/// [`checkpoint`](Vfs::checkpoint) folds the log into an atomic tree
+/// snapshot whose policy xattrs are deduplicated through the store's
+/// shared policy table. Reopening the same directory — even after a crash
+/// with a torn WAL tail — recovers every file, xattr, persistent filter,
+/// and byte-range policy.
 #[derive(Debug)]
 pub struct Vfs {
     root: DirNode,
     mode: TrackingMode,
+    backend: Box<dyn Backend>,
+    torn_recovery: bool,
 }
 
 impl Default for Vfs {
@@ -116,6 +130,8 @@ impl Vfs {
         Vfs {
             root: DirNode::default(),
             mode: TrackingMode::On,
+            backend: Box::new(MemBackend),
+            torn_recovery: false,
         }
     }
 
@@ -124,12 +140,155 @@ impl Vfs {
         Vfs {
             root: DirNode::default(),
             mode,
+            backend: Box::new(MemBackend),
+            torn_recovery: false,
         }
+    }
+
+    /// Opens (creating if needed) a disk-backed filesystem rooted at
+    /// `dir`, recovering the last checkpoint plus the op log's surviving
+    /// prefix. Tracking is on — durability exists to keep persistent
+    /// policies persistent.
+    pub fn open_disk(dir: impl AsRef<std::path::Path>) -> Result<Vfs> {
+        let (backend, recovered) = DiskBackend::open(dir)?;
+        let root = match recovered.snapshot {
+            Some(image) => decode_tree(&image)?,
+            None => DirNode::default(),
+        };
+        let mut fs = Vfs {
+            root,
+            mode: TrackingMode::On,
+            backend: Box::new(MemBackend), // replay must not re-log
+            torn_recovery: recovered.torn_tail,
+        };
+        for op in &recovered.ops {
+            fs.apply_op(op)?;
+        }
+        fs.backend = Box::new(backend);
+        Ok(fs)
+    }
+
+    /// True when this open discarded a torn WAL tail: the tree is
+    /// consistent, but acknowledged-but-unsynced ops from the crashed
+    /// process may have been lost — worth logging or alerting on.
+    pub fn recovered_from_torn_wal(&self) -> bool {
+        self.torn_recovery
     }
 
     /// The active tracking mode.
     pub fn mode(&self) -> TrackingMode {
         self.mode
+    }
+
+    /// True when a durable backend persists this tree.
+    pub fn is_durable(&self) -> bool {
+        self.backend.is_durable()
+    }
+
+    /// Folds the op log into a fresh tree snapshot (no-op in memory).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if !self.backend.is_durable() {
+            return Ok(());
+        }
+        let image = encode_tree(&self.root)?;
+        self.backend.checkpoint(&image)
+    }
+
+    /// Re-applies one recovered op to the raw tree. The op was committed
+    /// post-guard before the crash, so no filter or gate re-runs; a
+    /// failure here means the snapshot and log disagree (real corruption)
+    /// and surfaces as an error from [`Vfs::open_disk`].
+    fn apply_op(&mut self, op: &FsOp) -> Result<()> {
+        match op {
+            FsOp::Mkdir { path } => {
+                let comps = normalize(path)?;
+                let mut done: Vec<String> = Vec::new();
+                for c in comps {
+                    self.get_dir_mut(&done)?
+                        .children
+                        .entry(c.clone())
+                        .or_insert_with(|| Node::Dir(DirNode::default()));
+                    done.push(c);
+                }
+            }
+            FsOp::Write {
+                path,
+                content,
+                policy,
+            } => {
+                let comps = normalize(path)?;
+                let (parent, name) = match comps.split_last() {
+                    Some((n, p)) => (p.to_vec(), n.clone()),
+                    None => return Err(VfsError::InvalidPath(path.clone())),
+                };
+                let dir = self.get_dir_mut(&parent)?;
+                let node = dir
+                    .children
+                    .entry(name)
+                    .or_insert_with(|| Node::File(FileNode::default()));
+                let Node::File(file) = node else {
+                    return Err(VfsError::IsADirectory(path.clone()));
+                };
+                file.content = content.clone();
+                match policy {
+                    Some(p) => {
+                        file.xattrs.insert(XATTR_POLICY.to_string(), p.clone());
+                    }
+                    None => {
+                        file.xattrs.remove(XATTR_POLICY);
+                    }
+                }
+            }
+            FsOp::Unlink { path } => {
+                let comps = normalize(path)?;
+                let (parent, name) = match comps.split_last() {
+                    Some((n, p)) => (p.to_vec(), n.clone()),
+                    None => return Err(VfsError::InvalidPath(path.clone())),
+                };
+                self.get_dir_mut(&parent)?.children.remove(&name);
+            }
+            FsOp::Rename { from, to } => {
+                let fc = normalize(from)?;
+                let tc = normalize(to)?;
+                let (fparent, fname) = match fc.split_last() {
+                    Some((n, p)) => (p.to_vec(), n.clone()),
+                    None => return Err(VfsError::InvalidPath(from.clone())),
+                };
+                let (tparent, tname) = match tc.split_last() {
+                    Some((n, p)) => (p.to_vec(), n.clone()),
+                    None => return Err(VfsError::InvalidPath(to.clone())),
+                };
+                let node = self
+                    .get_dir_mut(&fparent)?
+                    .children
+                    .remove(&fname)
+                    .ok_or_else(|| VfsError::NotFound(from.clone()))?;
+                self.get_dir_mut(&tparent)?.children.insert(tname, node);
+            }
+            FsOp::SetXattr { path, key, value } => {
+                let comps = normalize(path)?;
+                let xattrs = if comps.is_empty() {
+                    &mut self.root.xattrs
+                } else {
+                    self.get_node_mut(&comps)
+                        .ok_or_else(|| VfsError::NotFound(path.clone()))?
+                        .xattrs_mut()
+                };
+                xattrs.insert(key.clone(), value.clone());
+            }
+            FsOp::RemoveXattr { path, key } => {
+                let comps = normalize(path)?;
+                let xattrs = if comps.is_empty() {
+                    &mut self.root.xattrs
+                } else {
+                    self.get_node_mut(&comps)
+                        .ok_or_else(|| VfsError::NotFound(path.clone()))?
+                        .xattrs_mut()
+                };
+                xattrs.remove(key);
+            }
+        }
+        Ok(())
     }
 
     /// A file-gate context with no authenticated user.
@@ -264,6 +423,16 @@ impl Vfs {
         Ok(())
     }
 
+    /// Logs `op` to a durable backend; in-memory backends skip even the
+    /// op's construction (path/content allocations stay off the hot path).
+    fn journal(&mut self, op: impl FnOnce() -> FsOp) -> Result<()> {
+        if self.backend.is_durable() {
+            self.backend.log(&op())
+        } else {
+            Ok(())
+        }
+    }
+
     // ---- directory operations ----
 
     /// Creates a directory and all missing ancestors.
@@ -281,6 +450,13 @@ impl Vfs {
                     return Err(VfsError::NotADirectory(to_absolute(&done)));
                 }
                 self.check_dir_op_allowed(&done, DirOp::Create, &c, ctx)?;
+                self.journal(|| {
+                    let mut full = done.clone();
+                    full.push(c.clone());
+                    FsOp::Mkdir {
+                        path: to_absolute(&full),
+                    }
+                })?;
                 self.get_dir_mut(&done)?
                     .children
                     .insert(c.clone(), Node::Dir(DirNode::default()));
@@ -349,6 +525,9 @@ impl Vfs {
                 .map_err(VfsError::from)?;
             self.check_dir_op_allowed(&parent, DirOp::Delete, &name, ctx)?;
         }
+        self.journal(|| FsOp::Unlink {
+            path: to_absolute(&comps),
+        })?;
         self.get_dir_mut(&parent)?.children.remove(&name);
         Ok(())
     }
@@ -373,12 +552,49 @@ impl Vfs {
         }
         self.check_dir_op_allowed(&fparent, DirOp::Rename, &fname, ctx)?;
         self.check_dir_op_allowed(&tparent, DirOp::Create, &tname, ctx)?;
+        // Validate the destination parent *before* detaching the node: a
+        // rename into a missing directory must fail cleanly, not drop the
+        // source node on the floor — and must leave no op in the WAL,
+        // whose replay would brick every future open.
+        self.check_is_dir(&tparent)?;
         let node = self
             .get_dir_mut(&fparent)?
             .children
             .remove(&fname)
             .expect("checked above");
-        self.get_dir_mut(&tparent)?.children.insert(tname, node);
+        self.get_dir_mut(&tparent)?
+            .children
+            .insert(tname.clone(), node);
+        if let Err(e) = self.journal(|| FsOp::Rename {
+            from: to_absolute(&fc),
+            to: to_absolute(&tc),
+        }) {
+            // Un-move: a rename the WAL never recorded must not be
+            // observable, or a restart would silently undo it.
+            let node = self
+                .get_dir_mut(&tparent)?
+                .children
+                .remove(&tname)
+                .expect("inserted above");
+            self.get_dir_mut(&fparent)?.children.insert(fname, node);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Immutable twin of [`get_dir_mut`](Vfs::get_dir_mut)'s validation:
+    /// errors exactly when that walk would, without touching the tree.
+    fn check_is_dir(&self, comps: &[String]) -> Result<()> {
+        let mut dir = &self.root;
+        for c in comps {
+            match dir.children.get(c) {
+                Some(Node::Dir(d)) => dir = d,
+                Some(Node::File(_)) => {
+                    return Err(VfsError::NotADirectory(to_absolute(comps)));
+                }
+                None => return Err(VfsError::NotFound(to_absolute(comps))),
+            }
+        }
         Ok(())
     }
 
@@ -451,19 +667,46 @@ impl Vfs {
         let dir = self.get_dir_mut(&parent)?;
         let node = dir
             .children
-            .entry(name)
+            .entry(name.clone())
             .or_insert_with(|| Node::File(FileNode::default()));
         let Node::File(file) = node else {
             return Err(VfsError::IsADirectory(path.to_string()));
         };
-        file.content = data.as_str().to_string();
-        match serialized {
-            Some(s) => {
-                file.xattrs.insert(XATTR_POLICY.to_string(), s);
+        // Prior state for the journal-failure revert, captured without
+        // copying: the old content moves out (replaced either way) and
+        // only the small policy xattr clones.
+        let old_content = std::mem::replace(&mut file.content, data.as_str().to_string());
+        let old_policy = match &serialized {
+            Some(s) => file.xattrs.insert(XATTR_POLICY.to_string(), s.clone()),
+            None => file.xattrs.remove(XATTR_POLICY),
+        };
+        // Logged only after the tree mutation succeeded: a write that
+        // errors out (directory in the way, missing parent) must never
+        // reach the WAL, where its replay would fail every future
+        // `open_disk`. The caller sees `Ok` only once the op is logged,
+        // so a crash in between loses nothing that was acknowledged.
+        if let Err(e) = self.journal(|| FsOp::Write {
+            path: to_absolute(&comps),
+            content: data.as_str().to_string(),
+            policy: serialized,
+        }) {
+            // Put the prior state back — the caller must never observe a
+            // write the log lacks.
+            let dir = self.get_dir_mut(&parent)?;
+            if creating {
+                dir.children.remove(&name);
+            } else if let Some(Node::File(file)) = dir.children.get_mut(&name) {
+                file.content = old_content;
+                match old_policy {
+                    Some(p) => {
+                        file.xattrs.insert(XATTR_POLICY.to_string(), p);
+                    }
+                    None => {
+                        file.xattrs.remove(XATTR_POLICY);
+                    }
+                }
             }
-            None => {
-                file.xattrs.remove(XATTR_POLICY);
-            }
+            return Err(e);
         }
         Ok(())
     }
@@ -554,6 +797,14 @@ impl Vfs {
     /// Sets an extended attribute on a file or directory.
     pub fn set_xattr(&mut self, path: &str, key: &str, value: &str) -> Result<()> {
         let comps = normalize(path)?;
+        if !comps.is_empty() && self.get_node(&comps).is_none() {
+            return Err(VfsError::NotFound(path.to_string()));
+        }
+        self.journal(|| FsOp::SetXattr {
+            path: to_absolute(&comps),
+            key: key.to_string(),
+            value: value.to_string(),
+        })?;
         if comps.is_empty() {
             self.root.xattrs.insert(key.to_string(), value.to_string());
             return Ok(());
@@ -595,6 +846,13 @@ impl Vfs {
     /// Removes all persistent filters from a node.
     pub fn clear_filters(&mut self, path: &str) -> Result<()> {
         let comps = normalize(path)?;
+        if !comps.is_empty() && self.get_node(&comps).is_none() {
+            return Err(VfsError::NotFound(path.to_string()));
+        }
+        self.journal(|| FsOp::RemoveXattr {
+            path: to_absolute(&comps),
+            key: XATTR_FILTER.to_string(),
+        })?;
         if comps.is_empty() {
             self.root.xattrs.remove(XATTR_FILTER);
             return Ok(());
@@ -607,6 +865,103 @@ impl Vfs {
             None => Err(VfsError::NotFound(path.to_string())),
         }
     }
+}
+
+// ---- tree snapshot codec ----
+
+// Node tags in the snapshot body.
+const NODE_FILE: u8 = 0;
+const NODE_DIR: u8 = 1;
+// Xattr value encodings: raw string, or span refs into the snapshot's
+// shared policy table (used for `user.resin.policy`, so a thousand files
+// under one ACL persist the policy body once).
+const XATTR_RAW: u8 = 0;
+const XATTR_SPANS: u8 = 1;
+
+fn encode_xattrs(xattrs: &BTreeMap<String, String>, w: &mut SnapshotWriter) -> Result<()> {
+    w.put_u32(xattrs.len() as u32);
+    for (k, v) in xattrs {
+        w.put_str(k);
+        if k == XATTR_POLICY && v.starts_with('#') {
+            if let Ok(refs) = w.intern_spans_blob(v) {
+                w.put_u8(XATTR_SPANS);
+                w.put_span_refs(&refs);
+                continue;
+            }
+        }
+        w.put_u8(XATTR_RAW);
+        w.put_str(v);
+    }
+    Ok(())
+}
+
+fn decode_xattrs(r: &mut SnapshotReader) -> Result<BTreeMap<String, String>> {
+    let n = r.u32().map_err(VfsError::from)?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let key = r.str().map_err(VfsError::from)?;
+        let value = match r.u8().map_err(VfsError::from)? {
+            XATTR_RAW => r.str().map_err(VfsError::from)?,
+            XATTR_SPANS => {
+                let refs = r.span_refs().map_err(VfsError::from)?;
+                r.spans_blob(&refs).map_err(VfsError::from)?
+            }
+            other => return Err(VfsError::Storage(format!("unknown xattr tag {other}"))),
+        };
+        out.insert(key, value);
+    }
+    Ok(out)
+}
+
+fn encode_dir(dir: &DirNode, w: &mut SnapshotWriter) -> Result<()> {
+    encode_xattrs(&dir.xattrs, w)?;
+    w.put_u32(dir.children.len() as u32);
+    for (name, node) in &dir.children {
+        w.put_str(name);
+        match node {
+            Node::File(f) => {
+                w.put_u8(NODE_FILE);
+                w.put_str(&f.content);
+                encode_xattrs(&f.xattrs, w)?;
+            }
+            Node::Dir(d) => {
+                w.put_u8(NODE_DIR);
+                encode_dir(d, w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_dir(r: &mut SnapshotReader) -> Result<DirNode> {
+    let xattrs = decode_xattrs(r)?;
+    let n = r.u32().map_err(VfsError::from)?;
+    let mut children = BTreeMap::new();
+    for _ in 0..n {
+        let name = r.str().map_err(VfsError::from)?;
+        let node = match r.u8().map_err(VfsError::from)? {
+            NODE_FILE => {
+                let content = r.str().map_err(VfsError::from)?;
+                let xattrs = decode_xattrs(r)?;
+                Node::File(FileNode { content, xattrs })
+            }
+            NODE_DIR => Node::Dir(decode_dir(r)?),
+            other => return Err(VfsError::Storage(format!("unknown node tag {other}"))),
+        };
+        children.insert(name, node);
+    }
+    Ok(DirNode { children, xattrs })
+}
+
+fn encode_tree(root: &DirNode) -> Result<Vec<u8>> {
+    let mut w = SnapshotWriter::new();
+    encode_dir(root, &mut w)?;
+    Ok(w.finish())
+}
+
+fn decode_tree(image: &[u8]) -> Result<DirNode> {
+    let mut r = SnapshotReader::parse(image).map_err(VfsError::from)?;
+    decode_dir(&mut r)
 }
 
 #[cfg(test)]
@@ -857,6 +1212,116 @@ mod tests {
             .unwrap()
             .acl()
             .may("alice", Right::Read));
+    }
+
+    fn disk_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("resin-vfs-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn disk_reopen_recovers_files_policies_and_filters() {
+        let dir = disk_dir("reopen");
+        {
+            let mut fs = Vfs::open_disk(&dir).unwrap();
+            assert!(fs.is_durable());
+            fs.mkdir_p("/pages/Front", &anon()).unwrap();
+            let filter: PersistentFilterRef = Arc::new(AclWriteFilter::new(
+                Acl::new().grant("alice", &[Right::Write]),
+            ));
+            fs.attach_filter("/pages/Front", &filter).unwrap();
+            let mut secret = TaintedString::from("user:pw123");
+            secret.add_policy_range(5..10, Arc::new(PasswordPolicy::new("u@x")));
+            fs.write_file("/pages/Front/v1", &secret, &Vfs::user_ctx("alice"))
+                .unwrap();
+            // Dropped without checkpoint: recovery must come from the WAL.
+        }
+        let fs = Vfs::open_disk(&dir).unwrap();
+        let back = fs.read_file("/pages/Front/v1", &anon()).unwrap();
+        assert_eq!(back.as_str(), "user:pw123");
+        assert!(back.label_at(5).has::<PasswordPolicy>(), "policy revived");
+        assert!(back.label_at(0).is_empty());
+        // The persistent write filter survived too.
+        let mut fs = fs;
+        let err = fs
+            .write_file(
+                "/pages/Front/v1",
+                &TaintedString::from("vandal"),
+                &Vfs::user_ctx("bob"),
+            )
+            .unwrap_err();
+        assert!(err.is_violation(), "write ACL survives restart");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_checkpoint_then_more_ops_recovers_both() {
+        let dir = disk_dir("ckpt");
+        {
+            let mut fs = Vfs::open_disk(&dir).unwrap();
+            fs.mkdir_p("/d", &anon()).unwrap();
+            let mut a = TaintedString::from("aa");
+            a.add_policy(Arc::new(UntrustedData::new()));
+            fs.write_file("/d/a", &a, &anon()).unwrap();
+            fs.checkpoint().unwrap();
+            fs.write_file("/d/b", &TaintedString::from("bb"), &anon())
+                .unwrap();
+            fs.rename("/d/b", "/d/c", &anon()).unwrap();
+            fs.unlink("/d/a", &anon()).unwrap();
+        }
+        let fs = Vfs::open_disk(&dir).unwrap();
+        assert!(!fs.exists("/d/a"), "post-checkpoint unlink replayed");
+        assert_eq!(fs.read_file("/d/c", &anon()).unwrap().as_str(), "bb");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_durable_write_never_bricks_reopen() {
+        // A write that errors (target is a directory / parent missing)
+        // must leave no WAL record: its replay would otherwise fail every
+        // future open_disk.
+        let dir = disk_dir("failed-write");
+        {
+            let mut fs = Vfs::open_disk(&dir).unwrap();
+            fs.mkdir_p("/pages/Front", &anon()).unwrap();
+            let err = fs
+                .write_file("/pages/Front", &TaintedString::from("x"), &anon())
+                .unwrap_err();
+            assert!(matches!(err, VfsError::IsADirectory(_)));
+            assert!(matches!(
+                fs.write_file("/no/parent/here", &TaintedString::from("x"), &anon()),
+                Err(VfsError::NotFound(_))
+            ));
+            fs.write_file("/pages/Front/v1", &TaintedString::from("ok"), &anon())
+                .unwrap();
+            // A rename into a missing parent must fail cleanly: source
+            // intact in memory, no poison op in the WAL.
+            assert!(matches!(
+                fs.rename("/pages/Front/v1", "/missing/dir/x", &anon()),
+                Err(VfsError::NotFound(_))
+            ));
+            assert!(
+                fs.exists("/pages/Front/v1"),
+                "source survives the failed rename"
+            );
+        }
+        let fs = Vfs::open_disk(&dir).expect("failed writes must not poison the log");
+        assert!(!fs.recovered_from_torn_wal(), "clean log, clean open");
+        assert_eq!(
+            fs.read_file("/pages/Front/v1", &anon()).unwrap().as_str(),
+            "ok"
+        );
+        assert!(fs.is_dir("/pages/Front"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_backend_checkpoint_is_noop() {
+        let mut fs = Vfs::new();
+        assert!(!fs.is_durable());
+        fs.checkpoint().unwrap();
     }
 
     #[test]

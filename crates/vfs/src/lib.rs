@@ -33,10 +33,12 @@
 //! assert!(fs.write_file("/wiki/Front/v1", &page, &Vfs::user_ctx("bob")).is_err());
 //! ```
 
+pub mod backend;
 pub mod error;
 pub mod fs;
 pub mod path;
 pub mod pfilter;
 
+pub use backend::{Backend, DiskBackend, FsOp, MemBackend, VfsRecovered};
 pub use error::{Result, VfsError};
 pub use fs::{OpenFile, TrackingMode, Vfs, XATTR_FILTER, XATTR_POLICY};

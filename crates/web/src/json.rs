@@ -34,6 +34,13 @@ pub fn encode_object(fields: &BTreeMap<String, TaintedString>) -> TaintedString 
 
 /// Escapes JSON string content, preserving taint. One pass: untouched
 /// stretches carry their spans, escape sequences are server text.
+///
+/// Every control byte below 0x20 is escaped — RFC 8259 forbids them raw
+/// inside string literals. An earlier revision passed the exotic ones
+/// (`\x00`–`\x08`, `\x0b`, `\x0c`, `\x0e`–`\x1f`) through unescaped,
+/// producing invalid JSON that a lenient client parser could resolve
+/// differently than [`check_json_structure`] saw — the same
+/// parser-differential shape as response splitting.
 pub fn escape_tainted(v: &TaintedString) -> TaintedString {
     crate::html::escape_bytes(v, |b| match b {
         b'\\' => Some("\\\\"),
@@ -43,9 +50,20 @@ pub fn escape_tainted(v: &TaintedString) -> TaintedString {
         b'\t' => Some("\\t"),
         b'<' => Some("\\u003c"),
         b'>' => Some("\\u003e"),
+        b if b < 0x20 => Some(CONTROL_ESCAPES[b as usize]),
         _ => None,
     })
 }
+
+/// `\u00XX` escapes indexed by control byte (the `\n`/`\r`/`\t` slots are
+/// shadowed by their short forms above and kept only for alignment). The
+/// byte→escape correspondence is asserted mechanically in tests.
+const CONTROL_ESCAPES: [&str; 32] = [
+    "\\u0000", "\\u0001", "\\u0002", "\\u0003", "\\u0004", "\\u0005", "\\u0006", "\\u0007",
+    "\\u0008", "\\u0009", "\\u000a", "\\u000b", "\\u000c", "\\u000d", "\\u000e", "\\u000f",
+    "\\u0010", "\\u0011", "\\u0012", "\\u0013", "\\u0014", "\\u0015", "\\u0016", "\\u0017",
+    "\\u0018", "\\u0019", "\\u001a", "\\u001b", "\\u001c", "\\u001d", "\\u001e", "\\u001f",
+];
 
 fn escape_plain(s: &str) -> String {
     escape_tainted(&TaintedString::from(s)).into_plain()
@@ -127,6 +145,45 @@ mod tests {
         );
         let j = encode_object(&m);
         assert!(!j.as_str().contains("</script>"), "angle brackets escaped");
+    }
+
+    #[test]
+    fn control_escape_table_matches_its_indexes() {
+        for (b, esc) in CONTROL_ESCAPES.iter().enumerate() {
+            assert_eq!(
+                *esc,
+                format!("\\u{b:04x}"),
+                "table entry {b:#04x} names the wrong code point"
+            );
+        }
+    }
+
+    #[test]
+    fn control_bytes_are_escaped() {
+        // Raw control bytes below 0x20 are invalid inside JSON strings; a
+        // lenient client parser could re-interpret them differently than
+        // the structure check did. Every one must leave as an escape.
+        let raw: String = (0x00u8..0x20).map(|b| b as char).collect();
+        let mut m = BTreeMap::new();
+        m.insert("c".to_string(), untrusted(&raw));
+        let j = encode_object(&m);
+        for b in j.as_str().bytes() {
+            assert!(
+                b >= 0x20,
+                "raw control byte {b:#04x} escaped the encoder: {}",
+                j.as_str().escape_debug()
+            );
+        }
+        // The dedicated short escapes are used where JSON defines them.
+        assert!(j.as_str().contains("\\n"));
+        assert!(j.as_str().contains("\\r"));
+        assert!(j.as_str().contains("\\t"));
+        assert!(j.as_str().contains("\\u0000"));
+        assert!(j.as_str().contains("\\u001f"));
+        assert!(check_json_structure(&j).is_ok());
+        // Taint attribution: the escapes are server text, the surrounding
+        // object structure stays untainted.
+        assert!(j.label_at(0).is_empty());
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub use html::{check_html_markers, check_html_structure, html_escape};
 pub use request::{Method, Request, Upload};
 pub use response::Response;
 pub use server::{ServedPage, Server, Ticket, WebApp};
-pub use session::{EntropySource, SeededSource, SessionStore, SidSource};
+pub use session::{
+    EntropySource, ManualClock, SeededSource, SessionClock, SessionStore, SidSource, SystemClock,
+    DEFAULT_SESSION_TTL,
+};
 pub use static_files::{serve_static_aware, serve_static_naive};
 pub use whois::WhoisServer;

@@ -11,6 +11,13 @@
 //! enumerate live sessions and hijack them. The generator is injectable
 //! ([`SidSource`]) so tests that need reproducible ids can use
 //! [`SeededSource`] without weakening the default.
+//!
+//! Sessions **expire**: each carries a TTL deadline, lookups treat an
+//! expired session as absent, and every login sweeps expired entries out
+//! of the map — so a long-running server's session table is bounded by
+//! its live users, not by every login since boot (an earlier revision
+//! never evicted anything). The clock is injectable ([`SessionClock`],
+//! mirroring [`SidSource`]) so expiry is testable without sleeping.
 
 use std::collections::BTreeMap;
 use std::hash::{BuildHasher, Hasher};
@@ -110,16 +117,76 @@ impl SidSource for SeededSource {
     }
 }
 
-/// A minimal, concurrently-shareable session store.
+/// A monotonic-enough clock for session expiry, in whole seconds.
+///
+/// Injectable like [`SidSource`]: the default reads the system clock;
+/// tests drive a [`ManualClock`] so expiry is deterministic.
+pub trait SessionClock: Send + Sync {
+    /// Seconds since some fixed epoch.
+    fn now(&self) -> u64;
+}
+
+/// The default clock: seconds since the Unix epoch.
+#[derive(Debug, Default)]
+pub struct SystemClock;
+
+impl SessionClock for SystemClock {
+    fn now(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}
+
+/// A hand-advanced clock for tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at `now` seconds.
+    pub fn new(now: u64) -> Self {
+        ManualClock {
+            now: AtomicU64::new(now),
+        }
+    }
+
+    /// Moves the clock forward by `secs`.
+    pub fn advance(&self, secs: u64) {
+        self.now.fetch_add(secs, Ordering::Relaxed);
+    }
+}
+
+impl SessionClock for ManualClock {
+    fn now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+/// Default session lifetime: 24 hours.
+pub const DEFAULT_SESSION_TTL: u64 = 24 * 60 * 60;
+
+#[derive(Debug, Clone)]
+struct Session {
+    user: String,
+    expires_at: u64,
+}
+
+/// A minimal, concurrently-shareable session store with TTL expiry.
 pub struct SessionStore {
-    sessions: RwLock<BTreeMap<String, String>>,
+    sessions: RwLock<BTreeMap<String, Session>>,
     source: Box<dyn SidSource>,
+    clock: Box<dyn SessionClock>,
+    ttl: u64,
 }
 
 impl std::fmt::Debug for SessionStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionStore")
             .field("sessions", &self.len())
+            .field("ttl", &self.ttl)
             .finish()
     }
 }
@@ -131,7 +198,8 @@ impl Default for SessionStore {
 }
 
 impl SessionStore {
-    /// An empty store backed by [`EntropySource`].
+    /// An empty store backed by [`EntropySource`], the system clock, and
+    /// the [default TTL](DEFAULT_SESSION_TTL).
     pub fn new() -> Self {
         SessionStore::with_source(Box::new(EntropySource))
     }
@@ -139,50 +207,84 @@ impl SessionStore {
     /// An empty store drawing sids from `source` (tests inject
     /// [`SeededSource`] here).
     pub fn with_source(source: Box<dyn SidSource>) -> Self {
+        SessionStore::with_config(source, Box::new(SystemClock), DEFAULT_SESSION_TTL)
+    }
+
+    /// Full control over sid source, clock, and TTL (seconds).
+    pub fn with_config(source: Box<dyn SidSource>, clock: Box<dyn SessionClock>, ttl: u64) -> Self {
         SessionStore {
             sessions: RwLock::new(BTreeMap::new()),
             source,
+            clock,
+            ttl,
         }
+    }
+
+    /// The configured session TTL in seconds.
+    pub fn ttl(&self) -> u64 {
+        self.ttl
     }
 
     // The map is always internally consistent (every write is one insert or
     // remove), so a poisoned lock is recoverable (see `resin_core::sync`).
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, String>> {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Session>> {
         rlock(&self.sessions)
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, String>> {
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Session>> {
         wlock(&self.sessions)
     }
 
-    /// Starts a session for `user`, returning the session id.
+    /// Starts a session for `user`, returning the session id. Expired
+    /// sessions are swept out here, so the map never outgrows the logins
+    /// of the last TTL window.
     pub fn login(&self, user: &str) -> String {
         let sid = format!("sid-{:032x}", self.source.next_sid());
-        self.write().insert(sid.clone(), user.to_string());
+        let now = self.clock.now();
+        let mut map = self.write();
+        map.retain(|_, s| s.expires_at > now);
+        map.insert(
+            sid.clone(),
+            Session {
+                user: user.to_string(),
+                expires_at: now.saturating_add(self.ttl),
+            },
+        );
         sid
     }
 
-    /// Resolves a session cookie to a user name.
+    /// Resolves a session cookie to a user name; expired sessions resolve
+    /// to `None` exactly like unknown ones.
     ///
     /// Works on tainted cookies: equality ignores taint, and the returned
     /// user name is server data, not user input.
     pub fn user_for(&self, sid: &TaintedString) -> Option<String> {
-        self.read().get(sid.as_str()).cloned()
+        let now = self.clock.now();
+        self.read()
+            .get(sid.as_str())
+            .filter(|s| s.expires_at > now)
+            .map(|s| s.user.clone())
     }
 
-    /// Ends a session.
+    /// Ends a session. Returns `false` for unknown *and* already-expired
+    /// sids — an expired session is gone for every observer.
     pub fn logout(&self, sid: &str) -> bool {
-        self.write().remove(sid).is_some()
+        let now = self.clock.now();
+        match self.write().remove(sid) {
+            Some(s) => s.expires_at > now,
+            None => false,
+        }
     }
 
-    /// Number of live sessions.
+    /// Number of live (unexpired) sessions.
     pub fn len(&self) -> usize {
-        self.read().len()
+        let now = self.clock.now();
+        self.read().values().filter(|s| s.expires_at > now).count()
     }
 
     /// True when no sessions are live.
     pub fn is_empty(&self) -> bool {
-        self.read().is_empty()
+        self.len() == 0
     }
 }
 
@@ -244,6 +346,70 @@ mod tests {
         assert_eq!(seq_a, seq_b, "same seed, same sequence");
         let c = SessionStore::with_source(Box::new(SeededSource::new(43)));
         assert_ne!(seq_a[0], c.login("u"), "different seed diverges");
+    }
+
+    fn ttl_store(ttl: u64) -> (SessionStore, std::sync::Arc<ManualClock>) {
+        let clock = std::sync::Arc::new(ManualClock::new(1_000));
+        let store = SessionStore::with_config(
+            Box::new(SeededSource::new(7)),
+            Box::new(ClockHandle(clock.clone())),
+            ttl,
+        );
+        (store, clock)
+    }
+
+    /// Adapter: share one [`ManualClock`] between test and store.
+    #[derive(Debug)]
+    struct ClockHandle(std::sync::Arc<ManualClock>);
+    impl SessionClock for ClockHandle {
+        fn now(&self) -> u64 {
+            self.0.now()
+        }
+    }
+
+    #[test]
+    fn sessions_expire_after_ttl() {
+        let (s, clock) = ttl_store(60);
+        let sid = s.login("alice");
+        let cookie = TaintedString::from(sid.as_str());
+        assert_eq!(s.user_for(&cookie), Some("alice".to_string()));
+        clock.advance(59);
+        assert_eq!(s.user_for(&cookie), Some("alice".to_string()), "still live");
+        clock.advance(1);
+        assert_eq!(s.user_for(&cookie), None, "expired at the deadline");
+        assert!(s.is_empty());
+        assert!(!s.logout(&sid), "expired sessions are gone for logout too");
+    }
+
+    #[test]
+    fn login_sweeps_expired_sessions() {
+        // The unbounded-growth bug: without eviction, every login since
+        // boot stayed in the map forever.
+        let (s, clock) = ttl_store(60);
+        for i in 0..50 {
+            s.login(&format!("old-{i}"));
+        }
+        clock.advance(61);
+        s.login("fresh");
+        assert_eq!(s.len(), 1, "live count");
+        assert_eq!(
+            rlock(&s.sessions).len(),
+            1,
+            "expired entries physically evicted, not just hidden"
+        );
+    }
+
+    #[test]
+    fn sweep_keeps_unexpired_sessions() {
+        let (s, clock) = ttl_store(100);
+        let early = s.login("early");
+        clock.advance(50);
+        s.login("late");
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.user_for(&TaintedString::from(early.as_str())),
+            Some("early".to_string())
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!
 //! * [`core`] — policy objects, interned policy labels, byte-range data
 //!   tracking, filter objects, gates, persistent-policy serialization.
+//! * [`store`] — the durable snapshot+WAL layer beneath the SQL engine
+//!   and the vfs, with crash recovery.
 //! * [`vfs`] — a filesystem with extended attributes, persistent
 //!   policies, and persistent write-access filters.
 //! * [`sql`] — a SQL engine with policy-column rewriting and the
@@ -27,6 +29,7 @@ pub use resin_apps as apps;
 pub use resin_core as core;
 pub use resin_lang as lang;
 pub use resin_sql as sql;
+pub use resin_store as store;
 pub use resin_vfs as vfs;
 pub use resin_web as web;
 
