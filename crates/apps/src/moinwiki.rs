@@ -57,12 +57,30 @@ impl MoinWiki {
     /// process boundary. RESIN assertions are always on (durability
     /// exists to keep them enforceable).
     pub fn open(dir: impl AsRef<std::path::Path>) -> Result<MoinWiki, VfsError> {
+        let dir = dir.as_ref();
         let mut w = MoinWiki {
             vfs: Vfs::open_disk(dir)?,
             resin: true,
         };
+        if w.recovered_from_torn_wal() {
+            // Surface the data loss instead of recovering silently: the
+            // tree is consistent, but acknowledged writes from the
+            // crashed process were discarded with the torn tail.
+            eprintln!(
+                "resin-apps: wiki at {} recovered from a torn WAL tail; \
+                 acknowledged writes may have been discarded",
+                dir.display()
+            );
+        }
         w.vfs.mkdir_p("/pages", &Vfs::anonymous_ctx())?;
         Ok(w)
+    }
+
+    /// True when [`open`](MoinWiki::open) discarded a torn WAL tail:
+    /// the wiki is consistent, but acknowledged page edits from the
+    /// crashed process may be gone.
+    pub fn recovered_from_torn_wal(&self) -> bool {
+        self.vfs.recovered_from_torn_wal()
     }
 
     /// Folds the write-ahead log into a fresh tree snapshot.

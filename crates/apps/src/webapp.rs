@@ -81,6 +81,7 @@ pub struct ForumApp {
     db: SharedDb,
     sessions: Arc<SessionStore>,
     next_id: AtomicI64,
+    torn_recovery: bool,
 }
 
 impl ForumApp {
@@ -93,6 +94,7 @@ impl ForumApp {
             db,
             sessions,
             next_id: AtomicI64::new(1),
+            torn_recovery: false,
         }
     }
 
@@ -104,7 +106,19 @@ impl ForumApp {
         dir: impl AsRef<std::path::Path>,
         sessions: Arc<SessionStore>,
     ) -> Result<Self, resin_sql::SqlError> {
+        let dir = dir.as_ref();
         let db = SharedDb::open_with_modes(dir, Tracking::On, GuardMode::AutoSanitize)?;
+        let torn_recovery = db.recovered_from_torn_wal();
+        if torn_recovery {
+            // Surface the data loss instead of recovering silently: the
+            // database is consistent, but acknowledged posts from the
+            // crashed process were discarded with the torn tail.
+            eprintln!(
+                "resin-apps: forum at {} recovered from a torn WAL tail; \
+                 acknowledged writes may have been discarded",
+                dir.display()
+            );
+        }
         // Only a genuinely fresh store runs (and WAL-logs) the CREATE —
         // an unconditional IF NOT EXISTS would append one no-op record
         // per restart until a checkpoint.
@@ -123,7 +137,15 @@ impl ForumApp {
             db,
             sessions,
             next_id: AtomicI64::new(next),
+            torn_recovery,
         })
+    }
+
+    /// True when [`open`](ForumApp::open) discarded a torn WAL tail:
+    /// the forum is consistent, but acknowledged posts from the crashed
+    /// process may be gone.
+    pub fn recovered_from_torn_wal(&self) -> bool {
+        self.torn_recovery
     }
 
     /// Folds the WAL into a fresh snapshot.
@@ -282,7 +304,13 @@ impl WikiApp {
         dir: impl AsRef<std::path::Path>,
         sessions: Arc<SessionStore>,
     ) -> Result<Self, resin_vfs::VfsError> {
+        // MoinWiki::open logs the warning; keep the flag queryable here.
         Ok(WikiApp::new(MoinWiki::open(dir)?, sessions))
+    }
+
+    /// True when [`open`](WikiApp::open) discarded a torn WAL tail.
+    pub fn recovered_from_torn_wal(&self) -> bool {
+        self.read().recovered_from_torn_wal()
     }
 
     /// Folds the wiki's op log into a fresh snapshot.

@@ -1,0 +1,301 @@
+//! Macrobenchmark: the TCP network edge plus the group-commit WAL.
+//!
+//! Two groups:
+//!
+//! * **net_throughput/{read_heavy,write_heavy}** — requests/sec through
+//!   a real `NetServer` (TCP loopback, keep-alive connections) fronting
+//!   a *durable* forum with WAL fsync **on**, at 1/4/8 concurrent
+//!   client connections (server workers sized to match). Write requests
+//!   group-commit through the shared WAL: concurrent committers share
+//!   fsyncs, so write_heavy must scale with connections instead of
+//!   serializing on the disk flush. p99 latency per configuration is
+//!   printed to stderr (the bench shim reports medians only).
+//!
+//! * **wal_commit/{group,solo,single_writer}** — the WAL layer alone:
+//!   8 threads × 16 synced appends with group commit on vs. off
+//!   (leader batches fsyncs vs. one fsync per append), plus an
+//!   uncontended single writer (the one-fsync latency floor — group
+//!   commit must not add waits when there is nobody to share with).
+//!   The acceptance bar: `group` ≥ 4× `solo` throughput at 8 committers.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resin_apps::ForumApp;
+use resin_net::{NetConfig, NetServer};
+use resin_store::Store;
+use resin_web::{SessionStore, WebApp};
+
+/// Requests per measured batch (split across the client connections).
+const BATCH: usize = 64;
+
+/// Appends per committer thread in the wal_commit group.
+const APPENDS: usize = 64;
+
+/// WAL committer threads.
+const COMMITTERS: usize = 8;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("resin-bench-net-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---- net_throughput ----
+
+struct NetRig {
+    server: NetServer,
+    addr: SocketAddr,
+    sid: String,
+    dir: PathBuf,
+    /// Per-request latencies (µs), drained for the p99 report.
+    latencies: Mutex<Vec<u64>>,
+}
+
+/// One keep-alive exchange; returns the response status digit check.
+fn roundtrip(stream: &mut TcpStream, buf: &mut Vec<u8>, request: &str) {
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut chunk = [0u8; 4096];
+    loop {
+        let text = String::from_utf8_lossy(buf).into_owned();
+        if let Some(head_end) = text.find("\r\n\r\n") {
+            let cl = text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            if buf.len() >= head_end + 4 + cl {
+                assert!(
+                    text.starts_with("HTTP/1.1 2") || text.starts_with("HTTP/1.1 3"),
+                    "{text}"
+                );
+                buf.drain(..head_end + 4 + cl);
+                return;
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn net_rig(workers: usize, name: &str) -> NetRig {
+    let dir = tmp_dir(&format!("net-{name}-{workers}"));
+    let app = ForumApp::open(&dir, Arc::new(SessionStore::new())).expect("open durable forum");
+    // Durability on: every write request pays (a share of) an fsync.
+    app.db().set_wal_sync(true);
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::new(app) as Arc<dyn WebApp>,
+        NetConfig {
+            workers,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Log in and seed one post over the wire so views resolve.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut buf = Vec::new();
+    let login = "POST /login HTTP/1.1\r\nContent-Length: 10\r\n\r\nuser=bench";
+    stream.write_all(login.as_bytes()).expect("login");
+    let sid = {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let text = String::from_utf8_lossy(&buf).into_owned();
+            if let Some(head_end) = text.find("\r\n\r\n") {
+                let cl = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .unwrap_or(0);
+                if buf.len() >= head_end + 4 + cl {
+                    break text[head_end + 4..head_end + 4 + cl].to_string();
+                }
+            }
+            let n = stream.read(&mut chunk).expect("read sid");
+            assert!(n > 0);
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    };
+    buf.clear();
+    let seed = format!(
+        "POST /post HTTP/1.1\r\nCookie: sid={sid}\r\nContent-Length: 14\r\n\r\nbody=seed+post"
+    );
+    roundtrip(&mut stream, &mut buf, &seed);
+
+    NetRig {
+        server,
+        addr,
+        sid,
+        dir,
+        latencies: Mutex::new(Vec::new()),
+    }
+}
+
+impl NetRig {
+    /// Fires one batch: `conns` keep-alive connections split the BATCH,
+    /// each thread timing its own requests.
+    fn run_batch(&self, conns: usize, write_every: usize) {
+        let per_conn = BATCH / conns.max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..conns)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut stream = TcpStream::connect(self.addr).expect("connect");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let mut buf = Vec::new();
+                        let mut lat = Vec::with_capacity(per_conn);
+                        for i in 0..per_conn {
+                            let n = c * per_conn + i;
+                            let request = if write_every != 0 && n.is_multiple_of(write_every) {
+                                format!(
+                                    "POST /post HTTP/1.1\r\nCookie: sid={}\r\nContent-Length: 15\r\n\r\nbody=fresh+post",
+                                    self.sid
+                                )
+                            } else {
+                                "GET /view?id=1 HTTP/1.1\r\n\r\n".to_string()
+                            };
+                            let start = std::time::Instant::now();
+                            roundtrip(&mut stream, &mut buf, &request);
+                            lat.push(start.elapsed().as_micros() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            let mut all = self.latencies.lock().unwrap();
+            for h in handles {
+                all.extend(h.join().expect("client thread"));
+            }
+        });
+    }
+
+    fn report_p99(&self, label: &str) {
+        let mut lat = self.latencies.lock().unwrap();
+        if lat.is_empty() {
+            return;
+        }
+        lat.sort_unstable();
+        let p99 = lat[((lat.len() - 1) as f64 * 0.99) as usize];
+        let p50 = lat[lat.len() / 2];
+        eprintln!(
+            "net_throughput/{label}: p50 {p50}us p99 {p99}us over {} requests",
+            lat.len()
+        );
+        lat.clear();
+    }
+}
+
+fn bench_net_mix(c: &mut Criterion, name: &str, write_every: usize) {
+    let mut g = c.benchmark_group(format!("net_throughput/{name}"));
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for conns in [1usize, 4, 8] {
+        let rig = net_rig(conns, name);
+        g.bench_function(BenchmarkId::new("workers", conns), |bench| {
+            bench.iter(|| rig.run_batch(conns, write_every));
+        });
+        rig.report_p99(&format!("{name}/workers/{conns}"));
+        drop(rig.server);
+        let _ = std::fs::remove_dir_all(&rig.dir);
+    }
+    g.finish();
+}
+
+fn net_throughput(c: &mut Criterion) {
+    bench_net_mix(c, "read_heavy", 8);
+    bench_net_mix(c, "write_heavy", 2);
+}
+
+// ---- wal_commit ----
+
+/// 8 threads race `APPENDS` synced appends each; with `group` on the
+/// leader batches every waiter's frame into one write+fsync.
+fn wal_commit_contended(c: &mut Criterion, label: &str, group: bool) {
+    let mut g = c.benchmark_group("wal_commit");
+    g.throughput(Throughput::Elements((COMMITTERS * APPENDS) as u64));
+    let dir = tmp_dir(&format!("wal-{label}"));
+    let (store, _) = Store::open(&dir).expect("open store");
+    store.set_sync(true);
+    store.set_group_commit(group);
+    let payload = vec![0xabu8; 256];
+    g.bench_function(BenchmarkId::new(label, COMMITTERS), |bench| {
+        bench.iter(|| {
+            let barrier = Arc::new(Barrier::new(COMMITTERS));
+            std::thread::scope(|scope| {
+                for _ in 0..COMMITTERS {
+                    let store = store.clone();
+                    let barrier = Arc::clone(&barrier);
+                    let payload = &payload;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        for _ in 0..APPENDS {
+                            store.append(payload).expect("append");
+                        }
+                    });
+                }
+            });
+        });
+    });
+    g.finish();
+    eprintln!(
+        "wal_commit/{label}: {} fsyncs for {} appends",
+        store.sync_count(),
+        store.seq()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The uncontended floor: one writer, one fsync per append. Group
+/// commit must not regress this beyond the single-fsync cost.
+fn wal_commit_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_commit");
+    g.throughput(Throughput::Elements(APPENDS as u64));
+    let dir = tmp_dir("wal-single");
+    let (store, _) = Store::open(&dir).expect("open store");
+    store.set_sync(true);
+    store.set_group_commit(true);
+    let payload = vec![0xabu8; 256];
+    g.bench_function(BenchmarkId::new("single_writer", 1), |bench| {
+        bench.iter(|| {
+            for _ in 0..APPENDS {
+                store.append(&payload).expect("append");
+            }
+        });
+    });
+    g.finish();
+    let appends = store.seq().max(1);
+    let syncs = store.sync_count();
+    eprintln!("wal_commit/single_writer: {syncs} fsyncs for {appends} appends");
+    assert!(
+        syncs <= appends + 1,
+        "uncontended group commit must stay at one fsync per append"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn wal_commit(c: &mut Criterion) {
+    wal_commit_contended(c, "group", true);
+    wal_commit_contended(c, "solo", false);
+    wal_commit_single(c);
+}
+
+fn all(c: &mut Criterion) {
+    net_throughput(c);
+    wal_commit(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = all
+}
+criterion_main!(benches);

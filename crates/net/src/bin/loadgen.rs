@@ -1,0 +1,286 @@
+//! A keep-alive HTTP load generator for the RESIN network edge.
+//!
+//! Drives a configurable number of persistent connections at a target
+//! for a fixed duration, mixing reads (`GET /view`) with writes
+//! (`POST /post`, group-committed through the WAL), and reports
+//! throughput plus a latency profile.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT | --spawn] [--conns N] [--duration-ms MS]
+//!         [--write-every K] [--sync on|off]
+//! ```
+//!
+//! With `--spawn` (the default when no `--addr` is given) the binary
+//! self-hosts a durable [`ForumApp`] on an
+//! ephemeral port in a temp directory — one command to smoke the whole
+//! edge: TCP parse boundary, taint, gates, group-commit WAL.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use resin_apps::ForumApp;
+use resin_net::{NetConfig, NetServer};
+use resin_web::SessionStore;
+
+struct Options {
+    addr: Option<String>,
+    conns: usize,
+    duration: Duration,
+    /// Every k-th request is a write; 0 disables writes.
+    write_every: usize,
+    sync: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT | --spawn] [--conns N] \
+         [--duration-ms MS] [--write-every K] [--sync on|off]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: None,
+        conns: 4,
+        duration: Duration::from_millis(2000),
+        write_every: 4,
+        sync: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--spawn" => opts.addr = None,
+            "--conns" => opts.conns = value("--conns").parse().unwrap_or_else(|_| usage()),
+            "--duration-ms" => {
+                opts.duration = Duration::from_millis(
+                    value("--duration-ms").parse().unwrap_or_else(|_| usage()),
+                )
+            }
+            "--write-every" => {
+                opts.write_every = value("--write-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--sync" => opts.sync = value("--sync") == "on",
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// Reads one `Content-Length`-delimited response; returns
+/// `(status_line, body)`.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(String, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let text = String::from_utf8_lossy(&buf);
+        if let Some(head_end) = text.find("\r\n\r\n") {
+            let cl = text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            if buf.len() >= head_end + 4 + cl {
+                let status = text.lines().next().unwrap_or("").to_string();
+                let body = text[head_end + 4..head_end + 4 + cl].to_string();
+                return Ok((status, body));
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+struct WorkerReport {
+    requests: u64,
+    errors: u64,
+    /// Per-request latencies, microseconds.
+    latencies: Vec<u64>,
+}
+
+fn worker(addr: &str, deadline: Instant, write_every: usize, id: usize) -> WorkerReport {
+    let mut report = WorkerReport {
+        requests: 0,
+        errors: 0,
+        latencies: Vec::new(),
+    };
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        report.errors += 1;
+        return report;
+    };
+    let _ = stream.set_nodelay(true);
+    // Log in once per connection; the login body is the sid, and the
+    // sid cookie authenticates writes.
+    let user = format!("user=load{id}");
+    let login = format!(
+        "POST /login HTTP/1.1\r\nContent-Length: {}\r\n\r\n{user}",
+        user.len()
+    );
+    let sid = match stream
+        .write_all(login.as_bytes())
+        .and_then(|()| read_response(&mut stream))
+    {
+        Ok((_, body)) => body,
+        Err(_) => {
+            report.errors += 1;
+            return report;
+        }
+    };
+
+    // Seed one post so `GET /view?id=1` always resolves.
+    let seed = format!("body=seed+post+from+load{id}");
+    let seed_req = format!(
+        "POST /post HTTP/1.1\r\nCookie: sid={sid}\r\nContent-Length: {}\r\n\r\n{seed}",
+        seed.len()
+    );
+    if stream
+        .write_all(seed_req.as_bytes())
+        .and_then(|()| read_response(&mut stream))
+        .is_err()
+    {
+        report.errors += 1;
+        return report;
+    }
+
+    let mut n: usize = 0;
+    while Instant::now() < deadline {
+        n += 1;
+        let is_write = write_every != 0 && n.is_multiple_of(write_every);
+        let request = if is_write {
+            let body = format!("body=hello+from+load{id}+req{n}");
+            format!(
+                "POST /post HTTP/1.1\r\nCookie: sid={sid}\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        } else {
+            "GET /view?id=1 HTTP/1.1\r\n\r\n".to_string()
+        };
+        let start = Instant::now();
+        if stream.write_all(request.as_bytes()).is_err() {
+            report.errors += 1;
+            break;
+        }
+        match read_response(&mut stream) {
+            Ok((status, _)) => {
+                report.requests += 1;
+                report
+                    .latencies
+                    .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                if !status.contains(" 200 ") {
+                    report.errors += 1;
+                }
+            }
+            Err(_) => {
+                report.errors += 1;
+                break;
+            }
+        }
+    }
+    report
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // Self-host when no address was given.
+    let mut spawned: Option<(NetServer, std::path::PathBuf)> = None;
+    let addr = match &opts.addr {
+        Some(a) => a.clone(),
+        None => {
+            let dir = std::env::temp_dir().join(format!(
+                "resin-loadgen-{}-{:?}",
+                std::process::id(),
+                Instant::now()
+            ));
+            let app =
+                ForumApp::open(&dir, Arc::new(SessionStore::new())).expect("open durable forum");
+            app.db().set_wal_sync(opts.sync);
+            let server = NetServer::bind(
+                "127.0.0.1:0",
+                Arc::new(app),
+                NetConfig {
+                    workers: opts.conns.max(1),
+                    ..NetConfig::default()
+                },
+            )
+            .expect("bind");
+            let addr = server.local_addr().to_string();
+            spawned = Some((server, dir));
+            addr
+        }
+    };
+
+    eprintln!(
+        "loadgen: {} conns for {:?} against {addr} (write-every={}, sync={})",
+        opts.conns, opts.duration, opts.write_every, opts.sync
+    );
+    let deadline = Instant::now() + opts.duration;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..opts.conns.max(1))
+        .map(|id| {
+            let addr = addr.clone();
+            let write_every = opts.write_every;
+            std::thread::spawn(move || worker(&addr, deadline, write_every, id))
+        })
+        .collect();
+
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::new();
+    for h in handles {
+        let r = h.join().expect("worker panicked");
+        requests += r.requests;
+        errors += r.errors;
+        latencies.extend(r.latencies);
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+
+    let rps = requests as f64 / elapsed.as_secs_f64();
+    println!(
+        "loadgen: {requests} requests in {:.2}s = {rps:.0} req/s ({errors} errors)",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {}us  p95 {}us  p99 {}us  max {}us",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0)
+    );
+
+    if let Some((mut server, dir)) = spawned {
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    if requests == 0 || errors > requests / 2 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,415 @@
+//! One connection's request/response loop.
+//!
+//! [`serve_connection`] is generic over `Read + Write` so the whole
+//! state machine — incremental head scanning, length-delimited body
+//! reads, keep-alive with leftover-byte pipelining, and fail-closed
+//! error responses — is testable over in-memory streams; the TCP server
+//! in [`crate::NetServer`] hands it real sockets.
+
+use std::io::{self, Read, Write};
+
+use resin_web::{serve_request, ServedPage, WebApp};
+
+use crate::http::{self, HttpError};
+
+/// Per-connection resource limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes for the request head (line + headers); beyond this
+    /// the connection answers 431 and closes.
+    pub max_head_bytes: usize,
+    /// Maximum declared body size; beyond this the connection answers
+    /// 413 *before* reading the body, and closes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// What one connection did, for logs and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Requests fully served (including ones a gate blocked with 403).
+    pub served: u64,
+    /// Requests rejected at the parse boundary.
+    pub rejected: u64,
+}
+
+/// Finds the end of the head: the index one past the first blank line.
+///
+/// The scan looks for `\n\n` or `\n\r\n` rather than only `\r\n\r\n`,
+/// so heads with *bare-LF* line endings still terminate and can be
+/// rejected with 400 by the strict parser instead of hanging the read
+/// loop until the idle timeout.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        302 => "Found",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    headers: &[(String, String)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut out = format!("HTTP/1.1 {} {}\r\n", status, reason(status));
+    for (name, value) in headers {
+        // Gate-approved headers only; the splitting guard already ran.
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    out.push_str(if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())
+}
+
+fn write_error(stream: &mut impl Write, err: &HttpError) -> io::Result<()> {
+    let status = err.status();
+    write_response(stream, status, &[], &format!("{err}\n"), false)
+}
+
+/// Sends the dispatched page. A request a gate blocked mid-response
+/// must not ship its partial body with a success status: it goes out as
+/// a 403 with the violation named, exactly mirroring in-process
+/// [`ServedPage::blocked`] semantics.
+fn write_page(stream: &mut impl Write, page: &ServedPage, keep_alive: bool) -> io::Result<()> {
+    if page.blocked() && page.status < 400 {
+        // Deliberately generic: the violation message quotes the
+        // offending bytes, and reflecting an attacker's payload into an
+        // error page would be its own injection vector.
+        let why = "blocked by data flow assertion\n";
+        return write_response(stream, 403, &[], why, keep_alive);
+    }
+    write_response(stream, page.status, &page.headers, &page.body, keep_alive)
+}
+
+/// Reads at least one more byte into `buf`, distinguishing the three
+/// idle outcomes: `Ok(true)` got data, `Ok(false)` clean EOF /
+/// idle-timeout, `Err` a real transport failure.
+fn fill(stream: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Ok(false),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(true)
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Ok(false)
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(true),
+        Err(e) => Err(e),
+    }
+}
+
+/// Serves requests off one stream until the peer closes, an error form
+/// forces a close, or the idle timeout fires (surfaced by the transport
+/// as `WouldBlock`/`TimedOut` on a socket with a read timeout).
+///
+/// Bytes past the end of one request stay buffered and seed the next
+/// iteration, so pipelined requests are served in order without a
+/// wasted read.
+pub fn serve_connection<S: Read + Write>(
+    stream: &mut S,
+    app: &dyn WebApp,
+    limits: Limits,
+) -> io::Result<ConnStats> {
+    let mut stats = ConnStats::default();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        // Phase 1: accumulate a full head.
+        let end = loop {
+            if let Some(end) = head_end(&buf) {
+                break end;
+            }
+            if buf.len() > limits.max_head_bytes {
+                stats.rejected += 1;
+                write_error(stream, &HttpError::HeadTooLarge)?;
+                return Ok(stats);
+            }
+            if !fill(stream, &mut buf)? {
+                if buf.is_empty() {
+                    // Clean close between requests (or idle timeout).
+                    return Ok(stats);
+                }
+                stats.rejected += 1;
+                write_error(stream, &HttpError::Truncated)?;
+                return Ok(stats);
+            }
+        };
+        if end > limits.max_head_bytes {
+            stats.rejected += 1;
+            write_error(stream, &HttpError::HeadTooLarge)?;
+            return Ok(stats);
+        }
+
+        // Phase 2: validate the head and read the declared body.
+        let head_bytes: Vec<u8> = buf.drain(..end).collect();
+        let parsed = http::parse_head(&head_bytes).and_then(|head| {
+            let len = head.body_length()?;
+            Ok((head, len))
+        });
+        let (head, body_len) = match parsed {
+            Ok(ok) => ok,
+            Err(e) => {
+                stats.rejected += 1;
+                write_error(stream, &e)?;
+                return Ok(stats);
+            }
+        };
+        let body = match body_len {
+            None | Some(0) => None,
+            Some(len) if len > limits.max_body_bytes => {
+                stats.rejected += 1;
+                write_error(stream, &HttpError::BodyTooLarge)?;
+                return Ok(stats);
+            }
+            Some(len) => {
+                while buf.len() < len {
+                    if !fill(stream, &mut buf)? {
+                        stats.rejected += 1;
+                        write_error(stream, &HttpError::Truncated)?;
+                        return Ok(stats);
+                    }
+                }
+                Some(buf.drain(..len).collect::<Vec<u8>>())
+            }
+        };
+
+        // Phase 3: cross the taint boundary and dispatch.
+        let req = http::build_request(&head, body.as_deref());
+        let page = serve_request(app, &req);
+        stats.served += 1;
+        let keep_alive = head.keep_alive();
+        write_page(stream, &page, keep_alive)?;
+        stream.flush()?;
+        if !keep_alive {
+            return Ok(stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resin_core::FlowError;
+    use resin_web::{Request, Response};
+    use std::io::Cursor;
+
+    /// An in-memory duplex: reads from `input`, writes into `output`.
+    struct Duplex {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Duplex {
+        fn new(input: &[u8]) -> Self {
+            Duplex {
+                input: Cursor::new(input.to_vec()),
+                output: Vec::new(),
+            }
+        }
+
+        fn response_text(&self) -> String {
+            String::from_utf8_lossy(&self.output).into_owned()
+        }
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Echoes the `q` parameter (escaped) at `/echo`; 404 otherwise.
+    struct EchoApp;
+
+    impl WebApp for EchoApp {
+        fn handle(&self, req: &Request, resp: &mut Response) -> Result<(), FlowError> {
+            if req.path() == "/echo" {
+                let q = req.param_or_empty("q");
+                resp.echo(resin_web::html_escape(&q))?;
+            } else {
+                resp.set_status(404);
+                resp.echo_str("nope")?;
+            }
+            Ok(())
+        }
+    }
+
+    fn run(input: &[u8]) -> (ConnStats, String) {
+        let mut d = Duplex::new(input);
+        let stats = serve_connection(&mut d, &EchoApp, Limits::default()).unwrap();
+        (stats, d.response_text())
+    }
+
+    #[test]
+    fn head_end_scanning() {
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(head_end(b"a\n\nrest"), Some(3), "bare-LF head terminates");
+        assert_eq!(head_end(b"a\n\r\nrest"), Some(4));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+    }
+
+    #[test]
+    fn serves_a_simple_get() {
+        let (stats, out) = run(b"GET /echo?q=hi HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(
+            stats,
+            ConnStats {
+                served: 1,
+                rejected: 0
+            }
+        );
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("Connection: close"));
+        assert!(out.ends_with("hi"));
+    }
+
+    #[test]
+    fn pipelined_requests_share_the_buffer() {
+        let (stats, out) =
+            run(b"GET /echo?q=one HTTP/1.1\r\n\r\nGET /echo?q=two HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert_eq!(stats.served, 2);
+        assert_eq!(out.matches("HTTP/1.1 200 OK").count(), 2);
+        let one = out.find("one").unwrap();
+        let two = out.find("two").unwrap();
+        assert!(one < two, "responses in request order");
+    }
+
+    #[test]
+    fn post_body_reaches_params() {
+        let (stats, out) =
+            run(b"POST /echo HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nq=yo");
+        assert_eq!(stats.served, 1);
+        assert!(out.ends_with("yo"), "{out}");
+    }
+
+    #[test]
+    fn smuggling_forms_close_with_400() {
+        for (raw, want) in [
+            (
+                &b"POST /echo HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nabc"[..],
+                "conflicting Content-Length",
+            ),
+            (
+                &b"POST /echo HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc"[..],
+                "duplicate Content-Length",
+            ),
+            (
+                &b"POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"[..],
+                "Transfer-Encoding",
+            ),
+            (&b"GET /echo HTTP/1.1\nHost: x\n\n"[..], "bare LF"),
+        ] {
+            let (stats, out) = run(raw);
+            assert_eq!(
+                stats,
+                ConnStats {
+                    served: 0,
+                    rejected: 1
+                },
+                "{want}"
+            );
+            assert!(out.starts_with("HTTP/1.1 400 "), "{want}: {out}");
+            assert!(out.contains("Connection: close"), "{want}");
+            assert!(out.contains(want), "{want}: {out}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_answers_431() {
+        let mut raw = b"GET /echo HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let (stats, out) = run(&raw);
+        assert_eq!(stats.rejected, 1);
+        assert!(out.starts_with("HTTP/1.1 431 "), "{out}");
+    }
+
+    #[test]
+    fn oversized_body_answers_413_without_reading_it() {
+        let raw = b"POST /echo HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        let (stats, out) = run(raw);
+        assert_eq!(stats.rejected, 1);
+        assert!(out.starts_with("HTTP/1.1 413 "), "{out}");
+    }
+
+    #[test]
+    fn truncated_requests_answer_400() {
+        // Head never completes.
+        let (stats, out) = run(b"GET /echo HT");
+        assert_eq!(stats.rejected, 1);
+        assert!(out.starts_with("HTTP/1.1 400 "), "{out}");
+        assert!(out.contains("closed mid-request"));
+        // Body shorter than declared.
+        let (stats, out) = run(b"POST /echo HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort");
+        assert_eq!(stats.rejected, 1);
+        assert!(out.contains("closed mid-request"), "{out}");
+    }
+
+    #[test]
+    fn empty_connection_closes_cleanly() {
+        let (stats, out) = run(b"");
+        assert_eq!(stats, ConnStats::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsupported_method_and_version_statuses() {
+        let (_, out) = run(b"PUT /x HTTP/1.1\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 501 "), "{out}");
+        let (_, out) = run(b"GET /x HTTP/0.9\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 505 "), "{out}");
+    }
+}

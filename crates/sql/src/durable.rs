@@ -174,7 +174,12 @@ pub(crate) fn decode_wal_batch(payload: &[u8]) -> Result<Vec<TaintedString>> {
 }
 
 /// The SQL engine's handle on a durable [`Store`].
-#[derive(Debug)]
+///
+/// Like [`Store`] itself, this is a cheap `Clone` handle with `&self`
+/// methods: concurrent committers call [`log_batch`](SqlStore::log_batch)
+/// without any outer lock, so the store's group-commit queue can batch
+/// their fsyncs.
+#[derive(Debug, Clone)]
 pub(crate) struct SqlStore {
     store: Store,
 }
@@ -217,13 +222,14 @@ impl SqlStore {
     }
 
     /// Appends one post-guard statement to the WAL.
-    pub fn log(&mut self, sql: &TaintedString) -> Result<()> {
+    pub fn log(&self, sql: &TaintedString) -> Result<()> {
         self.log_batch(std::slice::from_ref(sql))
     }
 
     /// Appends a statement batch as one atomic WAL record (empty batches
-    /// write nothing).
-    pub fn log_batch(&mut self, stmts: &[TaintedString]) -> Result<()> {
+    /// write nothing). Concurrent callers share fsyncs via the store's
+    /// group-commit queue.
+    pub fn log_batch(&self, stmts: &[TaintedString]) -> Result<()> {
         if stmts.is_empty() {
             return Ok(());
         }
@@ -233,7 +239,7 @@ impl SqlStore {
 
     /// Checkpoints the catalog and resets the WAL.
     pub fn checkpoint<'a>(
-        &mut self,
+        &self,
         tables: impl IntoIterator<Item = (&'a str, &'a Table)>,
     ) -> Result<()> {
         let image = encode_tables(tables)?;
@@ -242,8 +248,19 @@ impl SqlStore {
     }
 
     /// Whether WAL appends fsync (see [`Store::set_sync`]).
-    pub fn set_sync(&mut self, sync: bool) {
+    pub fn set_sync(&self, sync: bool) {
         self.store.set_sync(sync);
+    }
+
+    /// Whether concurrent synced appends share fsyncs (see
+    /// [`Store::set_group_commit`]).
+    pub fn set_group_commit(&self, group: bool) {
+        self.store.set_group_commit(group);
+    }
+
+    /// Total fsyncs issued by the underlying store.
+    pub fn sync_count(&self) -> u64 {
+        self.store.sync_count()
     }
 }
 

@@ -21,7 +21,7 @@
 //! one small table never clones the whole database.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 use resin_core::sync::{mlock, rlock, wlock};
 
@@ -49,12 +49,14 @@ type TableShard = Arc<RwLock<Table>>;
 /// serializes cleanly against in-flight row work.
 ///
 /// When opened durably ([`SharedDb::open`]), the catalog additionally
-/// carries the shared snapshot+WAL store; WAL appends serialize on its
-/// own mutex, never on the table locks.
+/// carries the shared snapshot+WAL store. The store handle is lock-free
+/// here (`OnceLock`, set once at open): concurrent writers call straight
+/// into the store's group-commit queue, which batches their fsyncs —
+/// serializing appends behind an outer mutex would defeat exactly that.
 #[derive(Debug, Default)]
 pub struct ShardedDatabase {
     catalog: RwLock<BTreeMap<String, TableShard>>,
-    store: Mutex<Option<SqlStore>>,
+    store: OnceLock<SqlStore>,
     /// Checkpoint exclusion: writers hold it shared across their WAL
     /// append → execute window, `SharedDb::checkpoint` holds it
     /// exclusively — so a snapshot can never land between a statement's
@@ -306,7 +308,7 @@ impl SharedDb {
             // statement that errors here failed identically pre-crash.
             let _ = Self::replay_on(&sharded, sql, tracking);
         }
-        *mlock(&sharded.store) = Some(store);
+        let _ = sharded.store.set(store);
         Ok(SharedDb {
             inner: Arc::new(sharded),
             tracking,
@@ -386,8 +388,7 @@ impl SharedDb {
             .iter()
             .map(|(n, shard)| (n.as_str(), rlock(shard)))
             .collect();
-        let mut guard = mlock(&self.inner.store);
-        let Some(store) = guard.as_mut() else {
+        let Some(store) = self.inner.store.get() else {
             return Ok(());
         };
         store.checkpoint(shards.iter().map(|(n, t)| (*n, &**t)))
@@ -395,9 +396,23 @@ impl SharedDb {
 
     /// Whether WAL appends fsync before returning (default `true`).
     pub fn set_wal_sync(&self, sync: bool) {
-        if let Some(store) = mlock(&self.inner.store).as_mut() {
+        if let Some(store) = self.inner.store.get() {
             store.set_sync(sync);
         }
+    }
+
+    /// Whether concurrent synced WAL appends share fsyncs (default
+    /// `true`; off gives the per-append-fsync baseline for benchmarks).
+    pub fn set_wal_group_commit(&self, group: bool) {
+        if let Some(store) = self.inner.store.get() {
+            store.set_group_commit(group);
+        }
+    }
+
+    /// Total fsyncs the WAL has issued — the observable of group-commit
+    /// amortization under concurrent committers.
+    pub fn wal_sync_count(&self) -> u64 {
+        self.inner.store.get().map_or(0, SqlStore::sync_count)
     }
 
     /// Appends one post-guard statement to the shared WAL.
@@ -412,7 +427,7 @@ impl SharedDb {
         if !self.durable {
             return Ok(());
         }
-        if let Some(store) = mlock(&self.inner.store).as_mut() {
+        if let Some(store) = self.inner.store.get() {
             store.log_batch(stmts)?;
         }
         Ok(())
@@ -438,8 +453,9 @@ impl SharedDb {
     ///
     /// Unlike [`ResinDb::query`](crate::ResinDb::query) this takes `&self`:
     /// any number of workers may query concurrently. On a durable database
-    /// mutating statements are WAL-logged write-ahead (appends serialize
-    /// on the store mutex), and recovery replays in WAL order. Two *racing*
+    /// mutating statements are WAL-logged write-ahead (concurrent appends
+    /// group-commit: the store batches them under shared fsyncs, in the
+    /// order it sequences them), and recovery replays in WAL order. Two *racing*
     /// writers to the same table may therefore recover in the other
     /// interleaving than the one that executed — every statement is
     /// preserved, but non-commuting racing writes (two UPDATEs of one row)

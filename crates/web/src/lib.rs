@@ -62,10 +62,10 @@ pub use email::{Mailer, SentEmail};
 pub use html::{check_html_markers, check_html_structure, html_escape};
 pub use request::{Method, Request, Upload};
 pub use response::Response;
-pub use server::{ServedPage, Server, Ticket, WebApp};
+pub use server::{serve_request, ServedPage, Server, Ticket, WebApp};
 pub use session::{
     EntropySource, ManualClock, SeededSource, SessionClock, SessionStore, SidSource, SystemClock,
-    DEFAULT_SESSION_TTL,
+    DEFAULT_SESSION_TTL, SWEEP_INTERVAL,
 };
 pub use static_files::{serve_static_aware, serve_static_naive};
 pub use whois::WhoisServer;

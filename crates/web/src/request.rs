@@ -34,8 +34,16 @@ pub struct Upload {
 pub struct Request {
     method: Method,
     path: String,
+    /// The path as received off the wire, taint intact. `None` for
+    /// requests built in-process (the path is then server-controlled).
+    raw_path: Option<TaintedString>,
     params: BTreeMap<String, TaintedString>,
     cookies: BTreeMap<String, TaintedString>,
+    /// Header names are lowercased at the parse boundary; values keep
+    /// their taint.
+    headers: BTreeMap<String, TaintedString>,
+    /// The raw request body, when one was transmitted (tainted).
+    body: Option<TaintedString>,
     uploads: Vec<Upload>,
 }
 
@@ -45,8 +53,11 @@ impl Request {
         Request {
             method: Method::Get,
             path: path.into(),
+            raw_path: None,
             params: BTreeMap::new(),
             cookies: BTreeMap::new(),
+            headers: BTreeMap::new(),
+            body: None,
             uploads: Vec::new(),
         }
     }
@@ -74,6 +85,29 @@ impl Request {
     pub fn with_cookie(mut self, key: impl Into<String>, value: &str) -> Self {
         self.cookies
             .insert(key.into(), Self::taint(value, "http_cookie"));
+        self
+    }
+
+    /// Adds a request header; the value is marked untrusted. Names are
+    /// lowercased (HTTP header names are case-insensitive).
+    pub fn with_header(mut self, name: impl Into<String>, value: &str) -> Self {
+        self.headers.insert(
+            name.into().to_ascii_lowercase(),
+            Self::taint(value, "http_header"),
+        );
+        self
+    }
+
+    /// Sets the raw request body; marked untrusted.
+    pub fn with_body(mut self, body: &str) -> Self {
+        self.body = Some(Self::taint(body, "http_body"));
+        self
+    }
+
+    /// Records the wire-form path with its taint intact (the routing
+    /// [`path`](Request::path) stays a plain server-side key).
+    pub fn with_raw_path(mut self, raw: TaintedString) -> Self {
+        self.raw_path = Some(raw);
         self
     }
 
@@ -111,6 +145,22 @@ impl Request {
         self.cookies.get(key)
     }
 
+    /// A header value by (case-insensitive) name, if present.
+    pub fn header(&self, name: &str) -> Option<&TaintedString> {
+        self.headers.get(&name.to_ascii_lowercase())
+    }
+
+    /// The raw request body, if one was transmitted.
+    pub fn body(&self) -> Option<&TaintedString> {
+        self.body.as_ref()
+    }
+
+    /// The wire-form path with taint, when this request came off a
+    /// socket.
+    pub fn raw_path(&self) -> Option<&TaintedString> {
+        self.raw_path.as_ref()
+    }
+
     /// The uploaded files.
     pub fn uploads(&self) -> &[Upload] {
         &self.uploads
@@ -119,6 +169,16 @@ impl Request {
     /// Iterates parameters.
     pub fn params(&self) -> impl Iterator<Item = (&str, &TaintedString)> {
         self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates headers (names lowercased).
+    pub fn headers(&self) -> impl Iterator<Item = (&str, &TaintedString)> {
+        self.headers.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates cookies.
+    pub fn cookies(&self) -> impl Iterator<Item = (&str, &TaintedString)> {
+        self.cookies.iter().map(|(k, v)| (k.as_str(), v))
     }
 }
 
@@ -146,6 +206,24 @@ mod tests {
         assert!(r.uploads()[0].content.all_bytes_have::<UntrustedData>());
         assert_eq!(r.method(), Method::Post);
         assert_eq!(r.path(), "/up");
+    }
+
+    #[test]
+    fn headers_body_and_raw_path_untrusted() {
+        let raw =
+            TaintedString::with_policy("/x?a=1", Arc::new(UntrustedData::from_source("http_path")));
+        let r = Request::post("/x")
+            .with_header("X-Forwarded-For", "198.51.100.7")
+            .with_body("a=1&b=2")
+            .with_raw_path(raw);
+        let h = r.header("x-forwarded-for").unwrap();
+        assert!(h.all_bytes_have::<UntrustedData>());
+        assert!(r.header("X-FORWARDED-FOR").is_some(), "case-insensitive");
+        assert!(r.body().unwrap().all_bytes_have::<UntrustedData>());
+        assert!(r.raw_path().unwrap().all_bytes_have::<UntrustedData>());
+        assert_eq!(r.headers().count(), 1);
+        assert!(Request::get("/plain").body().is_none());
+        assert!(Request::get("/plain").raw_path().is_none());
     }
 
     #[test]

@@ -262,31 +262,41 @@ impl Drop for Server {
 
 fn worker_loop(queue: &Queue, app: &dyn WebApp) {
     while let Some(job) = queue.pop() {
-        let served = catch_unwind(AssertUnwindSafe(|| {
-            let mut resp = Response::new();
-            let outcome = app.handle(&job.req, &mut resp);
-            let headers = resp
-                .headers()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.as_str().to_string()))
-                .collect();
-            ServedPage {
-                status: resp.status(),
-                headers,
-                body: resp.body(),
-                outcome,
-            }
-        }));
-        let page = served.unwrap_or_else(|_| ServedPage {
-            // The panic is confined to this request: answer 500 and keep
-            // the worker alive for the next job.
-            status: 500,
-            headers: Vec::new(),
-            body: String::new(),
-            outcome: Err(FlowError::runtime("handler panicked")),
-        });
-        job.slot.deliver(page);
+        job.slot.deliver(serve_request(app, &job.req));
     }
+}
+
+/// Serves one request through a fresh [`Response`] with the pool's
+/// panic-confinement semantics: a panicking handler yields a 500 page
+/// instead of unwinding into the caller.
+///
+/// This is the dispatch step [`Server`]'s workers run — exposed so other
+/// front ends (the TCP edge in `resin-net`) serve with *identical* gate
+/// and failure behavior.
+pub fn serve_request(app: &dyn WebApp, req: &Request) -> ServedPage {
+    let served = catch_unwind(AssertUnwindSafe(|| {
+        let mut resp = Response::new();
+        let outcome = app.handle(req, &mut resp);
+        let headers = resp
+            .headers()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_str().to_string()))
+            .collect();
+        ServedPage {
+            status: resp.status(),
+            headers,
+            body: resp.body(),
+            outcome,
+        }
+    }));
+    served.unwrap_or_else(|_| ServedPage {
+        // The panic is confined to this request: answer 500 and keep
+        // the worker alive for the next job.
+        status: 500,
+        headers: Vec::new(),
+        body: String::new(),
+        outcome: Err(FlowError::runtime("handler panicked")),
+    })
 }
 
 #[cfg(test)]

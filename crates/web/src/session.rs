@@ -16,16 +16,22 @@
 //! expired session as absent, and every login sweeps expired entries out
 //! of the map — so a long-running server's session table is bounded by
 //! its live users, not by every login since boot (an earlier revision
-//! never evicted anything). The clock is injectable ([`SessionClock`],
+//! never evicted anything). Resolves sweep too, opportunistically: an
+//! earlier revision only swept on `login`, so a server whose traffic
+//! turned read-only after a burst of logins held every expired session
+//! until the *next* login, indefinitely. Every [`SWEEP_INTERVAL`]th
+//! [`user_for`](SessionStore::user_for) now walks a bounded slice of the
+//! map from a rotating cursor — O(1) amortized per resolve, with no full
+//! scans on the hot path. The clock is injectable ([`SessionClock`],
 //! mirroring [`SidSource`]) so expiry is testable without sleeping.
 
 use std::collections::BTreeMap;
 use std::hash::{BuildHasher, Hasher};
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
-use resin_core::sync::{rlock, wlock};
+use resin_core::sync::{mlock, rlock, wlock};
 
 use resin_core::TaintedString;
 
@@ -168,6 +174,12 @@ impl SessionClock for ManualClock {
 /// Default session lifetime: 24 hours.
 pub const DEFAULT_SESSION_TTL: u64 = 24 * 60 * 60;
 
+/// One bounded expiry sweep runs per this many cookie resolves.
+pub const SWEEP_INTERVAL: u64 = 64;
+
+/// How many map entries one opportunistic sweep examines at most.
+const SWEEP_BATCH: usize = 128;
+
 #[derive(Debug, Clone)]
 struct Session {
     user: String,
@@ -180,6 +192,11 @@ pub struct SessionStore {
     source: Box<dyn SidSource>,
     clock: Box<dyn SessionClock>,
     ttl: u64,
+    /// Resolves since open; every [`SWEEP_INTERVAL`]th one sweeps.
+    resolves: AtomicU64,
+    /// Where the next opportunistic sweep resumes (empty = map start),
+    /// so successive sweeps cover the whole map in bounded slices.
+    sweep_cursor: Mutex<String>,
 }
 
 impl std::fmt::Debug for SessionStore {
@@ -217,6 +234,8 @@ impl SessionStore {
             source,
             clock,
             ttl,
+            resolves: AtomicU64::new(0),
+            sweep_cursor: Mutex::new(String::new()),
         }
     }
 
@@ -260,10 +279,41 @@ impl SessionStore {
     /// user name is server data, not user input.
     pub fn user_for(&self, sid: &TaintedString) -> Option<String> {
         let now = self.clock.now();
-        self.read()
+        let user = self
+            .read()
             .get(sid.as_str())
             .filter(|s| s.expires_at > now)
-            .map(|s| s.user.clone())
+            .map(|s| s.user.clone());
+        // Amortized eviction for read-only workloads: without this, a
+        // server that stops seeing logins holds expired sessions forever
+        // (login is the only other sweeper).
+        if self.resolves.fetch_add(1, Ordering::Relaxed) % SWEEP_INTERVAL == SWEEP_INTERVAL - 1 {
+            self.sweep_slice(now);
+        }
+        user
+    }
+
+    /// Removes expired entries from one bounded slice of the map,
+    /// starting at the rotating cursor. O([`SWEEP_BATCH`]) worst case.
+    fn sweep_slice(&self, now: u64) {
+        let from = mlock(&self.sweep_cursor).clone();
+        let mut map = self.write();
+        let mut expired = Vec::new();
+        let mut next_cursor = String::new(); // empty: wrapped to the start
+        for (examined, (k, s)) in map.range(from..).enumerate() {
+            if examined == SWEEP_BATCH {
+                next_cursor = k.clone();
+                break;
+            }
+            if s.expires_at <= now {
+                expired.push(k.clone());
+            }
+        }
+        for k in &expired {
+            map.remove(k);
+        }
+        drop(map);
+        *mlock(&self.sweep_cursor) = next_cursor;
     }
 
     /// Ends a session. Returns `false` for unknown *and* already-expired
@@ -410,6 +460,67 @@ mod tests {
             s.user_for(&TaintedString::from(early.as_str())),
             Some("early".to_string())
         );
+    }
+
+    #[test]
+    fn read_only_workload_evicts_expired_sessions() {
+        // The resolve-path sweep: no further logins, only lookups — the
+        // expired entries must still be physically removed.
+        let (s, clock) = ttl_store(60);
+        for i in 0..50 {
+            s.login(&format!("u-{i}"));
+        }
+        clock.advance(61);
+        let ghost = TaintedString::from("sid-unknown");
+        for _ in 0..SWEEP_INTERVAL {
+            assert_eq!(s.user_for(&ghost), None);
+        }
+        assert_eq!(
+            rlock(&s.sessions).len(),
+            0,
+            "opportunistic sweep evicts without any login"
+        );
+    }
+
+    #[test]
+    fn resolve_sweep_covers_whole_map_in_slices() {
+        // More entries than one sweep batch: successive sweeps rotate the
+        // cursor until everything expired is gone.
+        let (s, clock) = ttl_store(60);
+        for i in 0..300 {
+            s.login(&format!("u-{i:03}"));
+        }
+        clock.advance(61);
+        let ghost = TaintedString::from("sid-unknown");
+        // 300 entries / 128-per-sweep → 3 sweeps + one wrap; drive plenty.
+        for _ in 0..SWEEP_INTERVAL * 6 {
+            s.user_for(&ghost);
+        }
+        assert_eq!(rlock(&s.sessions).len(), 0, "cursor rotation reaches all");
+    }
+
+    #[test]
+    fn resolve_sweep_spares_live_sessions() {
+        let (s, clock) = ttl_store(100);
+        let live = s.login("live");
+        for i in 0..20 {
+            s.login(&format!("dead-{i}"));
+        }
+        // `live` expires at 1100; push the dead ones out first is not
+        // possible with one shared TTL, so re-login `live` later instead.
+        clock.advance(90);
+        let live2 = s.login("live");
+        clock.advance(20); // first batch (incl. `live`) expired, live2 not
+        let ghost = TaintedString::from("sid-unknown");
+        for _ in 0..SWEEP_INTERVAL {
+            s.user_for(&ghost);
+        }
+        assert_eq!(rlock(&s.sessions).len(), 1, "only live2 remains");
+        assert_eq!(
+            s.user_for(&TaintedString::from(live2.as_str())),
+            Some("live".to_string())
+        );
+        assert_eq!(s.user_for(&TaintedString::from(live.as_str())), None);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
-BENCHES=(string_builder gate_write label_ops server_throughput store_io)
+OUT="${1:-BENCH_6.json}"
+BENCHES=(string_builder gate_write label_ops server_throughput store_io net_throughput)
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -14,6 +14,8 @@
 //!   SQL-injection guards.
 //! * [`web`] — HTTP/email gates, sanitizers, XSS guards, output
 //!   buffering, RESIN-aware static file serving.
+//! * [`net`] — the TCP network edge: a blocking HTTP/1.1 front end whose
+//!   parser taints every network-derived byte at the boundary.
 //! * [`lang`] — RSL, a scripting language whose interpreter carries
 //!   RESIN tracking (the modified-PHP stand-in).
 //! * [`apps`] — the evaluation applications of Table 4 with wired-in
@@ -28,6 +30,7 @@
 pub use resin_apps as apps;
 pub use resin_core as core;
 pub use resin_lang as lang;
+pub use resin_net as net;
 pub use resin_sql as sql;
 pub use resin_store as store;
 pub use resin_vfs as vfs;

@@ -67,7 +67,7 @@ proptest! {
         let payloads: Vec<Vec<u8>> =
             (0..n_records).map(|i| vec![b'a' + i as u8; i * 7 + 1]).collect();
         {
-            let (mut store, _) = Store::open(&dir).unwrap();
+            let (store, _) = Store::open(&dir).unwrap();
             store.set_sync(false);
             for p in &payloads {
                 store.append(p).unwrap();
@@ -78,7 +78,7 @@ proptest! {
         let cut = cut_seed % (bytes.len() + 1);
         std::fs::write(&wal, &bytes[..cut]).unwrap();
 
-        let (mut store, recovered) = Store::open(&dir).unwrap();
+        let (store, recovered) = Store::open(&dir).unwrap();
         let mut complete = 0usize;
         let mut end = 0usize;
         for p in &payloads {
