@@ -1,0 +1,155 @@
+//! RSL execution: tree-walking interpreter vs bytecode VM.
+//!
+//! Two families:
+//!
+//! * `rsl_gate_write/*` — the policy-heavy gate-write variant the compiler
+//!   work targets: a `ScriptPolicy` whose `export_check` runs a rolling
+//!   checksum over a 256-entry weights list in an RSL `while` loop on
+//!   every crossing, at 1, 16, and 256 crossings per iteration. `tree_*`
+//!   vs `vm_*` medians are the speedup recorded in BENCH_7.json.
+//! * `rsl_exec/*` — engine microcases (straight-line arithmetic, a counted
+//!   loop, a recursive call tree) isolating dispatch cost from gate cost.
+//!
+//! Tree and VM gate benches parse the policy class **separately** so the
+//! per-class chunk cache and policy interner never conflate the two
+//! engines' policies.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resin_core::{Gate, GateKind, TaintedString};
+use resin_lang::ast::StmtKind;
+use resin_lang::{parse_program, Engine, Interp, PValue, ScriptPolicy, Tracking};
+
+/// The policy class: `export_check` folds every weight into a rolling
+/// checksum (the shape of a per-channel quota or integrity check), then
+/// gates on the channel type — so every crossing executes the full loop.
+const POLICY_SRC: &str = r#"
+class ChannelQuota {
+    fn init(weights, limit) { this.weights = weights; this.limit = limit; }
+    fn export_check(context) {
+        let w = this.weights;
+        let n = len(w);
+        let acc = 0;
+        let i = 0;
+        while (i < n) {
+            acc = (acc * 33 + w[i]) % 65521;
+            i = i + 1;
+        }
+        if (acc > this.limit) { throw "quota exceeded"; }
+        if (context["type"] == "http") { return; }
+        throw "channel not allowed";
+    }
+}
+"#;
+
+/// Builds a fresh tainted string carrying the quota policy pinned to
+/// `engine`. The class is re-parsed per call so tree and VM policies are
+/// distinct classes (distinct PolicyIds, distinct chunk-cache entries).
+fn tainted_for(engine: Engine) -> TaintedString {
+    let class = parse_program(POLICY_SRC)
+        .expect("policy parses")
+        .into_iter()
+        .find_map(|stmt| match stmt.kind {
+            StmtKind::ClassDef(class) => Some(class),
+            _ => None,
+        })
+        .expect("class decl");
+    let weights: Vec<PValue> = (0..256).map(|i| PValue::Int(i * 7 % 23)).collect();
+    let mut fields = BTreeMap::new();
+    fields.insert("weights".to_string(), PValue::List(weights));
+    fields.insert("limit".to_string(), PValue::Int(1_000_000));
+    let policy = ScriptPolicy::new(class.name.clone(), fields, Some(class)).with_engine(engine);
+    let mut s =
+        TaintedString::from("64 bytes of response body guarded by an RSL quota check ......");
+    s.add_policy(Arc::new(policy));
+    s
+}
+
+fn rsl_gate_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsl_gate_write");
+    for crossings in [1usize, 16, 256] {
+        g.throughput(Throughput::Elements(crossings as u64));
+        for engine in [Engine::Tree, Engine::Vm] {
+            let tag = match engine {
+                Engine::Tree => "tree",
+                Engine::Vm => "vm",
+            };
+            let data = tainted_for(engine);
+            let mut gate = Gate::new(GateKind::Http);
+            g.bench_function(
+                BenchmarkId::from_parameter(format!("{tag}_x{crossings}")),
+                |b| {
+                    b.iter(|| {
+                        for _ in 0..crossings {
+                            gate.write(data.clone()).unwrap();
+                            gate.clear_output();
+                        }
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Straight-line arithmetic: 64 dependent ops, no control flow.
+const STRAIGHT_SRC: &str = r#"
+let a = 3; let b = 5; let x = 0;
+x = x + a * b; x = x + a * b; x = x + a * b; x = x + a * b;
+x = x + a * b; x = x + a * b; x = x + a * b; x = x + a * b;
+x = x - a + b; x = x - a + b; x = x - a + b; x = x - a + b;
+x = x * 2 - b; x = x * 2 - b; x = x % 1000; x = x + 7;
+x;
+"#;
+
+/// A counted loop in a function body (local slots, like every policy
+/// `export_check`): the shape of allow-list and checksum scans.
+const LOOP_SRC: &str = r#"
+fn scan(n) {
+    let total = 0;
+    let i = 0;
+    while (i < n) {
+        total = total + i * 3 % 7;
+        i = i + 1;
+    }
+    return total;
+}
+scan(200);
+"#;
+
+/// Function calls: frame push/pop dominates.
+const CALL_SRC: &str = r#"
+fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+fib(14);
+"#;
+
+fn rsl_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsl_exec");
+    for (name, src) in [
+        ("straight", STRAIGHT_SRC),
+        ("loop", LOOP_SRC),
+        ("call", CALL_SRC),
+    ] {
+        // Tree: re-walk the AST each iteration (parse hoisted out — the
+        // comparison is execution, not parsing).
+        let program = parse_program(src).expect("bench source parses");
+        let mut tree = Interp::with_config(Tracking::On, Engine::Tree);
+        g.bench_function(BenchmarkId::from_parameter(format!("tree_{name}")), |b| {
+            b.iter(|| tree.exec_program(&program).unwrap());
+        });
+
+        // VM: compile once, dispatch the chunk each iteration — the
+        // compile-cache steady state every policy check runs in.
+        let mut vm = Interp::with_config(Tracking::On, Engine::Vm);
+        let chunk = vm.compile(&program).expect("compiles");
+        g.bench_function(BenchmarkId::from_parameter(format!("vm_{name}")), |b| {
+            b.iter(|| vm.exec_chunk(&chunk).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rsl_gate_write, rsl_exec);
+criterion_main!(benches);

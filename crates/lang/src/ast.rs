@@ -108,9 +108,30 @@ pub enum Target {
     Index(Expr, Expr),
 }
 
-/// A statement.
+/// A statement with its source position.
+///
+/// The line is attached by the parser and flows into both engines: the
+/// tree-walker stamps it onto errors as they unwind, and the bytecode
+/// compiler records it in the chunk's line table so the VM can recover it
+/// from an instruction pointer.
 #[derive(Debug, Clone)]
-pub enum Stmt {
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// 1-based source line of the statement's first token.
+    pub line: u32,
+}
+
+impl Stmt {
+    /// A statement at a known line.
+    pub fn new(kind: StmtKind, line: u32) -> Stmt {
+        Stmt { kind, line }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone)]
+pub enum StmtKind {
     /// `let x = e;`
     Let(String, Expr),
     /// `target = e;`

@@ -28,7 +28,8 @@ use resin_core::{
 };
 use resin_vfs::{TrackingMode as VfsTracking, Vfs};
 
-use crate::ast::{BinOp, ClassDecl, Expr, FnDecl, Stmt, Target};
+use crate::ast::{BinOp, ClassDecl, Expr, FnDecl, Stmt, StmtKind, Target};
+use crate::chunk::Chunk;
 use crate::parser::parse_program;
 use crate::value::{Obj, PValue, ScriptPolicy, Value};
 
@@ -42,6 +43,35 @@ pub enum Tracking {
     On,
 }
 
+/// Which execution engine runs RSL code.
+///
+/// Both engines implement identical semantics — value results, label
+/// propagation, and error messages line up bit for bit (the differential
+/// test suite asserts it). The tree-walker is kept as the oracle; the VM
+/// is the production path because policy checks run on every gate
+/// crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The original tree-walking interpreter (the differential oracle).
+    Tree,
+    /// The bytecode pipeline: AST → chunk compiler → stack-machine VM.
+    #[default]
+    Vm,
+}
+
+/// The process-default engine.
+///
+/// `RESIN_RSL_ENGINE=tree` selects the tree-walker (for differential
+/// debugging); anything else — or unset — selects the VM. Read once and
+/// cached so a process cannot change engines mid-flight.
+pub fn default_engine() -> Engine {
+    static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+    *ENGINE.get_or_init(|| match std::env::var("RESIN_RSL_ENGINE") {
+        Ok(v) if v.eq_ignore_ascii_case("tree") || v.eq_ignore_ascii_case("interp") => Engine::Tree,
+        _ => Engine::Vm,
+    })
+}
+
 /// A runtime error (including policy violations surfacing in script).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LangError {
@@ -49,35 +79,51 @@ pub struct LangError {
     pub message: String,
     /// True when the error is a data flow assertion failure.
     pub violation: bool,
+    /// 1-based source line of the statement that failed, when known.
+    pub line: Option<u32>,
 }
 
 impl LangError {
-    fn new(msg: impl Into<String>) -> Self {
+    /// A plain (non-violation) runtime error.
+    pub fn new(msg: impl Into<String>) -> Self {
         LangError {
             message: msg.into(),
             violation: false,
+            line: None,
+        }
+    }
+
+    pub(crate) fn flagged(message: String, violation: bool) -> Self {
+        LangError {
+            message,
+            violation,
+            line: None,
         }
     }
 }
 
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        write!(f, "{}", self.message)?;
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for LangError {}
 
-/// Control-flow signals inside the evaluator.
-enum Flow {
+/// Control-flow signals inside the evaluator (shared with the VM).
+pub(crate) enum Flow {
     Error(LangError),
     Return(Value),
     Throw(Value),
 }
 
-type R<T> = Result<T, Flow>;
+pub(crate) type R<T> = Result<T, Flow>;
 
-fn rt(msg: impl Into<String>) -> Flow {
+pub(crate) fn rt(msg: impl Into<String>) -> Flow {
     Flow::Error(LangError::new(msg))
 }
 
@@ -90,61 +136,106 @@ pub struct SentMail {
     pub body: String,
 }
 
+/// How deep script calls may recurse (both engines).
+///
+/// Conservative limit: each script frame costs many Rust frames in a
+/// tree-walker, and debug-build test threads have small stacks. The VM
+/// uses the same cap so a recursive policy fails identically under either
+/// engine instead of overflowing the native stack.
+pub(crate) const MAX_CALL_DEPTH: usize = 64;
+
 /// The interpreter.
 pub struct Interp {
-    tracking: Tracking,
-    globals: HashMap<String, Value>,
+    pub(crate) tracking: Tracking,
+    engine: Engine,
+    pub(crate) globals: HashMap<String, Value>,
     locals: Vec<HashMap<String, Value>>,
-    fns: HashMap<String, Arc<FnDecl>>,
-    classes: HashMap<String, Arc<ClassDecl>>,
-    /// The interpreter's virtual filesystem.
-    pub vfs: Vfs,
-    /// The HTTP output gate (`echo` writes here).
-    pub http: Gate,
+    pub(crate) fns: HashMap<String, Arc<FnDecl>>,
+    pub(crate) classes: HashMap<String, Arc<ClassDecl>>,
+    /// The virtual filesystem, built on first file operation (policy
+    /// checks through the VM never pay for one).
+    vfs: Option<Vfs>,
+    /// The HTTP output gate (`echo` writes here), built on first use.
+    http: Option<Gate>,
     /// Emails actually delivered.
     pub emails: Vec<SentMail>,
     email_preview: bool,
     require_code_approval: bool,
     print_buf: String,
     current_user: Option<String>,
-    call_depth: usize,
+    pub(crate) call_depth: usize,
+    /// Per-interpreter chunk cache for script functions, keyed by the
+    /// `FnDecl` allocation (the `Arc` is held so the address stays valid).
+    pub(crate) chunks: HashMap<usize, (Arc<FnDecl>, Arc<Chunk>)>,
+    /// Route chunk lookups through the process-wide policy-method cache
+    /// (set for the short-lived interpreters that run `export_check`).
+    pub(crate) use_global_chunk_cache: bool,
 }
 
 impl Interp {
-    /// A RESIN interpreter (tracking on).
+    /// A RESIN interpreter (tracking on, process-default engine).
     pub fn new() -> Self {
-        Interp::with_tracking(Tracking::On)
+        Interp::with_config(Tracking::On, default_engine())
     }
 
     /// An interpreter with the given tracking mode.
     pub fn with_tracking(tracking: Tracking) -> Self {
-        let (vfs, http) = match tracking {
-            Tracking::On => (Vfs::new(), Runtime::global().open(GateKind::Http)),
-            Tracking::Off => (
-                Vfs::with_mode(VfsTracking::Off),
-                Gate::unguarded(GateKind::Http),
-            ),
-        };
+        Interp::with_config(tracking, default_engine())
+    }
+
+    /// An interpreter with the given engine (tracking on).
+    pub fn with_engine(engine: Engine) -> Self {
+        Interp::with_config(Tracking::On, engine)
+    }
+
+    /// An interpreter with explicit tracking mode and engine.
+    pub fn with_config(tracking: Tracking, engine: Engine) -> Self {
         Interp {
             tracking,
+            engine,
             globals: HashMap::new(),
             locals: Vec::new(),
             fns: HashMap::new(),
             classes: HashMap::new(),
-            vfs,
-            http,
+            vfs: None,
+            http: None,
             emails: Vec::new(),
             email_preview: false,
             require_code_approval: false,
             print_buf: String::new(),
             current_user: None,
             call_depth: 0,
+            chunks: HashMap::new(),
+            use_global_chunk_cache: false,
         }
     }
 
     /// The tracking mode.
     pub fn tracking(&self) -> Tracking {
         self.tracking
+    }
+
+    /// The execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The virtual filesystem (created on first use).
+    pub fn vfs(&mut self) -> &mut Vfs {
+        let tracking = self.tracking;
+        self.vfs.get_or_insert_with(|| match tracking {
+            Tracking::On => Vfs::new(),
+            Tracking::Off => Vfs::with_mode(VfsTracking::Off),
+        })
+    }
+
+    /// The HTTP output gate (created on first use).
+    pub fn http(&mut self) -> &mut Gate {
+        let tracking = self.tracking;
+        self.http.get_or_insert_with(|| match tracking {
+            Tracking::On => Runtime::global().open(GateKind::Http),
+            Tracking::Off => Gate::unguarded(GateKind::Http),
+        })
     }
 
     /// Accumulated `print` output.
@@ -154,27 +245,55 @@ impl Interp {
 
     /// The HTTP body produced so far.
     pub fn http_output(&self) -> String {
-        self.http.output_text()
+        self.http
+            .as_ref()
+            .map(|g| g.output_text())
+            .unwrap_or_default()
+    }
+
+    /// A script-visible global, if defined (used by harnesses and the
+    /// differential tests to compare engine states).
+    pub fn global(&self, name: &str) -> Option<Value> {
+        self.globals.get(name).cloned()
     }
 
     /// Parses and runs a program in the global scope.
     pub fn run(&mut self, src: &str) -> Result<Value, LangError> {
-        let program = parse_program(src).map_err(|e| LangError::new(e.to_string()))?;
+        let program = parse_program(src).map_err(|e| LangError {
+            message: e.to_string(),
+            violation: false,
+            line: Some(e.line),
+        })?;
         self.exec_program(&program)
     }
 
     /// Runs a pre-parsed program (used by the benchmarks to exclude parse
     /// time, as the paper's microbenchmarks do).
     pub fn exec_program(&mut self, program: &[Stmt]) -> Result<Value, LangError> {
-        match self.exec_block(program) {
-            Ok(v) => Ok(v),
-            Err(Flow::Return(v)) => Ok(v),
-            Err(Flow::Throw(v)) => Err(LangError {
-                message: format!("uncaught exception: {}", v.to_tainted().as_str()),
-                violation: false,
-            }),
-            Err(Flow::Error(e)) => Err(e),
+        match self.engine {
+            Engine::Tree => {
+                let flow = self.exec_block(program);
+                finish(flow)
+            }
+            Engine::Vm => {
+                let chunk = self.compile(program)?;
+                self.exec_chunk(&chunk)
+            }
         }
+    }
+
+    /// Compiles a pre-parsed program to a chunk (top-level scope).
+    ///
+    /// Benchmarks compile once and run the chunk repeatedly, exactly as
+    /// the tree engine re-walks a pre-parsed AST.
+    pub fn compile(&mut self, program: &[Stmt]) -> Result<Arc<Chunk>, LangError> {
+        crate::compiler::compile_program(program).map(Arc::new)
+    }
+
+    /// Runs a compiled top-level chunk on the VM.
+    pub fn exec_chunk(&mut self, chunk: &Arc<Chunk>) -> Result<Value, LangError> {
+        let flow = crate::vm::run_chunk(self, chunk.clone(), Vec::new(), None);
+        finish(flow)
     }
 
     /// Calls a script-defined function by name.
@@ -184,15 +303,11 @@ impl Interp {
             .get(name)
             .cloned()
             .ok_or_else(|| LangError::new(format!("undefined function `{name}`")))?;
-        match self.call_decl(&decl, args, None) {
-            Ok(v) => Ok(v),
-            Err(Flow::Return(v)) => Ok(v),
-            Err(Flow::Throw(v)) => Err(LangError {
-                message: format!("uncaught exception: {}", v.to_tainted().as_str()),
-                violation: false,
-            }),
-            Err(Flow::Error(e)) => Err(e),
-        }
+        let flow = match self.engine {
+            Engine::Tree => self.call_decl(&decl, args, None),
+            Engine::Vm => crate::vm::call_function(self, &decl, args, None),
+        };
+        finish(flow)
     }
 
     // ---- scopes ----
@@ -244,52 +359,43 @@ impl Interp {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> R<Value> {
+        match self.exec_stmt_kind(&stmt.kind) {
+            Err(Flow::Error(mut e)) => {
+                // Innermost statement wins: inner frames attach first.
+                if e.line.is_none() {
+                    e.line = Some(stmt.line);
+                }
+                Err(Flow::Error(e))
+            }
+            other => other,
+        }
+    }
+
+    fn exec_stmt_kind(&mut self, stmt: &StmtKind) -> R<Value> {
         match stmt {
-            Stmt::Let(name, e) => {
+            StmtKind::Let(name, e) => {
                 let v = self.eval(e)?;
                 self.define(name, v);
                 Ok(Value::Null)
             }
-            Stmt::Assign(target, e) => {
+            StmtKind::Assign(target, e) => {
                 let v = self.eval(e)?;
                 match target {
                     Target::Var(name) => self.set_var(name, v)?,
                     Target::Prop(obj, field) => {
                         let o = self.eval(obj)?;
-                        let Value::Object(o) = o else {
-                            return Err(rt(format!("cannot set field on {}", o.type_name())));
-                        };
-                        o.borrow_mut().fields.insert(field.clone(), v);
+                        Interp::prop_assign(&o, field, v)?;
                     }
                     Target::Index(arr, idx) => {
                         let a = self.eval(arr)?;
                         let i = self.eval(idx)?;
-                        match (&a, &i) {
-                            (Value::Array(a), Value::Int(n, _)) => {
-                                let mut a = a.borrow_mut();
-                                let n = *n as usize;
-                                if n >= a.len() {
-                                    return Err(rt("array index out of range"));
-                                }
-                                a[n] = v;
-                            }
-                            (Value::Map(m), Value::Str(k)) => {
-                                m.borrow_mut().insert(k.as_str().to_string(), v);
-                            }
-                            _ => {
-                                return Err(rt(format!(
-                                    "cannot index {} with {}",
-                                    a.type_name(),
-                                    i.type_name()
-                                )));
-                            }
-                        }
+                        Interp::index_assign(&a, &i, v)?;
                     }
                 }
                 Ok(Value::Null)
             }
-            Stmt::Expr(e) => self.eval(e),
-            Stmt::If {
+            StmtKind::Expr(e) => self.eval(e),
+            StmtKind::If {
                 cond,
                 then_body,
                 else_body,
@@ -300,7 +406,7 @@ impl Interp {
                     self.exec_block(else_body)
                 }
             }
-            Stmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 let mut iterations = 0u64;
                 while self.eval(cond)?.truthy() {
                     self.exec_block(body)?;
@@ -311,51 +417,177 @@ impl Interp {
                 }
                 Ok(Value::Null)
             }
-            Stmt::Return(e) => {
+            StmtKind::Return(e) => {
                 let v = match e {
                     Some(e) => self.eval(e)?,
                     None => Value::Null,
                 };
                 Err(Flow::Return(v))
             }
-            Stmt::Throw(e) => {
+            StmtKind::Throw(e) => {
                 let v = self.eval(e)?;
                 Err(Flow::Throw(v))
             }
-            Stmt::FnDef(decl) => {
+            StmtKind::FnDef(decl) => {
                 self.fns.insert(decl.name.clone(), decl.clone());
                 Ok(Value::Null)
             }
-            Stmt::ClassDef(decl) => {
-                self.classes.insert(decl.name.clone(), decl.clone());
-                // Classes with an export_check method are policy classes:
-                // register them so persisted instances can be revived
-                // (§3.4.1 — only class name and fields are stored).
-                if decl.method("export_check").is_some() {
-                    let class_name = decl.name.clone();
-                    let class = decl.clone();
-                    register_policy_class(class_name.clone(), move |fields| {
-                        let mut decoded = BTreeMap::new();
-                        for (k, v) in fields {
-                            let pv = PValue::decode(v).ok_or_else(|| {
-                                resin_core::SerializeError::BadField {
-                                    class: class_name.clone(),
-                                    field: k.clone(),
-                                    reason: "undecodable field".into(),
-                                }
-                            })?;
-                            decoded.insert(k.clone(), pv);
-                        }
-                        Ok(Arc::new(ScriptPolicy::new(
-                            class_name.clone(),
-                            decoded,
-                            Some(class.clone()),
-                        )) as PolicyRef)
-                    });
-                }
+            StmtKind::ClassDef(decl) => {
+                self.register_class(decl);
                 Ok(Value::Null)
             }
         }
+    }
+
+    /// Registers a class definition (shared by both engines). Classes with
+    /// an `export_check` method are policy classes: they are registered
+    /// with the process-wide policy registry so persisted instances can be
+    /// revived (§3.4.1 — only class name and fields are stored).
+    pub(crate) fn register_class(&mut self, decl: &Arc<ClassDecl>) {
+        self.classes.insert(decl.name.clone(), decl.clone());
+        if decl.method("export_check").is_some() {
+            let class_name = decl.name.clone();
+            let class = decl.clone();
+            register_policy_class(class_name.clone(), move |fields| {
+                let mut decoded = BTreeMap::new();
+                for (k, v) in fields {
+                    let pv =
+                        PValue::decode(v).ok_or_else(|| resin_core::SerializeError::BadField {
+                            class: class_name.clone(),
+                            field: k.clone(),
+                            reason: "undecodable field".into(),
+                        })?;
+                    decoded.insert(k.clone(), pv);
+                }
+                Ok(Arc::new(ScriptPolicy::new(
+                    class_name.clone(),
+                    decoded,
+                    Some(class.clone()),
+                )) as PolicyRef)
+            });
+        }
+    }
+
+    // ---- shared operation semantics (used by both engines) ----
+
+    /// `a[i] = v` (array by int, map by string).
+    pub(crate) fn index_assign(a: &Value, i: &Value, v: Value) -> R<()> {
+        match (a, i) {
+            (Value::Array(a), Value::Int(n, _)) => {
+                let mut a = a.borrow_mut();
+                let n = *n as usize;
+                if n >= a.len() {
+                    return Err(rt("array index out of range"));
+                }
+                a[n] = v;
+                Ok(())
+            }
+            (Value::Map(m), Value::Str(k)) => {
+                m.borrow_mut().insert(k.as_str().to_string(), v);
+                Ok(())
+            }
+            _ => Err(rt(format!(
+                "cannot index {} with {}",
+                a.type_name(),
+                i.type_name()
+            ))),
+        }
+    }
+
+    /// `a[i]` (array by int, map by string, string by int).
+    pub(crate) fn index_value(a: &Value, i: &Value) -> R<Value> {
+        match (a, i) {
+            (Value::Array(a), Value::Int(n, _)) => {
+                let a = a.borrow();
+                a.get(*n as usize)
+                    .cloned()
+                    .ok_or_else(|| rt("array index out of range"))
+            }
+            (Value::Map(m), Value::Str(k)) => {
+                Ok(m.borrow().get(k.as_str()).cloned().unwrap_or(Value::Null))
+            }
+            (Value::Str(s), Value::Int(n, _)) => {
+                let n = *n as usize;
+                Ok(Value::Str(s.slice(n..n + 1)))
+            }
+            _ => Err(rt(format!(
+                "cannot index {} with {}",
+                a.type_name(),
+                i.type_name()
+            ))),
+        }
+    }
+
+    /// `obj.field` read.
+    pub(crate) fn prop_value(o: &Value, field: &str) -> R<Value> {
+        let Value::Object(o) = o else {
+            return Err(rt(format!("cannot read field of {}", o.type_name())));
+        };
+        let v = o.borrow().fields.get(field).cloned();
+        v.ok_or_else(|| rt(format!("no field `{field}`")))
+    }
+
+    /// `obj.field = v` write.
+    pub(crate) fn prop_assign(o: &Value, field: &str, v: Value) -> R<()> {
+        let Value::Object(o) = o else {
+            return Err(rt(format!("cannot set field on {}", o.type_name())));
+        };
+        o.borrow_mut().fields.insert(field.to_string(), v);
+        Ok(())
+    }
+
+    /// Unary minus.
+    pub(crate) fn neg_value(v: Value) -> R<Value> {
+        match v {
+            Value::Int(n, p) => Ok(Value::Int(-n, p)),
+            other => Err(rt(format!("cannot negate {}", other.type_name()))),
+        }
+    }
+
+    /// `-`/`*`/`/`/`%` on ints, merging the operands' labels.
+    pub(crate) fn arith_values(&mut self, op: BinOp, l: Value, r: Value) -> R<Value> {
+        let (Value::Int(a, pa), Value::Int(b, pb)) = (&l, &r) else {
+            return Err(rt(format!(
+                "arithmetic on {} and {}",
+                l.type_name(),
+                r.type_name()
+            )));
+        };
+        if matches!(op, BinOp::Div | BinOp::Mod) && *b == 0 {
+            return Err(rt("division by zero"));
+        }
+        let n = match op {
+            BinOp::Sub => a.wrapping_sub(*b),
+            BinOp::Mul => a.wrapping_mul(*b),
+            BinOp::Div => a / b,
+            BinOp::Mod => a % b,
+            _ => unreachable!("arith_values only handles -, *, /, %"),
+        };
+        let pol = self.merge_int_policies(*pa, *pb)?;
+        Ok(Value::Int(n, pol))
+    }
+
+    /// `<`/`<=`/`>`/`>=` on ints or strings; results are untainted bools.
+    pub(crate) fn compare_values(op: BinOp, l: &Value, r: &Value) -> R<Value> {
+        let ord = match (l, r) {
+            (Value::Int(a, _), Value::Int(b, _)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+            _ => {
+                return Err(rt(format!(
+                    "cannot compare {} and {}",
+                    l.type_name(),
+                    r.type_name()
+                )));
+            }
+        };
+        let b = match op {
+            BinOp::Lt => ord.is_lt(),
+            BinOp::Le => ord.is_le(),
+            BinOp::Gt => ord.is_gt(),
+            BinOp::Ge => ord.is_ge(),
+            _ => unreachable!("compare_values only handles <, <=, >, >="),
+        };
+        Ok(Value::Bool(b))
     }
 
     // ---- expression evaluation ----
@@ -380,42 +612,19 @@ impl Interp {
                 Ok(Value::new_array(out))
             }
             Expr::Not(e) => Ok(Value::Bool(!self.eval(e)?.truthy())),
-            Expr::Neg(e) => match self.eval(e)? {
-                Value::Int(n, p) => Ok(Value::Int(-n, p)),
-                other => Err(rt(format!("cannot negate {}", other.type_name()))),
-            },
+            Expr::Neg(e) => {
+                let v = self.eval(e)?;
+                Interp::neg_value(v)
+            }
             Expr::Binary { op, left, right } => self.eval_binary(*op, left, right),
             Expr::Index(arr, idx) => {
                 let a = self.eval(arr)?;
                 let i = self.eval(idx)?;
-                match (&a, &i) {
-                    (Value::Array(a), Value::Int(n, _)) => {
-                        let a = a.borrow();
-                        a.get(*n as usize)
-                            .cloned()
-                            .ok_or_else(|| rt("array index out of range"))
-                    }
-                    (Value::Map(m), Value::Str(k)) => {
-                        Ok(m.borrow().get(k.as_str()).cloned().unwrap_or(Value::Null))
-                    }
-                    (Value::Str(s), Value::Int(n, _)) => {
-                        let n = *n as usize;
-                        Ok(Value::Str(s.slice(n..n + 1)))
-                    }
-                    _ => Err(rt(format!(
-                        "cannot index {} with {}",
-                        a.type_name(),
-                        i.type_name()
-                    ))),
-                }
+                Interp::index_value(&a, &i)
             }
             Expr::Prop(obj, field) => {
                 let o = self.eval(obj)?;
-                let Value::Object(o) = o else {
-                    return Err(rt(format!("cannot read field of {}", o.type_name())));
-                };
-                let v = o.borrow().fields.get(field).cloned();
-                v.ok_or_else(|| rt(format!("no field `{field}`")))
+                Interp::prop_value(&o, field)
             }
             Expr::New { class, args } => {
                 let decl = self
@@ -466,7 +675,12 @@ impl Interp {
         }
     }
 
-    fn call_decl(&mut self, decl: &FnDecl, args: Vec<Value>, this: Option<Value>) -> R<Value> {
+    pub(crate) fn call_decl(
+        &mut self,
+        decl: &FnDecl,
+        args: Vec<Value>,
+        this: Option<Value>,
+    ) -> R<Value> {
         if args.len() != decl.params.len() {
             return Err(rt(format!(
                 "`{}` expects {} arguments, got {}",
@@ -475,9 +689,7 @@ impl Interp {
                 args.len()
             )));
         }
-        // Conservative limit: each script frame costs many Rust frames in a
-        // tree-walker, and debug-build test threads have small stacks.
-        if self.call_depth >= 64 {
+        if self.call_depth >= MAX_CALL_DEPTH {
             return Err(rt("call depth limit exceeded"));
         }
         let mut frame = HashMap::with_capacity(args.len() + 1);
@@ -524,48 +736,8 @@ impl Interp {
             BinOp::Eq => Ok(Value::Bool(l.loose_eq(&r))),
             BinOp::Ne => Ok(Value::Bool(!l.loose_eq(&r))),
             BinOp::Add => self.add_values(l, r),
-            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                let (Value::Int(a, pa), Value::Int(b, pb)) = (&l, &r) else {
-                    return Err(rt(format!(
-                        "arithmetic on {} and {}",
-                        l.type_name(),
-                        r.type_name()
-                    )));
-                };
-                if matches!(op, BinOp::Div | BinOp::Mod) && *b == 0 {
-                    return Err(rt("division by zero"));
-                }
-                let n = match op {
-                    BinOp::Sub => a.wrapping_sub(*b),
-                    BinOp::Mul => a.wrapping_mul(*b),
-                    BinOp::Div => a / b,
-                    BinOp::Mod => a % b,
-                    _ => unreachable!(),
-                };
-                let pol = self.merge_int_policies(*pa, *pb)?;
-                Ok(Value::Int(n, pol))
-            }
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let ord = match (&l, &r) {
-                    (Value::Int(a, _), Value::Int(b, _)) => a.cmp(b),
-                    (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
-                    _ => {
-                        return Err(rt(format!(
-                            "cannot compare {} and {}",
-                            l.type_name(),
-                            r.type_name()
-                        )));
-                    }
-                };
-                let b = match op {
-                    BinOp::Lt => ord.is_lt(),
-                    BinOp::Le => ord.is_le(),
-                    BinOp::Gt => ord.is_gt(),
-                    BinOp::Ge => ord.is_ge(),
-                    _ => unreachable!(),
-                };
-                Ok(Value::Bool(b))
-            }
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => self.arith_values(op, l, r),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => Interp::compare_values(op, &l, &r),
             BinOp::And | BinOp::Or => unreachable!("handled above"),
         }
     }
@@ -573,7 +745,7 @@ impl Interp {
     /// `+`: integer addition (merging policies) or string concatenation
     /// (carrying byte-range spans). These are the first two opcode handlers
     /// Table 5 measures.
-    fn add_values(&mut self, l: Value, r: Value) -> R<Value> {
+    pub(crate) fn add_values(&mut self, l: Value, r: Value) -> R<Value> {
         match (&l, &r) {
             (Value::Int(a, pa), Value::Int(b, pb)) => {
                 let pol = self.merge_int_policies(*pa, *pb)?;
@@ -602,21 +774,17 @@ impl Interp {
         }
     }
 
-    fn merge_int_policies(&self, pa: Label, pb: Label) -> R<Label> {
+    pub(crate) fn merge_int_policies(&self, pa: Label, pb: Label) -> R<Label> {
         if self.tracking == Tracking::Off {
             return Ok(Label::EMPTY);
         }
-        merge_sets(pa, pb).map_err(|e| {
-            Flow::Error(LangError {
-                message: e.to_string(),
-                violation: e.is_violation(),
-            })
-        })
+        merge_sets(pa, pb)
+            .map_err(|e| Flow::Error(LangError::flagged(e.to_string(), e.is_violation())))
     }
 
     // ---- builtins ----
 
-    fn builtin(&mut self, name: &str, mut args: Vec<Value>) -> R<Value> {
+    pub(crate) fn builtin(&mut self, name: &str, mut args: Vec<Value>) -> R<Value> {
         // Helpers for argument extraction.
         fn want_str(v: &Value, what: &str) -> R<TaintedString> {
             match v {
@@ -660,18 +828,15 @@ impl Interp {
             "echo" => {
                 arity(1)?;
                 let data = args[0].to_tainted();
-                self.http.write(data).map_err(|e| {
-                    Flow::Error(LangError {
-                        message: e.to_string(),
-                        violation: e.is_violation(),
-                    })
+                self.http().write(data).map_err(|e| {
+                    Flow::Error(LangError::flagged(e.to_string(), e.is_violation()))
                 })?;
                 Ok(Value::Null)
             }
             "http_context" => {
                 arity(2)?;
                 let key = want_str(&args[0], name)?;
-                let ctx = self.http.context_mut();
+                let ctx = self.http().context_mut();
                 match &args[1] {
                     Value::Str(s) => ctx.set_str(key.as_str(), s.as_str()),
                     Value::Int(n, _) => ctx.set(key.as_str(), *n),
@@ -695,11 +860,8 @@ impl Interp {
                     // Preview mode: the message goes to the browser — the
                     // HotCRP vulnerability path (§2). The HTTP boundary
                     // decides whether that is allowed.
-                    self.http.write(body).map_err(|e| {
-                        Flow::Error(LangError {
-                            message: e.to_string(),
-                            violation: e.is_violation(),
-                        })
+                    self.http().write(body).map_err(|e| {
+                        Flow::Error(LangError::flagged(e.to_string(), e.is_violation()))
                     })?;
                     return Ok(Value::Null);
                 }
@@ -709,10 +871,7 @@ impl Interp {
                 };
                 ch.context_mut().set_str("email", to.as_str());
                 ch.write(body).map_err(|e| {
-                    Flow::Error(LangError {
-                        message: e.to_string(),
-                        violation: e.is_violation(),
-                    })
+                    Flow::Error(LangError::flagged(e.to_string(), e.is_violation()))
                 })?;
                 self.emails.push(SentMail {
                     to: to.as_str().to_string(),
@@ -724,7 +883,7 @@ impl Interp {
                 arity(1)?;
                 let u = want_str(&args[0], name)?;
                 self.current_user = Some(u.as_str().to_string());
-                self.http.context_mut().set_str("user", u.as_str());
+                self.http().context_mut().set_str("user", u.as_str());
                 Ok(Value::Null)
             }
             // ---- policy API (Table 3) ----
@@ -868,10 +1027,7 @@ impl Interp {
                         }
                         // Conversion merges the string's policies (§3.4.2).
                         let t = s.to_int().map_err(|e| {
-                            Flow::Error(LangError {
-                                message: e.to_string(),
-                                violation: e.is_violation(),
-                            })
+                            Flow::Error(LangError::flagged(e.to_string(), e.is_violation()))
                         })?;
                         Ok(Value::Int(*t.value(), t.label()))
                     }
@@ -917,17 +1073,17 @@ impl Interp {
             "mkdir" => {
                 arity(1)?;
                 let p = want_str(&args[0], name)?;
-                self.vfs
-                    .mkdir_p(p.as_str(), &self.file_ctx())
-                    .map_err(vfs_err)?;
+                let ctx = self.file_ctx();
+                self.vfs().mkdir_p(p.as_str(), &ctx).map_err(vfs_err)?;
                 Ok(Value::Null)
             }
             "file_write" => {
                 arity(2)?;
                 let p = want_str(&args[0], name)?;
                 let data = args[1].to_tainted();
-                self.vfs
-                    .write_file(p.as_str(), &data, &self.file_ctx())
+                let ctx = self.file_ctx();
+                self.vfs()
+                    .write_file(p.as_str(), &data, &ctx)
                     .map_err(vfs_err)?;
                 Ok(Value::Null)
             }
@@ -935,33 +1091,32 @@ impl Interp {
                 arity(2)?;
                 let p = want_str(&args[0], name)?;
                 let data = args[1].to_tainted();
-                self.vfs
-                    .append_file(p.as_str(), &data, &self.file_ctx())
+                let ctx = self.file_ctx();
+                self.vfs()
+                    .append_file(p.as_str(), &data, &ctx)
                     .map_err(vfs_err)?;
                 Ok(Value::Null)
             }
             "file_read" => {
                 arity(1)?;
                 let p = want_str(&args[0], name)?;
-                let data = self
-                    .vfs
-                    .read_file(p.as_str(), &self.file_ctx())
-                    .map_err(vfs_err)?;
+                let ctx = self.file_ctx();
+                let data = self.vfs().read_file(p.as_str(), &ctx).map_err(vfs_err)?;
                 Ok(Value::Str(data))
             }
             "file_exists" => {
                 arity(1)?;
                 let p = want_str(&args[0], name)?;
-                Ok(Value::Bool(self.vfs.exists(p.as_str())))
+                Ok(Value::Bool(self.vfs().exists(p.as_str())))
             }
             // ---- code import (§3.2.2, Figure 6) ----
             "make_executable" => {
                 arity(1)?;
                 let p = want_str(&args[0], name)?;
                 let ctx = self.file_ctx();
-                let mut code = self.vfs.read_file(p.as_str(), &ctx).map_err(vfs_err)?;
+                let mut code = self.vfs().read_file(p.as_str(), &ctx).map_err(vfs_err)?;
                 code.add_policy(Arc::new(CodeApproval::new()));
-                self.vfs
+                self.vfs()
                     .write_file(p.as_str(), &code, &ctx)
                     .map_err(vfs_err)?;
                 Ok(Value::Null)
@@ -997,23 +1152,35 @@ impl Interp {
 
     /// The interpreter's code-import boundary: reads the file (reviving
     /// persistent policies) and applies the import filter before executing.
+    ///
+    /// Under the tree engine imported code runs in the *caller's* scope
+    /// (PHP `include` style); under the VM it runs at global scope. The
+    /// two agree everywhere except an `import` nested inside a function
+    /// body, which RESIN applications do not do (imports happen at load
+    /// time, before any request handler runs).
     fn import(&mut self, path: &str) -> R<Value> {
-        let code = self
-            .vfs
-            .read_file(path, &self.file_ctx())
-            .map_err(vfs_err)?;
+        let ctx = self.file_ctx();
+        let code = self.vfs().read_file(path, &ctx).map_err(vfs_err)?;
         if self.tracking == Tracking::On && self.require_code_approval {
             // Figure 6: every character must carry CodeApproval.
             if !code.all_bytes_have::<CodeApproval>() {
-                return Err(Flow::Error(LangError {
-                    message: format!("not executable: `{path}` lacks CodeApproval"),
-                    violation: true,
-                }));
+                return Err(Flow::Error(LangError::flagged(
+                    format!("not executable: `{path}` lacks CodeApproval"),
+                    true,
+                )));
             }
         }
         let program =
             parse_program(code.as_str()).map_err(|e| rt(format!("import `{path}`: {e}")))?;
-        self.exec_block(&program)
+        match self.engine {
+            Engine::Tree => self.exec_block(&program),
+            Engine::Vm => {
+                let chunk = crate::compiler::compile_program(&program)
+                    .map(Arc::new)
+                    .map_err(Flow::Error)?;
+                crate::vm::run_chunk(self, chunk, Vec::new(), None)
+            }
+        }
     }
 
     /// Converts a script value into a policy object.
@@ -1058,39 +1225,27 @@ impl Default for Interp {
 }
 
 fn vfs_err(e: resin_vfs::VfsError) -> Flow {
-    Flow::Error(LangError {
-        message: e.to_string(),
-        violation: e.is_violation(),
-    })
+    Flow::Error(LangError::flagged(e.to_string(), e.is_violation()))
 }
 
-/// Evaluates a script policy's `export_check` method against a channel
-/// context — the bridge that lets Rust-side filters invoke script-defined
-/// assertion code.
-pub fn eval_policy_method(
-    class: &Arc<ClassDecl>,
-    fields: &BTreeMap<String, PValue>,
-    context: &Context,
-) -> Result<(), PolicyViolation> {
-    let class_name = class.name.clone();
-    let class_name = class_name.as_str();
-    let method = class
-        .method("export_check")
-        .expect("caller checked export_check exists")
-        .clone();
-    let mut interp = Interp::with_tracking(Tracking::On);
-    // The policy's class is visible to the mini-evaluator so export_check
-    // can call the class's other methods.
-    interp.classes.insert(class.name.clone(), class.clone());
-    // Bind `this` to an object with the snapshotted fields.
-    let obj = Rc::new(std::cell::RefCell::new(Obj {
-        class: class.clone(),
-        fields: fields
-            .iter()
-            .map(|(k, v)| (k.clone(), v.to_value()))
-            .collect(),
-    }));
-    // Bind the context hash table.
+/// Maps terminal control flow to the public result type. `Return` at the
+/// top level yields the returned value; an uncaught `throw` becomes a
+/// non-violation error, as in the tree engine.
+pub(crate) fn finish(flow: R<Value>) -> Result<Value, LangError> {
+    match flow {
+        Ok(v) => Ok(v),
+        Err(Flow::Return(v)) => Ok(v),
+        Err(Flow::Throw(v)) => Err(LangError::new(format!(
+            "uncaught exception: {}",
+            v.to_tainted().as_str()
+        ))),
+        Err(Flow::Error(e)) => Err(e),
+    }
+}
+
+/// Converts a channel context into the script-visible hash table that
+/// `export_check(context)` receives (shared by both engines).
+pub(crate) fn context_to_map(context: &Context) -> Value {
     let ctx_map = Value::new_map();
     if let Value::Map(m) = &ctx_map {
         let mut m = m.borrow_mut();
@@ -1103,12 +1258,62 @@ pub fn eval_policy_method(
             m.insert(k.to_string(), val);
         }
     }
+    ctx_map
+}
+
+/// Evaluates a script policy's `export_check` method against a channel
+/// context — the bridge that lets Rust-side filters invoke script-defined
+/// assertion code. Uses the process-default engine.
+pub fn eval_policy_method(
+    class: &Arc<ClassDecl>,
+    fields: &BTreeMap<String, PValue>,
+    context: &Context,
+) -> Result<(), PolicyViolation> {
+    eval_policy_method_on(default_engine(), class, fields, context)
+}
+
+/// [`eval_policy_method`] pinned to a specific engine (the differential
+/// bench compares them head to head).
+pub(crate) fn eval_policy_method_on(
+    engine: Engine,
+    class: &Arc<ClassDecl>,
+    fields: &BTreeMap<String, PValue>,
+    context: &Context,
+) -> Result<(), PolicyViolation> {
+    let class_name = class.name.as_str();
+    let method = class
+        .method("export_check")
+        .expect("caller checked export_check exists")
+        .clone();
+    // A lightweight evaluator per check: no VFS or HTTP gate is built
+    // unless the policy body actually touches one. Chunk lookups go
+    // through the process-wide cache so the method compiles once per
+    // process, not once per crossing.
+    let mut interp = Interp::with_config(Tracking::On, engine);
+    interp.use_global_chunk_cache = true;
+    // The policy's class is visible to the mini-evaluator so export_check
+    // can call the class's other methods.
+    interp.classes.insert(class.name.clone(), class.clone());
+    // Bind `this` to an object with the snapshotted fields.
+    let obj = Rc::new(std::cell::RefCell::new(Obj {
+        class: class.clone(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect(),
+    }));
     let args = if method.params.is_empty() {
         Vec::new()
     } else {
-        vec![ctx_map]
+        vec![context_to_map(context)]
     };
-    match interp.call_decl(&method, args, Some(Value::Object(obj))) {
+    let flow = match engine {
+        Engine::Tree => interp.call_decl(&method, args, Some(Value::Object(obj))),
+        Engine::Vm => {
+            crate::vm::call_function(&mut interp, &method, args, Some(Value::Object(obj)))
+        }
+    };
+    match flow {
         Ok(_) => Ok(()),
         Err(Flow::Return(_)) => Ok(()),
         Err(Flow::Throw(v)) => Err(PolicyViolation::new(
@@ -1477,5 +1682,77 @@ mod tests {
         let v = i.call_function("double", vec![Value::int(21)]).unwrap();
         assert!(v.loose_eq(&Value::int(42)));
         assert!(i.call_function("nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn both_engines_cap_call_depth() {
+        // A self-recursive policy must fail with a lang error, not blow
+        // the native stack (satellite: bounded recursion, both engines).
+        for engine in [Engine::Tree, Engine::Vm] {
+            let mut i = Interp::with_engine(engine);
+            let e = i
+                .run("fn loop_(n) { return loop_(n); } loop_(1);")
+                .unwrap_err();
+            assert!(
+                e.message.contains("call depth limit exceeded"),
+                "{engine:?}: {e}"
+            );
+            assert!(!e.violation);
+        }
+    }
+
+    #[test]
+    fn runtime_errors_carry_lines() {
+        for engine in [Engine::Tree, Engine::Vm] {
+            let mut i = Interp::with_engine(engine);
+            let e = i.run("let a = 1;\nlet b = 2;\na / (b - 2);").unwrap_err();
+            assert_eq!(e.message, "division by zero");
+            assert_eq!(e.line, Some(3), "{engine:?}");
+            assert!(e.to_string().contains("(line 3)"), "{e}");
+        }
+    }
+
+    #[test]
+    fn error_lines_point_into_the_callee() {
+        for engine in [Engine::Tree, Engine::Vm] {
+            let mut i = Interp::with_engine(engine);
+            let e = i
+                .run("fn f() {\n  return missing_var;\n}\nf();")
+                .unwrap_err();
+            assert_eq!(e.message, "undefined variable `missing_var`");
+            assert_eq!(e.line, Some(2), "innermost frame wins ({engine:?})");
+        }
+    }
+
+    #[test]
+    fn vm_compile_once_run_many() {
+        // The exec_chunk API lets callers pay compilation once.
+        let mut i = Interp::with_engine(Engine::Vm);
+        let program = parse_program("let n = 0; n = n + 1; n;").unwrap();
+        let chunk = i.compile(&program).unwrap();
+        for _ in 0..3 {
+            let v = i.exec_chunk(&chunk).unwrap();
+            assert!(v.loose_eq(&Value::int(1)));
+        }
+    }
+
+    #[test]
+    fn function_chunks_cached_per_interp() {
+        let mut i = Interp::with_engine(Engine::Vm);
+        i.run("fn f() { return 1; }").unwrap();
+        assert_eq!(i.chunks.len(), 0, "compilation is lazy");
+        i.call_function("f", vec![]).unwrap();
+        i.call_function("f", vec![]).unwrap();
+        assert_eq!(i.chunks.len(), 1, "same decl compiles once");
+    }
+
+    #[test]
+    fn engine_selection_helpers() {
+        assert_eq!(Interp::new().engine(), default_engine());
+        assert_eq!(Interp::with_engine(Engine::Tree).engine(), Engine::Tree);
+        assert_eq!(
+            Interp::with_config(Tracking::Off, Engine::Vm).tracking(),
+            Tracking::Off
+        );
     }
 }

@@ -33,13 +33,15 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its line number (for error messages).
+/// A token with its source position (for error messages).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token.
     pub tok: Tok,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column of the token's first character.
+    pub col: u32,
 }
 
 /// A lexical error.
@@ -47,13 +49,19 @@ pub struct Token {
 pub struct LexError {
     /// 1-based source line.
     pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "lex error on line {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -68,12 +76,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut out = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
+    // Byte index where the current line starts; a token's column is its
+    // byte offset from there, 1-based.
+    let mut line_start = 0usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let col = (i - line_start + 1) as u32;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '#' => {
@@ -83,7 +96,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '"' => {
-                let start_line = line;
+                let (start_line, start_col) = (line, col);
                 i += 1;
                 let mut s = String::new();
                 loop {
@@ -91,6 +104,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         None => {
                             return Err(LexError {
                                 line: start_line,
+                                col: start_col,
                                 message: "unterminated string".into(),
                             });
                         }
@@ -101,6 +115,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         Some(b'\\') => {
                             let esc = bytes.get(i + 1).copied().ok_or(LexError {
                                 line,
+                                col: (i - line_start + 1) as u32,
                                 message: "trailing backslash".into(),
                             })?;
                             s.push(match esc {
@@ -112,6 +127,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                                 other => {
                                     return Err(LexError {
                                         line,
+                                        col: (i - line_start + 1) as u32,
                                         message: format!("bad escape `\\{}`", other as char),
                                     });
                                 }
@@ -121,6 +137,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         Some(&b) => {
                             if b == b'\n' {
                                 line += 1;
+                                line_start = i + 1;
                             }
                             s.push(b as char);
                             i += 1;
@@ -130,6 +147,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token {
                     tok: Tok::Str(s),
                     line: start_line,
+                    col: start_col,
                 });
             }
             '0'..='9' => {
@@ -139,11 +157,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let n: i64 = src[start..i].parse().map_err(|_| LexError {
                     line,
+                    col,
                     message: "integer out of range".into(),
                 })?;
                 out.push(Token {
                     tok: Tok::Int(n),
                     line,
+                    col,
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -158,7 +178,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     Some(k) => Tok::Kw(k),
                     None => Tok::Ident(word.to_string()),
                 };
-                out.push(Token { tok, line });
+                out.push(Token { tok, line, col });
             }
             _ => {
                 // Operators, longest first.
@@ -179,12 +199,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         out.push(Token {
                             tok: Tok::Op(op),
                             line,
+                            col,
                         });
                         i += op.len();
                     }
                     None => {
                         return Err(LexError {
                             line,
+                            col,
                             message: format!("unexpected character `{c}`"),
                         });
                     }
@@ -263,5 +285,21 @@ mod tests {
         assert!(lex("\"unterminated").is_err());
         assert!(lex("@").is_err());
         assert!(lex(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn columns_tracked() {
+        let ts = lex("let x = 42;\n  x + 1;").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1)); // let
+        assert_eq!((ts[1].line, ts[1].col), (1, 5)); // x
+        assert_eq!((ts[3].line, ts[3].col), (1, 9)); // 42
+        assert_eq!((ts[5].line, ts[5].col), (2, 3)); // x on line 2
+    }
+
+    #[test]
+    fn lex_error_carries_column() {
+        let e = lex("let x = @;").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 9));
+        assert!(e.to_string().contains("1:9"), "{e}");
     }
 }

@@ -39,12 +39,24 @@
 //! assert_eq!(interp.http_output(), "");
 //! ```
 
+//! Since the checks run on every gate crossing, RSL also has a bytecode
+//! pipeline (lexer → AST → [`compiler`] → [`chunk::Chunk`] → [`vm`]): a
+//! policy's `export_check` compiles once per process and every crossing
+//! thereafter is a chunk-cache lookup plus a dispatch loop. The VM is the
+//! default engine; `RESIN_RSL_ENGINE=tree` selects the tree-walker, which
+//! is kept as a differential oracle.
+
 pub mod ast;
+pub mod chunk;
+pub mod compiler;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod value;
+pub mod vm;
 
-pub use interp::{Interp, LangError, SentMail, Tracking};
+pub use chunk::Chunk;
+pub use compiler::compiled_policy_chunks;
+pub use interp::{default_engine, Engine, Interp, LangError, SentMail, Tracking};
 pub use parser::{parse_program, ParseError};
 pub use value::{PValue, ScriptPolicy, Value};

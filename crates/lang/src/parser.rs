@@ -3,21 +3,36 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::ast::{BinOp, ClassDecl, Expr, FnDecl, Stmt, Target};
+use crate::ast::{BinOp, ClassDecl, Expr, FnDecl, Stmt, StmtKind, Target};
 use crate::lexer::{lex, LexError, Tok, Token};
+
+/// How deep expressions and blocks may nest before the parser refuses.
+///
+/// The parser is recursive-descent, so unbounded nesting (`((((...`)
+/// translates directly into native stack depth — a crash any script author
+/// could trigger. The cap is far above anything a real policy needs, but
+/// low enough that the full precedence chain (~9 native frames per level)
+/// fits comfortably in a debug-build test thread's 2 MiB stack.
+const MAX_NESTING: u32 = 64;
 
 /// A parse error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// 1-based line, when known.
     pub line: u32,
+    /// 1-based byte column, when known.
+    pub col: u32,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "parse error on line {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -25,6 +40,7 @@ impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError {
             line: e.line,
+            col: e.col,
             message: e.message,
         }
     }
@@ -33,7 +49,11 @@ impl From<LexError> for ParseError {
 /// Parses a program (a sequence of statements).
 pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut stmts = Vec::new();
     while !p.at_end() {
         stmts.push(p.statement()?);
@@ -44,6 +64,8 @@ pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression/block nesting depth (bounded by [`MAX_NESTING`]).
+    depth: u32,
 }
 
 impl Parser {
@@ -51,18 +73,37 @@ impl Parser {
         self.pos >= self.tokens.len()
     }
 
-    fn line(&self) -> u32 {
+    fn pos_token(&self) -> Option<&Token> {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|t| t.line)
-            .unwrap_or(0)
+    }
+
+    fn line(&self) -> u32 {
+        self.pos_token().map(|t| t.line).unwrap_or(0)
+    }
+
+    fn col(&self) -> u32 {
+        self.pos_token().map(|t| t.col).unwrap_or(0)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
         ParseError {
             line: self.line(),
+            col: self.col(),
             message: msg.into(),
         }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -107,24 +148,32 @@ impl Parser {
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.enter()?;
         self.expect_op("{")?;
         let mut stmts = Vec::new();
         while !self.eat_op("}") {
             if self.at_end() {
+                self.leave();
                 return Err(self.err("unterminated block"));
             }
             stmts.push(self.statement()?);
         }
+        self.leave();
         Ok(stmts)
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        Ok(Stmt::new(self.statement_kind()?, line))
+    }
+
+    fn statement_kind(&mut self) -> Result<StmtKind, ParseError> {
         if self.eat_kw("let") {
             let name = self.ident()?;
             self.expect_op("=")?;
             let e = self.expr()?;
             self.expect_op(";")?;
-            return Ok(Stmt::Let(name, e));
+            return Ok(StmtKind::Let(name, e));
         }
         if self.eat_kw("if") {
             self.expect_op("(")?;
@@ -140,7 +189,7 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If {
+            return Ok(StmtKind::If {
                 cond,
                 then_body,
                 else_body,
@@ -151,23 +200,23 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_op(")")?;
             let body = self.block()?;
-            return Ok(Stmt::While { cond, body });
+            return Ok(StmtKind::While { cond, body });
         }
         if self.eat_kw("return") {
             if self.eat_op(";") {
-                return Ok(Stmt::Return(None));
+                return Ok(StmtKind::Return(None));
             }
             let e = self.expr()?;
             self.expect_op(";")?;
-            return Ok(Stmt::Return(Some(e)));
+            return Ok(StmtKind::Return(Some(e)));
         }
         if self.eat_kw("throw") {
             let e = self.expr()?;
             self.expect_op(";")?;
-            return Ok(Stmt::Throw(e));
+            return Ok(StmtKind::Throw(e));
         }
         if self.eat_kw("fn") {
-            return Ok(Stmt::FnDef(Arc::new(self.fn_decl()?)));
+            return Ok(StmtKind::FnDef(Arc::new(self.fn_decl()?)));
         }
         if self.eat_kw("class") {
             let name = self.ident()?;
@@ -179,7 +228,7 @@ impl Parser {
                 }
                 methods.push(Arc::new(self.fn_decl()?));
             }
-            return Ok(Stmt::ClassDef(Arc::new(ClassDecl { name, methods })));
+            return Ok(StmtKind::ClassDef(Arc::new(ClassDecl { name, methods })));
         }
         // Expression or assignment.
         let e = self.expr()?;
@@ -192,10 +241,10 @@ impl Parser {
             };
             let value = self.expr()?;
             self.expect_op(";")?;
-            return Ok(Stmt::Assign(target, value));
+            return Ok(StmtKind::Assign(target, value));
         }
         self.expect_op(";")?;
-        Ok(Stmt::Expr(e))
+        Ok(StmtKind::Expr(e))
     }
 
     fn fn_decl(&mut self) -> Result<FnDecl, ParseError> {
@@ -219,7 +268,10 @@ impl Parser {
     // multiplicative > unary > postfix > primary.
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.or_expr()
+        self.enter()?;
+        let e = self.or_expr();
+        self.leave();
+        e
     }
 
     fn binary_level<F>(
@@ -310,10 +362,16 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         if self.eat_op("!") || self.eat_kw("not") {
-            return Ok(Expr::Not(Box::new(self.unary()?)));
+            self.enter()?;
+            let e = self.unary();
+            self.leave();
+            return Ok(Expr::Not(Box::new(e?)));
         }
         if self.eat_op("-") {
-            return Ok(Expr::Neg(Box::new(self.unary()?)));
+            self.enter()?;
+            let e = self.unary();
+            self.leave();
+            return Ok(Expr::Neg(Box::new(e?)));
         }
         self.postfix()
     }
@@ -426,14 +484,14 @@ mod tests {
     fn parse_let_and_expr() {
         let p = parse_program("let x = 1 + 2 * 3;").unwrap();
         assert_eq!(p.len(), 1);
-        let Stmt::Let(
+        let StmtKind::Let(
             name,
             Expr::Binary {
                 op: BinOp::Add,
                 right,
                 ..
             },
-        ) = &p[0]
+        ) = &p[0].kind
         else {
             panic!("{p:?}");
         };
@@ -447,28 +505,30 @@ mod tests {
     #[test]
     fn parse_if_else_chain() {
         let p = parse_program("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }").unwrap();
-        let Stmt::If { else_body, .. } = &p[0] else {
+        let StmtKind::If { else_body, .. } = &p[0].kind else {
             panic!()
         };
-        assert!(matches!(else_body[0], Stmt::If { .. }));
+        assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
     }
 
     #[test]
     fn parse_while_and_calls() {
         let p = parse_program("while (i < 10) { i = i + 1; f(i, 2); }").unwrap();
-        let Stmt::While { body, .. } = &p[0] else {
+        let StmtKind::While { body, .. } = &p[0].kind else {
             panic!()
         };
         assert_eq!(body.len(), 2);
         assert!(
-            matches!(&body[1], Stmt::Expr(Expr::Call { name, args }) if name == "f" && args.len() == 2)
+            matches!(&body[1].kind, StmtKind::Expr(Expr::Call { name, args }) if name == "f" && args.len() == 2)
         );
     }
 
     #[test]
     fn parse_fn_and_return() {
         let p = parse_program("fn add(a, b) { return a + b; } fn zero() { return; }").unwrap();
-        let Stmt::FnDef(f) = &p[0] else { panic!() };
+        let StmtKind::FnDef(f) = &p[0].kind else {
+            panic!()
+        };
         assert_eq!(f.name, "add");
         assert_eq!(f.params, vec!["a", "b"]);
     }
@@ -487,7 +547,9 @@ mod tests {
             }
         "#;
         let p = parse_program(src).unwrap();
-        let Stmt::ClassDef(c) = &p[0] else { panic!() };
+        let StmtKind::ClassDef(c) = &p[0].kind else {
+            panic!()
+        };
         assert_eq!(c.name, "PasswordPolicy");
         assert!(c.method("init").is_some());
         assert!(c.method("export_check").is_some());
@@ -497,14 +559,14 @@ mod tests {
     fn parse_new_method_index_prop() {
         let p = parse_program(r#"let p = new P("a"); p.run(1)[2].field = x[0];"#).unwrap();
         assert_eq!(p.len(), 2);
-        assert!(matches!(&p[1], Stmt::Assign(Target::Prop(_, f), _) if f == "field"));
+        assert!(matches!(&p[1].kind, StmtKind::Assign(Target::Prop(_, f), _) if f == "field"));
     }
 
     #[test]
     fn parse_array_literal_and_keyword_ops() {
         let p = parse_program("let a = [1, 2, 3]; let b = x and not y or z;").unwrap();
         assert_eq!(p.len(), 2);
-        let Stmt::Let(_, Expr::Array(items)) = &p[0] else {
+        let StmtKind::Let(_, Expr::Array(items)) = &p[0].kind else {
             panic!()
         };
         assert_eq!(items.len(), 3);
@@ -518,5 +580,39 @@ mod tests {
         assert!(parse_program("f(1,);").is_err());
         assert!(parse_program("1 = 2;").is_err());
         assert!(parse_program("class C { let x; }").is_err());
+    }
+
+    #[test]
+    fn statement_lines_recorded() {
+        let p = parse_program("let a = 1;\nlet b = 2;\nif (a) {\n  b = 3;\n}").unwrap();
+        assert_eq!(p[0].line, 1);
+        assert_eq!(p[1].line, 2);
+        assert_eq!(p[2].line, 3);
+        let StmtKind::If { then_body, .. } = &p[2].kind else {
+            panic!()
+        };
+        assert_eq!(then_body[0].line, 4);
+    }
+
+    #[test]
+    fn parse_error_carries_line_and_column() {
+        let e = parse_program("let x = 1;\nlet = 2;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 5);
+        assert!(e.to_string().contains("2:5"), "{e}");
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_crashed() {
+        // A recursive-descent parser without a depth cap would blow the
+        // native stack here; the cap must turn it into an ordinary error.
+        let deep = format!("{}1{};", "(".repeat(5_000), ")".repeat(5_000));
+        let e = parse_program(&deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+        let unary = format!("{}1;", "-".repeat(5_000));
+        assert!(parse_program(&unary).is_err());
+        // At sane depths everything still parses.
+        let ok = format!("{}1{};", "(".repeat(50), ")".repeat(50));
+        assert!(parse_program(&ok).is_ok());
     }
 }

@@ -266,6 +266,9 @@ pub struct ScriptPolicy {
     class_name: String,
     fields: BTreeMap<String, PValue>,
     class: Option<Arc<ClassDecl>>,
+    /// When set, checks run on this engine instead of the process default
+    /// (the interpreter-vs-VM benchmarks pin one policy to each engine).
+    engine: Option<crate::interp::Engine>,
 }
 
 impl ScriptPolicy {
@@ -281,7 +284,16 @@ impl ScriptPolicy {
             class_name,
             fields,
             class,
+            engine: None,
         }
+    }
+
+    /// Pins `export_check` to a specific engine (default: the process
+    /// engine). Used by benchmarks and the differential tests; the pin is
+    /// not part of the policy's identity and is not persisted.
+    pub fn with_engine(mut self, engine: crate::interp::Engine) -> Self {
+        self.engine = Some(engine);
+        self
     }
 
     /// The snapshotted fields.
@@ -312,7 +324,8 @@ impl resin_core::Policy for ScriptPolicy {
         if class.method("export_check").is_none() {
             return Ok(());
         }
-        crate::interp::eval_policy_method(class, &self.fields, context)
+        let engine = self.engine.unwrap_or_else(crate::interp::default_engine);
+        crate::interp::eval_policy_method_on(engine, class, &self.fields, context)
     }
 
     fn serialize_fields(&self) -> Vec<(String, String)> {

@@ -1,0 +1,444 @@
+//! Differential tests: every program runs through the tree-walking
+//! interpreter AND the bytecode VM, and the two must agree on everything
+//! observable — result values, **policy labels** (taint must be neither
+//! laundered nor over-applied by compilation), error messages with their
+//! source lines, print output, HTTP output, and final global state.
+
+use resin_lang::{Engine, Interp, LangError, Tracking, Value};
+
+/// Runs one program on both engines and asserts full observable equality.
+/// Returns the tree engine's outcome for additional assertions.
+fn diff(src: &str) -> Result<Value, LangError> {
+    diff_with(src, Tracking::On)
+}
+
+fn diff_with(src: &str, tracking: Tracking) -> Result<Value, LangError> {
+    let mut tree = Interp::with_config(tracking, Engine::Tree);
+    let mut vm = Interp::with_config(tracking, Engine::Vm);
+    let rt = tree.run(src);
+    let rv = vm.run(src);
+    match (&rt, &rv) {
+        (Ok(a), Ok(b)) => assert_value_eq(a, b, "result"),
+        (Err(a), Err(b)) => {
+            assert_eq!(a.message, b.message, "error message for {src:?}");
+            assert_eq!(a.violation, b.violation, "violation flag for {src:?}");
+            assert_eq!(a.line, b.line, "error line for {src:?}");
+        }
+        (a, b) => panic!("engines disagree on outcome for {src:?}:\n tree={a:?}\n vm={b:?}"),
+    }
+    assert_eq!(tree.print_output(), vm.print_output(), "print for {src:?}");
+    assert_eq!(tree.http_output(), vm.http_output(), "http for {src:?}");
+    for name in ["x", "y", "z", "a", "b", "c", "out", "msg", "names"] {
+        match (tree.global(name), vm.global(name)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => assert_value_eq(&a, &b, name),
+            (a, b) => panic!("global `{name}` differs for {src:?}: tree={a:?} vm={b:?}"),
+        }
+    }
+    rt
+}
+
+/// Deep value equality *including labels*. Labels are compared by their
+/// policy-name sets (the two engines run in separate interpreter
+/// instances, so script-policy ids differ even when the taint is
+/// identical); strings are compared byte by byte.
+fn assert_value_eq(a: &Value, b: &Value, path: &str) {
+    match (a, b) {
+        (Value::Null, Value::Null) => {}
+        (Value::Bool(x), Value::Bool(y)) => assert_eq!(x, y, "{path}"),
+        (Value::Int(x, lx), Value::Int(y, ly)) => {
+            assert_eq!(x, y, "{path}");
+            let names = |l: resin_core::Label| {
+                let mut v: Vec<String> =
+                    l.policies().iter().map(|p| p.name().to_string()).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(names(*lx), names(*ly), "{path}: int label");
+        }
+        (Value::Str(x), Value::Str(y)) => {
+            assert_eq!(x.as_str(), y.as_str(), "{path}: text");
+            for i in 0..x.len() {
+                let names = |l: resin_core::Label| {
+                    let mut v: Vec<String> =
+                        l.policies().iter().map(|p| p.name().to_string()).collect();
+                    v.sort();
+                    v
+                };
+                assert_eq!(
+                    names(x.label_at(i)),
+                    names(y.label_at(i)),
+                    "{path}: label at byte {i} of {:?}",
+                    x.as_str()
+                );
+            }
+        }
+        (Value::Array(x), Value::Array(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            assert_eq!(x.len(), y.len(), "{path}: array length");
+            for (i, (xe, ye)) in x.iter().zip(y.iter()).enumerate() {
+                assert_value_eq(xe, ye, &format!("{path}[{i}]"));
+            }
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            let xk: Vec<&String> = x.keys().collect();
+            let yk: Vec<&String> = y.keys().collect();
+            assert_eq!(xk, yk, "{path}: map keys");
+            for (k, xe) in x.iter() {
+                assert_value_eq(xe, &y[k], &format!("{path}[{k:?}]"));
+            }
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            let (x, y) = (x.borrow(), y.borrow());
+            assert_eq!(x.class.name, y.class.name, "{path}: class");
+            let xk: Vec<&String> = x.fields.keys().collect();
+            let yk: Vec<&String> = y.fields.keys().collect();
+            assert_eq!(xk, yk, "{path}: fields");
+            for (k, xe) in x.fields.iter() {
+                assert_value_eq(xe, &y.fields[k], &format!("{path}.{k}"));
+            }
+        }
+        _ => panic!("{path}: type mismatch: {a:?} vs {b:?}"),
+    }
+}
+
+// ---- targeted programs ----
+
+#[test]
+fn values_and_operators() {
+    diff("1 + 2 * 3 - 4 / 2;").unwrap();
+    diff("10 % 3;").unwrap();
+    diff("-5 + -(-3);").unwrap();
+    diff(r#""a" + "b" + 1 + true + null;"#).unwrap();
+    diff(r#"1 == 1 && "a" != "b";"#).unwrap();
+    diff(r#"1 < 2 || 3 <= 2;"#).unwrap();
+    diff(r#""abc" < "abd";"#).unwrap();
+    diff("!0 == true;").unwrap();
+    diff("let x = [1, \"two\", [3]]; x;").unwrap();
+    diff(r#"let m = map(); m["k"] = 1; m["missing"];"#).unwrap();
+    diff(r#""hello"[1];"#).unwrap();
+    diff(r#""hello"[99];"#).unwrap(); // clamped slice: empty, no error
+}
+
+#[test]
+fn short_circuit_is_bool_and_lazy() {
+    // && / || always produce plain bools and skip the right side.
+    diff(r#"let x = 0; let y = (x != 0) && (1 / x == 1); y;"#).unwrap();
+    diff(r#"let x = 1; let y = (x == 1) || (1 / 0 == 1); y;"#).unwrap();
+    diff(r#"let y = 2 && 3; y;"#).unwrap();
+    diff(r#"let y = 0 || "s"; y;"#).unwrap();
+}
+
+#[test]
+fn scoping_matches_php_rules() {
+    // Locals shadow globals; assignment writes through to an existing
+    // global; first assignment in a function defines a local.
+    diff("let x = 1; fn f() { x = 2; return x; } f(); x;").unwrap();
+    diff("fn f() { y = 7; return y; } f(); let out = f();").unwrap();
+    diff("let x = 1; fn f() { let x = 10; return x; } let y = f() + x; y;").unwrap();
+    diff("fn f() { if (false) { q = 1; } return 0; } f();").unwrap();
+    // Unbound local falls back to the global at read time.
+    diff("let x = 5; fn f() { if (false) { x = 1; } return x; } f();").unwrap();
+}
+
+#[test]
+fn evaluation_order_side_effects() {
+    // Assignment evaluates the VALUE before the target's subexpressions.
+    diff(
+        "let a = [0, 0]; let i = 0;
+         fn bump() { i = i + 1; return i; }
+         a[bump() - 1] = bump(); a;",
+    )
+    .unwrap();
+    // Receiver before arguments; arguments left to right.
+    diff(
+        r#"let out = "";
+           fn tag(s) { out = out + s; return s; }
+           class C { fn m(p, q) { return p + q; } }
+           let c = new C();
+           c.m(tag("a"), tag("b")); out;"#,
+    )
+    .unwrap();
+}
+
+#[test]
+fn functions_classes_and_control_flow() {
+    diff("fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } fib(12);")
+        .unwrap();
+    diff("let x = 0; let c = 0; while (c < 10) { x = x + c; c = c + 1; } x;").unwrap();
+    diff(
+        "class Counter {
+           fn init(start) { this.n = start; }
+           fn bump() { this.n = this.n + 1; return this.n; }
+         }
+         let c = new Counter(40); c.bump(); c.bump();",
+    )
+    .unwrap();
+    // `new` with no init evaluates (then drops) its arguments.
+    diff(
+        r#"let out = "";
+           fn tag(s) { out = out + s; return s; }
+           class Bare { fn poke() { return 1; } }
+           let b = new Bare(tag("x"), tag("y")); out;"#,
+    )
+    .unwrap();
+    // init's return value is discarded; the object comes back.
+    diff("class C { fn init() { return 99; } } let x = new C(); typeof(x);").unwrap();
+    // Implicit return is null.
+    diff("fn f() { 1 + 1; } let x = f(); typeof(x);").unwrap();
+}
+
+#[test]
+fn taint_flows_identically() {
+    diff(
+        r#"let pw = policy_add("s3cret", "UntrustedData");
+           let msg = "password: " + pw;
+           let names = policy_get(msg); msg;"#,
+    )
+    .unwrap();
+    diff(
+        r#"let a = policy_add(40, "UntrustedData");
+           let x = a + 2; let names = policy_get(x); x;"#,
+    )
+    .unwrap();
+    diff(
+        r#"let s = policy_add("42", "UntrustedData");
+           let x = int(s) * 2; policy_get(x);"#,
+    )
+    .unwrap();
+    diff(
+        r#"let t = policy_add("mid", "UntrustedData");
+           let s = "aa" + t + "bb";
+           let u = substr(s, 1, 4); u;"#,
+    )
+    .unwrap();
+    diff(
+        r#"let t = policy_add("x,y", "UntrustedData");
+           join("-", split(t, ",")); "#,
+    )
+    .unwrap();
+    // policy_remove unlabels on both engines.
+    diff(
+        r#"let t = policy_add("v", "UntrustedData");
+           let u = policy_remove(t, "UntrustedData");
+           policy_get(u);"#,
+    )
+    .unwrap();
+}
+
+#[test]
+fn tracking_off_matches_too() {
+    diff_with(
+        r#"let pw = policy_add("s", "UntrustedData");
+           let msg = "x" + pw; let names = policy_get(msg); msg;"#,
+        Tracking::Off,
+    )
+    .unwrap();
+    diff_with("let x = 1 + 2; x;", Tracking::Off).unwrap();
+}
+
+#[test]
+fn script_policies_enforce_identically() {
+    let violation = diff(
+        r#"class PasswordPolicy {
+             fn init(email) { this.email = email; }
+             fn export_check(context) {
+               if (context["type"] == "email" && context["email"] == this.email) { return; }
+               throw "unauthorized disclosure";
+             }
+           }
+           let pw = policy_add("s3cret", new PasswordPolicy("u@foo.com"));
+           echo("Your password is: " + pw);"#,
+    )
+    .unwrap_err();
+    assert!(violation.violation);
+
+    diff(
+        r#"class Tag {
+             fn init() { this.k = "t"; }
+             fn export_check(context) { return; }
+           }
+           echo(policy_add("fine", new Tag()));"#,
+    )
+    .unwrap();
+}
+
+#[test]
+fn errors_match_with_lines() {
+    for src in [
+        "missing;",
+        "nosuchfn();",
+        "let a = 1;\n1 / 0;",
+        r#""a" - 1;"#,
+        "let a = [1]; a[5];",
+        "let a = [1]; a[2] = 9;",
+        "fn f(x) { return x; } f();",
+        "fn f(x) { return x; } f(1, 2);",
+        "fn loop_(n) { return loop_(n); } loop_(1);",
+        "this;",
+        r#"throw "boom";"#,
+        "let o = 1; o.field;",
+        "o_undefined.field = 1;",
+        "new Nope();",
+        "let m = map(); m[0];",
+        "fn f() {\n  let x = 0;\n  return 1 / x;\n}\nf();",
+        "-\"s\";",
+        r#"1 < "s";"#,
+        "int(\"zzz\");",
+        "substr(1, 2, 3);",
+    ] {
+        let e = diff(src).unwrap_err();
+        assert!(!e.message.is_empty());
+    }
+}
+
+#[test]
+fn uncaught_throw_formats_identically() {
+    let e = diff(r#"throw "kaboom: " + 7;"#).unwrap_err();
+    assert_eq!(e.message, "uncaught exception: kaboom: 7");
+}
+
+// ---- randomized programs ----
+
+/// A tiny deterministic program generator. It emits closed programs with
+/// bounded loops, taint sources, functions, and branches, so every case is
+/// safe to run on both engines; the differential harness checks agreement.
+struct Gen {
+    rng: proptest::TestRng,
+    vars: Vec<String>,
+}
+
+impl Gen {
+    fn expr(&mut self, depth: u32) -> String {
+        let leaf = depth == 0 || self.rng.below(3) == 0;
+        if leaf {
+            match self.rng.below(6) {
+                0 => format!("{}", self.rng.below(100)),
+                1 => format!("\"s{}\"", self.rng.below(8)),
+                2 => "true".into(),
+                3 => format!("policy_add(\"t{}\", \"UntrustedData\")", self.rng.below(4)),
+                4 if !self.vars.is_empty() => {
+                    let i = self.rng.below(self.vars.len() as u64) as usize;
+                    self.vars[i].clone()
+                }
+                _ => format!("{}", self.rng.below(10)),
+            }
+        } else {
+            match self.rng.below(8) {
+                0 => format!("({} + {})", self.expr(depth - 1), self.expr(depth - 1)),
+                1 => format!("({} * {})", self.expr(depth - 1), self.expr(depth - 1)),
+                2 => format!("({} == {})", self.expr(depth - 1), self.expr(depth - 1)),
+                3 => format!("({} && {})", self.expr(depth - 1), self.expr(depth - 1)),
+                4 => format!("({} || {})", self.expr(depth - 1), self.expr(depth - 1)),
+                5 => format!("str({})", self.expr(depth - 1)),
+                6 => format!("len(str({}))", self.expr(depth - 1)),
+                _ => format!("not {}", self.expr(depth - 1)),
+            }
+        }
+    }
+
+    fn stmt(&mut self, idx: usize) -> String {
+        match self.rng.below(4) {
+            0 | 1 => {
+                let name = format!("v{idx}");
+                let s = format!("let {name} = {};", self.expr(2));
+                self.vars.push(name);
+                s
+            }
+            2 => format!(
+                "if ({}) {{ let t{idx} = {}; }} else {{ let e{idx} = {}; }}",
+                self.expr(1),
+                self.expr(2),
+                self.expr(2)
+            ),
+            _ => format!("{};", self.expr(2)),
+        }
+    }
+}
+
+#[test]
+fn random_programs_agree() {
+    let seed = proptest::seed_from_name("random_programs_agree");
+    for case in 0..200u64 {
+        let mut g = Gen {
+            rng: proptest::TestRng::new(seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)),
+            vars: Vec::new(),
+        };
+        let n = 1 + g.rng.below(5) as usize;
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&g.stmt(i));
+            src.push('\n');
+        }
+        // Tail expression so the program result is interesting.
+        if !g.vars.is_empty() {
+            src.push_str(&format!("{};", g.vars[g.vars.len() - 1]));
+        }
+        let _ = diff(&src); // agreement is the assertion; errors are fine
+    }
+}
+
+#[test]
+fn random_functions_agree() {
+    let seed = proptest::seed_from_name("random_functions_agree");
+    for case in 0..100u64 {
+        let mut g = Gen {
+            rng: proptest::TestRng::new(seed ^ (case.wrapping_mul(0xD134_2543_DE82_EF95) | 1)),
+            vars: vec!["p".into(), "q".into()],
+        };
+        let body_a = g.expr(2);
+        let body_b = g.expr(2);
+        let arg_a = g.expr(1);
+        let arg_b = g.expr(1);
+        let src = format!(
+            "fn f(p, q) {{\n  if ({body_a} == {body_b}) {{ return {body_a}; }}\n  return {body_b};\n}}\nlet x = f({arg_a}, {arg_b});\nx;"
+        );
+        let _ = diff(&src);
+    }
+}
+
+/// The compiler fuses `x = x + k`, `w[i]`, `while (a < b)`, and
+/// const-operand arithmetic into superinstructions; these programs force
+/// each fused shape down its slow path (labels, strings, unbound slots,
+/// out-of-range indexes) where the decomposed semantics must still match.
+#[test]
+fn fused_op_slow_paths_match() {
+    // Labeled increment: the in-place integer fast path must not drop taint.
+    diff(
+        r#"fn f() { let i = policy_add(1, "UntrustedData"); i = i + 1; return policy_get(i); }
+           let x = f(); x;"#,
+    )
+    .unwrap();
+    // `s = s + 1` on a string concatenates; taint spans must line up.
+    diff(
+        r#"fn f() { let s = policy_add("v", "UntrustedData"); s = s + 1; return s; }
+           let x = f(); x;"#,
+    )
+    .unwrap();
+    // Increment of an enclosing global through an unbound slot.
+    diff(r#"let x = 10; fn bump() { x = x + 5; } bump(); x;"#).unwrap();
+    // Fused index with an out-of-range subscript (errors on both engines,
+    // same message and line) and a map subscript.
+    diff(r#"fn f() { let w = [1, 2]; let i = 9; return w[i]; } let x = f(); x;"#).unwrap_err();
+    diff(r#"fn f() { let w = map(); w["a"] = 7; let i = "a"; return w[i]; } let x = f(); x;"#)
+        .unwrap();
+    // Fused while-guard over non-integer operands.
+    diff(
+        r#"fn f() { let i = "a"; let n = "c"; let out = 0;
+                    while (i < n) { i = i + "z"; out = out + 1; if (out > 3) { return out; } }
+                    return out; }
+           let x = f(); x;"#,
+    )
+    .unwrap();
+    // Const-operand division by zero still errors with the right line.
+    diff("fn f(n) { return n % 0; }\nlet x = f(3);").unwrap_err();
+    // Labeled accumulator through the full fused loop shape.
+    diff(
+        r#"fn sum(w) { let acc = policy_add(0, "UntrustedData"); let i = 0; let n = len(w);
+                       while (i < n) { acc = (acc * 33 + w[i]) % 65521; i = i + 1; }
+                       return acc; }
+           let x = sum([3, 1, 4, 1, 5]); policy_get(x);"#,
+    )
+    .unwrap();
+}

@@ -1,5 +1,11 @@
 //! Server-side script injection and the CodeApproval import filter
-//! (paper §5.2, Figure 6), running on the RSL interpreter.
+//! (paper §5.2, Figure 6), running on the RSL bytecode VM.
+//!
+//! The interpreter defaults to the compiled engine; the tree-walker is
+//! kept as a differential oracle (`RESIN_RSL_ENGINE=tree` flips back).
+//! The import filter is a data-flow check on the imported bytes, so the
+//! engine executing the app makes no difference to the defense — this
+//! demo asserts the attack fails closed on the VM path.
 //!
 //! ```text
 //! cargo run --example script_injection
@@ -9,6 +15,7 @@ use resin::lang::Interp;
 
 fn main() {
     let mut interp = Interp::new();
+    println!("engine: {:?}", interp.engine());
 
     // Install the application and tag its code as approved (Figure 6's
     // make_file_executable), then arm the interpreter's import filter.
@@ -34,8 +41,11 @@ fn main() {
     // The application is tricked into importing it (theme include /
     // direct request — any path leads through the same filter).
     match interp.run(r#"import("/uploads/shell.rsl");"#) {
-        Ok(_) => println!("adversary code ran!"),
-        Err(e) => println!("import blocked: {e}"),
+        Ok(_) => panic!("adversary code ran!"),
+        Err(e) => {
+            assert!(e.violation, "blocked by the policy filter, not a bug");
+            println!("import blocked: {e}");
+        }
     }
 
     // Approved code still loads fine.
