@@ -59,6 +59,26 @@ pub enum Engine {
     Vm,
 }
 
+impl Engine {
+    /// Stable wire name, used when an engine pin is persisted alongside a
+    /// [`ScriptPolicy`]'s fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Vm => "vm",
+        }
+    }
+
+    /// Inverse of [`Engine::name`].
+    pub fn from_name(s: &str) -> Option<Engine> {
+        match s {
+            "tree" => Some(Engine::Tree),
+            "vm" => Some(Engine::Vm),
+            _ => None,
+        }
+    }
+}
+
 /// The process-default engine.
 ///
 /// `RESIN_RSL_ENGINE=tree` selects the tree-walker (for differential
@@ -450,7 +470,24 @@ impl Interp {
             let class = decl.clone();
             register_policy_class(class_name.clone(), move |fields| {
                 let mut decoded = BTreeMap::new();
+                let mut engine = None;
                 for (k, v) in fields {
+                    // The engine pin rides along as a reserved field, not an
+                    // instance field: strip it here and re-apply it below so
+                    // a pinned policy keeps checking on the engine it was
+                    // stored under (§3.4.1 stores only name + fields, so the
+                    // pin has to travel inside the field list).
+                    if k == ScriptPolicy::ENGINE_FIELD {
+                        engine = Engine::from_name(v);
+                        if engine.is_none() {
+                            return Err(resin_core::SerializeError::BadField {
+                                class: class_name.clone(),
+                                field: k.clone(),
+                                reason: format!("unknown engine {v:?}"),
+                            });
+                        }
+                        continue;
+                    }
                     let pv =
                         PValue::decode(v).ok_or_else(|| resin_core::SerializeError::BadField {
                             class: class_name.clone(),
@@ -459,11 +496,12 @@ impl Interp {
                         })?;
                     decoded.insert(k.clone(), pv);
                 }
-                Ok(Arc::new(ScriptPolicy::new(
-                    class_name.clone(),
-                    decoded,
-                    Some(class.clone()),
-                )) as PolicyRef)
+                let mut policy =
+                    ScriptPolicy::new(class_name.clone(), decoded, Some(class.clone()));
+                if let Some(engine) = engine {
+                    policy = policy.with_engine(engine);
+                }
+                Ok(Arc::new(policy) as PolicyRef)
             });
         }
     }
@@ -1590,6 +1628,54 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.violation, "revived script policy enforced: {err}");
+    }
+
+    #[test]
+    fn engine_pin_survives_policy_serialization() {
+        // A pinned policy serialized to the wire format and revived via
+        // the class registry keeps its pin; an unpinned one stays on the
+        // process default (no reserved field is ever emitted for it).
+        let mut i = Interp::new();
+        i.run(
+            r#"class PinnedPolicy {
+                 fn init(owner) { this.owner = owner; }
+                 fn export_check(context) { throw "nope"; }
+               }"#,
+        )
+        .unwrap();
+        let class = i.classes.get("PinnedPolicy").unwrap().clone();
+        let mut fields = BTreeMap::new();
+        fields.insert("owner".to_string(), PValue::Str("alice".to_string()));
+        for (pin, expect) in [
+            (None, None),
+            (Some(Engine::Tree), Some(Engine::Tree)),
+            (Some(Engine::Vm), Some(Engine::Vm)),
+        ] {
+            let mut p =
+                ScriptPolicy::new("PinnedPolicy".into(), fields.clone(), Some(class.clone()));
+            if let Some(e) = pin {
+                p = p.with_engine(e);
+            }
+            let wire = resin_core::serialize_policy(&(Arc::new(p) as resin_core::PolicyRef));
+            if pin.is_none() {
+                assert!(!wire.contains("__rp_engine"), "no pin, no field: {wire}");
+            }
+            let back = resin_core::deserialize_policy(&wire).unwrap();
+            let back = back
+                .as_any()
+                .downcast_ref::<ScriptPolicy>()
+                .expect("revives as a script policy");
+            assert_eq!(back.engine(), expect, "wire: {wire}");
+            assert_eq!(
+                back.fields().get("owner"),
+                Some(&PValue::Str("alice".to_string())),
+                "reserved field stripped, real fields intact"
+            );
+        }
+        // An unknown engine name fails closed rather than silently
+        // falling back to the process default.
+        let bad = "PinnedPolicy{owner=s%3Aalice;__rp_engine=quantum}";
+        assert!(resin_core::deserialize_policy(bad).is_err());
     }
 
     #[test]

@@ -288,12 +288,26 @@ impl ScriptPolicy {
         }
     }
 
+    /// Reserved serialized-field name carrying the engine pin. The `__rp_`
+    /// prefix keeps it out of the script-visible field namespace (RSL
+    /// identifiers never start with it in practice, and the revival path
+    /// strips it before decoding instance fields).
+    pub const ENGINE_FIELD: &'static str = "__rp_engine";
+
     /// Pins `export_check` to a specific engine (default: the process
-    /// engine). Used by benchmarks and the differential tests; the pin is
-    /// not part of the policy's identity and is not persisted.
+    /// engine). Used by benchmarks and the differential tests. The pin
+    /// persists: serialization emits it as the reserved
+    /// [`ENGINE_FIELD`](Self::ENGINE_FIELD) and revival re-applies it, so
+    /// a policy written to storage under one engine keeps checking on that
+    /// engine after a restart even if the process default changed.
     pub fn with_engine(mut self, engine: crate::interp::Engine) -> Self {
         self.engine = Some(engine);
         self
+    }
+
+    /// The engine pin, if any.
+    pub fn engine(&self) -> Option<crate::interp::Engine> {
+        self.engine
     }
 
     /// The snapshotted fields.
@@ -329,10 +343,15 @@ impl resin_core::Policy for ScriptPolicy {
     }
 
     fn serialize_fields(&self) -> Vec<(String, String)> {
-        self.fields
+        let mut out: Vec<(String, String)> = self
+            .fields
             .iter()
             .map(|(k, v)| (k.clone(), v.encode()))
-            .collect()
+            .collect();
+        if let Some(engine) = self.engine {
+            out.push((Self::ENGINE_FIELD.to_string(), engine.name().to_string()));
+        }
+        out
     }
 
     /// A script policy's behaviour lives in the captured class AST, not in

@@ -134,8 +134,9 @@ fn attack_suite_over_tcp_matches_in_process_dispatch() {
     assert_eq!(status, 200, "{posted}");
     assert!(posted.starts_with("posted "), "{posted}");
 
-    // Attack 1 — SQL injection through /search. AutoSanitize neutralizes
-    // the quote: 200, zero rows dumped, same as in-process.
+    // Attack 1 — SQL injection through /search. The pattern is a bound
+    // parameter: the quote is data, 200, zero rows dumped, same as
+    // in-process.
     let sqli = "/search?q=%27%20OR%20%271%27%3D%271";
     let (tcp_status, tcp_body) = client.roundtrip(&get(sqli, None));
     let (ip_status, ip_blocked) = in_process(

@@ -24,6 +24,16 @@ pub struct ColumnDef {
     pub ty: ColumnType,
 }
 
+/// The shape of a secondary index (see [`crate::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash map keyed on cell values: O(1) equality probes only.
+    Hash,
+    /// B-tree keyed on cell values: equality, ranges, and ordered
+    /// iteration (ORDER BY / LIMIT pushdown).
+    Ordered,
+}
+
 /// The projection of a `SELECT`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Projection {
@@ -112,6 +122,11 @@ pub enum Expr {
         /// True for `NOT IN`.
         negated: bool,
     },
+    /// A `?` bind-parameter placeholder; the payload is its 0-based
+    /// ordinal in query-text order. The value arrives at execution time
+    /// via [`crate::Prepared::bind`] — it never appears in the query
+    /// text, so it can never change query structure (§5.3).
+    Param(usize),
 }
 
 impl Expr {
@@ -150,11 +165,34 @@ pub enum Statement {
         columns: Vec<ColumnDef>,
         /// `IF NOT EXISTS` present.
         if_not_exists: bool,
+        /// Column declared `PRIMARY KEY`, if any. The engine gives it an
+        /// ordered index named `pk_<table>` automatically.
+        primary_key: Option<String>,
     },
     /// `DROP TABLE name`
     DropTable {
         /// Table name.
         name: String,
+    },
+    /// `CREATE INDEX [IF NOT EXISTS] name ON table (column) [USING HASH|BTREE]`
+    CreateIndex {
+        /// Index name (unique per table).
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// Hash or ordered; `USING BTREE` (ordered) is the default.
+        kind: IndexKind,
+        /// `IF NOT EXISTS` present.
+        if_not_exists: bool,
+    },
+    /// `DROP INDEX name ON table`
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
     },
     /// `INSERT INTO name [(cols)] VALUES (exprs), ...`
     Insert {

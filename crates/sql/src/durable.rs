@@ -23,6 +23,7 @@ use resin_store::{Recovered, SnapshotReader, SnapshotWriter, Store, StoreError};
 use crate::ast::{ColumnDef, ColumnType};
 use crate::engine::Table;
 use crate::error::{Result, SqlError};
+use crate::index::{kind_from_name, kind_name};
 use crate::rewrite::POLICY_COL_PREFIX;
 use crate::value::Value;
 
@@ -39,11 +40,54 @@ const CELL_TEXT: u8 = 2;
 const CELL_SPANS: u8 = 3;
 const CELL_LABEL: u8 = 4;
 
+/// Name of the synthetic table that persists index definitions inside a
+/// snapshot image. Lives in the reserved `__rp_` namespace (which
+/// `check_table_name` keeps applications out of), is appended by
+/// [`encode_tables`] and consumed — never surfaced — by
+/// [`decode_tables`], so the snapshot wire format itself is unchanged:
+/// index definitions ride as ordinary rows, and the indexes themselves
+/// are **rebuilt from row storage** on recovery rather than persisted.
+const INDEX_META_TABLE: &str = "__rp_indexes";
+
+/// One definition row per index across the catalog, or `None` when no
+/// table is indexed (unindexed images stay byte-identical to before).
+fn index_meta_table(tables: &[(&str, &Table)]) -> Option<Table> {
+    let rows: Vec<Vec<Value>> = tables
+        .iter()
+        .flat_map(|(name, t)| {
+            t.indexes().map(move |ix| {
+                vec![
+                    Value::Text((*name).to_string()),
+                    Value::Text(ix.name().to_string()),
+                    Value::Text(ix.column().to_string()),
+                    Value::Text(kind_name(ix.kind()).to_string()),
+                ]
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    let col = |name: &str| ColumnDef {
+        name: name.to_string(),
+        ty: ColumnType::Text,
+    };
+    Some(Table {
+        columns: vec![col("tbl"), col("name"), col("col"), col("kind")],
+        rows,
+        indexes: Vec::new(),
+    })
+}
+
 /// Encodes the whole catalog as a snapshot image.
 pub(crate) fn encode_tables<'a>(
     tables: impl IntoIterator<Item = (&'a str, &'a Table)>,
 ) -> Result<Vec<u8>> {
-    let tables: Vec<(&str, &Table)> = tables.into_iter().collect();
+    let mut tables: Vec<(&str, &Table)> = tables.into_iter().collect();
+    let meta = index_meta_table(&tables);
+    if let Some(meta) = meta.as_ref() {
+        tables.push((INDEX_META_TABLE, meta));
+    }
     let mut w = SnapshotWriter::new();
     w.put_u32(tables.len() as u32);
     for (name, t) in tables {
@@ -123,9 +167,39 @@ pub(crate) fn decode_tables(image: &[u8]) -> Result<BTreeMap<String, Table>> {
             }
             rows.push(row);
         }
-        out.insert(name, Table { columns, rows });
+        out.insert(
+            name,
+            Table {
+                columns,
+                rows,
+                indexes: Vec::new(),
+            },
+        );
+    }
+    if let Some(meta) = out.remove(INDEX_META_TABLE) {
+        apply_index_meta(&mut out, meta)?;
     }
     Ok(out)
+}
+
+/// Re-applies persisted index definitions: each index is rebuilt from
+/// the decoded rows, so probe structures always match row storage.
+fn apply_index_meta(tables: &mut BTreeMap<String, Table>, meta: Table) -> Result<()> {
+    for row in &meta.rows {
+        let field = |i: usize| {
+            row.get(i)
+                .and_then(Value::as_text)
+                .ok_or_else(|| SqlError::Storage("malformed index catalog row".into()))
+        };
+        let (tbl, name, col, kind) = (field(0)?, field(1)?, field(2)?, field(3)?);
+        let kind = kind_from_name(kind)
+            .ok_or_else(|| SqlError::Storage(format!("unknown index kind `{kind}`")))?;
+        let t = tables.get_mut(tbl).ok_or_else(|| {
+            SqlError::Storage(format!("index catalog names missing table `{tbl}`"))
+        })?;
+        t.create_index(name, col, kind, false)?;
+    }
+    Ok(())
 }
 
 fn decode_cell(r: &mut SnapshotReader) -> Result<Value> {
@@ -307,6 +381,7 @@ mod tests {
                         Value::Null,
                     ],
                 ],
+                indexes: Vec::new(),
             },
         );
         let image = encode_tables(tables.iter().map(|(n, t)| (n.as_str(), t))).unwrap();
@@ -338,6 +413,7 @@ mod tests {
                 rows: (0..rows)
                     .map(|_| vec![Value::Text("hello".into()), Value::Text(blob.into())])
                     .collect(),
+                indexes: Vec::new(),
             };
             let mut m = BTreeMap::new();
             m.insert("t".to_string(), table);
@@ -355,6 +431,49 @@ mod tests {
             .matches("PasswordPolicy")
             .count();
         assert_eq!(body_hits, 1, "policy body persisted once");
+    }
+
+    #[test]
+    fn index_definitions_survive_snapshot_roundtrip() {
+        use crate::ast::IndexKind;
+        let mut table = Table {
+            columns: vec![
+                ColumnDef {
+                    name: "id".into(),
+                    ty: ColumnType::Integer,
+                },
+                ColumnDef {
+                    name: "__rp_id".into(),
+                    ty: ColumnType::Text,
+                },
+            ],
+            rows: vec![
+                vec![Value::Int(2), Value::Text(String::new())],
+                vec![Value::Int(1), Value::Text(String::new())],
+            ],
+            indexes: Vec::new(),
+        };
+        table
+            .create_index("ix_id", "id", IndexKind::Hash, false)
+            .unwrap();
+        table
+            .create_index("ord_id", "id", IndexKind::Ordered, false)
+            .unwrap();
+        let mut tables = BTreeMap::new();
+        tables.insert("t".to_string(), table);
+        let image = encode_tables(tables.iter().map(|(n, t)| (n.as_str(), t))).unwrap();
+        let back = decode_tables(&image).unwrap();
+        assert_eq!(back.len(), 1, "meta table consumed, not surfaced");
+        let t = &back["t"];
+        let names: Vec<&str> = t.indexes().map(|ix| ix.name()).collect();
+        assert_eq!(names, vec!["ix_id", "ord_id"]);
+        let ord = t.indexes().find(|ix| ix.name() == "ord_id").unwrap();
+        assert_eq!(ord.kind(), IndexKind::Ordered);
+        assert_eq!(
+            ord.ordered_ids_capped(false, usize::MAX),
+            vec![1, 0],
+            "rebuilt from decoded rows"
+        );
     }
 
     #[test]

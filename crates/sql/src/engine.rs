@@ -13,17 +13,22 @@
 
 use std::collections::BTreeMap;
 
-use crate::ast::{BinOp, ColumnDef, Expr, LitValue, Projection, SelectStmt, Statement};
+use crate::ast::{BinOp, ColumnDef, Expr, IndexKind, LitValue, Projection, SelectStmt, Statement};
 use crate::error::{Result, SqlError};
+use crate::index::Index;
+use crate::plan::{self, Access};
 use crate::value::{like_match, Value};
 
-/// A table: schema plus row storage.
+/// A table: schema, row storage, and secondary indexes.
 #[derive(Debug, Clone)]
 pub struct Table {
     /// Column definitions in declaration order.
     pub columns: Vec<ColumnDef>,
     /// Row-major storage.
     pub rows: Vec<Vec<Value>>,
+    /// Secondary indexes (see [`crate::index`]). Kept inside the table so
+    /// transaction snapshots and rollbacks restore index state for free.
+    pub(crate) indexes: Vec<Index>,
 }
 
 impl Table {
@@ -31,6 +36,54 @@ impl Table {
     pub fn col_index(&self, name: &str) -> Option<usize> {
         self.columns.iter().position(|c| c.name == name)
     }
+
+    /// The table's secondary indexes, in creation order.
+    pub fn indexes(&self) -> impl Iterator<Item = &Index> {
+        self.indexes.iter()
+    }
+
+    /// Builds an index over `column` and registers it. Returns `false`
+    /// when `if_not_exists` suppressed a duplicate.
+    pub(crate) fn create_index(
+        &mut self,
+        name: &str,
+        column: &str,
+        kind: IndexKind,
+        if_not_exists: bool,
+    ) -> Result<bool> {
+        if self.indexes.iter().any(|ix| ix.name() == name) {
+            if if_not_exists {
+                return Ok(false);
+            }
+            return Err(SqlError::schema(format!("index `{name}` already exists")));
+        }
+        let ix = Index::build(name, column, kind, &self.columns, &self.rows)?;
+        self.indexes.push(ix);
+        Ok(true)
+    }
+
+    /// Removes the index called `name`.
+    pub(crate) fn drop_index(&mut self, name: &str) -> Result<()> {
+        match self.indexes.iter().position(|ix| ix.name() == name) {
+            Some(i) => {
+                self.indexes.remove(i);
+                Ok(())
+            }
+            None => Err(SqlError::schema(format!("no such index `{name}`"))),
+        }
+    }
+}
+
+/// Rejects table names in the reserved `__rp_` namespace (policy columns
+/// and the durable index catalog live there).
+pub(crate) fn check_table_name(name: &str) -> Result<()> {
+    if name.starts_with(crate::rewrite::POLICY_COL_PREFIX) {
+        return Err(SqlError::schema(format!(
+            "table name `{name}` uses the reserved `{}` prefix",
+            crate::rewrite::POLICY_COL_PREFIX
+        )));
+    }
+    Ok(())
 }
 
 /// The result of executing a statement.
@@ -68,33 +121,66 @@ impl Database {
 
     /// Executes a parsed statement.
     pub fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        self.execute_with_params(stmt, &[])
+    }
+
+    /// Executes a parsed statement with bind-parameter values. `params[i]`
+    /// is the value of the `i`-th `?` placeholder in text order.
+    pub fn execute_with_params(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable {
                 name,
                 columns,
                 if_not_exists,
-            } => self.create_table(name, columns, *if_not_exists),
+                primary_key,
+            } => self.create_table(name, columns, *if_not_exists, primary_key.as_deref()),
             Statement::DropTable { name } => {
                 if self.tables.remove(name).is_none() {
                     return Err(SqlError::schema(format!("no such table `{name}`")));
                 }
                 Ok(QueryResult::default())
             }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                kind,
+                if_not_exists,
+            } => {
+                let t = self
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+                t.create_index(name, column, *kind, *if_not_exists)?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropIndex { name, table } => {
+                let t = self
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
+                t.drop_index(name)?;
+                Ok(QueryResult::default())
+            }
             Statement::Insert {
                 table,
                 columns,
                 rows,
-            } => self.insert(table, columns.as_deref(), rows),
-            Statement::Select(sel) => self.select(sel),
+            } => self.insert(table, columns.as_deref(), rows, params),
+            Statement::Select(sel) => self.select(sel, params),
             Statement::Update {
                 table,
                 assignments,
                 where_clause,
-            } => self.update(table, assignments, where_clause.as_ref()),
+            } => self.update(table, assignments, where_clause.as_ref(), params),
             Statement::Delete {
                 table,
                 where_clause,
-            } => self.delete(table, where_clause.as_ref()),
+            } => self.delete(table, where_clause.as_ref(), params),
         }
     }
 
@@ -102,6 +188,21 @@ impl Database {
     pub fn execute_str(&mut self, sql: &str) -> Result<QueryResult> {
         let stmt = crate::parser::parse_str(sql)?;
         self.execute(&stmt)
+    }
+
+    /// The access path the planner would pick for a SELECT — a one-line
+    /// `EXPLAIN` (e.g. `probe-eq(users via pk_users [BTREE], 1 key)`)
+    /// for tests and diagnostics. Non-SELECT statements report
+    /// `(not a select)`.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = crate::parser::parse_str(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Ok("(not a select)".to_string());
+        };
+        let t = self
+            .table(&sel.table)
+            .ok_or_else(|| SqlError::schema(format!("no such table `{}`", sel.table)))?;
+        Ok(plan::explain_select(t, &sel, &[]))
     }
 
     /// Installs `table` under `name` (transaction-rollback support).
@@ -119,14 +220,19 @@ impl Database {
         name: &str,
         columns: &[ColumnDef],
         if_not_exists: bool,
+        primary_key: Option<&str>,
     ) -> Result<QueryResult> {
+        check_table_name(name)?;
         if self.tables.contains_key(name) {
             if if_not_exists {
                 return Ok(QueryResult::default());
             }
             return Err(SqlError::schema(format!("table `{name}` already exists")));
         }
-        let table = new_table(columns)?;
+        let mut table = new_table(columns)?;
+        if let Some(pk) = primary_key {
+            table.create_index(&format!("pk_{name}"), pk, IndexKind::Ordered, false)?;
+        }
         self.tables.insert(name.to_string(), table);
         Ok(QueryResult::default())
     }
@@ -136,24 +242,25 @@ impl Database {
         table: &str,
         columns: Option<&[String]>,
         rows: &[Vec<Expr>],
+        params: &[Value],
     ) -> Result<QueryResult> {
         let t = self
             .tables
             .get_mut(table)
             .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
-        let affected = table_insert(t, table, columns, rows)?;
+        let affected = table_insert(t, table, columns, rows, params)?;
         Ok(QueryResult {
             affected,
             ..QueryResult::default()
         })
     }
 
-    fn select(&mut self, sel: &SelectStmt) -> Result<QueryResult> {
+    fn select(&mut self, sel: &SelectStmt, params: &[Value]) -> Result<QueryResult> {
         let t = self
             .tables
             .get(&sel.table)
             .ok_or_else(|| SqlError::schema(format!("no such table `{}`", sel.table)))?;
-        table_select(t, sel)
+        table_select(t, sel, params)
     }
 
     fn update(
@@ -161,24 +268,30 @@ impl Database {
         table: &str,
         assignments: &[(String, Expr)],
         where_clause: Option<&Expr>,
+        params: &[Value],
     ) -> Result<QueryResult> {
         let t = self
             .tables
             .get_mut(table)
             .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
-        let affected = table_update(t, assignments, where_clause)?;
+        let affected = table_update(t, assignments, where_clause, params)?;
         Ok(QueryResult {
             affected,
             ..QueryResult::default()
         })
     }
 
-    fn delete(&mut self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
+    fn delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        params: &[Value],
+    ) -> Result<QueryResult> {
         let t = self
             .tables
             .get_mut(table)
             .ok_or_else(|| SqlError::schema(format!("no such table `{table}`")))?;
-        let affected = table_delete(t, where_clause)?;
+        let affected = table_delete(t, where_clause, params)?;
         Ok(QueryResult {
             affected,
             ..QueryResult::default()
@@ -199,6 +312,7 @@ pub(crate) fn new_table(columns: &[ColumnDef]) -> Result<Table> {
     Ok(Table {
         columns: columns.to_vec(),
         rows: Vec::new(),
+        indexes: Vec::new(),
     })
 }
 
@@ -209,6 +323,7 @@ pub(crate) fn table_insert(
     name: &str,
     columns: Option<&[String]>,
     rows: &[Vec<Expr>],
+    params: &[Value],
 ) -> Result<usize> {
     // Map provided positions to storage positions.
     let positions: Vec<usize> = match columns {
@@ -233,38 +348,101 @@ pub(crate) fn table_insert(
         }
         let mut storage = vec![Value::Null; width];
         for (expr, &pos) in row.iter().zip(&positions) {
-            storage[pos] = eval_const(expr)?;
+            storage[pos] = eval_const(expr, params)?;
         }
         staged.push(storage);
     }
     let affected = staged.len();
+    let base = t.rows.len();
     t.rows.extend(staged);
+    let Table { rows, indexes, .. } = t;
+    for ix in indexes.iter_mut() {
+        for (id, row) in rows.iter().enumerate().skip(base) {
+            ix.add(id, &row[ix.col]);
+        }
+    }
     Ok(affected)
 }
 
 /// Runs a SELECT against one table.
-pub(crate) fn table_select(t: &Table, sel: &SelectStmt) -> Result<QueryResult> {
+///
+/// The [`crate::plan`] module picks the access path: a full scan, an
+/// index probe (candidate ids that the full predicate is re-applied to,
+/// so probes are exactly as selective as scans), or ordered-index
+/// iteration that yields rows already in ORDER BY order (skipping the
+/// sort and stopping at LIMIT).
+pub(crate) fn table_select(t: &Table, sel: &SelectStmt, params: &[Value]) -> Result<QueryResult> {
+    let order = match &sel.order_by {
+        Some((col, desc)) => {
+            let idx = t
+                .col_index(col)
+                .ok_or_else(|| SqlError::schema(format!("no column `{col}`")))?;
+            Some((idx, *desc))
+        }
+        None => None,
+    };
+    let clause = sel.where_clause.as_ref();
     let mut matched: Vec<&Vec<Value>> = Vec::new();
-    for row in &t.rows {
-        if matches_where(t, row, sel.where_clause.as_ref())? {
-            matched.push(row);
+    let mut pre_ordered = false;
+    match plan::plan_select(t, sel, params) {
+        Access::Scan => {
+            for row in &t.rows {
+                if matches_where(t, row, clause, params)? {
+                    matched.push(row);
+                }
+            }
+        }
+        Access::Ids(ids) => {
+            for id in ids {
+                let row = &t.rows[id];
+                if matches_where(t, row, clause, params)? {
+                    matched.push(row);
+                }
+            }
+        }
+        Access::KeyOrdered(ids) => {
+            // Rows arrive in ORDER BY order (planner guarantees the index
+            // is exact: ordered kind, no residue), so LIMIT pushes down.
+            pre_ordered = true;
+            let cap = sel.limit.unwrap_or(usize::MAX);
+            for id in ids {
+                if matched.len() >= cap {
+                    break;
+                }
+                let row = &t.rows[id];
+                if matches_where(t, row, clause, params)? {
+                    matched.push(row);
+                }
+            }
         }
     }
-    if let Some((col, desc)) = &sel.order_by {
-        let idx = t
-            .col_index(col)
-            .ok_or_else(|| SqlError::schema(format!("no column `{col}`")))?;
-        matched.sort_by(|a, b| {
-            let ord = a[idx].compare(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
-            if *desc {
-                ord.reverse()
-            } else {
-                ord
+    if let Some((idx, desc)) = order {
+        if !pre_ordered {
+            // NULL is not comparable (`Value::compare` returns `None`), so
+            // an ordering over it would be arbitrary; fail loudly instead
+            // of silently treating incomparable keys as equal.
+            if matched.iter().any(|r| r[idx].is_null()) {
+                let (col, _) = sel.order_by.as_ref().expect("order resolved from order_by");
+                return Err(SqlError::schema(format!(
+                    "cannot ORDER BY `{col}`: a matching row has a NULL key"
+                )));
             }
-        });
+            matched.sort_by(|a, b| {
+                let ord = a[idx]
+                    .compare(&b[idx])
+                    .expect("non-NULL cells always compare");
+                if desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
     }
-    if let Some(limit) = sel.limit {
-        matched.truncate(limit);
+    if !pre_ordered {
+        if let Some(limit) = sel.limit {
+            matched.truncate(limit);
+        }
     }
     match &sel.projection {
         Projection::CountStar => Ok(QueryResult {
@@ -299,10 +477,13 @@ pub(crate) fn table_select(t: &Table, sel: &SelectStmt) -> Result<QueryResult> {
 }
 
 /// Applies an UPDATE to one table, returning the affected-row count.
+/// Matching rows are found via the planner (probe or scan); indexes on
+/// assigned columns are maintained in place.
 pub(crate) fn table_update(
     t: &mut Table,
     assignments: &[(String, Expr)],
     where_clause: Option<&Expr>,
+    params: &[Value],
 ) -> Result<usize> {
     let idxs: Vec<(usize, Value)> = assignments
         .iter()
@@ -310,35 +491,41 @@ pub(crate) fn table_update(
             let i = t
                 .col_index(c)
                 .ok_or_else(|| SqlError::schema(format!("no column `{c}`")))?;
-            Ok((i, eval_const(e)?))
+            Ok((i, eval_const(e, params)?))
         })
         .collect::<Result<_>>()?;
-    // Evaluate the predicate against the immutable borrow first.
-    let mut hits = Vec::new();
-    for (ri, row) in t.rows.iter().enumerate() {
-        if matches_where(t, row, where_clause)? {
-            hits.push(ri);
-        }
-    }
+    let hits = plan::matching_row_ids(t, where_clause, params)?;
     let affected = hits.len();
-    for ri in hits {
+    let Table { rows, indexes, .. } = t;
+    for &ri in &hits {
         for (ci, v) in &idxs {
-            t.rows[ri][*ci] = v.clone();
+            let old = std::mem::replace(&mut rows[ri][*ci], v.clone());
+            if old != *v {
+                for ix in indexes.iter_mut() {
+                    if ix.col == *ci {
+                        ix.replace(ri, &old, v);
+                    }
+                }
+            }
         }
     }
     Ok(affected)
 }
 
 /// Applies a DELETE to one table, returning the affected-row count.
-pub(crate) fn table_delete(t: &mut Table, where_clause: Option<&Expr>) -> Result<usize> {
-    let mut hits = Vec::new();
-    for (ri, row) in t.rows.iter().enumerate() {
-        if matches_where(t, row, where_clause)? {
-            hits.push(ri);
-        }
-    }
+/// Index posting lists drop the deleted ids and shift the survivors to
+/// match the compacted row storage.
+pub(crate) fn table_delete(
+    t: &mut Table,
+    where_clause: Option<&Expr>,
+    params: &[Value],
+) -> Result<usize> {
+    let hits = plan::matching_row_ids(t, where_clause, params)?;
     let affected = hits.len();
     if affected > 0 {
+        for ix in t.indexes.iter_mut() {
+            ix.apply_delete(&hits);
+        }
         let mut hit_iter = hits.into_iter().peekable();
         let mut idx = 0usize;
         t.rows.retain(|_| {
@@ -353,27 +540,36 @@ pub(crate) fn table_delete(t: &mut Table, where_clause: Option<&Expr>) -> Result
     Ok(affected)
 }
 
-fn eval_const(expr: &Expr) -> Result<Value> {
+fn eval_const(expr: &Expr, params: &[Value]) -> Result<Value> {
     match expr {
         Expr::Lit(l) => Ok(match &l.value {
             LitValue::Int(i) => Value::Int(*i),
             LitValue::Text(s) => Value::Text(s.clone()),
             LitValue::Null => Value::Null,
         }),
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| SqlError::Type(format!("parameter ?{} has no bound value", *i + 1))),
         other => Err(SqlError::Type(format!(
             "expected a literal value, found {other:?}"
         ))),
     }
 }
 
-fn matches_where(t: &Table, row: &[Value], clause: Option<&Expr>) -> Result<bool> {
+pub(crate) fn matches_where(
+    t: &Table,
+    row: &[Value],
+    clause: Option<&Expr>,
+    params: &[Value],
+) -> Result<bool> {
     match clause {
         None => Ok(true),
-        Some(e) => Ok(eval_expr(t, row, e)?.truthy()),
+        Some(e) => Ok(eval_expr(t, row, e, params)?.truthy()),
     }
 }
 
-fn eval_expr(t: &Table, row: &[Value], expr: &Expr) -> Result<Value> {
+fn eval_expr(t: &Table, row: &[Value], expr: &Expr, params: &[Value]) -> Result<Value> {
     match expr {
         Expr::Column(name) => {
             let i = t
@@ -381,13 +577,13 @@ fn eval_expr(t: &Table, row: &[Value], expr: &Expr) -> Result<Value> {
                 .ok_or_else(|| SqlError::schema(format!("no column `{name}`")))?;
             Ok(row[i].clone())
         }
-        Expr::Lit(_) => eval_const(expr),
+        Expr::Lit(_) | Expr::Param(_) => eval_const(expr, params),
         Expr::Not(inner) => {
-            let v = eval_expr(t, row, inner)?;
+            let v = eval_expr(t, row, inner, params)?;
             Ok(Value::Int(if v.truthy() { 0 } else { 1 }))
         }
         Expr::IsNull { expr, negated } => {
-            let v = eval_expr(t, row, expr)?;
+            let v = eval_expr(t, row, expr, params)?;
             Ok(Value::Int(if v.is_null() != *negated { 1 } else { 0 }))
         }
         Expr::InList {
@@ -395,10 +591,10 @@ fn eval_expr(t: &Table, row: &[Value], expr: &Expr) -> Result<Value> {
             list,
             negated,
         } => {
-            let v = eval_expr(t, row, expr)?;
+            let v = eval_expr(t, row, expr, params)?;
             let mut found = false;
             for item in list {
-                let w = eval_expr(t, row, item)?;
+                let w = eval_expr(t, row, item, params)?;
                 if v.compare(&w) == Some(std::cmp::Ordering::Equal) {
                     found = true;
                     break;
@@ -407,8 +603,8 @@ fn eval_expr(t: &Table, row: &[Value], expr: &Expr) -> Result<Value> {
             Ok(Value::Int(if found != *negated { 1 } else { 0 }))
         }
         Expr::Binary { op, left, right } => {
-            let l = eval_expr(t, row, left)?;
-            let r = eval_expr(t, row, right)?;
+            let l = eval_expr(t, row, left, params)?;
+            let r = eval_expr(t, row, right, params)?;
             let b = match op {
                 BinOp::And => l.truthy() && r.truthy(),
                 BinOp::Or => l.truthy() || r.truthy(),
@@ -588,5 +784,152 @@ mod tests {
             .execute_str("INSERT INTO t VALUES (1), (2), (3)")
             .unwrap();
         assert_eq!(r.affected, 3);
+    }
+
+    #[test]
+    fn order_by_null_key_is_an_error_not_an_arbitrary_order() {
+        // `compare` returns None for NULL; an earlier revision silently
+        // treated incomparable keys as Equal, yielding an arbitrary,
+        // stable-sort-dependent order. Fail loudly instead.
+        let mut db = db_with_users();
+        db.execute_str("INSERT INTO users (id, name) VALUES (4, 'dan')")
+            .unwrap();
+        let err = db
+            .execute_str("SELECT name FROM users ORDER BY age")
+            .unwrap_err();
+        assert!(err.to_string().contains("NULL key"), "{err}");
+        // Rows with NULL keys that the WHERE clause excludes don't error.
+        let r = db
+            .execute_str("SELECT name FROM users WHERE age > 0 ORDER BY age")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn primary_key_auto_creates_ordered_index() {
+        let mut db = Database::new();
+        db.execute_str("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            .unwrap();
+        let t = db.table("t").unwrap();
+        let ix = t.indexes().next().unwrap();
+        assert_eq!(ix.name(), "pk_t");
+        assert_eq!(ix.kind(), crate::ast::IndexKind::Ordered);
+        db.execute_str("INSERT INTO t VALUES (2, 'b'), (1, 'a')")
+            .unwrap();
+        assert!(db
+            .explain("SELECT v FROM t WHERE id = 1")
+            .unwrap()
+            .contains("probe-eq"));
+        let r = db.execute_str("SELECT v FROM t ORDER BY id").unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn indexes_stay_correct_through_insert_update_delete() {
+        let mut db = db_with_users();
+        db.execute_str("CREATE INDEX ix_age ON users (age)")
+            .unwrap();
+        db.execute_str("INSERT INTO users VALUES (4, 'dan', 25)")
+            .unwrap();
+        let r = db
+            .execute_str("SELECT name FROM users WHERE age = 25")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "insert maintained the index");
+        db.execute_str("UPDATE users SET age = 31 WHERE name = 'bob'")
+            .unwrap();
+        let r = db
+            .execute_str("SELECT name FROM users WHERE age = 25")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1, "update moved bob out of the bucket");
+        db.execute_str("DELETE FROM users WHERE age = 31").unwrap();
+        let r = db
+            .execute_str("SELECT name FROM users WHERE age = 25 OR age = 30 OR age = 35")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3, "delete remapped surviving row ids");
+        let r = db
+            .execute_str("SELECT name FROM users ORDER BY age")
+            .unwrap();
+        assert_eq!(
+            r.rows.iter().map(|r| &r[0]).collect::<Vec<_>>(),
+            vec![
+                &Value::Text("dan".into()),
+                &Value::Text("alice".into()),
+                &Value::Text("carol".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn probe_results_equal_scan_results() {
+        let mut indexed = db_with_users();
+        indexed
+            .execute_str("CREATE INDEX ix_id ON users (id) USING HASH")
+            .unwrap();
+        indexed
+            .execute_str("CREATE INDEX ix_age ON users (age)")
+            .unwrap();
+        let mut plain = db_with_users();
+        for q in [
+            "SELECT * FROM users WHERE id = 2",
+            "SELECT * FROM users WHERE id IN (1, 3)",
+            "SELECT * FROM users WHERE age > 26",
+            "SELECT * FROM users WHERE age >= 25 AND age < 35",
+            "SELECT * FROM users ORDER BY age DESC",
+            "SELECT * FROM users WHERE age > 20 ORDER BY age LIMIT 2",
+        ] {
+            let a = indexed.execute_str(q).unwrap();
+            let b = plain.execute_str(q).unwrap();
+            assert_eq!(a.rows, b.rows, "{q}");
+        }
+    }
+
+    #[test]
+    fn index_ddl_errors() {
+        let mut db = db_with_users();
+        db.execute_str("CREATE INDEX i ON users (id)").unwrap();
+        assert!(db.execute_str("CREATE INDEX i ON users (age)").is_err());
+        db.execute_str("CREATE INDEX IF NOT EXISTS i ON users (age)")
+            .unwrap();
+        assert!(db.execute_str("CREATE INDEX j ON users (nope)").is_err());
+        assert!(db.execute_str("CREATE INDEX j ON nope (id)").is_err());
+        assert!(db.execute_str("DROP INDEX nope ON users").is_err());
+        db.execute_str("DROP INDEX i ON users").unwrap();
+        assert_eq!(db.table("users").unwrap().indexes().count(), 0);
+    }
+
+    #[test]
+    fn reserved_table_namespace_rejected() {
+        let mut db = Database::new();
+        assert!(db.execute_str("CREATE TABLE __rp_x (a INTEGER)").is_err());
+    }
+
+    #[test]
+    fn bind_params_evaluate_and_report_unbound() {
+        let mut db = db_with_users();
+        let stmt = crate::parser::parse_str("SELECT name FROM users WHERE id = ?").unwrap();
+        let r = db.execute_with_params(&stmt, &[Value::Int(2)]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("bob".into()));
+        let err = db.execute_with_params(&stmt, &[]).unwrap_err();
+        assert!(err.to_string().contains("parameter ?1"), "{err}");
+    }
+
+    #[test]
+    fn probe_with_bound_param_uses_index() {
+        let mut db = db_with_users();
+        db.execute_str("CREATE INDEX ix_id ON users (id) USING HASH")
+            .unwrap();
+        let stmt = crate::parser::parse_str("SELECT name FROM users WHERE id = ?").unwrap();
+        // The planner sees the bound value, so the probe applies.
+        let t = db.table("users").unwrap();
+        let Statement::Select(sel) = &stmt else {
+            unreachable!()
+        };
+        let plan = plan::explain_select(t, sel, &[Value::Int(3)]);
+        assert!(plan.contains("probe-eq"), "{plan}");
+        // Unbound: planner falls back to scan (eval then reports).
+        let plan = plan::explain_select(t, sel, &[]);
+        assert_eq!(plan, "scan(users)");
+        let r = db.execute_with_params(&stmt, &[Value::Int(3)]).unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("carol".into()));
     }
 }

@@ -36,17 +36,22 @@ pub mod ast;
 pub mod durable;
 pub mod engine;
 pub mod error;
+pub mod index;
 pub mod parser;
+pub mod plan;
 pub mod rewrite;
 pub mod shard;
 pub mod token;
 pub mod txn;
 pub mod value;
 
+pub use ast::{IndexKind, Statement};
 pub use engine::{Database, QueryResult, Table};
 pub use error::{Result, SqlError};
+pub use index::Index;
 pub use rewrite::{
-    GuardMode, ResinDb, SqlGuardFilter, TCell, TaintedResult, Tracking, POLICY_COL_PREFIX,
+    BindValue, BoundStatement, GuardMode, Prepared, ResinDb, SqlGuardFilter, TCell, TaintedResult,
+    Tracking, POLICY_COL_PREFIX,
 };
 pub use shard::{ShardedDatabase, SharedDb, SharedIntegrityCheck, SharedTransaction};
 pub use txn::{IntegrityCheck, Transaction};

@@ -1,7 +1,8 @@
 //! Recursive-descent SQL parser.
 
 use crate::ast::{
-    BinOp, ColumnDef, ColumnType, Expr, LitValue, Literal, Projection, SelectStmt, Statement,
+    BinOp, ColumnDef, ColumnType, Expr, IndexKind, LitValue, Literal, Projection, SelectStmt,
+    Statement,
 };
 use crate::error::{Result, SqlError};
 use crate::token::{Tok, Token};
@@ -106,8 +107,8 @@ impl<'a> Parser<'a> {
             Some(Tok::Kw(k)) => match k.as_str() {
                 "SELECT" => self.select().map(Statement::Select),
                 "INSERT" => self.insert(),
-                "CREATE" => self.create_table(),
-                "DROP" => self.drop_table(),
+                "CREATE" => self.create(),
+                "DROP" => self.drop(),
                 "UPDATE" => self.update(),
                 "DELETE" => self.delete(),
                 other => Err(self.err(format!("unsupported statement `{other}`"))),
@@ -116,8 +117,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn create_table(&mut self) -> Result<Statement> {
+    fn create(&mut self) -> Result<Statement> {
         self.expect_kw("CREATE")?;
+        if matches!(self.peek(), Some(Tok::Kw(k)) if k == "INDEX") {
+            return self.create_index();
+        }
         self.expect_kw("TABLE")?;
         let if_not_exists = if self.eat_kw("IF") {
             self.expect_kw("NOT")?;
@@ -129,6 +133,7 @@ impl<'a> Parser<'a> {
         let name = self.ident()?;
         self.expect_punct('(')?;
         let mut columns = Vec::new();
+        let mut primary_key = None;
         loop {
             let col = self.ident()?;
             let ty = match self.peek() {
@@ -142,9 +147,14 @@ impl<'a> Parser<'a> {
                 }
                 other => return Err(self.err(format!("expected column type, found {other:?}"))),
             };
-            // `PRIMARY KEY` is accepted and ignored (no index support).
+            // `PRIMARY KEY` marks the column; the engine builds an ordered
+            // index `pk_<table>` on it.
             if self.eat_kw("PRIMARY") {
                 self.expect_kw("KEY")?;
+                if primary_key.is_some() {
+                    return Err(self.err("multiple PRIMARY KEY columns"));
+                }
+                primary_key = Some(col.clone());
             }
             columns.push(ColumnDef { name: col, ty });
             if !self.eat_punct(',') {
@@ -156,11 +166,54 @@ impl<'a> Parser<'a> {
             name,
             columns,
             if_not_exists,
+            primary_key,
         })
     }
 
-    fn drop_table(&mut self) -> Result<Statement> {
+    /// `CREATE INDEX [IF NOT EXISTS] name ON table (column) [USING HASH|BTREE]`
+    fn create_index(&mut self) -> Result<Statement> {
+        self.expect_kw("INDEX")?;
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_punct('(')?;
+        let column = self.ident()?;
+        self.expect_punct(')')?;
+        let kind = if self.eat_kw("USING") {
+            if self.eat_kw("HASH") {
+                IndexKind::Hash
+            } else if self.eat_kw("BTREE") {
+                IndexKind::Ordered
+            } else {
+                return Err(self.err(format!("expected HASH or BTREE, found {:?}", self.peek())));
+            }
+        } else {
+            IndexKind::Ordered
+        };
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+            kind,
+            if_not_exists,
+        })
+    }
+
+    fn drop(&mut self) -> Result<Statement> {
         self.expect_kw("DROP")?;
+        if self.eat_kw("INDEX") {
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            return Ok(Statement::DropIndex { name, table });
+        }
         self.expect_kw("TABLE")?;
         let name = self.ident()?;
         Ok(Statement::DropTable { name })
@@ -426,6 +479,7 @@ impl<'a> Parser<'a> {
                 span: token.span,
             })),
             Tok::Ident(name) => Ok(Expr::Column(name)),
+            Tok::Param(i) => Ok(Expr::Param(i)),
             other => {
                 self.pos -= 1;
                 Err(self.err(format!("unexpected token {other:?}")))
@@ -447,15 +501,84 @@ mod tests {
                 name,
                 columns,
                 if_not_exists,
+                primary_key,
             } => {
                 assert_eq!(name, "users");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(columns[0].ty, ColumnType::Integer);
                 assert_eq!(columns[1].name, "name");
                 assert!(!if_not_exists);
+                assert_eq!(primary_key.as_deref(), Some("id"));
             }
             other => panic!("wrong statement {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_create_index() {
+        let s = parse_str("CREATE INDEX ix_name ON users (name) USING HASH").unwrap();
+        match s {
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                kind,
+                if_not_exists,
+            } => {
+                assert_eq!(name, "ix_name");
+                assert_eq!(table, "users");
+                assert_eq!(column, "name");
+                assert_eq!(kind, IndexKind::Hash);
+                assert!(!if_not_exists);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+        // BTREE is the default.
+        let s = parse_str("CREATE INDEX IF NOT EXISTS i ON t (a)").unwrap();
+        assert!(matches!(
+            s,
+            Statement::CreateIndex {
+                kind: IndexKind::Ordered,
+                if_not_exists: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_str("DROP INDEX i ON t").unwrap(),
+            Statement::DropIndex { .. }
+        ));
+        assert!(parse_str("CREATE INDEX i ON t (a) USING ROPE").is_err());
+        assert!(parse_str("DROP INDEX i").is_err());
+        assert!(
+            parse_str("CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)").is_err()
+        );
+    }
+
+    #[test]
+    fn parse_bind_params() {
+        let s = parse_str("SELECT body FROM posts WHERE id = ? AND author = ?").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } = sel.where_clause.unwrap()
+        else {
+            panic!("expected AND");
+        };
+        assert!(matches!(
+            *left,
+            Expr::Binary { op: BinOp::Eq, ref right, .. } if **right == Expr::Param(0)
+        ));
+        assert!(matches!(
+            *right,
+            Expr::Binary { op: BinOp::Eq, ref right, .. } if **right == Expr::Param(1)
+        ));
+        let s = parse_str("INSERT INTO posts VALUES (?, ?)").unwrap();
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
+        assert_eq!(rows[0], vec![Expr::Param(0), Expr::Param(1)]);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use resin_core::{
 use crate::ast::{ColumnDef, ColumnType, Expr, LitValue, Literal, Projection, Statement};
 use crate::engine::{Database, QueryResult, Table};
 use crate::error::{Result, SqlError};
-use crate::token::{lex, lex_tainted, sanitize_query, Token};
+use crate::token::{lex, lex_tainted, sanitize_query, Tok, Token};
 use crate::value::Value;
 
 /// Prefix of shadow policy columns.
@@ -229,8 +229,9 @@ fn guard_query_cow<'a>(
 /// table-level locking), so the exact same rewriting + guard pipeline
 /// serves [`ResinDb`] and [`crate::shard::SharedDb`].
 pub(crate) trait QueryBackend {
-    /// Executes one parsed statement.
-    fn execute(&mut self, stmt: &Statement) -> Result<QueryResult>;
+    /// Executes one parsed statement; `params[i]` is the raw value of the
+    /// `i`-th `?` placeholder.
+    fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<QueryResult>;
 
     /// All column names of `table` (including policy columns), or a schema
     /// error when the table does not exist.
@@ -238,8 +239,8 @@ pub(crate) trait QueryBackend {
 }
 
 impl QueryBackend for Database {
-    fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
-        Database::execute(self, stmt)
+    fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<QueryResult> {
+        Database::execute_with_params(self, stmt, params)
     }
 
     fn columns_of(&self, table: &str) -> Result<Vec<String>> {
@@ -275,15 +276,19 @@ pub(crate) fn prepare_query<'a>(
 }
 
 /// The rewrite + execute back half of the pipeline, on an already
-/// guarded-and-parsed statement.
+/// guarded-and-parsed statement. `params` carries the bind-parameter
+/// values (empty for plain text queries): raw values flow to the engine,
+/// labels flow into the policy-column blobs.
 pub(crate) fn run_prepared<B: QueryBackend>(
     backend: &mut B,
     sql: &TaintedString,
     stmt: Statement,
     tracking: Tracking,
+    params: &[BindValue],
 ) -> Result<TaintedResult> {
+    let raw: Vec<Value> = params.iter().map(BindValue::raw).collect();
     if tracking == Tracking::Off {
-        let res = backend.execute(&stmt)?;
+        let res = backend.execute(&stmt, &raw)?;
         return Ok(plain_result(res));
     }
     match stmt {
@@ -291,25 +296,238 @@ pub(crate) fn run_prepared<B: QueryBackend>(
             name,
             columns,
             if_not_exists,
-        } => create_rewritten(backend, &name, columns, if_not_exists),
+            primary_key,
+        } => create_rewritten(backend, &name, columns, if_not_exists, primary_key),
         Statement::Insert {
             table,
             columns,
             rows,
-        } => insert_rewritten(backend, sql, &table, columns, rows),
-        Statement::Select(sel) => select_rewritten(backend, sel),
+        } => insert_rewritten(backend, sql, &table, columns, rows, params, &raw),
+        Statement::Select(sel) => select_rewritten(backend, sel, &raw),
         Statement::Update {
             table,
             assignments,
             where_clause,
-        } => update_rewritten(backend, sql, &table, assignments, where_clause),
-        other @ (Statement::Delete { .. } | Statement::DropTable { .. }) => {
+        } => update_rewritten(
+            backend,
+            sql,
+            &table,
+            assignments,
+            where_clause,
+            params,
+            &raw,
+        ),
+        Statement::CreateIndex { ref column, .. } if column.starts_with(POLICY_COL_PREFIX) => Err(
+            SqlError::schema(format!("cannot index policy column `{column}` directly")),
+        ),
+        other @ (Statement::Delete { .. }
+        | Statement::DropTable { .. }
+        | Statement::CreateIndex { .. }
+        | Statement::DropIndex { .. }) => {
             // DELETE/DROP need no rewriting — the paper notes DELETE's
-            // low overhead for exactly this reason (§7.2).
-            let res = backend.execute(&other)?;
+            // low overhead for exactly this reason (§7.2). Index DDL keys
+            // on raw cell values only (labels stay with the stored cells),
+            // so it passes through unchanged too.
+            let res = backend.execute(&other, &raw)?;
             Ok(plain_result(res))
         }
     }
+}
+
+/// A value bound to a `?` placeholder of a [`Prepared`] statement.
+///
+/// Bind values enter the pipeline **as data**: they are never spliced
+/// into query text, so nothing an attacker puts in one can reach the
+/// query's structure — the bind-parameter API is injection-proof by
+/// construction rather than by checking. Labels ride along: a tainted
+/// bind value stores its policies into the row's policy columns exactly
+/// as a tainted literal would.
+#[derive(Debug, Clone)]
+pub enum BindValue {
+    /// SQL NULL.
+    Null,
+    /// An integer with a (whole-datum) policy set.
+    Int(Tainted<i64>),
+    /// Text with byte-range policies.
+    Text(TaintedString),
+}
+
+impl BindValue {
+    /// The raw engine value (labels stripped — they travel separately
+    /// into the policy columns).
+    pub(crate) fn raw(&self) -> Value {
+        match self {
+            BindValue::Null => Value::Null,
+            BindValue::Int(i) => Value::Int(*i.value()),
+            BindValue::Text(t) => Value::Text(t.as_str().to_string()),
+        }
+    }
+}
+
+impl From<i64> for BindValue {
+    fn from(v: i64) -> Self {
+        BindValue::Int(Tainted::new(v))
+    }
+}
+
+impl From<Tainted<i64>> for BindValue {
+    fn from(v: Tainted<i64>) -> Self {
+        BindValue::Int(v)
+    }
+}
+
+impl From<&str> for BindValue {
+    fn from(v: &str) -> Self {
+        BindValue::Text(TaintedString::from(v))
+    }
+}
+
+impl From<String> for BindValue {
+    fn from(v: String) -> Self {
+        BindValue::Text(TaintedString::from(v))
+    }
+}
+
+impl From<TaintedString> for BindValue {
+    fn from(v: TaintedString) -> Self {
+        BindValue::Text(v)
+    }
+}
+
+impl From<&TaintedString> for BindValue {
+    fn from(v: &TaintedString) -> Self {
+        BindValue::Text(v.clone())
+    }
+}
+
+/// A guarded, parsed, ready-to-bind statement.
+///
+/// Produced by [`ResinDb::prepare`] /
+/// [`SharedDb::prepare`](crate::shard::SharedDb::prepare). The expensive
+/// per-query work — the injection-guard gate crossing, lexing, parsing,
+/// and the write-target extraction that drives WAL logging — happens
+/// once here; each execution only binds values and plans against current
+/// index metadata. The template text is authored by the application (a
+/// plain `&str`, not tainted input), so the guard sees placeholder
+/// structure only; values bound later never touch the text.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Post-guard query text.
+    text: TaintedString,
+    /// The parsed statement (placeholders appear as [`Expr::Param`]).
+    stmt: Statement,
+    /// Byte spans of the `?` placeholders, in ordinal order.
+    param_spans: Vec<Range<usize>>,
+    /// Cached write target (WAL/transaction decision).
+    write_target: Option<String>,
+}
+
+impl Prepared {
+    /// The parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+
+    /// The (post-guard) template text.
+    pub fn sql(&self) -> &str {
+        self.text.as_str()
+    }
+
+    /// The template text with its labels (WAL rendering, error context).
+    pub(crate) fn text_tainted(&self) -> &TaintedString {
+        &self.text
+    }
+
+    /// Number of `?` placeholders.
+    pub fn param_count(&self) -> usize {
+        self.param_spans.len()
+    }
+
+    /// The table this statement writes, if any.
+    pub(crate) fn write_target(&self) -> Option<&str> {
+        self.write_target.as_deref()
+    }
+
+    /// Binds one value per placeholder, in text order.
+    pub fn bind(&self, values: Vec<BindValue>) -> Result<BoundStatement<'_>> {
+        if values.len() != self.param_spans.len() {
+            return Err(SqlError::Type(format!(
+                "statement has {} parameter(s), {} value(s) bound",
+                self.param_spans.len(),
+                values.len()
+            )));
+        }
+        Ok(BoundStatement {
+            prepared: self,
+            values,
+        })
+    }
+}
+
+/// A [`Prepared`] statement plus its bound parameter values, ready to run.
+#[derive(Debug)]
+pub struct BoundStatement<'a> {
+    pub(crate) prepared: &'a Prepared,
+    pub(crate) values: Vec<BindValue>,
+}
+
+/// Guards, lexes, and parses a template into a [`Prepared`] statement.
+pub(crate) fn prepare_statement(sql: &str, guard: GuardMode) -> Result<Prepared> {
+    let gate = query_gate(guard);
+    let text = gate
+        .export_cow(Cow::Owned(TaintedString::from(sql)))
+        .map_err(SqlError::from)?
+        .into_owned();
+    let tokens = lex(text.as_str())?;
+    let stmt = crate::parser::parse(&tokens)?;
+    let param_spans: Vec<Range<usize>> = tokens
+        .iter()
+        .filter(|t| matches!(t.tok, Tok::Param(_)))
+        .map(|t| t.span.clone())
+        .collect();
+    let write_target = crate::txn::statement_write_target(&stmt).map(str::to_string);
+    Ok(Prepared {
+        text,
+        stmt,
+        param_spans,
+        write_target,
+    })
+}
+
+/// Renders a bound statement as standalone tainted SQL text for the WAL:
+/// each `?` is replaced by its value as an escaped literal whose bytes
+/// carry the value's labels. Recovery replays the rendered text through
+/// the normal rewrite, reproducing byte-identical cells *and policy
+/// blobs* (escaped quote pairs carry the source label on both bytes, and
+/// `decode_literal` unions them back onto the collapsed byte).
+pub(crate) fn render_bound_sql(prepared: &Prepared, values: &[BindValue]) -> TaintedString {
+    let text = &prepared.text;
+    let mut out = TaintedStrBuilder::with_capacity(text.len() + 16 * values.len());
+    let mut pos = 0usize;
+    for (span, v) in prepared.param_spans.iter().zip(values) {
+        out.push_tainted(&text.slice(pos..span.start));
+        match v {
+            BindValue::Null => out.push_label("NULL", Label::EMPTY),
+            BindValue::Int(i) => out.push_label(&i.value().to_string(), i.label()),
+            BindValue::Text(t) => {
+                out.push_char('\'');
+                let bytes = t.as_str().as_bytes();
+                let mut start = 0usize;
+                for (i, &b) in bytes.iter().enumerate() {
+                    if b == b'\'' {
+                        out.push_tainted(&t.slice(start..i));
+                        out.push_label("''", t.label_at(i));
+                        start = i + 1;
+                    }
+                }
+                out.push_tainted(&t.slice(start..bytes.len()));
+                out.push_char('\'');
+            }
+        }
+        pos = span.end;
+    }
+    out.push_tainted(&text.slice(pos..text.len()));
+    out.build()
 }
 
 /// A database wrapped by the RESIN SQL filter.
@@ -399,7 +617,7 @@ impl ResinDb {
     fn replay_stmt(&mut self, sql: &TaintedString) -> Result<()> {
         let tokens = lex(sql.as_str())?;
         let stmt = crate::parser::parse(&tokens)?;
-        run_prepared(&mut self.db, sql, stmt, self.tracking)?;
+        run_prepared(&mut self.db, sql, stmt, self.tracking, &[])?;
         Ok(())
     }
 
@@ -491,7 +709,48 @@ impl ResinDb {
         if self.store.is_some() && crate::txn::statement_write_target(&stmt).is_some() {
             self.wal_log(&sql)?;
         }
-        run_prepared(&mut self.db, &sql, stmt, self.tracking)
+        run_prepared(&mut self.db, &sql, stmt, self.tracking, &[])
+    }
+
+    /// Guards, lexes, and parses a statement template once; `?`
+    /// placeholders become bind parameters. The returned [`Prepared`] is
+    /// reusable across executions (and across databases — it holds no
+    /// reference to this one).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        prepare_statement(sql, self.guard)
+    }
+
+    /// Executes a prepared statement with bound values
+    /// ([`Prepared::bind`]). Bound values reach the engine as data —
+    /// never as query text — so this path is injection-proof by
+    /// construction. On a durable database a mutating statement is
+    /// WAL-logged as rendered SQL (values spliced back as escaped,
+    /// label-carrying literals) so recovery replays it byte- and
+    /// policy-identically.
+    pub fn run(&mut self, bound: &BoundStatement<'_>) -> Result<TaintedResult> {
+        let p = bound.prepared;
+        if self.store.is_some() && p.write_target().is_some() {
+            let rendered = render_bound_sql(p, &bound.values);
+            self.wal_log(&rendered)?;
+        }
+        run_prepared(
+            &mut self.db,
+            &p.text,
+            p.stmt.clone(),
+            self.tracking,
+            &bound.values,
+        )
+    }
+
+    /// [`prepare`](ResinDb::prepare)-bind-[`run`](ResinDb::run) in one
+    /// call, for one-shot parameterized statements.
+    pub fn exec_prepared(
+        &mut self,
+        prepared: &Prepared,
+        values: Vec<BindValue>,
+    ) -> Result<TaintedResult> {
+        let bound = prepared.bind(values)?;
+        self.run(&bound)
     }
 
     /// The current guard mode (transactions prepare with it).
@@ -506,7 +765,7 @@ impl ResinDb {
         sql: &TaintedString,
         stmt: Statement,
     ) -> Result<TaintedResult> {
-        run_prepared(&mut self.db, sql, stmt, self.tracking)
+        run_prepared(&mut self.db, sql, stmt, self.tracking, &[])
     }
 }
 
@@ -525,6 +784,7 @@ fn create_rewritten<B: QueryBackend>(
     name: &str,
     mut columns: Vec<ColumnDef>,
     if_not_exists: bool,
+    primary_key: Option<String>,
 ) -> Result<TaintedResult> {
     for c in &columns {
         if c.name.starts_with(POLICY_COL_PREFIX) {
@@ -542,11 +802,15 @@ fn create_rewritten<B: QueryBackend>(
         })
         .collect();
     columns.extend(shadows);
-    let res = backend.execute(&Statement::CreateTable {
-        name: name.to_string(),
-        columns,
-        if_not_exists,
-    })?;
+    let res = backend.execute(
+        &Statement::CreateTable {
+            name: name.to_string(),
+            columns,
+            if_not_exists,
+            primary_key,
+        },
+        &[],
+    )?;
     Ok(plain_result(res))
 }
 
@@ -556,6 +820,8 @@ fn insert_rewritten<B: QueryBackend>(
     table: &str,
     columns: Option<Vec<String>>,
     rows: Vec<Vec<Expr>>,
+    params: &[BindValue],
+    raw: &[Value],
 ) -> Result<TaintedResult> {
     let cols = match columns {
         Some(c) => c,
@@ -568,7 +834,7 @@ fn insert_rewritten<B: QueryBackend>(
         let mut shadows = Vec::with_capacity(row.len());
         for expr in &row {
             shadows.push(Expr::Lit(Literal {
-                value: LitValue::Text(policy_blob_for(sql, expr)),
+                value: LitValue::Text(policy_blob_for(sql, expr, params)),
                 span: 0..0,
             }));
         }
@@ -576,11 +842,14 @@ fn insert_rewritten<B: QueryBackend>(
         new_row.extend(shadows);
         new_rows.push(new_row);
     }
-    let res = backend.execute(&Statement::Insert {
-        table: table.to_string(),
-        columns: Some(new_cols),
-        rows: new_rows,
-    })?;
+    let res = backend.execute(
+        &Statement::Insert {
+            table: table.to_string(),
+            columns: Some(new_cols),
+            rows: new_rows,
+        },
+        raw,
+    )?;
     Ok(plain_result(res))
 }
 
@@ -590,10 +859,12 @@ fn update_rewritten<B: QueryBackend>(
     table: &str,
     assignments: Vec<(String, Expr)>,
     where_clause: Option<Expr>,
+    params: &[BindValue],
+    raw: &[Value],
 ) -> Result<TaintedResult> {
     let mut new_assignments = Vec::with_capacity(assignments.len() * 2);
     for (col, expr) in assignments {
-        let blob = policy_blob_for(sql, &expr);
+        let blob = policy_blob_for(sql, &expr, params);
         new_assignments.push((
             format!("{POLICY_COL_PREFIX}{col}"),
             Expr::Lit(Literal {
@@ -603,21 +874,25 @@ fn update_rewritten<B: QueryBackend>(
         ));
         new_assignments.push((col, expr));
     }
-    let res = backend.execute(&Statement::Update {
-        table: table.to_string(),
-        assignments: new_assignments,
-        where_clause,
-    })?;
+    let res = backend.execute(
+        &Statement::Update {
+            table: table.to_string(),
+            assignments: new_assignments,
+            where_clause,
+        },
+        raw,
+    )?;
     Ok(plain_result(res))
 }
 
 fn select_rewritten<B: QueryBackend>(
     backend: &mut B,
     sel: crate::ast::SelectStmt,
+    raw: &[Value],
 ) -> Result<TaintedResult> {
     let data_cols: Vec<String> = match &sel.projection {
         Projection::CountStar => {
-            let res = backend.execute(&Statement::Select(sel))?;
+            let res = backend.execute(&Statement::Select(sel), raw)?;
             return Ok(plain_result(res));
         }
         Projection::Star => user_columns(backend, &sel.table)?,
@@ -638,7 +913,7 @@ fn select_rewritten<B: QueryBackend>(
         projection: Projection::Columns(fetch),
         ..sel
     };
-    let res = backend.execute(&Statement::Select(rewritten))?;
+    let res = backend.execute(&Statement::Select(rewritten), raw)?;
     // Re-attach policies: columns [0..n) are data, [n..2n) policies.
     let n = data_cols.len();
     let mut rows = Vec::with_capacity(res.rows.len());
@@ -711,8 +986,29 @@ fn decode_literal(sql: &TaintedString, span: &Range<usize>) -> TaintedString {
     out.build()
 }
 
-/// The serialized policy blob for one inserted/assigned value.
-fn policy_blob_for(sql: &TaintedString, expr: &Expr) -> String {
+/// The serialized policy blob for one inserted/assigned value. Literals
+/// carry their labels in the query text's byte ranges; bind parameters
+/// carry them on the [`BindValue`] itself.
+fn policy_blob_for(sql: &TaintedString, expr: &Expr, params: &[BindValue]) -> String {
+    if let Expr::Param(i) = expr {
+        return match params.get(*i) {
+            Some(BindValue::Text(t)) => {
+                if t.is_untainted() {
+                    String::new()
+                } else {
+                    serialize_spans(t)
+                }
+            }
+            Some(BindValue::Int(v)) => {
+                if v.label().is_empty() {
+                    String::new()
+                } else {
+                    serialize_label(v.label())
+                }
+            }
+            Some(BindValue::Null) | None => String::new(),
+        };
+    }
     let Some(lit) = expr.as_literal() else {
         return String::new();
     };
@@ -1083,6 +1379,108 @@ mod tests {
         db.query_str("INSERT INTO users VALUES ('a', 'b')").unwrap();
         let r = db.query_str("SELECT COUNT(*) FROM users").unwrap();
         assert_eq!(r.rows[0][0].as_int().unwrap().value(), &1);
+    }
+
+    // ---- prepared statements ----
+
+    #[test]
+    fn bind_values_are_data_not_structure() {
+        // The classic injection payload, bound instead of concatenated:
+        // it matches (or fails to match) as an opaque string, with the
+        // strictest guard on. No escaping, no checking, no violation.
+        let mut db = setup();
+        db.set_guard(GuardMode::StructureCheck);
+        db.query_str("INSERT INTO users VALUES ('u', 'pw1')")
+            .unwrap();
+        let sel = db.prepare("SELECT pw FROM users WHERE name = ?").unwrap();
+        let r = db
+            .exec_prepared(&sel, vec![untrusted("x' OR '1'='1").into()])
+            .unwrap();
+        assert!(
+            r.rows.is_empty(),
+            "payload is just a string that matches nothing"
+        );
+        let r = db.exec_prepared(&sel, vec!["u".into()]).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn bound_values_carry_policies_into_storage() {
+        let mut db = setup();
+        let ins = db.prepare("INSERT INTO users VALUES (?, ?)").unwrap();
+        let mut pw = TaintedString::from("s3cret");
+        pw.add_policy(Arc::new(PasswordPolicy::new("u@foo.com")));
+        db.exec_prepared(&ins, vec!["u".into(), pw.into()]).unwrap();
+        let r = db.query_str("SELECT name, pw FROM users").unwrap();
+        let cell = r.cell(0, "pw").unwrap().as_text().unwrap();
+        assert_eq!(cell.as_str(), "s3cret");
+        assert!(
+            cell.has_policy::<PasswordPolicy>(),
+            "policy rode the bind value"
+        );
+        assert!(r.cell(0, "name").unwrap().as_text().unwrap().is_untainted());
+    }
+
+    #[test]
+    fn tainted_int_bind_value_keeps_label() {
+        let mut db = ResinDb::new();
+        db.query_str("CREATE TABLE t (n INTEGER)").unwrap();
+        let ins = db.prepare("INSERT INTO t VALUES (?)").unwrap();
+        let mut n = Tainted::new(42i64);
+        n.add_policy(Arc::new(UntrustedData::new()));
+        db.exec_prepared(&ins, vec![n.into()]).unwrap();
+        let r = db.query_str("SELECT n FROM t").unwrap();
+        let cell = r.cell(0, "n").unwrap().as_int().unwrap();
+        assert_eq!(cell.value(), &42);
+        assert!(cell.has_policy::<UntrustedData>());
+    }
+
+    #[test]
+    fn bind_arity_and_template_structure_checked() {
+        let mut db = setup();
+        db.set_guard(GuardMode::StructureCheck);
+        let sel = db.prepare("SELECT pw FROM users WHERE name = ?").unwrap();
+        assert_eq!(sel.param_count(), 1);
+        assert!(sel.bind(vec![]).is_err(), "too few values");
+        assert!(
+            sel.bind(vec!["a".into(), "b".into()]).is_err(),
+            "too many values"
+        );
+        // UPDATE with mixed placeholder/literal assignments parses too.
+        let upd = db
+            .prepare("UPDATE users SET pw = ? WHERE name = ?")
+            .unwrap();
+        assert_eq!(upd.param_count(), 2);
+        db.query_str("INSERT INTO users VALUES ('u', 'old')")
+            .unwrap();
+        let r = db
+            .exec_prepared(&upd, vec!["new".into(), "u".into()])
+            .unwrap();
+        assert_eq!(r.affected, 1);
+    }
+
+    #[test]
+    fn render_bound_sql_escapes_and_keeps_labels() {
+        let db = ResinDb::new();
+        let p = db.prepare("INSERT INTO t VALUES (?, ?, ?)").unwrap();
+        let hostile = untrusted("x', 'y");
+        let mut n = Tainted::new(7i64);
+        n.add_policy(Arc::new(UntrustedData::new()));
+        let rendered = render_bound_sql(&p, &[hostile.into(), BindValue::Int(n), BindValue::Null]);
+        assert_eq!(
+            rendered.as_str(),
+            "INSERT INTO t VALUES ('x'', ''y', 7, NULL)",
+            "quotes escaped, int and NULL spliced as literals"
+        );
+        // Every payload byte — including both escape-quote bytes — is
+        // untrusted, so replay revives identical cells and blobs.
+        let payload_range =
+            "INSERT INTO t VALUES ('".len().."INSERT INTO t VALUES ('x'', ''y".len();
+        assert!(rendered
+            .slice(payload_range)
+            .all_bytes_have::<UntrustedData>());
+        let seven_at = rendered.as_str().find('7').unwrap();
+        assert!(rendered.label_at(seven_at).has::<UntrustedData>());
     }
 
     #[test]

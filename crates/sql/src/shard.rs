@@ -27,16 +27,19 @@ use resin_core::sync::{mlock, rlock, wlock};
 
 use resin_core::{PolicyViolation, TaintedString};
 
-use crate::ast::Statement;
+use crate::ast::{IndexKind, Statement};
 use crate::durable::SqlStore;
 use crate::engine::{
-    new_table, table_delete, table_insert, table_select, table_update, QueryResult, Table,
+    check_table_name, new_table, table_delete, table_insert, table_select, table_update,
+    QueryResult, Table,
 };
 use crate::error::{Result, SqlError};
 use crate::rewrite::{
-    prepare_query, run_prepared, GuardMode, QueryBackend, TaintedResult, Tracking,
+    prepare_query, prepare_statement, render_bound_sql, run_prepared, BindValue, BoundStatement,
+    GuardMode, Prepared, QueryBackend, TaintedResult, Tracking,
 };
 use crate::txn::{statement_write_target, TxnSnapshots};
+use crate::value::Value;
 
 type TableShard = Arc<RwLock<Table>>;
 
@@ -132,12 +135,13 @@ impl ShardedDatabase {
     /// against in-flight row work instead of detaching a shard mid-write:
     /// a write racing a `DROP TABLE` either lands before the drop or
     /// reports "no such table", never a silently-lost `Ok`.
-    pub fn execute(&self, stmt: &Statement) -> Result<QueryResult> {
+    pub fn execute(&self, stmt: &Statement, params: &[Value]) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable {
                 name,
                 columns,
                 if_not_exists,
+                primary_key,
             } => {
                 let mut catalog = wlock(&self.catalog);
                 if catalog.contains_key(name) {
@@ -149,7 +153,11 @@ impl ShardedDatabase {
                     }
                     return Err(SqlError::schema(format!("table `{name}` already exists")));
                 }
-                let table = new_table(columns)?;
+                check_table_name(name)?;
+                let mut table = new_table(columns)?;
+                if let Some(pk) = primary_key {
+                    table.create_index(&format!("pk_{name}"), pk, IndexKind::Ordered, false)?;
+                }
                 catalog.insert(name.clone(), Arc::new(RwLock::new(table)));
                 Ok(QueryResult::default())
             }
@@ -157,6 +165,26 @@ impl ShardedDatabase {
                 if wlock(&self.catalog).remove(name).is_none() {
                     return Err(SqlError::schema(format!("no such table `{name}`")));
                 }
+                Ok(QueryResult::default())
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                kind,
+                if_not_exists,
+            } => {
+                // Index DDL mutates one table, not the catalog map, so the
+                // catalog lock stays shared — like a row statement.
+                let catalog = rlock(&self.catalog);
+                let shard = Self::resolve(&catalog, table)?;
+                wlock(shard).create_index(name, column, *kind, *if_not_exists)?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropIndex { name, table } => {
+                let catalog = rlock(&self.catalog);
+                let shard = Self::resolve(&catalog, table)?;
+                wlock(shard).drop_index(name)?;
                 Ok(QueryResult::default())
             }
             Statement::Insert {
@@ -167,7 +195,7 @@ impl ShardedDatabase {
                 let catalog = rlock(&self.catalog);
                 let shard = Self::resolve(&catalog, table)?;
                 let mut t = wlock(shard);
-                let affected = table_insert(&mut t, table, columns.as_deref(), rows)?;
+                let affected = table_insert(&mut t, table, columns.as_deref(), rows, params)?;
                 Ok(QueryResult {
                     affected,
                     ..QueryResult::default()
@@ -177,7 +205,7 @@ impl ShardedDatabase {
                 let catalog = rlock(&self.catalog);
                 let shard = Self::resolve(&catalog, &sel.table)?;
                 let t = rlock(shard);
-                table_select(&t, sel)
+                table_select(&t, sel, params)
             }
             Statement::Update {
                 table,
@@ -187,7 +215,7 @@ impl ShardedDatabase {
                 let catalog = rlock(&self.catalog);
                 let shard = Self::resolve(&catalog, table)?;
                 let mut t = wlock(shard);
-                let affected = table_update(&mut t, assignments, where_clause.as_ref())?;
+                let affected = table_update(&mut t, assignments, where_clause.as_ref(), params)?;
                 Ok(QueryResult {
                     affected,
                     ..QueryResult::default()
@@ -200,7 +228,7 @@ impl ShardedDatabase {
                 let catalog = rlock(&self.catalog);
                 let shard = Self::resolve(&catalog, table)?;
                 let mut t = wlock(shard);
-                let affected = table_delete(&mut t, where_clause.as_ref())?;
+                let affected = table_delete(&mut t, where_clause.as_ref(), params)?;
                 Ok(QueryResult {
                     affected,
                     ..QueryResult::default()
@@ -212,7 +240,7 @@ impl ShardedDatabase {
     /// Parses and executes a query string (tests and diagnostics).
     pub fn execute_str(&self, sql: &str) -> Result<QueryResult> {
         let stmt = crate::parser::parse_str(sql)?;
-        self.execute(&stmt)
+        self.execute(&stmt, &[])
     }
 }
 
@@ -220,8 +248,8 @@ impl ShardedDatabase {
 // to the sharded engine is itself the backend (interior locking), so the
 // same pipeline works without exclusive access to the database.
 impl QueryBackend for &ShardedDatabase {
-    fn execute(&mut self, stmt: &Statement) -> Result<QueryResult> {
-        ShardedDatabase::execute(self, stmt)
+    fn execute(&mut self, stmt: &Statement, params: &[Value]) -> Result<QueryResult> {
+        ShardedDatabase::execute(self, stmt, params)
     }
 
     fn columns_of(&self, table: &str) -> Result<Vec<String>> {
@@ -329,7 +357,7 @@ impl SharedDb {
         let tokens = crate::token::lex(sql.as_str())?;
         let stmt = crate::parser::parse(&tokens)?;
         let mut backend: &ShardedDatabase = sharded;
-        run_prepared(&mut backend, sql, stmt, tracking)?;
+        run_prepared(&mut backend, sql, stmt, tracking, &[])?;
         Ok(())
     }
 
@@ -475,12 +503,52 @@ impl SharedDb {
             self.wal_log(&sql)?;
         }
         let mut backend: &ShardedDatabase = &self.inner;
-        run_prepared(&mut backend, &sql, stmt, self.tracking)
+        run_prepared(&mut backend, &sql, stmt, self.tracking, &[])
     }
 
     /// Executes an untainted query string.
     pub fn query_str(&self, sql: &str) -> Result<TaintedResult> {
         self.query(&TaintedString::from(sql))
+    }
+
+    /// Guards, lexes, and parses a statement template once; `?`
+    /// placeholders become bind parameters ([`Prepared::bind`]).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        prepare_statement(sql, self.guard)
+    }
+
+    /// Executes a prepared statement with bound values. Bound values
+    /// reach the engine as data, never as query text. On a durable
+    /// database a mutating statement is WAL-logged as rendered SQL
+    /// (values spliced back as escaped, label-carrying literals), under
+    /// the same checkpoint-exclusion window as [`query`](SharedDb::query).
+    pub fn run(&self, bound: &BoundStatement<'_>) -> Result<TaintedResult> {
+        let p = bound.prepared;
+        let durable_write = self.durable && p.write_target().is_some();
+        let _no_ckpt = durable_write.then(|| rlock(&self.inner.ckpt));
+        if durable_write {
+            let rendered = render_bound_sql(p, &bound.values);
+            self.wal_log(&rendered)?;
+        }
+        let mut backend: &ShardedDatabase = &self.inner;
+        run_prepared(
+            &mut backend,
+            p.text_tainted(),
+            p.statement().clone(),
+            self.tracking,
+            &bound.values,
+        )
+    }
+
+    /// [`prepare`](SharedDb::prepare)-bind-[`run`](SharedDb::run) in one
+    /// call, for one-shot parameterized statements.
+    pub fn exec_prepared(
+        &self,
+        prepared: &Prepared,
+        values: Vec<BindValue>,
+    ) -> Result<TaintedResult> {
+        let bound = prepared.bind(values)?;
+        self.run(&bound)
     }
 
     /// Opens a transaction on the shared database.
@@ -569,7 +637,7 @@ impl<'c> SharedTransaction<'c> {
                 .record_with(&name, || inner.snapshot_table(&name));
         }
         let mut backend: &ShardedDatabase = &self.db.inner;
-        let res = run_prepared(&mut backend, &sql, stmt, self.db.tracking)?;
+        let res = run_prepared(&mut backend, &sql, stmt, self.db.tracking, &[])?;
         if is_write && self.db.durable {
             // Buffered, not logged: the WAL only sees statements whose
             // transaction committed, so a rollback recovers as a rollback.
@@ -859,6 +927,42 @@ mod tests {
         let db = SharedDb::open(&dir).unwrap();
         let r = db.query_str("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(r.rows[0][0].as_int().unwrap().value(), &2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prepared_writes_replay_byte_and_label_identical() {
+        // A bound write is WAL-logged as rendered SQL (values spliced
+        // back as escaped, labeled literals). Recovery must revive the
+        // same cells — payload bytes, escaping undone, labels intact —
+        // and rebuild the PRIMARY KEY index so probes work post-restart.
+        let dir = disk_dir("prepared-replay");
+        {
+            let db =
+                SharedDb::open_with_modes(&dir, Tracking::On, GuardMode::StructureCheck).unwrap();
+            db.query_str("CREATE TABLE posts (id INTEGER PRIMARY KEY, body TEXT)")
+                .unwrap();
+            let ins = db.prepare("INSERT INTO posts VALUES (?, ?)").unwrap();
+            db.exec_prepared(&ins, vec![1i64.into(), untrusted("it's ''quoted''").into()])
+                .unwrap();
+            db.exec_prepared(&ins, vec![2i64.into(), "plain".into()])
+                .unwrap();
+        }
+        let db = SharedDb::open_with_modes(&dir, Tracking::On, GuardMode::StructureCheck).unwrap();
+        let sel = db.prepare("SELECT body FROM posts WHERE id = ?").unwrap();
+        let r = db.exec_prepared(&sel, vec![1i64.into()]).unwrap();
+        let body = r.cell(0, "body").unwrap().as_text().unwrap();
+        assert_eq!(
+            body.as_str(),
+            "it's ''quoted''",
+            "escaping undone on replay"
+        );
+        assert!(
+            body.all_bytes_have::<UntrustedData>(),
+            "labels recovered on every byte"
+        );
+        let r = db.exec_prepared(&sel, vec![2i64.into()]).unwrap();
+        assert!(r.cell(0, "body").unwrap().as_text().unwrap().is_untainted());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

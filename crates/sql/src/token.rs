@@ -34,6 +34,11 @@ pub enum Tok {
     Punct(char),
     /// An operator: `= != <> < > <= >= + -`
     Op(&'static str),
+    /// A `?` bind-parameter placeholder; payload is its 0-based ordinal in
+    /// text order. A placeholder is query *structure* (its value arrives
+    /// out-of-band at execution time), so a tainted `?` smuggled in
+    /// through data trips the structure-taint guard like any keyword.
+    Param(usize),
 }
 
 /// A token plus its byte range in the query text.
@@ -57,7 +62,8 @@ impl Token {
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "INSERT", "INTO", "VALUES", "CREATE", "TABLE",
     "UPDATE", "SET", "DELETE", "DROP", "ORDER", "BY", "LIMIT", "ASC", "DESC", "LIKE", "NULL", "IS",
-    "INTEGER", "TEXT", "IF", "EXISTS", "COUNT", "IN", "PRIMARY", "KEY",
+    "INTEGER", "TEXT", "IF", "EXISTS", "COUNT", "IN", "PRIMARY", "KEY", "INDEX", "ON", "USING",
+    "HASH", "BTREE",
 ];
 
 /// Lexes a plain query in strict mode.
@@ -87,6 +93,7 @@ fn lex_inner(src: &str, taint: Option<&TaintedString>) -> Result<Vec<Token>> {
     let is_untrusted_at = |pos: usize| untrusted.iter().any(|r| r.contains(&pos));
     let mut out = Vec::new();
     let mut i = 0usize;
+    let mut next_param = 0usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
@@ -105,6 +112,14 @@ fn lex_inner(src: &str, taint: Option<&TaintedString>) -> Result<Vec<Token>> {
                     tok: Tok::Op("="),
                     span: i..i + 1,
                 });
+                i += 1;
+            }
+            '?' => {
+                out.push(Token {
+                    tok: Tok::Param(next_param),
+                    span: i..i + 1,
+                });
+                next_param += 1;
                 i += 1;
             }
             '+' => {
@@ -381,8 +396,27 @@ mod tests {
     fn lex_errors() {
         assert!(lex("'unterminated").is_err());
         assert!(lex("a ! b").is_err());
-        assert!(lex("a ? b").is_err());
+        assert!(lex("a @ b").is_err());
         assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn params_get_text_order_ordinals() {
+        assert_eq!(
+            toks("a = ? AND b = ?"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Op("="),
+                Tok::Param(0),
+                Tok::Kw("AND".into()),
+                Tok::Ident("b".into()),
+                Tok::Op("="),
+                Tok::Param(1),
+            ]
+        );
+        let ts = lex("? ?").unwrap();
+        assert!(ts[0].is_structure(), "placeholders are structure");
+        assert_eq!(ts[1].span, 2..3);
     }
 
     #[test]

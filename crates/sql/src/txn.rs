@@ -41,7 +41,9 @@ pub(crate) fn statement_write_target(stmt: &Statement) -> Option<&str> {
         Statement::CreateTable { name, .. } | Statement::DropTable { name } => Some(name),
         Statement::Insert { table, .. }
         | Statement::Update { table, .. }
-        | Statement::Delete { table, .. } => Some(table),
+        | Statement::Delete { table, .. }
+        | Statement::CreateIndex { table, .. }
+        | Statement::DropIndex { table, .. } => Some(table),
     }
 }
 
@@ -413,5 +415,11 @@ mod tests {
         assert_eq!(t("UPDATE b SET x = 1"), Some("b".to_string()));
         assert_eq!(t("DELETE FROM c"), Some("c".to_string()));
         assert_eq!(t("DROP TABLE d"), Some("d".to_string()));
+        assert_eq!(
+            t("CREATE INDEX i ON e (x)"),
+            Some("e".to_string()),
+            "index DDL mutates its table (snapshot + WAL coverage)"
+        );
+        assert_eq!(t("DROP INDEX i ON f"), Some("f".to_string()));
     }
 }
