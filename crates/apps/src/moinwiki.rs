@@ -72,6 +72,13 @@ impl MoinWiki {
                 dir.display()
             );
         }
+        if w.vfs.recovered_torn_cross_segment() {
+            eprintln!(
+                "resin-apps: wiki at {} found a torn record before the last \
+                 WAL segment; all later segments were discarded",
+                dir.display()
+            );
+        }
         w.vfs.mkdir_p("/pages", &Vfs::anonymous_ctx())?;
         Ok(w)
     }

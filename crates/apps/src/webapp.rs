@@ -20,10 +20,10 @@
 //! the concurrent dispatcher.
 
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use resin_core::{FlowError, TaintedString};
-use resin_sql::{GuardMode, Prepared, SharedDb, Tracking};
+use resin_sql::{Follower, GuardMode, Prepared, SharedDb, Tracking};
 use resin_web::server::WebApp;
 use resin_web::{check_html_markers, html_escape, Request, Response, SessionStore};
 
@@ -89,6 +89,10 @@ pub struct ForumApp {
     sessions: Arc<SessionStore>,
     next_id: AtomicI64,
     torn_recovery: bool,
+    torn_cross_segment: bool,
+    /// `Some` when this forum serves reads from a shipped replica store;
+    /// write routes are rejected so the replica cannot silently diverge.
+    replica: Option<Mutex<Follower>>,
     ins_post: Prepared,
     sel_body: Prepared,
     sel_search: Prepared,
@@ -120,6 +124,8 @@ impl ForumApp {
             sessions,
             next_id: AtomicI64::new(next),
             torn_recovery,
+            torn_cross_segment: false,
+            replica: None,
             ins_post,
             sel_body,
             sel_search,
@@ -147,6 +153,17 @@ impl ForumApp {
                 dir.display()
             );
         }
+        let torn_cross_segment = db.recovered_torn_cross_segment();
+        if torn_cross_segment {
+            // A torn frame in a *non-final* segment means whole later
+            // segments were dropped, not just an in-flight append — call
+            // that out separately, it implies more loss.
+            eprintln!(
+                "resin-apps: forum at {} found a torn record before the last \
+                 WAL segment; all later segments were discarded",
+                dir.display()
+            );
+        }
         // Only a genuinely fresh store runs (and WAL-logs) the CREATE —
         // an unconditional IF NOT EXISTS would append one no-op record
         // per restart until a checkpoint.
@@ -163,7 +180,76 @@ impl ForumApp {
             .and_then(|c| c.as_int())
             .map(|t| *t.value() + 1)
             .unwrap_or(1);
-        Ok(Self::assemble(db, sessions, next, torn_recovery))
+        let mut app = Self::assemble(db, sessions, next, torn_recovery);
+        app.torn_cross_segment = torn_cross_segment;
+        Ok(app)
+    }
+
+    /// Opens a **read replica** over a shipped copy of a forum store:
+    /// posts and their policy columns are rebuilt by replaying the
+    /// shipped WAL through the same pipeline as primary recovery, so
+    /// reads are byte- and label-identical to the primary — a stored XSS
+    /// payload still fails closed at `/view_raw` here. Write routes
+    /// (`/post`) are rejected with 403: local writes would silently
+    /// diverge from the primary's history.
+    ///
+    /// Call [`replica_refresh`](ForumApp::replica_refresh) after new
+    /// segments are shipped to advance the replica's watermark.
+    pub fn open_replica(
+        dir: impl AsRef<std::path::Path>,
+        sessions: Arc<SessionStore>,
+    ) -> Result<Self, resin_sql::SqlError> {
+        let follower =
+            Follower::open_with_modes(dir.as_ref(), Tracking::On, GuardMode::AutoSanitize)?;
+        let db = follower.db().clone();
+        let r = db.query_str("SELECT id FROM posts ORDER BY id DESC LIMIT 1")?;
+        let next = r
+            .rows
+            .first()
+            .and_then(|row| row.first())
+            .and_then(|c| c.as_int())
+            .map(|t| *t.value() + 1)
+            .unwrap_or(1);
+        let mut app = Self::assemble(db, sessions, next, false);
+        app.replica = Some(Mutex::new(follower));
+        Ok(app)
+    }
+
+    /// True when this forum serves from a shipped replica (reads only).
+    pub fn is_replica(&self) -> bool {
+        self.replica.is_some()
+    }
+
+    /// Applies newly shipped WAL records, returning how many were
+    /// applied. No-op `Ok(0)` on a primary.
+    pub fn replica_refresh(&self) -> Result<u64, resin_sql::SqlError> {
+        match &self.replica {
+            Some(f) => resin_core::sync::mlock(f).catch_up(),
+            None => Ok(0),
+        }
+    }
+
+    /// The replica's applied-watermark (highest shipped WAL sequence
+    /// replayed); `None` on a primary.
+    pub fn replica_applied_seq(&self) -> Option<u64> {
+        self.replica
+            .as_ref()
+            .map(|f| resin_core::sync::mlock(f).applied_seq())
+    }
+
+    /// Checkpoints, then sweeps the process-wide label table with an
+    /// empty root set — the forum's label-lifecycle GC hook.
+    ///
+    /// Safe because the forum holds no label handles at rest: policy
+    /// columns store policies *serialized*, re-interned on read, and a
+    /// checkpoint first makes durable state self-contained. Labels
+    /// interned by in-flight requests and open transactions survive via
+    /// their epoch pins; any stale handle that escapes those contracts
+    /// resolves to the fail-closed tombstone, never to another datum's
+    /// policies. Call from a maintenance path, not per request.
+    pub fn gc_labels(&self) -> Result<resin_core::SweepReport, resin_sql::SqlError> {
+        self.checkpoint()?;
+        Ok(resin_core::LabelTable::global().sweep(std::iter::empty()))
     }
 
     /// True when [`open`](ForumApp::open) discarded a torn WAL tail:
@@ -171,6 +257,20 @@ impl ForumApp {
     /// process may be gone.
     pub fn recovered_from_torn_wal(&self) -> bool {
         self.torn_recovery
+    }
+
+    /// True when recovery found a torn record before the final WAL
+    /// segment (whole later segments were discarded, not just an
+    /// in-flight tail append).
+    pub fn recovered_torn_cross_segment(&self) -> bool {
+        self.torn_cross_segment
+    }
+
+    /// Storage counters (segment count, live WAL bytes, checkpoint
+    /// cost) when the forum is durable; `None` in-memory or on a
+    /// replica (whose progress is [`replica_applied_seq`](Self::replica_applied_seq)).
+    pub fn store_stats(&self) -> Option<resin_sql::StoreStats> {
+        self.db.store_stats()
     }
 
     /// Folds the WAL into a fresh snapshot.
@@ -238,6 +338,12 @@ impl WebApp for ForumApp {
                 resp.echo_str("bye")
             }
             "/post" => {
+                if self.replica.is_some() {
+                    // A local write would never reach the primary's WAL
+                    // and the next catch_up could not undo it — refuse.
+                    resp.set_status(403);
+                    return resp.echo_str("read-only replica");
+                }
                 if authenticate(&self.sessions, req, resp)?.is_none() {
                     return Ok(());
                 }
@@ -348,6 +454,17 @@ impl WikiApp {
     /// True when [`open`](WikiApp::open) discarded a torn WAL tail.
     pub fn recovered_from_torn_wal(&self) -> bool {
         self.read().recovered_from_torn_wal()
+    }
+
+    /// True when recovery found a torn record before the final WAL
+    /// segment (whole later segments were discarded).
+    pub fn recovered_torn_cross_segment(&self) -> bool {
+        self.read().vfs.recovered_torn_cross_segment()
+    }
+
+    /// Storage counters when the wiki is disk-backed; `None` in-memory.
+    pub fn store_stats(&self) -> Option<resin_sql::StoreStats> {
+        self.read().vfs.store_stats()
     }
 
     /// Folds the wiki's op log into a fresh snapshot.
@@ -579,6 +696,89 @@ mod tests {
                 _ => assert!(page.outcome.is_ok(), "search: {:?}", page.outcome),
             }
         }
+    }
+
+    fn replica_dirs(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let base =
+            std::env::temp_dir().join(format!("resin-forum-replica-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        (base.join("primary"), base.join("replica"))
+    }
+
+    #[test]
+    fn replica_serves_identical_reads_and_fails_closed() {
+        let (primary_dir, replica_dir) = replica_dirs("attacks");
+        let sessions = Arc::new(SessionStore::new());
+        let primary = Arc::new(ForumApp::open(&primary_dir, Arc::clone(&sessions)).unwrap());
+        primary.db().set_wal_sync(false);
+        let primary_srv = Server::start(primary.clone(), 2);
+        let sid = login(&primary_srv, "alice");
+        let benign_id = primary_srv
+            .serve(
+                Request::post("/post")
+                    .with_cookie("sid", &sid)
+                    .with_param("body", "hello from the primary"),
+            )
+            .body
+            .strip_prefix("posted ")
+            .unwrap()
+            .to_string();
+        let evil_id = primary_srv
+            .serve(
+                Request::post("/post")
+                    .with_cookie("sid", &sid)
+                    .with_param("body", "<script>steal()</script>"),
+            )
+            .body
+            .strip_prefix("posted ")
+            .unwrap()
+            .to_string();
+
+        resin_sql::ship(&primary_dir, &replica_dir).unwrap();
+        let replica =
+            Arc::new(ForumApp::open_replica(&replica_dir, Arc::new(SessionStore::new())).unwrap());
+        assert!(replica.is_replica() && !primary.is_replica());
+        let replica_srv = Server::start(replica.clone(), 2);
+
+        // Reads are byte-identical to the primary.
+        let want = primary_srv.serve(Request::get("/view").with_param("id", &benign_id));
+        let got = replica_srv.serve(Request::get("/view").with_param("id", &benign_id));
+        assert!(got.outcome.is_ok(), "{:?}", got.outcome);
+        assert_eq!(got.body, want.body);
+
+        // The stored-XSS payload fails closed on the replica too: its
+        // UntrustedData label rode the shipped WAL into the replayed row.
+        let page = replica_srv.serve(Request::get("/view_raw").with_param("id", &evil_id));
+        assert!(page.blocked(), "replica must block XSS: {:?}", page.outcome);
+        assert!(!page.body.contains("<script>"));
+
+        // Writes are refused before authentication even runs.
+        let rsid = login(&replica_srv, "bob");
+        let page = replica_srv.serve(
+            Request::post("/post")
+                .with_cookie("sid", &rsid)
+                .with_param("body", "divergent"),
+        );
+        assert_eq!(page.status, 403);
+        assert!(page.body.contains("read-only replica"));
+
+        // New primary writes become visible after ship + refresh.
+        let new_id = primary_srv
+            .serve(
+                Request::post("/post")
+                    .with_cookie("sid", &sid)
+                    .with_param("body", "second wave"),
+            )
+            .body
+            .strip_prefix("posted ")
+            .unwrap()
+            .to_string();
+        resin_sql::ship(&primary_dir, &replica_dir).unwrap();
+        assert!(replica.replica_refresh().unwrap() >= 1);
+        let page = replica_srv.serve(Request::get("/view").with_param("id", &new_id));
+        assert!(page.body.contains("second wave"), "{}", page.body);
+        assert!(replica.replica_applied_seq().unwrap() > 0);
+        assert!(primary.store_stats().is_some());
     }
 
     fn wiki_server(workers: usize) -> Server {

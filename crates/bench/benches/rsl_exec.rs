@@ -44,11 +44,25 @@ class ChannelQuota {
 }
 "#;
 
-/// Builds a fresh tainted string carrying the quota policy pinned to
+/// The floor policy: no loop, just the channel gate — so the measured
+/// cost is the per-crossing overhead itself (policy-to-`this` conversion,
+/// `$context` materialization, frame setup), which is exactly what the
+/// read-only check cache elides.
+const FLOOR_SRC: &str = r#"
+class ChannelGate {
+    fn init(weights, limit) { this.weights = weights; this.limit = limit; }
+    fn export_check(context) {
+        if (context["type"] == "http") { return; }
+        throw "channel not allowed";
+    }
+}
+"#;
+
+/// Builds a fresh tainted string carrying the policy in `src` pinned to
 /// `engine`. The class is re-parsed per call so tree and VM policies are
 /// distinct classes (distinct PolicyIds, distinct chunk-cache entries).
-fn tainted_for(engine: Engine) -> TaintedString {
-    let class = parse_program(POLICY_SRC)
+fn tainted_for(engine: Engine, src: &str) -> TaintedString {
+    let class = parse_program(src)
         .expect("policy parses")
         .into_iter()
         .find_map(|stmt| match stmt.kind {
@@ -76,7 +90,7 @@ fn rsl_gate_write(c: &mut Criterion) {
                 Engine::Tree => "tree",
                 Engine::Vm => "vm",
             };
-            let data = tainted_for(engine);
+            let data = tainted_for(engine, POLICY_SRC);
             let mut gate = Gate::new(GateKind::Http);
             g.bench_function(
                 BenchmarkId::from_parameter(format!("{tag}_x{crossings}")),
@@ -89,6 +103,43 @@ fn rsl_gate_write(c: &mut Criterion) {
                     });
                 },
             );
+        }
+    }
+    g.finish();
+}
+
+/// The per-crossing floor, caches on vs off: a trivial read-only policy
+/// whose fields still carry the 256-entry weights list, so the uncached
+/// side pays the full policy-to-`this` conversion every crossing and the
+/// cached side reuses the materialized object. The gap is the win the
+/// analysis-gated check cache buys every read-only policy.
+fn rsl_gate_floor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsl_gate_floor");
+    for engine in [Engine::Tree, Engine::Vm] {
+        let tag = match engine {
+            Engine::Tree => "tree",
+            Engine::Vm => "vm",
+        };
+        for (mode, cached) in [("cached", true), ("uncached", false)] {
+            let data = tainted_for(engine, FLOOR_SRC);
+            let mut gate = Gate::new(GateKind::Http);
+            let before = resin_lang::check_cache_stats();
+            g.bench_function(BenchmarkId::from_parameter(format!("{tag}_{mode}")), |b| {
+                resin_lang::set_check_cache(cached);
+                b.iter(|| {
+                    gate.write(data.clone()).unwrap();
+                    gate.clear_output();
+                });
+                resin_lang::set_check_cache(true);
+            });
+            // The win must be real: the cached side reuses the
+            // materialized check state, the uncached side never does.
+            let after = resin_lang::check_cache_stats();
+            if cached {
+                assert!(after.0 > before.0, "cached crossings must hit the cache");
+            } else {
+                assert_eq!(after.0, before.0, "uncached crossings must not hit");
+            }
         }
     }
     g.finish();
@@ -151,5 +202,5 @@ fn rsl_exec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, rsl_gate_write, rsl_exec);
+criterion_group!(benches, rsl_gate_write, rsl_gate_floor, rsl_exec);
 criterion_main!(benches);

@@ -8,8 +8,18 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::gate::GateKind;
+
+/// Process-wide source of content stamps: every value handed out is
+/// unique, so equal stamps can only mean "same content" (an unmutated
+/// context, or a clone of it).
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_stamp() -> u64 {
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A single context value.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,10 +96,24 @@ impl fmt::Display for CtxValue {
 ///
 /// The `type` key is always present and names the channel kind, matching the
 /// paper's `$context['type'] == 'email'` idiom.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Context {
     kind: GateKind,
     entries: BTreeMap<String, CtxValue>,
+    /// Content stamp: refreshed on every mutation, copied by `Clone`.
+    /// Two contexts with the same stamp are guaranteed content-equal
+    /// (the converse does not hold), which lets per-crossing caches —
+    /// e.g. the RSL interpreter's context-value cache — key on one `u64`
+    /// instead of deep-comparing the entry map.
+    stamp: u64,
+}
+
+/// Equality is over content (kind + entries); the cache stamp is an
+/// identity optimization, not part of the value.
+impl PartialEq for Context {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.entries == other.entries
+    }
 }
 
 impl Context {
@@ -97,7 +121,18 @@ impl Context {
     pub fn new(kind: GateKind) -> Self {
         let mut entries = BTreeMap::new();
         entries.insert("type".to_string(), CtxValue::from(kind.type_name()));
-        Context { kind, entries }
+        Context {
+            kind,
+            entries,
+            stamp: fresh_stamp(),
+        }
+    }
+
+    /// The content stamp: equal stamps guarantee equal content, so a
+    /// cache keyed on the stamp never serves a stale entry across
+    /// [`set`](Context::set)/[`remove`](Context::remove) mutations.
+    pub fn cache_stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// The kind of channel this context describes.
@@ -113,6 +148,7 @@ impl Context {
     /// Inserts or replaces a context entry.
     pub fn set(&mut self, key: impl Into<String>, value: impl Into<CtxValue>) -> &mut Self {
         self.entries.insert(key.into(), value.into());
+        self.stamp = fresh_stamp();
         self
     }
 
@@ -146,7 +182,11 @@ impl Context {
 
     /// Removes an entry, returning it if present.
     pub fn remove(&mut self, key: &str) -> Option<CtxValue> {
-        self.entries.remove(key)
+        let removed = self.entries.remove(key);
+        if removed.is_some() {
+            self.stamp = fresh_stamp();
+        }
+        removed
     }
 
     /// True if the context has an entry for `key`.
@@ -213,6 +253,31 @@ mod tests {
         assert_eq!(CtxValue::from("x").as_int(), None);
         assert_eq!(CtxValue::Int(3).to_string(), "3");
         assert_eq!(CtxValue::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn cache_stamp_tracks_content() {
+        let mut ctx = Context::new(GateKind::Email);
+        let s0 = ctx.cache_stamp();
+        // A clone shares the stamp — identical content by construction.
+        let copy = ctx.clone();
+        assert_eq!(copy.cache_stamp(), s0);
+        assert_eq!(ctx, copy);
+        // Any mutation refreshes it.
+        ctx.set_str("email", "u@x");
+        let s1 = ctx.cache_stamp();
+        assert_ne!(s1, s0);
+        ctx.remove("email");
+        assert_ne!(ctx.cache_stamp(), s1);
+        // Removing a missing key is not a mutation.
+        let s2 = ctx.cache_stamp();
+        assert_eq!(ctx.remove("missing"), None);
+        assert_eq!(ctx.cache_stamp(), s2);
+        // Distinct fresh contexts never share a stamp, even when equal.
+        let a = Context::new(GateKind::Http);
+        let b = Context::new(GateKind::Http);
+        assert_eq!(a, b);
+        assert_ne!(a.cache_stamp(), b.cache_stamp());
     }
 
     #[test]

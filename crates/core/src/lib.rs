@@ -74,7 +74,10 @@ pub mod prelude {
     pub use crate::error::{FlowError, PolicyViolation, Result, SerializeError};
     pub use crate::filter::{DefaultFilter, Filter, FnFilter};
     pub use crate::gate::{Gate, GateBuilder, GateKind};
-    pub use crate::label::{Label, LabelTable, PolicyId, PolicyInterner};
+    pub use crate::label::{
+        EpochPin, Label, LabelTable, LabelTableStats, PolicyId, PolicyInterner,
+        PolicyInternerStats, SweepReport,
+    };
     pub use crate::merge::{merge_many, merge_sets};
     pub use crate::policies::{
         Acl, AuthenticData, CodeApproval, EmptyPolicy, HtmlSanitized, PagePolicy, PasswordPolicy,

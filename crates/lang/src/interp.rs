@@ -1299,6 +1299,238 @@ pub(crate) fn context_to_map(context: &Context) -> Value {
     ctx_map
 }
 
+// ---- per-crossing check caches ----
+//
+// The dominant per-crossing costs after chunk caching are re-materializing
+// `this` (every `PValue` field converted to a fresh `Value`, allocating a
+// new `Rc` per list) and rebuilding the `$context` map. Both conversions
+// produce reference-semantics values, so reusing them across crossings is
+// only sound when the policy code provably never mutates them — which a
+// static scan of the method ASTs can establish, because the mini-evaluator
+// is a closed world: no user-defined free functions exist, so every bare
+// call is a builtin, and only `push`/`pop` mutate a value in place.
+
+/// True when every method reachable from `export_check` is read-only: no
+/// property or index assignment anywhere (which also covers mutation
+/// through local aliases like `let w = this.weights; w[0] = 1;`), no
+/// `push`/`pop`, and no nested `fn`/`class` definitions that could shadow
+/// those builtins. Read-only checks cannot alter the cached `this` object
+/// or the cached `$context` map, so both can be reused across crossings.
+fn check_is_read_only(class: &ClassDecl) -> bool {
+    let Some(start) = class.method("export_check") else {
+        return false;
+    };
+    let mut seen: Vec<&str> = vec!["export_check"];
+    let mut queue: Vec<&Arc<FnDecl>> = vec![start];
+    while let Some(m) = queue.pop() {
+        if !stmts_read_only(&m.body, class, &mut seen, &mut queue) {
+            return false;
+        }
+    }
+    true
+}
+
+fn stmts_read_only<'c>(
+    stmts: &'c [Stmt],
+    class: &'c ClassDecl,
+    seen: &mut Vec<&'c str>,
+    queue: &mut Vec<&'c Arc<FnDecl>>,
+) -> bool {
+    stmts.iter().all(|stmt| match &stmt.kind {
+        StmtKind::Let(_, e) => expr_read_only(e, class, seen, queue),
+        StmtKind::Assign(Target::Var(_), e) => expr_read_only(e, class, seen, queue),
+        // Any field or index store — whatever the receiver — may hit the
+        // cached object or context through an alias.
+        StmtKind::Assign(Target::Prop(..) | Target::Index(..), _) => false,
+        StmtKind::Expr(e) => expr_read_only(e, class, seen, queue),
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            expr_read_only(cond, class, seen, queue)
+                && stmts_read_only(then_body, class, seen, queue)
+                && stmts_read_only(else_body, class, seen, queue)
+        }
+        StmtKind::While { cond, body } => {
+            expr_read_only(cond, class, seen, queue) && stmts_read_only(body, class, seen, queue)
+        }
+        StmtKind::Return(e) => e
+            .as_ref()
+            .is_none_or(|e| expr_read_only(e, class, seen, queue)),
+        StmtKind::Throw(e) => expr_read_only(e, class, seen, queue),
+        // A nested `fn` could shadow a builtin; a nested class is exotic
+        // enough to just refuse. Policy code does neither in practice.
+        StmtKind::FnDef(_) | StmtKind::ClassDef(_) => false,
+    })
+}
+
+fn expr_read_only<'c>(
+    expr: &'c Expr,
+    class: &'c ClassDecl,
+    seen: &mut Vec<&'c str>,
+    queue: &mut Vec<&'c Arc<FnDecl>>,
+) -> bool {
+    let mut reach = |name: &'c str| {
+        if !seen.contains(&name) {
+            seen.push(name);
+            if let Some(m) = class.method(name) {
+                queue.push(m);
+            }
+        }
+    };
+    match expr {
+        Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null | Expr::Var(_) | Expr::This => {
+            true
+        }
+        Expr::Array(items) => items.iter().all(|e| expr_read_only(e, class, seen, queue)),
+        Expr::Not(e) | Expr::Neg(e) => expr_read_only(e, class, seen, queue),
+        Expr::Binary { left, right, .. } => {
+            expr_read_only(left, class, seen, queue) && expr_read_only(right, class, seen, queue)
+        }
+        Expr::Call { name, args } => {
+            // Bare calls are builtins (the mini-evaluator defines no free
+            // functions); only push/pop mutate a value in place.
+            name != "push"
+                && name != "pop"
+                && args.iter().all(|e| expr_read_only(e, class, seen, queue))
+        }
+        Expr::MethodCall { recv, method, args } => {
+            // The receiver may alias `this` (it is the only object the
+            // evaluator can see besides fresh `new`s of the same class),
+            // so the named method joins the reachable set.
+            reach(method);
+            expr_read_only(recv, class, seen, queue)
+                && args.iter().all(|e| expr_read_only(e, class, seen, queue))
+        }
+        Expr::Index(recv, idx) => {
+            expr_read_only(recv, class, seen, queue) && expr_read_only(idx, class, seen, queue)
+        }
+        Expr::Prop(recv, _) => expr_read_only(recv, class, seen, queue),
+        Expr::New { args, .. } => {
+            // `new` runs `init` — conservatively include it even though
+            // its `this` is the fresh object, because constructor args may
+            // alias the cached values.
+            reach("init");
+            args.iter().all(|e| expr_read_only(e, class, seen, queue))
+        }
+    }
+}
+
+/// A materialized `this` object plus the field snapshot it was built
+/// from (revalidated by equality, since two policy instances of one
+/// class can carry different fields).
+type CachedThis = (BTreeMap<String, PValue>, Rc<std::cell::RefCell<Obj>>);
+
+/// One cached policy class: the analysis verdict plus — for read-only
+/// checks — the materialized `this` object.
+struct CheckPlan {
+    /// Liveness + identity token for the cache key (the `Arc`'s address).
+    class: std::sync::Weak<ClassDecl>,
+    read_only: bool,
+    cached_this: Option<CachedThis>,
+}
+
+thread_local! {
+    static CHECK_PLANS: std::cell::RefCell<HashMap<usize, CheckPlan>> =
+        std::cell::RefCell::new(HashMap::new());
+    /// Single-slot `$context` map cache keyed by the context's content
+    /// stamp (equal stamps guarantee equal content). Only read-only
+    /// checks consult or fill it, so the cached map is never mutated.
+    static CTX_MAP: std::cell::RefCell<Option<(u64, Value)>> = const { std::cell::RefCell::new(None) };
+    static CHECK_CACHE_HITS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static CHECK_CACHE_MISSES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static CHECK_CACHE_ENABLED: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Disables (or re-enables) this thread's policy-check caches. For
+/// benchmarks and tests that need the uncached per-crossing cost as a
+/// baseline; production callers leave the caches on.
+pub fn set_check_cache(enabled: bool) {
+    CHECK_CACHE_ENABLED.with(|c| c.set(enabled));
+}
+
+/// Per-thread policy-check cache counters `(hits, misses)`: a hit means a
+/// crossing reused the materialized `this`; a miss means it rebuilt it
+/// (first crossing, mutating policy class, or changed fields).
+pub fn check_cache_stats() -> (u64, u64) {
+    (
+        CHECK_CACHE_HITS.with(|c| c.get()),
+        CHECK_CACHE_MISSES.with(|c| c.get()),
+    )
+}
+
+/// Returns `(read_only, this)` for a check, reusing the per-class cached
+/// object when the class's check is read-only and the fields match.
+fn this_for_check(class: &Arc<ClassDecl>, fields: &BTreeMap<String, PValue>) -> (bool, Value) {
+    let build = || {
+        Rc::new(std::cell::RefCell::new(Obj {
+            class: class.clone(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        }))
+    };
+    if !CHECK_CACHE_ENABLED.with(|c| c.get()) {
+        CHECK_CACHE_MISSES.with(|c| c.set(c.get() + 1));
+        return (false, Value::Object(build()));
+    }
+    let (read_only, obj) = CHECK_PLANS.with(|plans| {
+        let mut plans = plans.borrow_mut();
+        let key = Arc::as_ptr(class) as usize;
+        let entry = match plans.get_mut(&key) {
+            // The upgrade-and-compare guards against a freed class whose
+            // address was reused by a different allocation.
+            Some(p) if p.class.upgrade().is_some_and(|c| Arc::ptr_eq(&c, class)) => p,
+            _ => {
+                let plan = CheckPlan {
+                    class: Arc::downgrade(class),
+                    read_only: check_is_read_only(class),
+                    cached_this: None,
+                };
+                plans.entry(key).insert_entry(plan).into_mut()
+            }
+        };
+        if !entry.read_only {
+            CHECK_CACHE_MISSES.with(|c| c.set(c.get() + 1));
+            return (false, build());
+        }
+        match &entry.cached_this {
+            Some((snap, obj)) if snap == fields => {
+                CHECK_CACHE_HITS.with(|c| c.set(c.get() + 1));
+                (true, obj.clone())
+            }
+            _ => {
+                CHECK_CACHE_MISSES.with(|c| c.set(c.get() + 1));
+                let obj = build();
+                entry.cached_this = Some((fields.clone(), obj.clone()));
+                (true, obj)
+            }
+        }
+    });
+    (read_only, Value::Object(obj))
+}
+
+/// Returns the `$context` argument map, served from the stamp-keyed cache
+/// when the check is read-only (`cacheable`).
+fn context_map_for_check(context: &Context, cacheable: bool) -> Value {
+    if !cacheable {
+        return context_to_map(context);
+    }
+    CTX_MAP.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        match &*slot {
+            Some((stamp, map)) if *stamp == context.cache_stamp() => map.clone(),
+            _ => {
+                let map = context_to_map(context);
+                *slot = Some((context.cache_stamp(), map.clone()));
+                map
+            }
+        }
+    })
+}
+
 /// Evaluates a script policy's `export_check` method against a channel
 /// context — the bridge that lets Rust-side filters invoke script-defined
 /// assertion code. Uses the process-default engine.
@@ -1332,24 +1564,18 @@ pub(crate) fn eval_policy_method_on(
     // The policy's class is visible to the mini-evaluator so export_check
     // can call the class's other methods.
     interp.classes.insert(class.name.clone(), class.clone());
-    // Bind `this` to an object with the snapshotted fields.
-    let obj = Rc::new(std::cell::RefCell::new(Obj {
-        class: class.clone(),
-        fields: fields
-            .iter()
-            .map(|(k, v)| (k.clone(), v.to_value()))
-            .collect(),
-    }));
+    // Bind `this` to an object with the snapshotted fields; read-only
+    // checks reuse the materialized object and context map across
+    // crossings instead of reconverting every field.
+    let (read_only, this) = this_for_check(class, fields);
     let args = if method.params.is_empty() {
         Vec::new()
     } else {
-        vec![context_to_map(context)]
+        vec![context_map_for_check(context, read_only)]
     };
     let flow = match engine {
-        Engine::Tree => interp.call_decl(&method, args, Some(Value::Object(obj))),
-        Engine::Vm => {
-            crate::vm::call_function(&mut interp, &method, args, Some(Value::Object(obj)))
-        }
+        Engine::Tree => interp.call_decl(&method, args, Some(this)),
+        Engine::Vm => crate::vm::call_function(&mut interp, &method, args, Some(this)),
     };
     match flow {
         Ok(_) => Ok(()),
@@ -1840,5 +2066,128 @@ mod tests {
             Interp::with_config(Tracking::Off, Engine::Vm).tracking(),
             Tracking::Off
         );
+    }
+
+    // ---- per-crossing check caches ----
+
+    fn policy_class(src: &str) -> Arc<ClassDecl> {
+        parse_program(src)
+            .unwrap()
+            .into_iter()
+            .find_map(|s| match s.kind {
+                StmtKind::ClassDef(c) => Some(c),
+                _ => None,
+            })
+            .expect("class decl")
+    }
+
+    #[test]
+    fn read_only_check_reuses_cached_this() {
+        let class = policy_class(
+            r#"class Quota {
+                fn export_check(context) {
+                    let w = this.weights;
+                    if (w[0] + w[1] > this.limit) { throw "over"; }
+                    if (context["type"] != "http") { throw "channel"; }
+                }
+            }"#,
+        );
+        assert!(check_is_read_only(&class));
+        let mut fields = BTreeMap::new();
+        fields.insert(
+            "weights".to_string(),
+            PValue::List(vec![PValue::Int(1), PValue::Int(2)]),
+        );
+        fields.insert("limit".to_string(), PValue::Int(10));
+        let ctx = Context::new(GateKind::Http);
+        let (h0, m0) = check_cache_stats();
+        for engine in [Engine::Tree, Engine::Vm, Engine::Tree, Engine::Vm] {
+            eval_policy_method_on(engine, &class, &fields, &ctx).unwrap();
+        }
+        let (h1, m1) = check_cache_stats();
+        assert_eq!(m1 - m0, 1, "this materialized once");
+        assert_eq!(h1 - h0, 3, "then reused on every crossing");
+        // Changed fields invalidate the snapshot; the verdict follows the
+        // new values, never the cached ones.
+        fields.insert("limit".to_string(), PValue::Int(0));
+        let err = eval_policy_method_on(Engine::Vm, &class, &fields, &ctx).unwrap_err();
+        assert!(err.to_string().contains("over"));
+        let (h2, m2) = check_cache_stats();
+        assert_eq!((h2 - h1, m2 - m1), (0, 1));
+    }
+
+    #[test]
+    fn mutating_check_is_rebuilt_every_crossing() {
+        // `this.n = this.n + 1` writes a field: the analysis must refuse
+        // to cache, so every crossing sees the pristine snapshot and the
+        // policy never observes its own prior runs.
+        let class = policy_class(
+            r#"class Once {
+                fn export_check(context) {
+                    this.n = this.n + 1;
+                    if (this.n > 1) { throw "ran twice"; }
+                }
+            }"#,
+        );
+        assert!(!check_is_read_only(&class));
+        let mut fields = BTreeMap::new();
+        fields.insert("n".to_string(), PValue::Int(0));
+        let ctx = Context::new(GateKind::Http);
+        let (h0, _) = check_cache_stats();
+        for _ in 0..3 {
+            eval_policy_method_on(Engine::Vm, &class, &fields, &ctx).unwrap();
+        }
+        let (h1, _) = check_cache_stats();
+        assert_eq!(h1 - h0, 0, "mutating checks never hit the cache");
+    }
+
+    #[test]
+    fn context_mutation_refreshes_cached_map() {
+        let class = policy_class(
+            r#"class ForUser {
+                fn export_check(context) {
+                    if (context["user"] != "alice") { throw "wrong user"; }
+                }
+            }"#,
+        );
+        let fields = BTreeMap::new();
+        let mut ctx = Context::new(GateKind::Http);
+        ctx.set_str("user", "alice");
+        eval_policy_method_on(Engine::Vm, &class, &fields, &ctx).unwrap();
+        // Mutating the context refreshes its stamp, so the cached map
+        // cannot be served stale.
+        ctx.set_str("user", "mallory");
+        let err = eval_policy_method_on(Engine::Vm, &class, &fields, &ctx).unwrap_err();
+        assert!(err.to_string().contains("wrong user"));
+        ctx.set_str("user", "alice");
+        eval_policy_method_on(Engine::Vm, &class, &fields, &ctx).unwrap();
+    }
+
+    #[test]
+    fn read_only_analysis_walks_reachable_methods() {
+        // A helper that pushes into a list reached through `this` must
+        // poison the verdict even though export_check itself is clean.
+        let class = policy_class(
+            r#"class Sneaky {
+                fn bump() { push(this.log, 1); }
+                fn export_check(context) { this.bump(); }
+            }"#,
+        );
+        assert!(!check_is_read_only(&class));
+        // Index stores through a local alias are stores all the same.
+        let alias = policy_class(
+            r#"class Alias {
+                fn export_check(context) { let w = this.weights; w[0] = 9; }
+            }"#,
+        );
+        assert!(!check_is_read_only(&alias));
+        // An unreachable mutating method does not poison the verdict.
+        let unreachable = policy_class(
+            r#"class Clean {
+                fn init(n) { this.n = n; }
+                fn export_check(context) { if (this.n > 0) { return; } throw "no"; }
+            }"#,
+        );
+        assert!(check_is_read_only(&unreachable));
     }
 }

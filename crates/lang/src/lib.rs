@@ -57,6 +57,9 @@ pub mod vm;
 
 pub use chunk::Chunk;
 pub use compiler::compiled_policy_chunks;
-pub use interp::{default_engine, Engine, Interp, LangError, SentMail, Tracking};
+pub use interp::{
+    check_cache_stats, default_engine, set_check_cache, Engine, Interp, LangError, SentMail,
+    Tracking,
+};
 pub use parser::{parse_program, ParseError};
 pub use value::{PValue, ScriptPolicy, Value};

@@ -7,13 +7,20 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT | --spawn] [--conns N] [--duration-ms MS]
-//!         [--write-every K] [--sync on|off]
+//!         [--write-every K] [--sync on|off] [--replica]
 //! ```
 //!
 //! With `--spawn` (the default when no `--addr` is given) the binary
 //! self-hosts a durable [`ForumApp`] on an
 //! ephemeral port in a temp directory — one command to smoke the whole
-//! edge: TCP parse boundary, taint, gates, group-commit WAL.
+//! edge: TCP parse boundary, taint, gates, group-commit WAL. After the
+//! run it prints the primary's storage and label-table counters.
+//!
+//! `--replica` (spawn mode only) additionally ships the primary's store
+//! to a second directory, serves it read-only from a second port via
+//! [`ForumApp::open_replica`], and verifies over real TCP that replica
+//! reads are byte-identical, that a stored XSS payload fails closed on
+//! the replica, and that replica writes are refused.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -31,12 +38,14 @@ struct Options {
     /// Every k-th request is a write; 0 disables writes.
     write_every: usize,
     sync: bool,
+    /// Ship to and verify a read replica after the run (spawn mode).
+    replica: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT | --spawn] [--conns N] \
-         [--duration-ms MS] [--write-every K] [--sync on|off]"
+         [--duration-ms MS] [--write-every K] [--sync on|off] [--replica]"
     );
     std::process::exit(2);
 }
@@ -48,6 +57,7 @@ fn parse_args() -> Options {
         duration: Duration::from_millis(2000),
         write_every: 4,
         sync: true,
+        replica: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +80,7 @@ fn parse_args() -> Options {
                 opts.write_every = value("--write-every").parse().unwrap_or_else(|_| usage())
             }
             "--sync" => opts.sync = value("--sync") == "on",
+            "--replica" => opts.replica = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -209,8 +220,13 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 fn main() {
     let opts = parse_args();
 
+    if opts.replica && opts.addr.is_some() {
+        eprintln!("--replica requires spawn mode (no --addr)");
+        usage();
+    }
+
     // Self-host when no address was given.
-    let mut spawned: Option<(NetServer, std::path::PathBuf)> = None;
+    let mut spawned: Option<(NetServer, std::path::PathBuf, Arc<ForumApp>)> = None;
     let addr = match &opts.addr {
         Some(a) => a.clone(),
         None => {
@@ -219,12 +235,13 @@ fn main() {
                 std::process::id(),
                 Instant::now()
             ));
-            let app =
-                ForumApp::open(&dir, Arc::new(SessionStore::new())).expect("open durable forum");
+            let app = Arc::new(
+                ForumApp::open(&dir, Arc::new(SessionStore::new())).expect("open durable forum"),
+            );
             app.db().set_wal_sync(opts.sync);
             let server = NetServer::bind(
                 "127.0.0.1:0",
-                Arc::new(app),
+                app.clone(),
                 NetConfig {
                     workers: opts.conns.max(1),
                     ..NetConfig::default()
@@ -232,7 +249,7 @@ fn main() {
             )
             .expect("bind");
             let addr = server.local_addr().to_string();
-            spawned = Some((server, dir));
+            spawned = Some((server, dir, app));
             addr
         }
     };
@@ -276,11 +293,195 @@ fn main() {
         latencies.last().copied().unwrap_or(0)
     );
 
-    if let Some((mut server, dir)) = spawned {
+    let mut replica_failed = false;
+    if let Some((mut server, dir, app)) = spawned {
+        if let Some(stats) = app.store_stats() {
+            println!(
+                "store: seq {} base {} segments {} wal-bytes {} parts {} dirty-tables {}",
+                stats.seq,
+                stats.base_seq,
+                stats.segments,
+                stats.live_wal_bytes,
+                stats.parts,
+                app.db().dirty_table_count()
+            );
+        }
+        let lt = resin_core::LabelTable::global().stats();
+        println!(
+            "labels: {} live labels, {} policies, union cache {}",
+            lt.labels, lt.policies, lt.union_cache
+        );
+        if opts.replica {
+            replica_failed = !verify_replica(&addr, &dir);
+        }
         server.shutdown();
         let _ = std::fs::remove_dir_all(dir);
     }
-    if requests == 0 || errors > requests / 2 {
+    if requests == 0 || errors > requests / 2 || replica_failed {
         std::process::exit(1);
     }
+}
+
+/// Ships the primary store, serves it read-only on a second port, and
+/// checks the replica invariants over real TCP. Returns success.
+fn verify_replica(primary_addr: &str, primary_dir: &std::path::Path) -> bool {
+    let replica_dir = primary_dir.with_extension("replica");
+    let _ = std::fs::remove_dir_all(&replica_dir);
+
+    // Plant a stored-XSS payload on the primary so the replica has an
+    // attack to fail closed on, and remember a benign post to compare.
+    let mut prim = match TcpStream::connect(primary_addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("replica: primary connect failed: {e}");
+            return false;
+        }
+    };
+    let request_ok = |stream: &mut TcpStream, req: String| -> Option<(String, String)> {
+        stream.write_all(req.as_bytes()).ok()?;
+        read_response(stream).ok()
+    };
+    let user = "user=replicator";
+    let sid = match request_ok(
+        &mut prim,
+        format!(
+            "POST /login HTTP/1.1\r\nContent-Length: {}\r\n\r\n{user}",
+            user.len()
+        ),
+    ) {
+        Some((_, body)) => body,
+        None => {
+            eprintln!("replica: primary login failed");
+            return false;
+        }
+    };
+    let post = |prim: &mut TcpStream, body: &str| -> Option<String> {
+        let form = format!("body={body}");
+        let (_, resp) = request_ok(
+            prim,
+            format!(
+                "POST /post HTTP/1.1\r\nCookie: sid={sid}\r\nContent-Length: {}\r\n\r\n{form}",
+                form.len()
+            ),
+        )?;
+        Some(resp.strip_prefix("posted ")?.to_string())
+    };
+    let Some(benign_id) = post(&mut prim, "replica+comparison+post") else {
+        eprintln!("replica: seeding benign post failed");
+        return false;
+    };
+    let Some(evil_id) = post(&mut prim, "%3Cscript%3Esteal()%3C/script%3E") else {
+        eprintln!("replica: seeding xss post failed");
+        return false;
+    };
+
+    if let Err(e) = resin_sql::ship(primary_dir, &replica_dir) {
+        eprintln!("replica: ship failed: {e}");
+        return false;
+    }
+    let app = match ForumApp::open_replica(&replica_dir, Arc::new(SessionStore::new())) {
+        Ok(app) => Arc::new(app),
+        Err(e) => {
+            eprintln!("replica: open failed: {e}");
+            return false;
+        }
+    };
+    let mut server =
+        NetServer::bind("127.0.0.1:0", app.clone(), NetConfig::default()).expect("bind replica");
+    let addr = server.local_addr().to_string();
+    println!(
+        "replica: serving {addr} at applied seq {}",
+        app.replica_applied_seq().unwrap_or(0)
+    );
+
+    let mut ok = true;
+    let mut repl = TcpStream::connect(&addr).expect("replica connect");
+    let view = |stream: &mut TcpStream, route: &str, id: &str| {
+        let mut s = TcpStream::connect(match stream.peer_addr() {
+            Ok(a) => a.to_string(),
+            Err(_) => return None,
+        })
+        .ok()?;
+        let _ = stream; // one fresh connection per probe keeps it simple
+        s.write_all(format!("GET {route}?id={id} HTTP/1.1\r\n\r\n").as_bytes())
+            .ok()?;
+        read_response(&mut s).ok()
+    };
+
+    // Byte-identical reads.
+    let want = view(&mut prim, "/view", &benign_id);
+    let got = view(&mut repl, "/view", &benign_id);
+    match (&want, &got) {
+        (Some((ws, wb)), Some((gs, gb))) if ws == gs && wb == gb => {
+            println!("replica: /view byte-identical to primary");
+        }
+        _ => {
+            eprintln!("replica: /view mismatch: primary {want:?} vs replica {got:?}");
+            ok = false;
+        }
+    }
+
+    // Stored XSS fails closed on the replica.
+    match view(&mut repl, "/view_raw", &evil_id) {
+        Some((status, body)) if !status.contains(" 200 ") && !body.contains("<script>") => {
+            println!("replica: /view_raw fails closed ({status})");
+        }
+        other => {
+            eprintln!("replica: /view_raw did NOT fail closed: {other:?}");
+            ok = false;
+        }
+    }
+
+    // Writes are refused.
+    let form = "body=diverge";
+    match request_ok(
+        &mut repl,
+        format!(
+            "POST /post HTTP/1.1\r\nContent-Length: {}\r\n\r\n{form}",
+            form.len()
+        ),
+    ) {
+        Some((status, body)) if status.contains(" 403 ") && body.contains("read-only") => {
+            println!("replica: writes refused (403 read-only)");
+        }
+        other => {
+            eprintln!("replica: write was not refused: {other:?}");
+            ok = false;
+        }
+    }
+
+    // A second ship catches the replica up.
+    let Some(late_id) = post(&mut prim, "post+after+first+ship") else {
+        eprintln!("replica: late post failed");
+        return false;
+    };
+    if let Err(e) = resin_sql::ship(primary_dir, &replica_dir) {
+        eprintln!("replica: re-ship failed: {e}");
+        return false;
+    }
+    match app.replica_refresh() {
+        Ok(applied) => {
+            println!(
+                "replica: caught up {applied} records to seq {}",
+                app.replica_applied_seq().unwrap_or(0)
+            );
+        }
+        Err(e) => {
+            eprintln!("replica: catch-up failed: {e}");
+            ok = false;
+        }
+    }
+    match view(&mut repl, "/view", &late_id) {
+        Some((status, body)) if status.contains(" 200 ") && body.contains("after first ship") => {
+            println!("replica: late write visible after catch-up");
+        }
+        other => {
+            eprintln!("replica: late write missing after catch-up: {other:?}");
+            ok = false;
+        }
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    ok
 }

@@ -217,7 +217,11 @@ pub fn serve_connection<S: Read + Write>(
             }
         };
 
-        // Phase 3: cross the taint boundary and dispatch.
+        // Phase 3: cross the taint boundary and dispatch. The epoch pin
+        // keeps every label interned while this request runs (parse-time
+        // taint, query results, response scratch) safe from a concurrent
+        // label-table sweep.
+        let _pin = resin_core::LabelTable::global().pin();
         let req = http::build_request(&head, body.as_deref());
         let page = serve_request(app, &req);
         stats.served += 1;

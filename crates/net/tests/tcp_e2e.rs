@@ -325,7 +325,11 @@ fn posts_over_tcp_survive_restart_and_torn_tail_is_surfaced() {
 
     // Generation 3: tear the WAL tail mid-record — the app open
     // surfaces it (satellite: recovered_from_torn_wal at startup).
-    let wal = dir.join("wal.bin");
+    let wal = resin_sql::segment::list_segments(&dir)
+        .expect("list segments")
+        .pop()
+        .expect("wal exists")
+        .1;
     let bytes = std::fs::read(&wal).expect("wal exists");
     assert!(bytes.len() > 7, "need a tail to tear");
     std::fs::write(&wal, &bytes[..bytes.len() - 7]).expect("tear");

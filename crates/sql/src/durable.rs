@@ -14,11 +14,13 @@
 //! regain byte-identical policy columns without the WAL knowing anything
 //! about rewriting.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
+use resin_core::sync::mlock;
 use resin_core::{deserialize_spans, serialize_spans, TaintedString};
-use resin_store::{Recovered, SnapshotReader, SnapshotWriter, Store, StoreError};
+use resin_store::{Part, Recovered, SnapshotReader, SnapshotWriter, Store, StoreError, StoreStats};
 
 use crate::ast::{ColumnDef, ColumnType};
 use crate::engine::Table;
@@ -48,6 +50,16 @@ const CELL_LABEL: u8 = 4;
 /// index definitions ride as ordinary rows, and the indexes themselves
 /// are **rebuilt from row storage** on recovery rather than persisted.
 const INDEX_META_TABLE: &str = "__rp_indexes";
+
+/// Checkpoint part-name prefix for per-table images. Namespaced so a
+/// table part can never collide with the whole-catalog
+/// [`resin_store::IMAGE_PART`] name legacy checkpoints use.
+pub(crate) const TABLE_PART_PREFIX: &str = "tbl.";
+
+/// The checkpoint part name persisting `table`'s image.
+fn table_part_name(table: &str) -> String {
+    format!("{TABLE_PART_PREFIX}{table}")
+}
 
 /// One definition row per index across the catalog, or `None` when no
 /// table is indexed (unindexed images stay byte-identical to before).
@@ -136,6 +148,47 @@ fn encode_cell(w: &mut SnapshotWriter, v: &Value, policy_col: bool) -> Result<()
         }
     }
     Ok(())
+}
+
+/// Encodes one table as a self-contained checkpoint part image: the
+/// same wire format as a whole-catalog snapshot, holding exactly this
+/// table (with its index definitions). Parts therefore decode without
+/// the rest of the catalog — an unchanged part can carry over between
+/// checkpoints by reference while its neighbors are re-encoded.
+pub(crate) fn encode_table_part(name: &str, table: &Table) -> Result<Vec<u8>> {
+    encode_tables(std::iter::once((name, table)))
+}
+
+/// Decodes a per-table part image back into its (name, table).
+pub(crate) fn decode_table_part(image: &[u8]) -> Result<(String, Table)> {
+    let mut tables = decode_tables(image)?;
+    if tables.len() != 1 {
+        return Err(SqlError::Storage(format!(
+            "table part holds {} tables, expected 1",
+            tables.len()
+        )));
+    }
+    Ok(tables.pop_first().expect("len checked"))
+}
+
+/// Decodes recovered checkpoint parts — either one legacy whole-catalog
+/// [`resin_store::IMAGE_PART`] image or per-table `tbl.*` parts — into
+/// the table catalog.
+pub(crate) fn decode_parts(parts: &[(String, Vec<u8>)]) -> Result<BTreeMap<String, Table>> {
+    let mut out = BTreeMap::new();
+    for (name, image) in parts {
+        if name == resin_store::IMAGE_PART {
+            out.extend(decode_tables(image)?);
+        } else if name.starts_with(TABLE_PART_PREFIX) {
+            let (tname, table) = decode_table_part(image)?;
+            out.insert(tname, table);
+        } else {
+            return Err(SqlError::Storage(format!(
+                "unknown checkpoint part `{name}`"
+            )));
+        }
+    }
+    Ok(out)
 }
 
 /// Decodes a snapshot image back into the table catalog.
@@ -256,6 +309,10 @@ pub(crate) fn decode_wal_batch(payload: &[u8]) -> Result<Vec<TaintedString>> {
 #[derive(Debug, Clone)]
 pub(crate) struct SqlStore {
     store: Store,
+    /// Tables written (WAL-logged) since the last checkpoint — the set
+    /// the next incremental checkpoint must re-encode. Shared across
+    /// clones; callers mark it at their WAL seams.
+    dirty: Arc<Mutex<HashSet<String>>>,
 }
 
 /// What [`SqlStore::open`] recovered.
@@ -266,33 +323,67 @@ pub(crate) struct SqlRecovered {
     pub replay: Vec<TaintedString>,
     /// True when a torn WAL tail was discarded during recovery.
     pub torn_tail: bool,
+    /// True when the discarded tail also forced recovery to drop one or
+    /// more *whole later segments* — a wider loss window than a single
+    /// in-flight append, worth surfacing loudly.
+    pub torn_cross_segment: bool,
 }
 
 impl SqlStore {
-    /// Opens the store at `dir`, decoding the snapshot and WAL.
+    /// Opens the store at `dir`, decoding the checkpoint parts and WAL.
     pub fn open(dir: impl AsRef<Path>) -> Result<(SqlStore, SqlRecovered)> {
         let (store, recovered) = Store::open(dir)?;
         let Recovered {
-            snapshot,
+            snapshot: _,
+            parts,
             records,
             torn_tail,
+            torn_cross_segment,
         } = recovered;
-        let tables = match &snapshot {
-            Some(image) => decode_tables(image)?,
-            None => BTreeMap::new(),
-        };
+        let tables = decode_parts(&parts)?;
         let mut replay = Vec::with_capacity(records.len());
         for payload in &records {
             replay.extend(decode_wal_batch(payload)?);
         }
+        let sql_store = SqlStore {
+            store,
+            dirty: Arc::new(Mutex::new(HashSet::new())),
+        };
+        // Replayed statements post-date the checkpoint: their tables are
+        // dirty until the next checkpoint re-encodes them. (The replay
+        // pass upstream parses each statement again anyway; this extra
+        // parse is recovery-only cost.)
+        for sql in &replay {
+            if let Ok(tokens) = crate::token::lex(sql.as_str()) {
+                if let Ok(stmt) = crate::parser::parse(&tokens) {
+                    if let Some(target) = crate::txn::statement_write_target(&stmt) {
+                        sql_store.mark_dirty(target);
+                    }
+                }
+            }
+        }
         Ok((
-            SqlStore { store },
+            sql_store,
             SqlRecovered {
                 tables,
                 replay,
                 torn_tail,
+                torn_cross_segment,
             },
         ))
+    }
+
+    /// Marks one table as written since the last checkpoint.
+    pub fn mark_dirty(&self, name: &str) {
+        let mut dirty = mlock(&self.dirty);
+        if !dirty.contains(name) {
+            dirty.insert(name.to_string());
+        }
+    }
+
+    /// Number of tables the next incremental checkpoint will re-encode.
+    pub fn dirty_count(&self) -> usize {
+        mlock(&self.dirty).len()
     }
 
     /// Appends one post-guard statement to the WAL.
@@ -311,14 +402,59 @@ impl SqlStore {
         Ok(())
     }
 
-    /// Checkpoints the catalog and resets the WAL.
+    /// Checkpoints the catalog incrementally and resets the WAL: only
+    /// tables marked dirty since the last checkpoint (plus tables whose
+    /// part is missing — first checkpoint, or one migrated from a legacy
+    /// whole-image snapshot) are re-encoded; clean tables carry their
+    /// previous part over **by reference**, so checkpoint cost is
+    /// O(changed data), not O(database).
+    ///
+    /// The caller must exclude concurrent durable writers for the whole
+    /// call (`SharedDb` holds its checkpoint lock exclusively; `ResinDb`
+    /// is `&mut`): the dirty set is snapshotted at entry and cleared
+    /// wholesale on success.
     pub fn checkpoint<'a>(
         &self,
         tables: impl IntoIterator<Item = (&'a str, &'a Table)>,
     ) -> Result<()> {
-        let image = encode_tables(tables)?;
-        self.store.checkpoint(&image)?;
+        self.checkpoint_with(tables, false)
+    }
+
+    /// [`checkpoint`](SqlStore::checkpoint) with every table re-encoded
+    /// regardless of dirtiness — the full-snapshot baseline.
+    pub fn checkpoint_full<'a>(
+        &self,
+        tables: impl IntoIterator<Item = (&'a str, &'a Table)>,
+    ) -> Result<()> {
+        self.checkpoint_with(tables, true)
+    }
+
+    fn checkpoint_with<'a>(
+        &self,
+        tables: impl IntoIterator<Item = (&'a str, &'a Table)>,
+        full: bool,
+    ) -> Result<()> {
+        let existing: HashSet<String> = self.store.part_names().into_iter().collect();
+        let dirty: HashSet<String> = mlock(&self.dirty).clone();
+        let mut parts = Vec::new();
+        for (name, t) in tables {
+            let part_name = table_part_name(name);
+            if full || dirty.contains(name) || !existing.contains(&part_name) {
+                parts.push(Part::new(part_name, encode_table_part(name, t)?));
+            } else {
+                parts.push(Part::unchanged(part_name));
+            }
+        }
+        // Dropped tables simply don't appear: their parts leave the
+        // manifest and the store garbage-collects the orphaned images.
+        self.store.checkpoint_parts(parts)?;
+        mlock(&self.dirty).clear();
         Ok(())
+    }
+
+    /// Live storage counters of the underlying store.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// Whether WAL appends fsync (see [`Store::set_sync`]).

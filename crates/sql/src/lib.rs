@@ -39,6 +39,7 @@ pub mod error;
 pub mod index;
 pub mod parser;
 pub mod plan;
+pub mod replica;
 pub mod rewrite;
 pub mod shard;
 pub mod token;
@@ -49,6 +50,9 @@ pub use ast::{IndexKind, Statement};
 pub use engine::{Database, QueryResult, Table};
 pub use error::{Result, SqlError};
 pub use index::Index;
+pub use replica::Follower;
+pub use resin_store::segment;
+pub use resin_store::{ship, ShipReport, StoreStats};
 pub use rewrite::{
     BindValue, BoundStatement, GuardMode, Prepared, ResinDb, SqlGuardFilter, TCell, TaintedResult,
     Tracking, POLICY_COL_PREFIX,

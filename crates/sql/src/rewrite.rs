@@ -546,6 +546,7 @@ pub struct ResinDb {
     guard: GuardMode,
     store: Option<crate::durable::SqlStore>,
     torn_recovery: bool,
+    torn_cross_segment: bool,
 }
 
 impl ResinDb {
@@ -562,6 +563,7 @@ impl ResinDb {
             guard,
             store: None,
             torn_recovery: false,
+            torn_cross_segment: false,
         }
     }
 
@@ -593,6 +595,7 @@ impl ResinDb {
             guard,
             store: None, // replay must not re-log
             torn_recovery: recovered.torn_tail,
+            torn_cross_segment: recovered.torn_cross_segment,
         };
         for (name, table) in recovered.tables {
             db.db.set_table(&name, table);
@@ -612,6 +615,29 @@ impl ResinDb {
     /// process may have been lost — worth logging or alerting on.
     pub fn recovered_from_torn_wal(&self) -> bool {
         self.torn_recovery
+    }
+
+    /// True when the torn tail spanned a segment boundary, so recovery
+    /// dropped one or more whole later segments — a wider loss window
+    /// than one in-flight append.
+    pub fn recovered_torn_cross_segment(&self) -> bool {
+        self.torn_cross_segment
+    }
+
+    /// Live storage counters (segments, WAL bytes, checkpoint cost) of
+    /// the underlying store, or `None` when not durable.
+    pub fn store_stats(&self) -> Option<resin_store::StoreStats> {
+        self.store.as_ref().map(crate::durable::SqlStore::stats)
+    }
+
+    /// Marks tables as written since the last checkpoint (transactions
+    /// call this at commit, when their buffered WAL record lands).
+    pub(crate) fn mark_tables_dirty<'a>(&self, names: impl IntoIterator<Item = &'a str>) {
+        if let Some(store) = self.store.as_ref() {
+            for name in names {
+                store.mark_dirty(name);
+            }
+        }
     }
 
     fn replay_stmt(&mut self, sql: &TaintedString) -> Result<()> {
@@ -708,6 +734,7 @@ impl ResinDb {
         let (sql, stmt) = prepare_query(sql, self.guard)?;
         if self.store.is_some() && crate::txn::statement_write_target(&stmt).is_some() {
             self.wal_log(&sql)?;
+            self.mark_tables_dirty(crate::txn::statement_write_target(&stmt));
         }
         run_prepared(&mut self.db, &sql, stmt, self.tracking, &[])
     }
@@ -732,6 +759,7 @@ impl ResinDb {
         if self.store.is_some() && p.write_target().is_some() {
             let rendered = render_bound_sql(p, &bound.values);
             self.wal_log(&rendered)?;
+            self.mark_tables_dirty(p.write_target());
         }
         run_prepared(
             &mut self.db,

@@ -289,6 +289,7 @@ pub struct SharedDb {
     guard: GuardMode,
     durable: bool,
     torn_recovery: bool,
+    torn_cross_segment: bool,
 }
 
 impl SharedDb {
@@ -305,6 +306,31 @@ impl SharedDb {
             guard,
             durable: false,
             torn_recovery: false,
+            torn_cross_segment: false,
+        }
+    }
+
+    /// A non-durable shared database pre-loaded with a table catalog —
+    /// the substrate of a read replica ([`crate::replica::Follower`]).
+    pub(crate) fn from_tables(
+        tables: BTreeMap<String, Table>,
+        tracking: Tracking,
+        guard: GuardMode,
+    ) -> Self {
+        let sharded = ShardedDatabase::new();
+        {
+            let mut catalog = wlock(&sharded.catalog);
+            for (name, t) in tables {
+                catalog.insert(name, Arc::new(RwLock::new(t)));
+            }
+        }
+        SharedDb {
+            inner: Arc::new(sharded),
+            tracking,
+            guard,
+            durable: false,
+            torn_recovery: false,
+            torn_cross_segment: false,
         }
     }
 
@@ -343,6 +369,7 @@ impl SharedDb {
             guard,
             durable: true,
             torn_recovery: recovered.torn_tail,
+            torn_cross_segment: recovered.torn_cross_segment,
         })
     }
 
@@ -351,6 +378,30 @@ impl SharedDb {
     /// process may have been lost — worth logging or alerting on.
     pub fn recovered_from_torn_wal(&self) -> bool {
         self.torn_recovery
+    }
+
+    /// True when the torn tail spanned a segment boundary, so recovery
+    /// dropped one or more whole later segments — a wider loss window
+    /// than one in-flight append.
+    pub fn recovered_torn_cross_segment(&self) -> bool {
+        self.torn_cross_segment
+    }
+
+    /// Replays one post-guard statement through the standard rewrite
+    /// pipeline (read replicas apply shipped WAL records with this).
+    pub(crate) fn replay(&self, sql: &TaintedString) -> Result<()> {
+        Self::replay_on(&self.inner, sql, self.tracking)
+    }
+
+    /// Replaces the whole catalog (read replicas rebuilding from a newer
+    /// shipped checkpoint). In-flight readers holding a shard `Arc`
+    /// finish against the old table; new queries resolve the new one.
+    pub(crate) fn reset_tables(&self, tables: BTreeMap<String, Table>) {
+        let mut catalog = wlock(&self.inner.catalog);
+        catalog.clear();
+        for (name, t) in tables {
+            catalog.insert(name, Arc::new(RwLock::new(t)));
+        }
     }
 
     fn replay_on(sharded: &ShardedDatabase, sql: &TaintedString, tracking: Tracking) -> Result<()> {
@@ -378,6 +429,17 @@ impl SharedDb {
     /// image is encoded under every shard's read lock simultaneously, so
     /// it is point-in-time consistent across tables.
     pub fn checkpoint(&self) -> Result<()> {
+        self.checkpoint_with(false)
+    }
+
+    /// [`checkpoint`](SharedDb::checkpoint) with every table re-encoded
+    /// regardless of dirtiness — the full-snapshot baseline incremental
+    /// checkpoints are measured against.
+    pub fn checkpoint_full(&self) -> Result<()> {
+        self.checkpoint_with(true)
+    }
+
+    fn checkpoint_with(&self, full: bool) -> Result<()> {
         if !self.durable {
             return Ok(());
         }
@@ -419,7 +481,34 @@ impl SharedDb {
         let Some(store) = self.inner.store.get() else {
             return Ok(());
         };
-        store.checkpoint(shards.iter().map(|(n, t)| (*n, &**t)))
+        let tables = shards.iter().map(|(n, t)| (*n, &**t));
+        if full {
+            store.checkpoint_full(tables)
+        } else {
+            store.checkpoint(tables)
+        }
+    }
+
+    /// Live storage counters (segments, WAL bytes, checkpoint cost) of
+    /// the underlying store, or `None` when not durable.
+    pub fn store_stats(&self) -> Option<resin_store::StoreStats> {
+        self.inner.store.get().map(SqlStore::stats)
+    }
+
+    /// Number of tables written since the last checkpoint — what the
+    /// next incremental checkpoint will re-encode.
+    pub fn dirty_table_count(&self) -> usize {
+        self.inner.store.get().map_or(0, SqlStore::dirty_count)
+    }
+
+    /// Marks tables as written since the last checkpoint (transactions
+    /// call this at commit, when their buffered WAL record lands).
+    pub(crate) fn mark_tables_dirty<'a>(&self, names: impl IntoIterator<Item = &'a str>) {
+        if let Some(store) = self.inner.store.get() {
+            for name in names {
+                store.mark_dirty(name);
+            }
+        }
     }
 
     /// Whether WAL appends fsync before returning (default `true`).
@@ -501,6 +590,9 @@ impl SharedDb {
         let _no_ckpt = durable_write.then(|| rlock(&self.inner.ckpt));
         if durable_write {
             self.wal_log(&sql)?;
+            // Inside the exclusion window, so the checkpoint that would
+            // truncate this record also sees its table as dirty.
+            self.mark_tables_dirty(statement_write_target(&stmt));
         }
         let mut backend: &ShardedDatabase = &self.inner;
         run_prepared(&mut backend, &sql, stmt, self.tracking, &[])
@@ -529,6 +621,7 @@ impl SharedDb {
         if durable_write {
             let rendered = render_bound_sql(p, &bound.values);
             self.wal_log(&rendered)?;
+            self.mark_tables_dirty(p.write_target());
         }
         let mut backend: &ShardedDatabase = &self.inner;
         run_prepared(
@@ -560,6 +653,7 @@ impl SharedDb {
             wal: Vec::new(),
             registered: false,
             finished: false,
+            _epoch_pin: resin_core::LabelTable::global().pin(),
         }
     }
 }
@@ -598,6 +692,9 @@ pub struct SharedTransaction<'c> {
     /// on drop) so checkpoints wait this transaction out.
     registered: bool,
     finished: bool,
+    /// Keeps labels interned during the transaction (snapshot scratch,
+    /// query results) safe from a concurrent label-table sweep.
+    _epoch_pin: resin_core::EpochPin<'static>,
 }
 
 impl<'c> SharedTransaction<'c> {
@@ -676,6 +773,9 @@ impl<'c> SharedTransaction<'c> {
             self.restore();
             return Err(e);
         }
+        // Still registered in `txn_writers` until drop, so no checkpoint
+        // can slip between the batch landing and these marks.
+        self.db.mark_tables_dirty(self.snapshots.names());
         Ok(())
     }
 
@@ -1013,6 +1113,85 @@ mod tests {
             &1,
             "snapshot covers the commit; its WAL record must not replay on top"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_checkpoint_rewrites_only_dirty_tables() {
+        let dir = disk_dir("incr-ckpt");
+        {
+            let db = SharedDb::open(&dir).unwrap();
+            db.set_wal_sync(false);
+            db.query_str("CREATE TABLE a (x INTEGER)").unwrap();
+            db.query_str("CREATE TABLE b (x INTEGER)").unwrap();
+            db.query_str("CREATE TABLE c (x INTEGER)").unwrap();
+            db.query_str("INSERT INTO a VALUES (1)").unwrap();
+            assert_eq!(db.dirty_table_count(), 3);
+            db.checkpoint().unwrap();
+            let s = db.store_stats().unwrap();
+            assert_eq!(
+                s.last_checkpoint_parts_written, 3,
+                "first checkpoint writes every part"
+            );
+            assert_eq!(db.dirty_table_count(), 0);
+
+            db.query_str("INSERT INTO b VALUES (2)").unwrap();
+            assert_eq!(db.dirty_table_count(), 1);
+            db.checkpoint().unwrap();
+            let s = db.store_stats().unwrap();
+            assert_eq!(s.last_checkpoint_parts_written, 1, "only b re-encoded");
+            assert_eq!(s.parts, 3, "a and c carried over by reference");
+
+            db.checkpoint_full().unwrap();
+            assert_eq!(db.store_stats().unwrap().last_checkpoint_parts_written, 3);
+        }
+        // Everything recovers across incremental checkpoints.
+        let db = SharedDb::open(&dir).unwrap();
+        for (t, n) in [("a", 1), ("b", 1), ("c", 0)] {
+            let r = db.query_str(&format!("SELECT COUNT(*) FROM {t}")).unwrap();
+            assert_eq!(r.rows[0][0].as_int().unwrap().value(), &n, "table {t}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_table_leaves_the_checkpoint() {
+        let dir = disk_dir("drop-ckpt");
+        {
+            let db = SharedDb::open(&dir).unwrap();
+            db.set_wal_sync(false);
+            db.query_str("CREATE TABLE keep (x INTEGER)").unwrap();
+            db.query_str("CREATE TABLE gone (x INTEGER)").unwrap();
+            db.checkpoint().unwrap();
+            assert_eq!(db.store_stats().unwrap().parts, 2);
+            db.query_str("DROP TABLE gone").unwrap();
+            db.checkpoint().unwrap();
+            assert_eq!(db.store_stats().unwrap().parts, 1);
+        }
+        let db = SharedDb::open(&dir).unwrap();
+        assert!(db.query_str("SELECT COUNT(*) FROM keep").is_ok());
+        assert!(db.query_str("SELECT COUNT(*) FROM gone").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn txn_commit_marks_written_tables_dirty() {
+        let dir = disk_dir("txn-dirty");
+        let db = SharedDb::open(&dir).unwrap();
+        db.set_wal_sync(false);
+        db.query_str("CREATE TABLE t (a INTEGER)").unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.dirty_table_count(), 0);
+        let mut txn = db.begin();
+        txn.query_str("INSERT INTO t VALUES (1)").unwrap();
+        txn.commit().unwrap();
+        assert_eq!(db.dirty_table_count(), 1);
+        // A rolled-back transaction leaves no dirty mark behind.
+        db.checkpoint().unwrap();
+        let mut txn = db.begin();
+        txn.query_str("INSERT INTO t VALUES (2)").unwrap();
+        txn.rollback();
+        assert_eq!(db.dirty_table_count(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

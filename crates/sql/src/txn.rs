@@ -111,6 +111,9 @@ pub struct Transaction<'a, 'c> {
     checks: Vec<IntegrityCheck<'c>>,
     wal: Vec<TaintedString>,
     finished: bool,
+    /// Keeps labels interned during the transaction safe from a
+    /// concurrent label-table sweep.
+    _epoch_pin: resin_core::EpochPin<'static>,
 }
 
 impl<'a, 'c> Transaction<'a, 'c> {
@@ -123,6 +126,7 @@ impl<'a, 'c> Transaction<'a, 'c> {
             checks: Vec::new(),
             wal: Vec::new(),
             finished: false,
+            _epoch_pin: resin_core::LabelTable::global().pin(),
         }
     }
 
@@ -187,6 +191,7 @@ impl<'a, 'c> Transaction<'a, 'c> {
             self.restore();
             return Err(e);
         }
+        self.db.mark_tables_dirty(self.snapshots.names());
         Ok(())
     }
 

@@ -10,10 +10,17 @@
 //!   refs — the durable twin of the in-memory `Label` interning;
 //! * [`wal`] — checksummed append-only record framing whose replay
 //!   tolerates the torn tail an interrupted append leaves behind;
-//! * [`store::Store`] — one directory holding `snapshot.bin` + `wal.bin`,
-//!   with atomic checkpoints (temp file + rename), fsynced appends, and
-//!   sequence numbers that keep a crash between "rename snapshot" and
-//!   "truncate WAL" from double-applying operations.
+//! * [`segment`] — size-capped, rotating WAL segment files (`wal.000001`,
+//!   …) whose concatenation in index order is the log;
+//! * [`store::Store`] — one directory holding a manifest-based checkpoint
+//!   (named, immutable part images — unchanged parts carry between
+//!   checkpoints by reference) plus the WAL segments, with atomic
+//!   checkpoints (temp file + rename), fsynced appends, compaction of
+//!   covered segments, and sequence numbers that keep a crash between
+//!   "rename manifest" and "delete covered segments" from double-applying
+//!   operations;
+//! * [`replica`] — WAL shipping (incremental directory copy) and
+//!   read-only tailing, the transport under read replicas.
 //!
 //! The store is deliberately *policy-oblivious*: policy bodies are opaque
 //! strings in `resin_core`'s textual wire format, tokenized (never
@@ -28,10 +35,13 @@
 
 pub mod error;
 pub mod io;
+pub mod replica;
+pub mod segment;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use error::{Result, StoreError};
+pub use replica::{checkpoint_base_seq, read_checkpoint, ship, tail_records, ShipReport, Tailed};
 pub use snapshot::{SnapshotReader, SnapshotWriter, SpanRef, SNAPSHOT_VERSION};
-pub use store::{Recovered, Store};
+pub use store::{Part, Parts, Recovered, Store, StoreStats, IMAGE_PART};

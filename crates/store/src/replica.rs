@@ -1,0 +1,275 @@
+//! WAL shipping and read-only tailing for read replicas.
+//!
+//! A replica is fed by copying the primary's store directory — manifest,
+//! part images, and WAL segments — into its own directory ([`ship`]),
+//! then reading it **without** taking the store's writer lock or
+//! mutating anything ([`read_checkpoint`], [`tail_records`]). This works
+//! because every durable artifact is append-only or immutable:
+//!
+//! * part files are written once under a fresh name and never modified,
+//!   so copying one is idempotent;
+//! * segments only grow between checkpoints, so shipping resumes by
+//!   copying the byte tail past what the replica already has — a frame
+//!   half-copied by one ship completes on the next;
+//! * the manifest is replaced atomically (temp + rename), and is only
+//!   shipped after the parts it references, so a replica-side reader
+//!   never sees a manifest pointing at a missing part.
+//!
+//! [`tail_records`] treats a torn tail as "end of shipped log", not an
+//! error: the tear is the in-flight append the next ship will complete.
+//! Segments the primary has compacted away are *not* deleted from the
+//! replica directory (a slow follower may still need them); records they
+//! hold are filtered by sequence number on replay.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::Result;
+use crate::io::checksum;
+use crate::segment::list_segments;
+use crate::store::{decode_manifest, read_checkpoint_state, Parts, MANIFEST_FILE};
+use crate::wal::{scan, Record};
+
+/// What one [`ship`] call copied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipReport {
+    /// Segments that received new bytes.
+    pub segments_copied: u64,
+    /// Checkpoint part files newly copied.
+    pub parts_copied: u64,
+    /// Total bytes copied (segments + parts + manifest).
+    pub bytes_copied: u64,
+}
+
+/// Records tailed from a shipped (or live) store directory.
+#[derive(Debug, Clone, Default)]
+pub struct Tailed {
+    /// Records with sequence number strictly greater than `after_seq`,
+    /// in append order.
+    pub records: Vec<Record>,
+    /// True when the scan stopped at a torn tail (an append still in
+    /// flight on the primary, or a partially shipped frame).
+    pub torn: bool,
+}
+
+/// Copies the primary store at `src` into the replica directory `dst`:
+/// new checkpoint parts first, then the manifest, then segment tails.
+/// Incremental and idempotent; never deletes anything at `dst`.
+pub fn ship(src: &Path, dst: &Path) -> Result<ShipReport> {
+    std::fs::create_dir_all(dst)?;
+    let mut report = ShipReport::default();
+
+    // Checkpoint parts before the manifest that references them.
+    let manifest_bytes = match std::fs::read(src.join(MANIFEST_FILE)) {
+        Ok(b) => Some(b),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e.into()),
+    };
+    if let Some(bytes) = manifest_bytes {
+        let (_, entries) = decode_manifest(&bytes)?;
+        for e in &entries {
+            let to = dst.join(&e.file);
+            let already = std::fs::metadata(&to).map(|m| m.len()).unwrap_or(0);
+            if already == e.len {
+                continue; // part files are immutable: same length = same file
+            }
+            let image = std::fs::read(src.join(&e.file))?;
+            write_atomic(dst, &e.file, &image)?;
+            report.parts_copied += 1;
+            report.bytes_copied += image.len() as u64;
+        }
+        let have = std::fs::read(dst.join(MANIFEST_FILE)).unwrap_or_default();
+        if have != bytes {
+            write_atomic(dst, MANIFEST_FILE, &bytes)?;
+            report.bytes_copied += bytes.len() as u64;
+        }
+    }
+
+    // Segment tails: append-only between checkpoints, so resume at the
+    // replica's current length. A shorter source (post-crash repair on
+    // the primary) forces a full re-copy.
+    for (index, path) in list_segments(src)? {
+        let src_len = std::fs::metadata(&path)?.len();
+        let to = crate::segment::segment_path(dst, index);
+        let dst_len = std::fs::metadata(&to).map(|m| m.len()).unwrap_or(0);
+        if dst_len == src_len {
+            continue;
+        }
+        let from = if dst_len < src_len { dst_len } else { 0 };
+        let mut src_file = File::open(&path)?;
+        src_file.seek(SeekFrom::Start(from))?;
+        let mut tail = Vec::new();
+        src_file.read_to_end(&mut tail)?;
+        let mut dst_file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&to)?;
+        dst_file.set_len(from)?;
+        dst_file.seek(SeekFrom::Start(from))?;
+        dst_file.write_all(&tail)?;
+        dst_file.sync_data()?;
+        report.segments_copied += 1;
+        report.bytes_copied += tail.len() as u64;
+    }
+    if let Ok(d) = File::open(dst) {
+        let _ = d.sync_all();
+    }
+    Ok(report)
+}
+
+/// Reads just the checkpoint's base sequence number from a store
+/// directory's manifest — cheap (no part images touched), for pollers
+/// deciding whether a full [`read_checkpoint`] is warranted. `None`
+/// when no manifest exists.
+pub fn checkpoint_base_seq(dir: &Path) -> Result<Option<u64>> {
+    match std::fs::read(dir.join(MANIFEST_FILE)) {
+        Ok(bytes) => {
+            let (base_seq, _) = decode_manifest(&bytes)?;
+            Ok(Some(base_seq))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Reads the checkpoint (base sequence number + named parts) from a
+/// store directory without locking or mutating it. Returns `None` when
+/// no checkpoint was ever taken.
+pub fn read_checkpoint(dir: &Path) -> Result<Option<(u64, Parts)>> {
+    let (_, base_seq, parts) = read_checkpoint_state(dir)?;
+    if parts.is_empty() && base_seq == 0 {
+        return Ok(None);
+    }
+    Ok(Some((base_seq, parts)))
+}
+
+/// Scans the WAL segments of a store directory read-only, returning
+/// every record with `seq > after_seq` in append order. Stops at the
+/// first torn frame (reported, not repaired — the next [`ship`] may
+/// complete it). Never locks, truncates, or deletes anything.
+pub fn tail_records(dir: &Path, after_seq: u64) -> Result<Tailed> {
+    let mut out = Tailed::default();
+    for (_, path) in list_segments(dir)? {
+        let bytes = std::fs::read(&path)?;
+        let scanned = scan(&bytes)?;
+        out.records
+            .extend(scanned.records.into_iter().filter(|r| r.seq > after_seq));
+        if scanned.torn {
+            out.torn = true;
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Writes `bytes` into `dir/name` atomically (temp file + rename), so a
+/// replica-side reader never observes a half-copied file.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+    let tmp = dir.join(format!("{name}.shiptmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(name))?;
+    Ok(())
+}
+
+/// FNV-1a checksum of a shipped file, for divergence diagnostics.
+pub fn file_checksum(path: &Path) -> Result<u64> {
+    Ok(checksum(&std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Store;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "resin-replica-test-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn ship_and_tail_follow_the_primary() {
+        let src = tmp_dir("src");
+        let dst = tmp_dir("dst");
+        let (s, _) = Store::open(&src).unwrap();
+        s.set_sync(false);
+        s.append(b"one").unwrap();
+        s.append(b"two").unwrap();
+        ship(&src, &dst).unwrap();
+        let t = tail_records(&dst, 0).unwrap();
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.records[1].payload, b"two");
+        assert!(!t.torn);
+        // Incremental: only the new tail ships.
+        s.append(b"three").unwrap();
+        let rep = ship(&src, &dst).unwrap();
+        assert_eq!(rep.segments_copied, 1);
+        let t = tail_records(&dst, 2).unwrap();
+        assert_eq!(t.records.len(), 1);
+        assert_eq!(t.records[0].payload, b"three");
+        // Idempotent when nothing changed.
+        let rep = ship(&src, &dst).unwrap();
+        assert_eq!(rep, ShipReport::default());
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn ship_carries_checkpoint_and_compaction() {
+        let src = tmp_dir("ckptsrc");
+        let dst = tmp_dir("ckptdst");
+        let (s, _) = Store::open(&src).unwrap();
+        s.set_sync(false);
+        s.set_segment_max_bytes(64);
+        for i in 0..10u32 {
+            s.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        s.checkpoint(b"CKPT").unwrap();
+        s.append(b"post").unwrap();
+        let rep = ship(&src, &dst).unwrap();
+        assert!(rep.parts_copied >= 1);
+        let (base_seq, parts) = read_checkpoint(&dst).unwrap().expect("checkpoint shipped");
+        assert_eq!(base_seq, 10);
+        assert_eq!(parts[0].1, b"CKPT");
+        let t = tail_records(&dst, base_seq).unwrap();
+        assert_eq!(t.records.len(), 1);
+        assert_eq!(t.records[0].payload, b"post");
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn partially_shipped_frame_reads_as_torn_then_completes() {
+        let src = tmp_dir("tornsrc");
+        let dst = tmp_dir("torndst");
+        let (s, _) = Store::open(&src).unwrap();
+        s.set_sync(false);
+        s.append(b"whole-record-payload").unwrap();
+        ship(&src, &dst).unwrap();
+        // Chop the replica's copy mid-frame, as if ship raced an append.
+        let seg = crate::segment::segment_path(&dst, 1);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+        let t = tail_records(&dst, 0).unwrap();
+        assert!(t.torn);
+        assert!(t.records.is_empty());
+        // The next ship completes the frame from the source tail.
+        ship(&src, &dst).unwrap();
+        let t = tail_records(&dst, 0).unwrap();
+        assert!(!t.torn);
+        assert_eq!(t.records[0].payload, b"whole-record-payload");
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+}

@@ -1,24 +1,48 @@
-//! The durable store: one snapshot file plus one WAL, with crash
-//! recovery and **group commit**.
+//! The durable store: a manifest-based checkpoint plus a segmented WAL,
+//! with crash recovery and **group commit**.
 //!
 //! On-disk layout inside the store directory:
 //!
 //! ```text
-//! snapshot.bin   last complete checkpoint (atomic: written to a temp
-//!                file, fsynced, renamed over)
-//! wal.bin        append-only records since that checkpoint
+//! manifest.bin   the last complete checkpoint: base sequence number plus
+//!                a list of named parts (atomic: temp file + rename)
+//! part.NNNNNN.bin  one immutable checkpoint part image per file; part
+//!                files are written once under a fresh name and never
+//!                modified, so an unchanged part carries over between
+//!                checkpoints by *reference* instead of being rewritten
+//! wal.NNNNNN     append-only WAL segments since that checkpoint,
+//!                size-capped and rotated; compaction deletes segments
+//!                fully covered by the checkpoint's base sequence number
+//! wal.lock       advisory single-writer lock
 //! ```
+//!
+//! Older stores used a single `snapshot.bin` + `wal.bin`; [`Store::open`]
+//! migrates them transparently (the legacy WAL becomes segment 1, the
+//! legacy snapshot reads as a single part) and the next checkpoint
+//! rewrites everything in the current format.
 //!
 //! # Recovery contract
 //!
-//! [`Store::open`] loads the last complete snapshot and replays the WAL's
-//! longest valid prefix, truncating any torn tail left by a crash
-//! mid-append. The snapshot records the sequence number it covers
-//! (`base_seq`), and replay skips records at or below it — so a crash
-//! *between* "rename new snapshot into place" and "truncate the WAL"
-//! cannot double-apply operations. Every crash point therefore recovers
-//! to a consistent state: the last checkpoint plus a prefix of the
-//! operations appended after it.
+//! [`Store::open`] loads the last complete checkpoint and replays the
+//! WAL's longest valid prefix *across segments*: segments are scanned in
+//! index order, and the first torn or corrupt frame ends replay — the
+//! torn segment is truncated to its valid prefix and every later segment
+//! is discarded, exactly as a torn tail in a single file would swallow
+//! everything after the tear. The manifest records the sequence number it
+//! covers (`base_seq`), and replay skips records at or below it — so a
+//! crash *between* "rename new manifest into place" and "delete covered
+//! segments" cannot double-apply operations. Every crash point therefore
+//! recovers to a consistent state: the last checkpoint plus a prefix of
+//! the operations appended after it.
+//!
+//! # Incremental checkpoints
+//!
+//! [`Store::checkpoint_parts`] takes a list of named parts where each is
+//! either a new image or `Unchanged`: unchanged parts are re-referenced
+//! from the previous manifest without touching their bytes, so a
+//! checkpoint costs O(changed parts), not O(database). Parts absent from
+//! the list are dropped. The single-image [`Store::checkpoint`] is the
+//! degenerate one-part case.
 //!
 //! # Group commit
 //!
@@ -41,53 +65,149 @@
 //!
 //! A single uncontended appender becomes leader immediately and pays
 //! exactly one fsync — the floor — so group commit costs nothing when
-//! there is nothing to batch. When a batched write fails, the file is
-//! truncated back to the durable boundary and every appender whose
-//! staged frame was discarded gets an error: acknowledged state and
+//! there is nothing to batch. When a batched write fails, the active
+//! segment is truncated back to the durable boundary and every appender
+//! whose staged frame was discarded gets an error: acknowledged state and
 //! recoverable state never diverge.
+//!
+//! The active segment lives in its own mutex, ordered *after* the queue
+//! lock; exclusive write access is still the leader-protocol invariant
+//! (the segment is written only by the thread that set `leader`, or under
+//! the queue lock while `leader` is false) — the mutex exists so rotation
+//! can swap the file handle and so read-side diagnostics can observe it.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use crate::error::{Result, StoreError};
-use crate::io::{checksum, put_u64};
+use crate::io::{checksum, put_str, put_u32, put_u64, Cursor};
+use crate::segment::{list_segments, segment_path};
 use crate::wal::{encode_record, scan, Record};
 
-const SNAPSHOT_FILE: &str = "snapshot.bin";
-const SNAPSHOT_TMP: &str = "snapshot.tmp";
-const WAL_FILE: &str = "wal.bin";
+pub(crate) const MANIFEST_FILE: &str = "manifest.bin";
+const MANIFEST_TMP: &str = "manifest.tmp";
+const LOCK_FILE: &str = "wal.lock";
+const LEGACY_SNAPSHOT_FILE: &str = "snapshot.bin";
+const LEGACY_WAL_FILE: &str = "wal.bin";
 
-/// Outer framing of the snapshot file: magic, base sequence number,
-/// checksum over both, then the client image (which carries its own
-/// integrity trailer via [`crate::snapshot::SnapshotReader`]).
+/// The part name [`Store::checkpoint`] uses for its single image, and
+/// the name under which a legacy `snapshot.bin` is surfaced.
+pub const IMAGE_PART: &str = "__image__";
+
+/// Default segment rotation threshold (bytes). Small enough that
+/// compaction reclaims space promptly, large enough that rotation is
+/// rare next to appends.
+const DEFAULT_SEGMENT_MAX: u64 = 4 * 1024 * 1024;
+
+/// Outer framing of the legacy snapshot file: magic, base sequence
+/// number, checksum over both, then the client image.
 const SNAP_FILE_MAGIC: &[u8; 4] = b"RSTO";
+
+/// Magic bytes opening the checkpoint manifest.
+const MANIFEST_MAGIC: &[u8; 4] = b"RSTM";
+const MANIFEST_VERSION: u32 = 1;
+
+/// One named part the caller wants in the next checkpoint.
+#[derive(Debug, Clone)]
+pub struct Part {
+    /// Stable part name (e.g. a table name).
+    pub name: String,
+    /// `Some(bytes)` writes a fresh image; `None` re-references the
+    /// part's image from the previous manifest (error if there is none).
+    pub image: Option<Vec<u8>>,
+}
+
+impl Part {
+    /// A part with a fresh image.
+    pub fn new(name: impl Into<String>, image: Vec<u8>) -> Part {
+        Part {
+            name: name.into(),
+            image: Some(image),
+        }
+    }
+
+    /// A part carried over unchanged from the previous checkpoint.
+    pub fn unchanged(name: impl Into<String>) -> Part {
+        Part {
+            name: name.into(),
+            image: None,
+        }
+    }
+}
+
+/// One manifest entry: a named part and the immutable file holding it.
+#[derive(Debug, Clone)]
+pub(crate) struct ManifestEntry {
+    pub(crate) name: String,
+    pub(crate) file: String,
+    pub(crate) len: u64,
+    pub(crate) sum: u64,
+}
+
+/// Named checkpoint parts in manifest order: `(part name, image bytes)`.
+pub type Parts = Vec<(String, Vec<u8>)>;
 
 /// What [`Store::open`] recovered from disk.
 #[derive(Debug, Default)]
 pub struct Recovered {
-    /// The last complete snapshot image, if a checkpoint was ever taken.
+    /// The last complete single-image snapshot, if the last checkpoint
+    /// was taken through [`Store::checkpoint`] (or recovered from a
+    /// legacy `snapshot.bin`). `None` when the checkpoint is multi-part.
     pub snapshot: Option<Vec<u8>>,
-    /// WAL payloads appended after that snapshot, in append order.
+    /// Every named part of the last checkpoint, in manifest order.
+    /// Empty if no checkpoint was ever taken.
+    pub parts: Vec<(String, Vec<u8>)>,
+    /// WAL payloads appended after that checkpoint, in append order.
     pub records: Vec<Vec<u8>>,
     /// True when a torn WAL tail was discarded during recovery.
     pub torn_tail: bool,
+    /// True when the torn tail was found while more than one WAL segment
+    /// was on disk — i.e. recovery crossed (or discarded) a segment
+    /// boundary to repair the log. Surfaced so operators can tell a
+    /// mundane single-segment tear from one that dropped whole segments.
+    pub torn_cross_segment: bool,
 }
 
-/// The WAL file plus the group-commit queue, shared by every clone of
-/// the owning [`Store`].
+/// Point-in-time counters for diagnostics (see the observability
+/// satellite): segment count, live WAL bytes, sequence watermarks, and
+/// the cost of the last checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// WAL segments currently on disk.
+    pub segments: u64,
+    /// Bytes across those segments (appended since the last compaction).
+    pub live_wal_bytes: u64,
+    /// Last claimed sequence number.
+    pub seq: u64,
+    /// Sequence number the last checkpoint covers.
+    pub base_seq: u64,
+    /// Parts referenced by the current manifest.
+    pub parts: u64,
+    /// Parts actually (re)written by the last checkpoint — the direct
+    /// observable of incremental reuse.
+    pub last_checkpoint_parts_written: u64,
+    /// Wall-clock duration of the last checkpoint, microseconds.
+    pub last_checkpoint_micros: u64,
+}
+
+/// The segmented WAL plus the group-commit queue, shared by every clone
+/// of the owning [`Store`].
 ///
-/// The `File` sits *outside* the mutex on purpose: the leader must
-/// write and fsync with the queue unlocked so other appenders can stage
-/// the next batch meanwhile. Exclusive file access is a protocol
-/// invariant, not a lock: the file is touched only (a) by the thread
-/// that set `leader` under the lock, or (b) under the lock while
-/// `leader` is false.
+/// The active segment sits in its own mutex (ordered after `state`) so
+/// rotation can replace the handle. Exclusive *write* access is a
+/// protocol invariant, not the mutex: frames are written only (a) by the
+/// thread that set `leader` under the queue lock, or (b) under the queue
+/// lock while `leader` is false.
 #[derive(Debug)]
 struct WalShared {
-    wal: File,
+    dir: PathBuf,
+    /// Advisory single-writer lock, held for the store's lifetime.
+    _lock: File,
+    active: Mutex<ActiveWal>,
     state: Mutex<WalState>,
     /// Signaled whenever the durable watermark advances, a batch fails,
     /// or the leader slot frees — parked appenders re-check their seq.
@@ -96,6 +216,28 @@ struct WalShared {
     /// observe the amortization directly: with group commit, 8 threads ×
     /// K appends need far fewer than 8·K syncs.
     syncs: AtomicU64,
+    /// Current manifest (in-memory mirror of `manifest.bin`); the source
+    /// of images for `Part::unchanged` references.
+    manifest: Mutex<Vec<ManifestEntry>>,
+    /// Next part-file number (part files are never reused).
+    next_part: AtomicU64,
+    /// Sequence number the current manifest covers.
+    base_seq: AtomicU64,
+    last_ckpt_micros: AtomicU64,
+    last_ckpt_parts_written: AtomicU64,
+}
+
+/// The open tail segment of the log.
+#[derive(Debug)]
+struct ActiveWal {
+    file: File,
+    /// Index of the active segment.
+    index: u64,
+    /// Durable byte length of the active segment (the rollback target
+    /// for a failed batch write).
+    len: u64,
+    /// Index of the oldest segment still on disk.
+    first_index: u64,
 }
 
 #[derive(Debug)]
@@ -106,11 +248,9 @@ struct WalState {
     /// when sync is on). `durable_seq < seq` exactly when frames are
     /// staged or a leader is mid-write.
     durable_seq: u64,
-    /// Durable WAL byte length. The store is the file's sole writer (the
-    /// advisory lock guarantees it), so tracking the offset here keeps
-    /// the hot path free of metadata syscalls while giving the
-    /// failed-write rollback its truncation target.
-    wal_len: u64,
+    /// Bytes appended across all live segments since the last
+    /// compaction (diagnostics and checkpoint policy).
+    live_bytes: u64,
     /// Encoded frames staged for the next batch write, in seq order.
     staged: Vec<u8>,
     /// Inclusive seq ranges discarded by failed batch writes. Sequence
@@ -123,6 +263,9 @@ struct WalState {
     leader: bool,
     sync: bool,
     group: bool,
+    /// Rotation threshold: a batch that finds the active segment at or
+    /// past this length opens the next segment first.
+    segment_max: u64,
 }
 
 // The queue is consistent at every unlock point (frames are staged as
@@ -132,9 +275,27 @@ fn lock(shared: &WalShared) -> MutexGuard<'_, WalState> {
     shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// A durable snapshot+WAL store rooted at one directory.
+fn lock_active(shared: &WalShared) -> MutexGuard<'_, ActiveWal> {
+    shared.active.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_manifest(shared: &WalShared) -> MutexGuard<'_, Vec<ManifestEntry>> {
+    shared
+        .manifest
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort directory fsync, making renames/creates/unlinks durable.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// A durable checkpoint+WAL store rooted at one directory.
 ///
-/// `Store` is a cheap `Clone` handle: clones share the WAL file, the
+/// `Store` is a cheap `Clone` handle: clones share the WAL segments, the
 /// sequence counter, and the group-commit queue, so any number of
 /// threads may [`append`](Store::append) concurrently and share fsyncs.
 #[derive(Debug, Clone)]
@@ -145,79 +306,148 @@ pub struct Store {
 
 impl Store {
     /// Opens (creating if needed) the store at `dir`, recovering the last
-    /// consistent state: snapshot, surviving WAL records, and a repaired
-    /// (truncated) WAL ready for appends.
+    /// consistent state: checkpoint parts, surviving WAL records, and a
+    /// repaired (truncated) WAL ready for appends.
     pub fn open(dir: impl AsRef<Path>) -> Result<(Store, Recovered)> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
-        let (snapshot, base_seq) = match read_snapshot_file(&dir.join(SNAPSHOT_FILE))? {
-            Some((image, base_seq)) => (Some(image), base_seq),
-            None => (None, 0),
-        };
-
-        let wal_path = dir.join(WAL_FILE);
-        let mut wal = OpenOptions::new()
+        // One writer per store: an advisory lock (released when the last
+        // clone drops the file) keeps a second process from interleaving
+        // appends into the same log.
+        let lock_file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(&wal_path)?;
-        // One writer per store: an advisory lock on the WAL (released when
-        // the last clone drops the file) keeps a second process from
-        // interleaving appends into the same log.
-        match wal.try_lock() {
+            .open(dir.join(LOCK_FILE))?;
+        match lock_file.try_lock() {
             Ok(()) => {}
             Err(std::fs::TryLockError::WouldBlock) => {
                 return Err(StoreError::Locked(dir.display().to_string()));
             }
             Err(std::fs::TryLockError::Error(e)) => return Err(e.into()),
         }
-        let mut bytes = Vec::new();
-        wal.read_to_end(&mut bytes)?;
-        let scanned = scan(&bytes)?;
-        if scanned.torn {
-            // Repair: drop the torn tail so future appends extend a valid
-            // prefix instead of burying garbage mid-log.
-            wal.set_len(scanned.valid_len as u64)?;
-            wal.sync_data()?;
-        }
-        wal.seek(SeekFrom::Start(scanned.valid_len as u64))?;
 
-        let last_seq = scanned.records.last().map(|r| r.seq).unwrap_or(0);
+        let (manifest, base_seq, parts) = read_checkpoint_state(&dir)?;
+
+        // Legacy layout: a single `wal.bin` becomes segment 1.
+        let legacy_wal = dir.join(LEGACY_WAL_FILE);
+        if legacy_wal.exists() {
+            if !list_segments(&dir)?.is_empty() {
+                return Err(StoreError::Corrupt(
+                    "both legacy wal.bin and WAL segments present".into(),
+                ));
+            }
+            std::fs::rename(&legacy_wal, segment_path(&dir, 1))?;
+            sync_dir(&dir);
+        }
+
+        let mut segments = list_segments(&dir)?;
+        if segments.is_empty() {
+            let path = segment_path(&dir, 1);
+            OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(&path)?;
+            sync_dir(&dir);
+            segments.push((1, path));
+        }
+
+        // Scan segments in index order; the first tear ends the log.
+        let total_segments = segments.len();
+        let mut records: Vec<Record> = Vec::new();
+        let mut torn = false;
+        let mut live_bytes = 0u64;
+        let mut active: Option<(u64, File, u64)> = None;
+        let first_index = segments[0].0;
+        for (pos, (index, path)) in segments.iter().enumerate() {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .truncate(false)
+                .open(path)?;
+            let mut bytes = Vec::new();
+            file.read_to_end(&mut bytes)?;
+            let scanned = scan(&bytes)?;
+            records.extend(scanned.records);
+            live_bytes += scanned.valid_len as u64;
+            if scanned.torn {
+                // Repair: truncate the torn segment and discard every
+                // later one — they are past the tear, exactly like bytes
+                // after a torn tail in a single file.
+                file.set_len(scanned.valid_len as u64)?;
+                file.sync_data()?;
+                for (_, later) in &segments[pos + 1..] {
+                    std::fs::remove_file(later)?;
+                }
+                sync_dir(&dir);
+                torn = true;
+                file.seek(SeekFrom::Start(scanned.valid_len as u64))?;
+                active = Some((*index, file, scanned.valid_len as u64));
+                break;
+            }
+            file.seek(SeekFrom::Start(scanned.valid_len as u64))?;
+            active = Some((*index, file, scanned.valid_len as u64));
+        }
+        let (active_index, active_file, active_len) = active.expect("at least one segment");
+
+        let last_seq = records.last().map(|r| r.seq).unwrap_or(0);
         let seq = last_seq.max(base_seq);
-        // Skip records the snapshot already covers (crash between snapshot
-        // rename and WAL truncate).
-        let records: Vec<Vec<u8>> = scanned
-            .records
+        // Skip records the checkpoint already covers (crash between
+        // manifest rename and segment deletion).
+        let records: Vec<Vec<u8>> = records
             .into_iter()
             .filter(|r: &Record| r.seq > base_seq)
             .map(|r| r.payload)
             .collect();
 
+        let next_part = next_part_number(&dir)?;
+        remove_orphan_parts(&dir, &manifest);
+
+        let snapshot = match parts.as_slice() {
+            [(name, image)] if name == IMAGE_PART => Some(image.clone()),
+            _ => None,
+        };
+
         Ok((
             Store {
-                dir,
+                dir: dir.clone(),
                 shared: Arc::new(WalShared {
-                    wal,
+                    dir,
+                    _lock: lock_file,
+                    active: Mutex::new(ActiveWal {
+                        file: active_file,
+                        index: active_index,
+                        len: active_len,
+                        first_index,
+                    }),
                     state: Mutex::new(WalState {
                         seq,
                         durable_seq: seq,
-                        wal_len: scanned.valid_len as u64,
+                        live_bytes,
                         staged: Vec::new(),
                         dead: Vec::new(),
                         leader: false,
                         sync: true,
                         group: true,
+                        segment_max: DEFAULT_SEGMENT_MAX,
                     }),
                     durable: Condvar::new(),
                     syncs: AtomicU64::new(0),
+                    manifest: Mutex::new(manifest),
+                    next_part: AtomicU64::new(next_part),
+                    base_seq: AtomicU64::new(base_seq),
+                    last_ckpt_micros: AtomicU64::new(0),
+                    last_ckpt_parts_written: AtomicU64::new(0),
                 }),
             },
             Recovered {
                 snapshot,
+                parts,
                 records,
-                torn_tail: scanned.torn,
+                torn_tail: torn,
+                torn_cross_segment: torn && total_segments > 1,
             },
         ))
     }
@@ -237,6 +467,12 @@ impl Store {
         lock(&self.shared).group = group;
     }
 
+    /// Sets the segment rotation threshold in bytes. Small values force
+    /// frequent rotation (tests); the default is 4 MiB.
+    pub fn set_segment_max_bytes(&self, max: u64) {
+        lock(&self.shared).segment_max = max.max(1);
+    }
+
     /// Number of `fsync` calls this store has issued since open — the
     /// direct observable of group-commit amortization.
     pub fn sync_count(&self) -> u64 {
@@ -253,9 +489,45 @@ impl Store {
         lock(&self.shared).seq
     }
 
-    /// Durable WAL length in bytes (diagnostics and checkpoint policy).
+    /// Live WAL bytes across all segments (diagnostics and checkpoint
+    /// policy).
     pub fn wal_len(&self) -> u64 {
-        lock(&self.shared).wal_len
+        lock(&self.shared).live_bytes
+    }
+
+    /// The sequence number the current checkpoint covers (0 if none).
+    pub fn base_seq(&self) -> u64 {
+        self.shared.base_seq.load(Ordering::Relaxed)
+    }
+
+    /// Names of the parts referenced by the current manifest.
+    pub fn part_names(&self) -> Vec<String> {
+        lock_manifest(&self.shared)
+            .iter()
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Point-in-time diagnostics counters.
+    pub fn stats(&self) -> StoreStats {
+        let state = lock(&self.shared);
+        let (seq, live) = (state.seq, state.live_bytes);
+        drop(state);
+        let active = lock_active(&self.shared);
+        let segments = active.index - active.first_index + 1;
+        drop(active);
+        StoreStats {
+            segments,
+            live_wal_bytes: live,
+            seq,
+            base_seq: self.shared.base_seq.load(Ordering::Relaxed),
+            parts: lock_manifest(&self.shared).len() as u64,
+            last_checkpoint_parts_written: self
+                .shared
+                .last_ckpt_parts_written
+                .load(Ordering::Relaxed),
+            last_checkpoint_micros: self.shared.last_ckpt_micros.load(Ordering::Relaxed),
+        }
     }
 
     /// Appends one record to the WAL, returning its sequence number. The
@@ -263,12 +535,12 @@ impl Store {
     /// disabled it) when this returns. Concurrent appends share one
     /// fsync per batch (see the module docs).
     ///
-    /// A failed batch write rolls the file back to the durable record
-    /// boundary: the log must not keep a partial frame — which would
-    /// read as a tear at recovery and silently swallow every *later*
-    /// acknowledged append — nor a complete frame the caller was told
-    /// failed, which would resurrect on restart. Every appender whose
-    /// staged frame was discarded gets the error.
+    /// A failed batch write rolls the active segment back to the durable
+    /// record boundary: the log must not keep a partial frame — which
+    /// would read as a tear at recovery and silently swallow every
+    /// *later* acknowledged append — nor a complete frame the caller was
+    /// told failed, which would resurrect on restart. Every appender
+    /// whose staged frame was discarded gets the error.
     pub fn append(&self, payload: &[u8]) -> Result<u64> {
         if payload.len() > u32::MAX as usize {
             // The frame's length field is u32; a silently wrapped length
@@ -308,6 +580,7 @@ impl Store {
             if !state.leader {
                 // Become the leader for everything staged so far.
                 state.leader = true;
+                let segment_max = state.segment_max;
                 // Gather window: drop the lock and yield once so peers
                 // just woken by the previous commit can stage into this
                 // batch instead of arriving right after the fsync starts
@@ -319,24 +592,23 @@ impl Store {
                 state = lock(&self.shared);
                 let batch = std::mem::take(&mut state.staged);
                 let batch_high = state.seq;
-                let durable_boundary = state.wal_len;
                 drop(state);
-                let outcome = self.write_durable(&batch, true);
+                let outcome = self.write_durable(&batch, true, segment_max);
                 state = lock(&self.shared);
                 state.leader = false;
                 match outcome {
                     Ok(()) => {
                         state.durable_seq = state.durable_seq.max(batch_high);
-                        state.wal_len += batch.len() as u64;
+                        state.live_bytes += batch.len() as u64;
                         self.shared.durable.notify_all();
                         // Loop around: our own seq is inside the batch.
                     }
                     Err(e) => {
-                        // Roll the file back to the durable boundary and
-                        // fail every in-flight append: the batch *and*
-                        // frames staged behind it, whose seq numbers
-                        // assume our batch landed.
-                        self.rollback(&mut state, durable_boundary);
+                        // The segment is already rolled back to the
+                        // durable boundary; fail every in-flight append:
+                        // the batch *and* frames staged behind it, whose
+                        // seq numbers assume our batch landed.
+                        self.rollback(&mut state);
                         return Err(e);
                     }
                 }
@@ -350,28 +622,64 @@ impl Store {
         }
     }
 
-    /// Writes `batch` at the WAL cursor and (optionally) fsyncs. The
-    /// caller must hold exclusive file access per the protocol invariant
-    /// on [`WalShared`].
-    fn write_durable(&self, batch: &[u8], sync: bool) -> Result<()> {
-        let mut wal = &self.shared.wal;
-        wal.write_all(batch)?;
-        if sync {
-            wal.sync_data()?;
-            self.shared.syncs.fetch_add(1, Ordering::Relaxed);
+    /// Writes `batch` at the active segment's cursor, rotating first if
+    /// the segment is at the cap, and (optionally) fsyncs. On a failed
+    /// write the segment is truncated back to the pre-batch boundary.
+    /// The caller must hold exclusive write access per the protocol
+    /// invariant on [`WalShared`].
+    fn write_durable(&self, batch: &[u8], sync: bool, segment_max: u64) -> Result<()> {
+        let mut active = lock_active(&self.shared);
+        if active.len >= segment_max && active.len > 0 && !batch.is_empty() {
+            // Rotate at batch boundaries only: a frame never splits
+            // across segments (a batch may overshoot the cap instead).
+            self.rotate_locked(&mut active)?;
         }
+        let boundary = active.len;
+        let res = (|| -> Result<()> {
+            active.file.write_all(batch)?;
+            if sync {
+                active.file.sync_data()?;
+                self.shared.syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                active.len += batch.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Best effort on the file ops — the boundary itself is
+                // already durable.
+                let _ = active.file.set_len(boundary);
+                let _ = active.file.seek(SeekFrom::Start(boundary));
+                let _ = active.file.sync_data();
+                Err(e)
+            }
+        }
+    }
+
+    /// Opens the next segment and makes it the active one. The directory
+    /// entry is fsynced before any frame lands in the new file.
+    fn rotate_locked(&self, active: &mut ActiveWal) -> Result<()> {
+        let next = active.index + 1;
+        let path = segment_path(&self.shared.dir, next);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        sync_dir(&self.shared.dir);
+        active.file = file;
+        active.index = next;
+        active.len = 0;
         Ok(())
     }
 
-    /// Truncates the WAL back to `durable_boundary` after a failed batch
-    /// write and marks every undurable claimed seq dead so its appender
-    /// errors out. Best effort on the file ops — the boundary itself is
-    /// already durable.
-    fn rollback(&self, state: &mut WalState, durable_boundary: u64) {
-        let mut wal = &self.shared.wal;
-        let _ = wal.set_len(durable_boundary);
-        let _ = wal.seek(SeekFrom::Start(durable_boundary));
-        let _ = wal.sync_data();
+    /// Marks every undurable claimed seq dead after a failed batch write
+    /// so its appender errors out (the file itself was already rolled
+    /// back by [`write_durable`](Store::write_durable)).
+    fn rollback(&self, state: &mut WalState) {
         state.staged.clear();
         // The failed batch plus anything staged behind it: all claimed,
         // none durable.
@@ -380,40 +688,50 @@ impl Store {
     }
 
     /// Flushes all staged frames under the held lock. Caller must ensure
-    /// no leader is active (so the file is exclusively ours).
+    /// no leader is active (so the active segment is exclusively ours).
     fn flush_staged(&self, state: &mut WalState) -> Result<()> {
         let staged = std::mem::take(&mut state.staged);
         if staged.is_empty() {
             return Ok(());
         }
         let high = state.seq;
-        match self.write_durable(&staged, state.sync) {
+        match self.write_durable(&staged, state.sync, state.segment_max) {
             Ok(()) => {
                 state.durable_seq = high;
-                state.wal_len += staged.len() as u64;
+                state.live_bytes += staged.len() as u64;
                 self.shared.durable.notify_all();
                 Ok(())
             }
             Err(e) => {
-                let boundary = state.wal_len;
-                self.rollback(state, boundary);
+                self.rollback(state);
                 Err(e)
             }
         }
     }
 
-    /// Checkpoints `image` as the new snapshot and resets the WAL.
-    ///
-    /// The snapshot is written to a temp file, fsynced, and renamed into
-    /// place — readers see either the old or the new snapshot, never a
-    /// partial one. The WAL is truncated afterwards; if a crash
-    /// intervenes, the base sequence number stored in the snapshot keeps
-    /// the stale records from replaying twice. Any staged-but-unwritten
-    /// frames are flushed first, so the snapshot's base sequence never
-    /// claims to cover a record that is not on disk.
+    /// Checkpoints `image` as a single-part manifest and compacts the
+    /// WAL. See [`checkpoint_parts`](Store::checkpoint_parts).
     pub fn checkpoint(&self, image: &[u8]) -> Result<()> {
+        self.checkpoint_parts(vec![Part::new(IMAGE_PART, image.to_vec())])
+    }
+
+    /// Checkpoints the given parts as the new manifest and compacts the
+    /// WAL.
+    ///
+    /// New part images are written to fresh immutable files and fsynced;
+    /// `Part::unchanged` entries re-reference the previous manifest's
+    /// file without touching its bytes. The manifest is then written to
+    /// a temp file, fsynced, and renamed into place — readers see either
+    /// the old or the new checkpoint, never a partial one. Covered WAL
+    /// segments are deleted afterwards; if a crash intervenes, the base
+    /// sequence number stored in the manifest keeps the stale records
+    /// from replaying twice. Any staged-but-unwritten frames are flushed
+    /// first, so the manifest's base sequence never claims to cover a
+    /// record that is not on disk.
+    pub fn checkpoint_parts(&self, parts: Vec<Part>) -> Result<()> {
+        let started = Instant::now();
         let mut state = lock(&self.shared);
-        // Wait out any in-flight batch write: truncating under a leader
+        // Wait out any in-flight batch write: compacting under a leader
         // would corrupt the log.
         while state.leader {
             state = self
@@ -423,36 +741,208 @@ impl Store {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         self.flush_staged(&mut state)?;
+        let base_seq = state.seq;
 
-        let tmp = self.dir.join(SNAPSHOT_TMP);
-        let fin = self.dir.join(SNAPSHOT_FILE);
+        let mut manifest = lock_manifest(&self.shared);
+        let mut entries: Vec<ManifestEntry> = Vec::with_capacity(parts.len());
+        let mut written = 0u64;
+        for part in parts {
+            match part.image {
+                Some(bytes) => {
+                    let n = self.shared.next_part.fetch_add(1, Ordering::Relaxed);
+                    let file_name = format!("part.{n:06}.bin");
+                    let mut f = File::create(self.dir.join(&file_name))?;
+                    f.write_all(&bytes)?;
+                    f.sync_all()?;
+                    entries.push(ManifestEntry {
+                        name: part.name,
+                        file: file_name,
+                        len: bytes.len() as u64,
+                        sum: checksum(&bytes),
+                    });
+                    written += 1;
+                }
+                None => {
+                    let prev = manifest
+                        .iter()
+                        .find(|e| e.name == part.name)
+                        .ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "unchanged checkpoint part `{}` has no previous image",
+                                part.name
+                            ))
+                        })?;
+                    entries.push(prev.clone());
+                }
+            }
+        }
+
+        let tmp = self.dir.join(MANIFEST_TMP);
+        let fin = self.dir.join(MANIFEST_FILE);
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(&frame_snapshot_file(image, state.seq))?;
+            f.write_all(&encode_manifest(base_seq, &entries))?;
             f.sync_all()?;
         }
         std::fs::rename(&tmp, &fin)?;
         // Make the rename itself durable before discarding the WAL.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
+        sync_dir(&self.dir);
+
+        // The new manifest is the truth: drop superseded/orphan part
+        // files, the legacy snapshot, and every covered segment.
+        *manifest = entries;
+        let _ = std::fs::remove_file(self.dir.join(LEGACY_SNAPSHOT_FILE));
+        remove_orphan_parts(&self.dir, &manifest);
+        drop(manifest);
+
+        let mut active = lock_active(&self.shared);
+        if active.len > 0 {
+            // Rotate so every record ≤ base_seq sits in a prior segment.
+            self.rotate_locked(&mut active)?;
         }
-        let mut wal = &self.shared.wal;
-        wal.set_len(0)?;
-        wal.seek(SeekFrom::Start(0))?;
-        wal.sync_data()?;
-        state.wal_len = 0;
+        for i in active.first_index..active.index {
+            let _ = std::fs::remove_file(segment_path(&self.dir, i));
+        }
+        active.first_index = active.index;
+        drop(active);
+        sync_dir(&self.dir);
+
+        state.live_bytes = 0;
+        self.shared.base_seq.store(base_seq, Ordering::Relaxed);
+        self.shared
+            .last_ckpt_parts_written
+            .store(written, Ordering::Relaxed);
+        self.shared
+            .last_ckpt_micros
+            .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         Ok(())
     }
 }
 
-fn frame_snapshot_file(image: &[u8], base_seq: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(image.len() + 24);
-    out.extend_from_slice(SNAP_FILE_MAGIC);
+fn encode_manifest(base_seq: u64, entries: &[ManifestEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MANIFEST_MAGIC);
+    put_u32(&mut out, MANIFEST_VERSION);
     put_u64(&mut out, base_seq);
+    put_u32(&mut out, entries.len() as u32);
+    for e in entries {
+        put_str(&mut out, &e.name);
+        put_str(&mut out, &e.file);
+        put_u64(&mut out, e.len);
+        put_u64(&mut out, e.sum);
+    }
     let sum = checksum(&out);
     put_u64(&mut out, sum);
-    out.extend_from_slice(image);
     out
+}
+
+pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<(u64, Vec<ManifestEntry>)> {
+    if bytes.len() < 8 {
+        return Err(StoreError::Corrupt("manifest too short".into()));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("len 8"));
+    if checksum(body) != stored {
+        return Err(StoreError::Corrupt("manifest checksum mismatch".into()));
+    }
+    let mut c = Cursor::new(body);
+    let magic = [c.u8()?, c.u8()?, c.u8()?, c.u8()?];
+    if &magic != MANIFEST_MAGIC {
+        return Err(StoreError::Corrupt("bad manifest magic".into()));
+    }
+    let version = c.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::Version {
+            found: version,
+            supported: MANIFEST_VERSION,
+        });
+    }
+    let base_seq = c.u64()?;
+    let count = c.u32()?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = c.str()?;
+        let file = c.str()?;
+        let len = c.u64()?;
+        let sum = c.u64()?;
+        entries.push(ManifestEntry {
+            name,
+            file,
+            len,
+            sum,
+        });
+    }
+    Ok((base_seq, entries))
+}
+
+/// Reads the checkpoint (manifest + part images, or the legacy single
+/// snapshot) without taking any locks or mutating anything. Shared by
+/// [`Store::open`] and the read-only replica tail
+/// ([`crate::replica::read_checkpoint`]).
+pub(crate) fn read_checkpoint_state(dir: &Path) -> Result<(Vec<ManifestEntry>, u64, Parts)> {
+    match std::fs::read(dir.join(MANIFEST_FILE)) {
+        Ok(bytes) => {
+            let (base_seq, entries) = decode_manifest(&bytes)?;
+            let mut parts = Vec::with_capacity(entries.len());
+            for e in &entries {
+                let image = std::fs::read(dir.join(&e.file))?;
+                if image.len() as u64 != e.len || checksum(&image) != e.sum {
+                    return Err(StoreError::Corrupt(format!(
+                        "checkpoint part `{}` ({}) fails its checksum",
+                        e.name, e.file
+                    )));
+                }
+                parts.push((e.name.clone(), image));
+            }
+            Ok((entries, base_seq, parts))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            match read_snapshot_file(&dir.join(LEGACY_SNAPSHOT_FILE))? {
+                Some((image, base_seq)) => {
+                    Ok((Vec::new(), base_seq, vec![(IMAGE_PART.to_string(), image)]))
+                }
+                None => Ok((Vec::new(), 0, Vec::new())),
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// The highest part-file number on disk plus one.
+fn next_part_number(dir: &Path) -> Result<u64> {
+    let mut max = 0u64;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name.strip_prefix("part.") {
+            if let Some(digits) = rest.strip_suffix(".bin") {
+                if let Ok(n) = digits.parse::<u64>() {
+                    max = max.max(n + 1);
+                }
+            }
+        }
+    }
+    Ok(max)
+}
+
+/// Deletes `part.*.bin` files not referenced by `manifest` — superseded
+/// images and the debris of a crash between part write and manifest
+/// rename. Best effort.
+fn remove_orphan_parts(dir: &Path, manifest: &[ManifestEntry]) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("part.")
+            && name.ends_with(".bin")
+            && !manifest.iter().any(|e| e.file == name)
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
 }
 
 fn read_snapshot_file(path: &Path) -> Result<Option<(Vec<u8>, u64)>> {
@@ -478,6 +968,7 @@ fn read_snapshot_file(path: &Path) -> Result<Option<(Vec<u8>, u64)>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::put_u64;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -486,12 +977,17 @@ mod tests {
         std::env::temp_dir().join(format!("resin-store-test-{}-{tag}-{n}", std::process::id()))
     }
 
+    fn segment_count(dir: &Path) -> usize {
+        list_segments(dir).unwrap().len()
+    }
+
     #[test]
     fn append_close_reopen_replays() {
         let dir = tmp_dir("replay");
         {
             let (s, r) = Store::open(&dir).unwrap();
             assert!(r.snapshot.is_none());
+            assert!(r.parts.is_empty());
             assert!(r.records.is_empty());
             s.append(b"one").unwrap();
             s.append(b"two").unwrap();
@@ -527,13 +1023,14 @@ mod tests {
             s.append(b"torn away").unwrap();
         }
         // Tear the second record mid-payload.
-        let wal = dir.join("wal.bin");
+        let wal = segment_path(&dir, 1);
         let bytes = std::fs::read(&wal).unwrap();
         std::fs::write(&wal, &bytes[..bytes.len() - 4]).unwrap();
         {
             let (s, r) = Store::open(&dir).unwrap();
             assert_eq!(r.records, vec![b"keep me".to_vec()]);
             assert!(r.torn_tail);
+            assert!(!r.torn_cross_segment, "single segment tear");
             // The repaired log accepts new appends cleanly.
             s.append(b"after repair").unwrap();
         }
@@ -548,16 +1045,16 @@ mod tests {
 
     #[test]
     fn stale_wal_after_checkpoint_is_not_replayed_twice() {
-        // Simulate a crash between snapshot rename and WAL truncate: the
-        // WAL still holds records the snapshot covers.
+        // Simulate a crash between manifest rename and segment deletion:
+        // a covered segment is still on disk.
         let dir = tmp_dir("staleseq");
         {
             let (s, _) = Store::open(&dir).unwrap();
             s.append(b"covered").unwrap();
-            // Checkpoint, then put the pre-checkpoint WAL bytes back.
-            let wal_bytes = std::fs::read(dir.join("wal.bin")).unwrap();
+            // Checkpoint, then put the pre-checkpoint segment back.
+            let wal_bytes = std::fs::read(segment_path(&dir, 1)).unwrap();
             s.checkpoint(b"SNAP").unwrap();
-            std::fs::write(dir.join("wal.bin"), &wal_bytes).unwrap();
+            std::fs::write(segment_path(&dir, 1), &wal_bytes).unwrap();
         }
         let (s, r) = Store::open(&dir).unwrap();
         assert_eq!(r.snapshot.as_deref(), Some(b"SNAP" as &[u8]));
@@ -584,17 +1081,197 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_file_is_an_error() {
+    fn corrupt_checkpoint_part_is_an_error() {
         let dir = tmp_dir("badsnap");
         {
             let (s, _) = Store::open(&dir).unwrap();
             s.checkpoint(b"GOOD").unwrap();
         }
-        let snap = dir.join("snapshot.bin");
-        let mut bytes = std::fs::read(&snap).unwrap();
-        bytes[5] ^= 0xff; // corrupt the header
-        std::fs::write(&snap, &bytes).unwrap();
+        // Corrupt the single part image behind the manifest.
+        let part = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("part."))
+            })
+            .expect("one part file");
+        let mut bytes = std::fs::read(&part).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&part, &bytes).unwrap();
         assert!(Store::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_layout_migrates_to_segments() {
+        let dir = tmp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-craft the old layout: snapshot.bin + wal.bin.
+        let mut snap = Vec::new();
+        snap.extend_from_slice(SNAP_FILE_MAGIC);
+        put_u64(&mut snap, 1); // base_seq
+        let sum = checksum(&snap);
+        put_u64(&mut snap, sum);
+        snap.extend_from_slice(b"LEGACY");
+        std::fs::write(dir.join(LEGACY_SNAPSHOT_FILE), &snap).unwrap();
+        let mut wal = Vec::new();
+        wal.extend_from_slice(&encode_record(1, b"covered"));
+        wal.extend_from_slice(&encode_record(2, b"fresh"));
+        std::fs::write(dir.join(LEGACY_WAL_FILE), &wal).unwrap();
+
+        let (s, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"LEGACY" as &[u8]));
+        assert_eq!(r.parts, vec![(IMAGE_PART.to_string(), b"LEGACY".to_vec())]);
+        assert_eq!(r.records, vec![b"fresh".to_vec()]);
+        assert!(
+            !dir.join(LEGACY_WAL_FILE).exists(),
+            "wal.bin became wal.000001"
+        );
+        assert!(segment_path(&dir, 1).exists());
+        // The first checkpoint converts the snapshot to manifest form.
+        s.append(b"post").unwrap();
+        s.checkpoint(b"NEW").unwrap();
+        assert!(!dir.join(LEGACY_SNAPSHOT_FILE).exists());
+        assert!(dir.join(MANIFEST_FILE).exists());
+        drop(s);
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"NEW" as &[u8]));
+        assert!(r.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appends_rotate_segments_at_the_cap() {
+        let dir = tmp_dir("rotate");
+        {
+            let (s, _) = Store::open(&dir).unwrap();
+            s.set_sync(false);
+            s.set_segment_max_bytes(64);
+            for i in 0..20u32 {
+                s.append(format!("record-{i:04}").as_bytes()).unwrap();
+            }
+            assert!(
+                segment_count(&dir) > 1,
+                "64-byte cap must force rotation: {} segments",
+                segment_count(&dir)
+            );
+            assert_eq!(s.stats().segments as usize, segment_count(&dir));
+        }
+        // All records survive across the segment boundaries.
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.records.len(), 20);
+        assert_eq!(r.records[7], b"record-0007".to_vec());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_across_segments_drops_later_segments() {
+        let dir = tmp_dir("tornseg");
+        let cut_segment;
+        {
+            let (s, _) = Store::open(&dir).unwrap();
+            s.set_sync(false);
+            s.set_segment_max_bytes(64);
+            for i in 0..20u32 {
+                s.append(format!("record-{i:04}").as_bytes()).unwrap();
+            }
+            let segs = list_segments(&dir).unwrap();
+            assert!(segs.len() >= 3, "need several segments, got {}", segs.len());
+            cut_segment = segs[1].clone();
+        }
+        // Tear the middle segment mid-record: everything after the tear
+        // — including whole later segments — must be discarded.
+        let bytes = std::fs::read(&cut_segment.1).unwrap();
+        std::fs::write(&cut_segment.1, &bytes[..bytes.len() - 3]).unwrap();
+        let survivors;
+        {
+            let (s, r) = Store::open(&dir).unwrap();
+            assert!(r.torn_tail);
+            assert!(r.torn_cross_segment, "tear dropped later segments");
+            survivors = r.records.len();
+            assert!(survivors < 20);
+            // Later segments are gone; the torn one is the active tail.
+            let segs = list_segments(&dir).unwrap();
+            assert_eq!(segs.last().unwrap().0, cut_segment.0);
+            s.append(b"after repair").unwrap();
+        }
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.records.len(), survivors + 1);
+        assert_eq!(r.records.last().unwrap(), &b"after repair".to_vec());
+        assert!(!r.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_covered_segments() {
+        let dir = tmp_dir("compact");
+        let (s, _) = Store::open(&dir).unwrap();
+        s.set_sync(false);
+        s.set_segment_max_bytes(64);
+        for i in 0..20u32 {
+            s.append(format!("record-{i:04}").as_bytes()).unwrap();
+        }
+        assert!(segment_count(&dir) > 1);
+        s.checkpoint(b"COMPACT").unwrap();
+        assert_eq!(
+            segment_count(&dir),
+            1,
+            "compaction leaves only the fresh active segment"
+        );
+        assert_eq!(s.wal_len(), 0);
+        let stats = s.stats();
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.base_seq, 20);
+        drop(s);
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"COMPACT" as &[u8]));
+        assert!(r.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_parts_reuse_unchanged_images() {
+        let dir = tmp_dir("parts");
+        let (s, _) = Store::open(&dir).unwrap();
+        s.checkpoint_parts(vec![
+            Part::new("alpha", b"AAAA".to_vec()),
+            Part::new("beta", b"BBBB".to_vec()),
+        ])
+        .unwrap();
+        assert_eq!(s.stats().last_checkpoint_parts_written, 2);
+        // Second checkpoint rewrites only beta; alpha carries by reference.
+        s.checkpoint_parts(vec![
+            Part::unchanged("alpha"),
+            Part::new("beta", b"B2B2".to_vec()),
+        ])
+        .unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.last_checkpoint_parts_written, 1);
+        assert_eq!(stats.parts, 2);
+        drop(s);
+        let (s, r) = Store::open(&dir).unwrap();
+        assert_eq!(
+            r.parts,
+            vec![
+                ("alpha".to_string(), b"AAAA".to_vec()),
+                ("beta".to_string(), b"B2B2".to_vec()),
+            ]
+        );
+        assert!(
+            r.snapshot.is_none(),
+            "multi-part checkpoint has no single image"
+        );
+        // A part dropped from the list disappears, and an unchanged
+        // reference to a never-written part is refused.
+        s.checkpoint_parts(vec![Part::unchanged("beta")]).unwrap();
+        assert_eq!(s.part_names(), vec!["beta".to_string()]);
+        assert!(s.checkpoint_parts(vec![Part::unchanged("alpha")]).is_err());
+        drop(s);
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.parts, vec![("beta".to_string(), b"B2B2".to_vec())]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -722,6 +1399,72 @@ mod tests {
         assert_eq!(r.snapshot.as_deref(), Some(b"FINAL" as &[u8]));
         assert!(r.records.is_empty(), "final checkpoint covers all appends");
         assert_eq!(s.seq(), (THREADS * PER) as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_racing_appends_never_drops_acknowledged_records() {
+        // The segmented variant of the checkpoint race: tiny segments
+        // force rotation *and* compaction while appenders run. Every
+        // acknowledged record must be recoverable — either covered by
+        // the final checkpoint or present in a surviving segment.
+        let dir = tmp_dir("compactrace");
+        const THREADS: usize = 4;
+        const PER: usize = 50;
+        {
+            let (store, _) = Store::open(&dir).unwrap();
+            store.set_sync(false);
+            store.set_segment_max_bytes(96);
+            let appenders: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let s = store.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..PER {
+                            s.append(format!("t{t}-r{i}").as_bytes()).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..8 {
+                store.checkpoint(b"MID").unwrap();
+                std::thread::yield_now();
+            }
+            for h in appenders {
+                h.join().unwrap();
+            }
+            // No final checkpoint: the tail records must survive in the
+            // segments compaction left behind.
+            assert_eq!(store.seq(), (THREADS * PER) as u64);
+        }
+        let (_, r) = Store::open(&dir).unwrap();
+        // Whatever the last MID checkpoint covered is in the snapshot;
+        // everything after it must be in the recovered records, with no
+        // gaps: base_seq + records == all acknowledged appends.
+        assert_eq!(r.snapshot.as_deref(), Some(b"MID" as &[u8]));
+        assert!(!r.torn_tail);
+        let (_, base_seq, _) = read_checkpoint_state(&dir).unwrap();
+        assert_eq!(
+            base_seq + r.records.len() as u64,
+            (THREADS * PER) as u64,
+            "every acknowledged record is covered or recovered"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_track_checkpoint_cost() {
+        let dir = tmp_dir("stats");
+        let (s, _) = Store::open(&dir).unwrap();
+        s.append(b"x").unwrap();
+        let before = s.stats();
+        assert_eq!(before.base_seq, 0);
+        assert!(before.live_wal_bytes > 0);
+        s.checkpoint(b"IMG").unwrap();
+        let after = s.stats();
+        assert_eq!(after.base_seq, 1);
+        assert_eq!(after.live_wal_bytes, 0);
+        assert_eq!(after.parts, 1);
+        assert!(after.last_checkpoint_micros > 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -189,6 +189,18 @@ pub trait Backend: fmt::Debug + Send + Sync {
 
     /// True when ops actually persist (diagnostics and tests).
     fn is_durable(&self) -> bool;
+
+    /// True when ops were logged since the last checkpoint — a clean
+    /// backend lets [`crate::Vfs::checkpoint`] skip re-encoding the tree
+    /// entirely. Non-durable backends are never dirty.
+    fn is_dirty(&self) -> bool {
+        false
+    }
+
+    /// Live storage counters of the underlying store, if any.
+    fn store_stats(&self) -> Option<resin_store::StoreStats> {
+        None
+    }
 }
 
 /// The default backend: nothing persists.
@@ -213,6 +225,10 @@ impl Backend for MemBackend {
 #[derive(Debug)]
 pub struct DiskBackend {
     store: Store,
+    /// Ops logged since the last checkpoint: a clean backend means the
+    /// durable snapshot already equals the tree, so a checkpoint can be
+    /// skipped outright.
+    dirty: bool,
 }
 
 /// What [`DiskBackend::open`] recovered from disk.
@@ -224,6 +240,9 @@ pub struct VfsRecovered {
     pub ops: Vec<FsOp>,
     /// True when a torn WAL tail was discarded during recovery.
     pub torn_tail: bool,
+    /// True when the discarded tail also dropped one or more whole later
+    /// WAL segments — a wider loss window than one in-flight append.
+    pub torn_cross_segment: bool,
 }
 
 impl DiskBackend {
@@ -237,11 +256,17 @@ impl DiskBackend {
             ops.push(FsOp::decode(payload)?);
         }
         Ok((
-            DiskBackend { store },
+            DiskBackend {
+                store,
+                // Replayed ops post-date the snapshot: the tree is ahead
+                // of it until the next checkpoint folds them in.
+                dirty: !ops.is_empty(),
+            },
             VfsRecovered {
                 snapshot: recovered.snapshot,
                 ops,
                 torn_tail: recovered.torn_tail,
+                torn_cross_segment: recovered.torn_cross_segment,
             },
         ))
     }
@@ -255,15 +280,26 @@ impl DiskBackend {
 impl Backend for DiskBackend {
     fn log(&mut self, op: &FsOp) -> Result<()> {
         self.store.append(&op.encode()).map_err(VfsError::from)?;
+        self.dirty = true;
         Ok(())
     }
 
     fn checkpoint(&mut self, image: &[u8]) -> Result<()> {
-        self.store.checkpoint(image).map_err(VfsError::from)
+        self.store.checkpoint(image).map_err(VfsError::from)?;
+        self.dirty = false;
+        Ok(())
     }
 
     fn is_durable(&self) -> bool {
         true
+    }
+
+    fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    fn store_stats(&self) -> Option<resin_store::StoreStats> {
+        Some(self.store.stats())
     }
 }
 
@@ -307,5 +343,36 @@ mod tests {
         }
         assert!(FsOp::decode(&[99]).is_err(), "unknown tag");
         assert!(FsOp::decode(&[]).is_err(), "empty payload");
+    }
+
+    #[test]
+    fn disk_backend_tracks_dirtiness() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("resin-vfs-backend-test-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (mut b, rec) = DiskBackend::open(&dir).unwrap();
+        assert!(!b.is_dirty(), "fresh store is clean");
+        assert!(rec.ops.is_empty());
+        b.set_sync(false);
+        b.log(&FsOp::Mkdir { path: "/a".into() }).unwrap();
+        assert!(b.is_dirty());
+        b.checkpoint(b"IMG").unwrap();
+        assert!(!b.is_dirty(), "checkpoint folds the log in");
+        b.log(&FsOp::Unlink { path: "/a".into() }).unwrap();
+        drop(b);
+
+        // Reopen with an op past the checkpoint: dirty from the start —
+        // the tree is ahead of the durable snapshot until the next
+        // checkpoint, which must therefore not be skipped.
+        let (b, rec) = DiskBackend::open(&dir).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"IMG"[..]));
+        assert_eq!(rec.ops.len(), 1);
+        assert!(b.is_dirty());
+        assert!(b.store_stats().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -116,6 +116,7 @@ pub struct Vfs {
     mode: TrackingMode,
     backend: Box<dyn Backend>,
     torn_recovery: bool,
+    torn_cross_segment: bool,
 }
 
 impl Default for Vfs {
@@ -132,6 +133,7 @@ impl Vfs {
             mode: TrackingMode::On,
             backend: Box::new(MemBackend),
             torn_recovery: false,
+            torn_cross_segment: false,
         }
     }
 
@@ -142,6 +144,7 @@ impl Vfs {
             mode,
             backend: Box::new(MemBackend),
             torn_recovery: false,
+            torn_cross_segment: false,
         }
     }
 
@@ -160,6 +163,7 @@ impl Vfs {
             mode: TrackingMode::On,
             backend: Box::new(MemBackend), // replay must not re-log
             torn_recovery: recovered.torn_tail,
+            torn_cross_segment: recovered.torn_cross_segment,
         };
         for op in &recovered.ops {
             fs.apply_op(op)?;
@@ -175,6 +179,19 @@ impl Vfs {
         self.torn_recovery
     }
 
+    /// True when the torn tail spanned a WAL segment boundary, so
+    /// recovery dropped one or more whole later segments — a wider loss
+    /// window than one in-flight append.
+    pub fn recovered_torn_cross_segment(&self) -> bool {
+        self.torn_cross_segment
+    }
+
+    /// Live storage counters of the underlying store, or `None` for an
+    /// in-memory tree.
+    pub fn store_stats(&self) -> Option<resin_store::StoreStats> {
+        self.backend.store_stats()
+    }
+
     /// The active tracking mode.
     pub fn mode(&self) -> TrackingMode {
         self.mode
@@ -185,9 +202,12 @@ impl Vfs {
         self.backend.is_durable()
     }
 
-    /// Folds the op log into a fresh tree snapshot (no-op in memory).
+    /// Folds the op log into a fresh tree snapshot (no-op in memory, and
+    /// skipped when no op was logged since the last checkpoint — the
+    /// durable snapshot already equals the tree, so a periodic
+    /// checkpointer on an idle filesystem costs nothing).
     pub fn checkpoint(&mut self) -> Result<()> {
-        if !self.backend.is_durable() {
+        if !self.backend.is_durable() || !self.backend.is_dirty() {
             return Ok(());
         }
         let image = encode_tree(&self.root)?;
@@ -1322,6 +1342,35 @@ mod tests {
         let mut fs = Vfs::new();
         assert!(!fs.is_durable());
         fs.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn clean_checkpoint_is_skipped() {
+        let dir = disk_dir("clean-ckpt");
+        {
+            let mut fs = Vfs::open_disk(&dir).unwrap();
+            fs.mkdir_p("/d", &anon()).unwrap();
+            fs.write_file("/d/a", &TaintedString::from("aa"), &anon())
+                .unwrap();
+            fs.checkpoint().unwrap();
+            let after_first = fs.store_stats().unwrap();
+            assert_eq!(after_first.base_seq, 2);
+            // No ops since: a periodic checkpointer costs nothing (the
+            // skip mechanics are pinned down in the backend tests).
+            fs.checkpoint().unwrap();
+            fs.checkpoint().unwrap();
+            assert_eq!(fs.store_stats().unwrap().base_seq, after_first.base_seq);
+            // The next op makes the tree dirty again.
+            fs.write_file("/d/b", &TaintedString::from("bb"), &anon())
+                .unwrap();
+            fs.checkpoint().unwrap();
+            assert_eq!(fs.store_stats().unwrap().base_seq, 3);
+        }
+        let fs = Vfs::open_disk(&dir).unwrap();
+        assert!(!fs.recovered_from_torn_wal());
+        assert!(!fs.recovered_torn_cross_segment());
+        assert_eq!(fs.read_file("/d/b", &anon()).unwrap().as_str(), "bb");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
