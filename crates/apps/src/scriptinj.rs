@@ -70,7 +70,21 @@ impl ScriptHost {
                 .expect("arm assertion");
         }
         interp.run(r#"import("/app/main.rsl");"#).expect("boot");
-        ScriptHost { interp, resin }
+        let mut host = ScriptHost { interp, resin };
+        host.surface_lint_warnings();
+        host
+    }
+
+    /// Drains and prints lint warnings accumulated by policy-class
+    /// registration — the app-stderr half of the analyzer's fail-closed /
+    /// surface split (error-severity diagnostics never get this far:
+    /// registration already refused the class).
+    fn surface_lint_warnings(&mut self) {
+        for report in self.interp.take_lint_reports() {
+            for d in &report.diagnostics {
+                eprintln!("scriptinj: {}: {d}", report.class_name);
+            }
+        }
     }
 
     /// True when the assertion is armed.
@@ -91,9 +105,12 @@ impl ScriptHost {
 
     /// The theme-include vulnerability: loads a user-chosen theme path.
     pub fn load_theme(&mut self, theme_path: &str) -> Result<(), LangError> {
-        self.interp
+        let r = self
+            .interp
             .run(&format!(r#"import("{theme_path}");"#))
-            .map(|_| ())
+            .map(|_| ());
+        self.surface_lint_warnings();
+        r
     }
 
     /// The direct-request vulnerability: the web server executes any
@@ -102,9 +119,12 @@ impl ScriptHost {
         if !path.ends_with(".rsl") {
             return Err(LangError::new("static file, not executed"));
         }
-        self.interp
+        let r = self
+            .interp
             .run(&format!(r#"import("{path}");"#))
-            .map(|_| ())
+            .map(|_| ());
+        self.surface_lint_warnings();
+        r
     }
 
     /// True if adversary code has run (it sets the `owned` global).

@@ -108,11 +108,31 @@ fn rsl_gate_write(c: &mut Criterion) {
     g.finish();
 }
 
-/// The per-crossing floor, caches on vs off: a trivial read-only policy
-/// whose fields still carry the 256-entry weights list, so the uncached
-/// side pays the full policy-to-`this` conversion every crossing and the
-/// cached side reuses the materialized object. The gap is the win the
-/// analysis-gated check cache buys every read-only policy.
+/// The audit-field policy: identical to the floor gate but it also
+/// records the last channel type into a scratch field on every crossing.
+/// The old all-or-nothing may-mutate scan rejected any policy with a
+/// property store, so this shape used to pay the full uncached conversion
+/// every crossing; the field-sensitive effects analysis proves the write
+/// is unobservable (no reachable method reads `last_channel`) and keeps
+/// it cache-eligible.
+const AUDIT_SRC: &str = r#"
+class AuditedGate {
+    fn init(weights, limit) { this.weights = weights; this.limit = limit; }
+    fn export_check(context) {
+        this.last_channel = context["type"];
+        if (context["type"] == "http") { return; }
+        throw "channel not allowed";
+    }
+}
+"#;
+
+/// The per-crossing floor, caches on vs off: policies whose fields still
+/// carry the 256-entry weights list, so the uncached side pays the full
+/// policy-to-`this` conversion every crossing and the cached side reuses
+/// the materialized object. The gap is the win the analysis-gated check
+/// cache buys. Two shapes: the pure read-only gate (`*_cached`/
+/// `*_uncached`) and the scratch-field auditor (`*_audit_*`) that only
+/// the field-sensitive analysis certifies.
 fn rsl_gate_floor(c: &mut Criterion) {
     let mut g = c.benchmark_group("rsl_gate_floor");
     for engine in [Engine::Tree, Engine::Vm] {
@@ -120,25 +140,31 @@ fn rsl_gate_floor(c: &mut Criterion) {
             Engine::Tree => "tree",
             Engine::Vm => "vm",
         };
-        for (mode, cached) in [("cached", true), ("uncached", false)] {
-            let data = tainted_for(engine, FLOOR_SRC);
-            let mut gate = Gate::new(GateKind::Http);
-            let before = resin_lang::check_cache_stats();
-            g.bench_function(BenchmarkId::from_parameter(format!("{tag}_{mode}")), |b| {
-                resin_lang::set_check_cache(cached);
-                b.iter(|| {
-                    gate.write(data.clone()).unwrap();
-                    gate.clear_output();
-                });
-                resin_lang::set_check_cache(true);
-            });
-            // The win must be real: the cached side reuses the
-            // materialized check state, the uncached side never does.
-            let after = resin_lang::check_cache_stats();
-            if cached {
-                assert!(after.0 > before.0, "cached crossings must hit the cache");
-            } else {
-                assert_eq!(after.0, before.0, "uncached crossings must not hit");
+        for (shape, src) in [("", FLOOR_SRC), ("audit_", AUDIT_SRC)] {
+            for (mode, cached) in [("cached", true), ("uncached", false)] {
+                let data = tainted_for(engine, src);
+                let mut gate = Gate::new(GateKind::Http);
+                let before = resin_lang::check_cache_stats();
+                g.bench_function(
+                    BenchmarkId::from_parameter(format!("{tag}_{shape}{mode}")),
+                    |b| {
+                        resin_lang::set_check_cache(cached);
+                        b.iter(|| {
+                            gate.write(data.clone()).unwrap();
+                            gate.clear_output();
+                        });
+                        resin_lang::set_check_cache(true);
+                    },
+                );
+                // The win must be real: the cached side reuses the
+                // materialized check state, the uncached side never does
+                // — including the audit shape the old analysis rejected.
+                let after = resin_lang::check_cache_stats();
+                if cached {
+                    assert!(after.0 > before.0, "cached crossings must hit the cache");
+                } else {
+                    assert_eq!(after.0, before.0, "uncached crossings must not hit");
+                }
             }
         }
     }

@@ -1,0 +1,24 @@
+//! Static analysis for RSL policy code (`resin-analyze`).
+//!
+//! Four layers, each building on the last:
+//!
+//! * [`mod@cfg`] — lowers method ASTs into basic-block control-flow graphs,
+//!   with constant-guard edge pruning and reachability;
+//! * [`dataflow`] — a small forward worklist framework over those CFGs;
+//! * [`effects`] — a field-sensitive effects/escape analysis that decides
+//!   per-crossing cache eligibility (replacing the all-or-nothing
+//!   may-mutate BFS): a policy that writes only scratch fields no
+//!   reachable method reads is still cacheable;
+//! * [`lint`] — a policy linter with coded diagnostics (RL001–RL010).
+//!   Error-severity findings fail closed at class registration and
+//!   persisted-policy revival; warnings surface through the
+//!   interpreter's [`lint::LintReport`] accessors and the `resin-lint`
+//!   binary.
+
+pub mod cfg;
+pub mod dataflow;
+pub mod effects;
+pub mod lint;
+
+pub use effects::{class_effects, ClassEffects};
+pub use lint::{lint_class, lint_source, Diagnostic, LintReport, Severity};

@@ -190,6 +190,9 @@ pub struct Interp {
     /// Route chunk lookups through the process-wide policy-method cache
     /// (set for the short-lived interpreters that run `export_check`).
     pub(crate) use_global_chunk_cache: bool,
+    /// Warning-level lint reports accumulated as policy classes were
+    /// registered (error-level findings fail registration instead).
+    lint_reports: Vec<crate::analysis::LintReport>,
 }
 
 impl Interp {
@@ -227,7 +230,27 @@ impl Interp {
             call_depth: 0,
             chunks: HashMap::new(),
             use_global_chunk_cache: false,
+            lint_reports: Vec::new(),
         }
+    }
+
+    /// Lint reports (warnings only) collected while registering policy
+    /// classes; one report per class, newest registration wins.
+    pub fn lint_reports(&self) -> &[crate::analysis::LintReport] {
+        &self.lint_reports
+    }
+
+    /// Drains the accumulated lint reports (for apps that surface them
+    /// once on stderr and do not want repeats).
+    pub fn take_lint_reports(&mut self) -> Vec<crate::analysis::LintReport> {
+        std::mem::take(&mut self.lint_reports)
+    }
+
+    /// Runs the policy linter over a registered class by name.
+    pub fn lint_class(&self, name: &str) -> Option<crate::analysis::LintReport> {
+        self.classes
+            .get(name)
+            .map(|c| crate::analysis::lint_class(c))
     }
 
     /// The tracking mode.
@@ -453,22 +476,56 @@ impl Interp {
                 Ok(Value::Null)
             }
             StmtKind::ClassDef(decl) => {
-                self.register_class(decl);
+                self.register_class(decl)?;
                 Ok(Value::Null)
             }
         }
     }
 
     /// Registers a class definition (shared by both engines). Classes with
-    /// an `export_check` method are policy classes: they are registered
-    /// with the process-wide policy registry so persisted instances can be
-    /// revived (§3.4.1 — only class name and fields are stored).
-    pub(crate) fn register_class(&mut self, decl: &Arc<ClassDecl>) {
+    /// an `export_check` method are policy classes: they are statically
+    /// analyzed first — error-severity lint findings fail the definition
+    /// closed (an unsound policy never guards traffic), warnings accumulate
+    /// on [`Interp::lint_reports`] — then registered with the process-wide
+    /// policy registry so persisted instances can be revived (§3.4.1 —
+    /// only class name and fields are stored).
+    pub(crate) fn register_class(&mut self, decl: &Arc<ClassDecl>) -> R<()> {
+        if decl.method("export_check").is_some() {
+            let report = crate::analysis::lint_class(decl);
+            if let Some(err) = report.errors().next() {
+                return Err(rt(format!(
+                    "policy class `{}` rejected by lint: {err}",
+                    decl.name
+                )));
+            }
+            if !report.diagnostics.is_empty() {
+                self.lint_reports
+                    .retain(|r| r.class_name != report.class_name);
+                self.lint_reports.push(report);
+            }
+        }
         self.classes.insert(decl.name.clone(), decl.clone());
         if decl.method("export_check").is_some() {
             let class_name = decl.name.clone();
             let class = decl.clone();
+            // Revival re-runs the analyzer (memoized — once per process
+            // per class) so a policy persisted before the linter existed
+            // still fails closed when its class turns out unsound.
+            let lint_memo: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
             register_policy_class(class_name.clone(), move |fields| {
+                let lint_err = lint_memo.get_or_init(|| {
+                    crate::analysis::lint_class(&class)
+                        .errors()
+                        .next()
+                        .map(|d| d.to_string())
+                });
+                if let Some(err) = lint_err {
+                    return Err(resin_core::SerializeError::BadField {
+                        class: class_name.clone(),
+                        field: "<lint>".into(),
+                        reason: err.clone(),
+                    });
+                }
                 let mut decoded = BTreeMap::new();
                 let mut engine = None;
                 for (k, v) in fields {
@@ -504,6 +561,7 @@ impl Interp {
                 Ok(Arc::new(policy) as PolicyRef)
             });
         }
+        Ok(())
     }
 
     // ---- shared operation semantics (used by both engines) ----
@@ -1310,111 +1368,15 @@ pub(crate) fn context_to_map(context: &Context) -> Value {
 // is a closed world: no user-defined free functions exist, so every bare
 // call is a builtin, and only `push`/`pop` mutate a value in place.
 
-/// True when every method reachable from `export_check` is read-only: no
-/// property or index assignment anywhere (which also covers mutation
-/// through local aliases like `let w = this.weights; w[0] = 1;`), no
-/// `push`/`pop`, and no nested `fn`/`class` definitions that could shadow
-/// those builtins. Read-only checks cannot alter the cached `this` object
-/// or the cached `$context` map, so both can be reused across crossings.
-fn check_is_read_only(class: &ClassDecl) -> bool {
-    let Some(start) = class.method("export_check") else {
-        return false;
-    };
-    let mut seen: Vec<&str> = vec!["export_check"];
-    let mut queue: Vec<&Arc<FnDecl>> = vec![start];
-    while let Some(m) = queue.pop() {
-        if !stmts_read_only(&m.body, class, &mut seen, &mut queue) {
-            return false;
-        }
-    }
-    true
-}
-
-fn stmts_read_only<'c>(
-    stmts: &'c [Stmt],
-    class: &'c ClassDecl,
-    seen: &mut Vec<&'c str>,
-    queue: &mut Vec<&'c Arc<FnDecl>>,
-) -> bool {
-    stmts.iter().all(|stmt| match &stmt.kind {
-        StmtKind::Let(_, e) => expr_read_only(e, class, seen, queue),
-        StmtKind::Assign(Target::Var(_), e) => expr_read_only(e, class, seen, queue),
-        // Any field or index store — whatever the receiver — may hit the
-        // cached object or context through an alias.
-        StmtKind::Assign(Target::Prop(..) | Target::Index(..), _) => false,
-        StmtKind::Expr(e) => expr_read_only(e, class, seen, queue),
-        StmtKind::If {
-            cond,
-            then_body,
-            else_body,
-        } => {
-            expr_read_only(cond, class, seen, queue)
-                && stmts_read_only(then_body, class, seen, queue)
-                && stmts_read_only(else_body, class, seen, queue)
-        }
-        StmtKind::While { cond, body } => {
-            expr_read_only(cond, class, seen, queue) && stmts_read_only(body, class, seen, queue)
-        }
-        StmtKind::Return(e) => e
-            .as_ref()
-            .is_none_or(|e| expr_read_only(e, class, seen, queue)),
-        StmtKind::Throw(e) => expr_read_only(e, class, seen, queue),
-        // A nested `fn` could shadow a builtin; a nested class is exotic
-        // enough to just refuse. Policy code does neither in practice.
-        StmtKind::FnDef(_) | StmtKind::ClassDef(_) => false,
-    })
-}
-
-fn expr_read_only<'c>(
-    expr: &'c Expr,
-    class: &'c ClassDecl,
-    seen: &mut Vec<&'c str>,
-    queue: &mut Vec<&'c Arc<FnDecl>>,
-) -> bool {
-    let mut reach = |name: &'c str| {
-        if !seen.contains(&name) {
-            seen.push(name);
-            if let Some(m) = class.method(name) {
-                queue.push(m);
-            }
-        }
-    };
-    match expr {
-        Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null | Expr::Var(_) | Expr::This => {
-            true
-        }
-        Expr::Array(items) => items.iter().all(|e| expr_read_only(e, class, seen, queue)),
-        Expr::Not(e) | Expr::Neg(e) => expr_read_only(e, class, seen, queue),
-        Expr::Binary { left, right, .. } => {
-            expr_read_only(left, class, seen, queue) && expr_read_only(right, class, seen, queue)
-        }
-        Expr::Call { name, args } => {
-            // Bare calls are builtins (the mini-evaluator defines no free
-            // functions); only push/pop mutate a value in place.
-            name != "push"
-                && name != "pop"
-                && args.iter().all(|e| expr_read_only(e, class, seen, queue))
-        }
-        Expr::MethodCall { recv, method, args } => {
-            // The receiver may alias `this` (it is the only object the
-            // evaluator can see besides fresh `new`s of the same class),
-            // so the named method joins the reachable set.
-            reach(method);
-            expr_read_only(recv, class, seen, queue)
-                && args.iter().all(|e| expr_read_only(e, class, seen, queue))
-        }
-        Expr::Index(recv, idx) => {
-            expr_read_only(recv, class, seen, queue) && expr_read_only(idx, class, seen, queue)
-        }
-        Expr::Prop(recv, _) => expr_read_only(recv, class, seen, queue),
-        Expr::New { args, .. } => {
-            // `new` runs `init` — conservatively include it even though
-            // its `this` is the fresh object, because constructor args may
-            // alias the cached values.
-            reach("init");
-            args.iter().all(|e| expr_read_only(e, class, seen, queue))
-        }
-    }
+/// True when the field-sensitive effects analysis certifies the class for
+/// the per-crossing caches (see [`crate::analysis::effects`]): nothing
+/// escapes, no container reachable from a field or the context is mutated
+/// in place, and every directly-written field is write-only — never read
+/// by any reachable method, so a later crossing cannot observe the
+/// previous crossing's value. Unlike the earlier all-or-nothing BFS, a
+/// policy that records into a scratch/audit field still qualifies.
+fn check_is_cacheable(class: &ClassDecl) -> bool {
+    crate::analysis::class_effects(class).cache_eligible()
 }
 
 /// A materialized `this` object plus the field snapshot it was built
@@ -1422,12 +1384,12 @@ fn expr_read_only<'c>(
 /// class can carry different fields).
 type CachedThis = (BTreeMap<String, PValue>, Rc<std::cell::RefCell<Obj>>);
 
-/// One cached policy class: the analysis verdict plus — for read-only
+/// One cached policy class: the analysis verdict plus — for cacheable
 /// checks — the materialized `this` object.
 struct CheckPlan {
     /// Liveness + identity token for the cache key (the `Arc`'s address).
     class: std::sync::Weak<ClassDecl>,
-    read_only: bool,
+    cacheable: bool,
     cached_this: Option<CachedThis>,
 }
 
@@ -1460,8 +1422,8 @@ pub fn check_cache_stats() -> (u64, u64) {
     )
 }
 
-/// Returns `(read_only, this)` for a check, reusing the per-class cached
-/// object when the class's check is read-only and the fields match.
+/// Returns `(cacheable, this)` for a check, reusing the per-class cached
+/// object when the class's check is cache-eligible and the fields match.
 fn this_for_check(class: &Arc<ClassDecl>, fields: &BTreeMap<String, PValue>) -> (bool, Value) {
     let build = || {
         Rc::new(std::cell::RefCell::new(Obj {
@@ -1476,7 +1438,7 @@ fn this_for_check(class: &Arc<ClassDecl>, fields: &BTreeMap<String, PValue>) -> 
         CHECK_CACHE_MISSES.with(|c| c.set(c.get() + 1));
         return (false, Value::Object(build()));
     }
-    let (read_only, obj) = CHECK_PLANS.with(|plans| {
+    let (cacheable, obj) = CHECK_PLANS.with(|plans| {
         let mut plans = plans.borrow_mut();
         let key = Arc::as_ptr(class) as usize;
         let entry = match plans.get_mut(&key) {
@@ -1486,13 +1448,13 @@ fn this_for_check(class: &Arc<ClassDecl>, fields: &BTreeMap<String, PValue>) -> 
             _ => {
                 let plan = CheckPlan {
                     class: Arc::downgrade(class),
-                    read_only: check_is_read_only(class),
+                    cacheable: check_is_cacheable(class),
                     cached_this: None,
                 };
                 plans.entry(key).insert_entry(plan).into_mut()
             }
         };
-        if !entry.read_only {
+        if !entry.cacheable {
             CHECK_CACHE_MISSES.with(|c| c.set(c.get() + 1));
             return (false, build());
         }
@@ -1509,7 +1471,7 @@ fn this_for_check(class: &Arc<ClassDecl>, fields: &BTreeMap<String, PValue>) -> 
             }
         }
     });
-    (read_only, Value::Object(obj))
+    (cacheable, Value::Object(obj))
 }
 
 /// Returns the `$context` argument map, served from the stamp-keyed cache
@@ -1567,11 +1529,11 @@ pub(crate) fn eval_policy_method_on(
     // Bind `this` to an object with the snapshotted fields; read-only
     // checks reuse the materialized object and context map across
     // crossings instead of reconverting every field.
-    let (read_only, this) = this_for_check(class, fields);
+    let (cacheable, this) = this_for_check(class, fields);
     let args = if method.params.is_empty() {
         Vec::new()
     } else {
-        vec![context_map_for_check(context, read_only)]
+        vec![context_map_for_check(context, cacheable)]
     };
     let flow = match engine {
         Engine::Tree => interp.call_decl(&method, args, Some(this)),
@@ -2092,7 +2054,7 @@ mod tests {
                 }
             }"#,
         );
-        assert!(check_is_read_only(&class));
+        assert!(check_is_cacheable(&class));
         let mut fields = BTreeMap::new();
         fields.insert(
             "weights".to_string(),
@@ -2129,7 +2091,7 @@ mod tests {
                 }
             }"#,
         );
-        assert!(!check_is_read_only(&class));
+        assert!(!check_is_cacheable(&class));
         let mut fields = BTreeMap::new();
         fields.insert("n".to_string(), PValue::Int(0));
         let ctx = Context::new(GateKind::Http);
@@ -2173,14 +2135,14 @@ mod tests {
                 fn export_check(context) { this.bump(); }
             }"#,
         );
-        assert!(!check_is_read_only(&class));
+        assert!(!check_is_cacheable(&class));
         // Index stores through a local alias are stores all the same.
         let alias = policy_class(
             r#"class Alias {
                 fn export_check(context) { let w = this.weights; w[0] = 9; }
             }"#,
         );
-        assert!(!check_is_read_only(&alias));
+        assert!(!check_is_cacheable(&alias));
         // An unreachable mutating method does not poison the verdict.
         let unreachable = policy_class(
             r#"class Clean {
@@ -2188,6 +2150,70 @@ mod tests {
                 fn export_check(context) { if (this.n > 0) { return; } throw "no"; }
             }"#,
         );
-        assert!(check_is_read_only(&unreachable));
+        assert!(check_is_cacheable(&unreachable));
+    }
+
+    #[test]
+    fn scratch_field_write_is_cacheable_and_unobservable() {
+        // Writes an audit field no reachable method reads: the old
+        // all-or-nothing BFS rejected this shape outright; the
+        // field-sensitive analysis certifies it, because a write-only
+        // field cannot be observed on a later crossing.
+        let class = policy_class(
+            r#"class Audited {
+                fn export_check(context) {
+                    let sum = this.a + this.b;
+                    this.last_sum = sum;
+                    if (sum > this.limit) { throw "over"; }
+                }
+            }"#,
+        );
+        assert!(check_is_cacheable(&class));
+        let mut fields = BTreeMap::new();
+        fields.insert("a".to_string(), PValue::Int(3));
+        fields.insert("b".to_string(), PValue::Int(4));
+        fields.insert("limit".to_string(), PValue::Int(10));
+        let ctx = Context::new(GateKind::Http);
+        let (h0, m0) = check_cache_stats();
+        for engine in [Engine::Tree, Engine::Vm, Engine::Tree, Engine::Vm] {
+            eval_policy_method_on(engine, &class, &fields, &ctx).unwrap();
+        }
+        let (h1, m1) = check_cache_stats();
+        assert_eq!(m1 - m0, 1, "this materialized once");
+        assert_eq!(h1 - h0, 3, "scratch-field writer reuses the cached this");
+        // The scratch write never feeds back into the snapshot or the
+        // verdict: cached and uncached crossings agree, and the Rust-side
+        // field snapshot stays pristine.
+        fields.insert("limit".to_string(), PValue::Int(5));
+        let cached = eval_policy_method_on(Engine::Vm, &class, &fields, &ctx).unwrap_err();
+        set_check_cache(false);
+        let uncached = eval_policy_method_on(Engine::Vm, &class, &fields, &ctx).unwrap_err();
+        set_check_cache(true);
+        assert_eq!(cached.to_string(), uncached.to_string());
+        assert!(!fields.contains_key("last_sum"), "snapshot stays pristine");
+    }
+
+    #[test]
+    fn unsound_policy_class_fails_registration_closed() {
+        // Error-severity lint findings refuse the class definition on
+        // both engines (the differential harness needs them to agree).
+        for engine in [Engine::Tree, Engine::Vm] {
+            let mut i = Interp::with_engine(engine);
+            let err = i
+                .run(r#"class BadCall { fn export_check(context) { this.nope(); } }"#)
+                .unwrap_err();
+            assert!(err.to_string().contains("rejected by lint"), "{err}");
+            assert!(err.to_string().contains("RL003"), "{err}");
+        }
+        // Warnings do not block registration; they accumulate on the
+        // interpreter for the application to surface.
+        let mut i = Interp::new();
+        i.run(r#"class AllowAll { fn export_check(context) { return; } }"#)
+            .unwrap();
+        assert_eq!(i.lint_reports().len(), 1);
+        assert_eq!(i.lint_reports()[0].diagnostics[0].code, "RL001");
+        assert!(i.lint_class("AllowAll").is_some());
+        assert_eq!(i.take_lint_reports().len(), 1);
+        assert!(i.lint_reports().is_empty());
     }
 }

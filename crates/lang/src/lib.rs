@@ -46,6 +46,7 @@
 //! default engine; `RESIN_RSL_ENGINE=tree` selects the tree-walker, which
 //! is kept as a differential oracle.
 
+pub mod analysis;
 pub mod ast;
 pub mod chunk;
 pub mod compiler;
@@ -55,6 +56,7 @@ pub mod parser;
 pub mod value;
 pub mod vm;
 
+pub use analysis::{class_effects, lint_class, lint_source, ClassEffects, LintReport, Severity};
 pub use chunk::Chunk;
 pub use compiler::compiled_policy_chunks;
 pub use interp::{

@@ -673,7 +673,7 @@ impl<'a> Vm<'a> {
                     return Err(rt("internal: DefineClass constant is not a class"));
                 };
                 let decl = decl.clone();
-                self.interp.register_class(&decl);
+                self.interp.register_class(&decl)?;
             }
             Op::Return => {
                 let v = self.pop();

@@ -1,0 +1,311 @@
+//! Differential coverage for the static analyzer.
+//!
+//! Two properties, checked over a seeded-random corpus of policy classes
+//! plus the targeted mutating shapes the effects analysis was built
+//! around:
+//!
+//! 1. **Cache soundness** — for every generated class, the sequence of
+//!    verdicts over repeated crossings is identical with the per-crossing
+//!    caches on and off, and identical between engines. A class the
+//!    analysis wrongly certified as cache-eligible would diverge here:
+//!    its mutation would survive inside the cached `this` and change a
+//!    later verdict (the instrumented assertion checks hit counters to
+//!    prove eligible classes really exercised the cache).
+//! 2. **Lint honesty** — a class the linter passes without RL003
+//!    (undefined method) or RL007/RL010 (unassigned variable) findings
+//!    never hits those runtime errors when its check actually runs.
+
+use std::collections::BTreeMap;
+
+use resin_core::{Context, GateKind, Policy};
+use resin_lang::analysis::lint_class;
+use resin_lang::{
+    check_cache_stats, class_effects, parse_program, set_check_cache, Engine, PValue, ScriptPolicy,
+};
+
+fn class_of(src: &str) -> std::sync::Arc<resin_lang::ast::ClassDecl> {
+    parse_program(src)
+        .unwrap_or_else(|e| panic!("{e}\n{src}"))
+        .into_iter()
+        .find_map(|s| match s.kind {
+            resin_lang::ast::StmtKind::ClassDef(c) => Some(c),
+            _ => None,
+        })
+        .expect("class decl")
+}
+
+fn base_fields() -> BTreeMap<String, PValue> {
+    let mut fields = BTreeMap::new();
+    fields.insert("f0".to_string(), PValue::Int(3));
+    fields.insert("f1".to_string(), PValue::Int(7));
+    fields.insert("f2".to_string(), PValue::Int(11));
+    fields.insert(
+        "l0".to_string(),
+        PValue::List(vec![PValue::Int(1), PValue::Int(2), PValue::Int(3)]),
+    );
+    fields
+}
+
+fn ctx() -> Context {
+    let mut c = Context::new(GateKind::Http);
+    c.set_str("k0", "a");
+    c.set_str("k1", "b");
+    c
+}
+
+/// One crossing's observable outcome, as a comparable string.
+fn verdict(policy: &ScriptPolicy, context: &Context) -> String {
+    match policy.export_check(context) {
+        Ok(()) => "allow".to_string(),
+        Err(v) => format!("deny: {v}"),
+    }
+}
+
+/// Runs `n` crossings of `class` on `engine` and returns the verdicts.
+fn crossings(
+    src_class: &std::sync::Arc<resin_lang::ast::ClassDecl>,
+    fields: &BTreeMap<String, PValue>,
+    engine: Engine,
+    n: usize,
+) -> Vec<String> {
+    let policy = ScriptPolicy::new(
+        src_class.name.clone(),
+        fields.clone(),
+        Some(src_class.clone()),
+    )
+    .with_engine(engine);
+    let context = ctx();
+    (0..n).map(|_| verdict(&policy, &context)).collect()
+}
+
+/// The core differential assertion for one class source.
+fn assert_cache_transparent(src: &str) {
+    let class = class_of(src);
+    let fields = base_fields();
+    let eligible = class_effects(&class).cache_eligible();
+
+    set_check_cache(true);
+    let (h0, _) = check_cache_stats();
+    let cached_vm = crossings(&class, &fields, Engine::Vm, 4);
+    let cached_tree = crossings(&class, &fields, Engine::Tree, 4);
+    let (h1, _) = check_cache_stats();
+    set_check_cache(false);
+    let uncached_vm = crossings(&class, &fields, Engine::Vm, 4);
+    set_check_cache(true);
+
+    assert_eq!(
+        cached_vm, uncached_vm,
+        "cache changed observable behavior of {}:\n{src}",
+        class.name
+    );
+    assert_eq!(
+        cached_vm, cached_tree,
+        "engines disagree on {}:\n{src}",
+        class.name
+    );
+    let repeats: Vec<&String> = cached_vm.iter().skip(1).collect();
+    assert!(
+        repeats.iter().all(|v| **v == cached_vm[0]),
+        "crossings of {} are not independent:\n{src}\n{cached_vm:?}",
+        class.name
+    );
+    if eligible {
+        // Instrumented assertion: an eligible class must actually have
+        // exercised the cache (7 same-thread crossings after the first).
+        assert!(
+            h1 - h0 >= 7,
+            "{} was marked eligible but never hit the cache",
+            class.name
+        );
+    }
+
+    // Lint honesty: no RL003/RL007/RL010 findings means the runtime never
+    // reports the corresponding errors.
+    let report = lint_class(&class);
+    let linted_quiet = !report
+        .diagnostics
+        .iter()
+        .any(|d| matches!(d.code, "RL003" | "RL007" | "RL010"));
+    if linted_quiet {
+        for v in &uncached_vm {
+            assert!(
+                !v.contains("undefined variable") && !v.contains("no method"),
+                "{} lints clean but hit a linted-for error: {v}\n{src}",
+                class.name
+            );
+        }
+    }
+}
+
+#[test]
+fn targeted_mutating_shapes_are_cache_transparent() {
+    for src in [
+        // Eligible: pure reader.
+        r#"class Quota {
+            fn export_check(context) {
+                let w = this.l0;
+                if (w[0] + w[1] > this.f0) { throw "over"; }
+            }
+        }"#,
+        // Eligible: scratch-field writer (the newly-cacheable shape).
+        r#"class Audited {
+            fn export_check(context) {
+                let sum = this.f0 + this.f1;
+                this.last_sum = sum;
+                if (sum > this.f2) { throw "over"; }
+            }
+        }"#,
+        // Ineligible: read-back counter.
+        r#"class Once {
+            fn export_check(context) {
+                this.f0 = this.f0 + 1;
+                if (this.f0 > 4) { throw "ran too often"; }
+            }
+        }"#,
+        // Ineligible: deep store through an alias.
+        r#"class Alias {
+            fn export_check(context) {
+                let w = this.l0;
+                w[0] = w[0] + 1;
+                if (w[0] > 2) { throw "bumped"; }
+            }
+        }"#,
+        // Ineligible: push through a helper.
+        r#"class Sneaky {
+            fn bump() { push(this.l0, 1); }
+            fn export_check(context) {
+                this.bump();
+                if (len(this.l0) > 3) { throw "grew"; }
+            }
+        }"#,
+        // Ineligible: context mutation.
+        r#"class CtxWriter {
+            fn export_check(context) {
+                if (context["seen"]) { throw "second look"; }
+                context["seen"] = true;
+            }
+        }"#,
+    ] {
+        assert_cache_transparent(src);
+    }
+}
+
+// ---- seeded-random policy corpus ----
+
+/// Deterministic generator for small policy classes mixing reads,
+/// scratch writes, counters, deep stores, helpers, branches, and bounded
+/// loops — the shapes the effects analysis has to separate.
+struct PolicyGen {
+    rng: proptest::TestRng,
+    scratch: u32,
+}
+
+impl PolicyGen {
+    fn int_expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.below(2) == 0 {
+            match self.rng.below(5) {
+                0 => format!("this.f{}", self.rng.below(3)),
+                1 => format!("{}", self.rng.below(20)),
+                2 => "this.f0".into(),
+                3 => format!("len(this.l0) + {}", self.rng.below(4)),
+                _ => format!("{}", 1 + self.rng.below(5)),
+            }
+        } else {
+            let a = self.int_expr(depth - 1);
+            let b = self.int_expr(depth - 1);
+            match self.rng.below(3) {
+                0 => format!("({a} + {b})"),
+                1 => format!("({a} * {b})"),
+                _ => format!("({a} + {b} + 1)"),
+            }
+        }
+    }
+
+    fn cond(&mut self) -> String {
+        match self.rng.below(4) {
+            0 => format!("({} > {})", self.int_expr(1), self.int_expr(1)),
+            1 => format!("(context[\"k{}\"] == \"a\")", self.rng.below(2)),
+            2 => format!("({} == {})", self.int_expr(1), self.int_expr(1)),
+            _ => format!("({} < {})", self.int_expr(1), self.int_expr(1)),
+        }
+    }
+
+    fn stmt(&mut self, idx: u32) -> String {
+        match self.rng.below(8) {
+            // Pure local work.
+            0 | 1 => format!("let v{idx} = {};", self.int_expr(2)),
+            // Scratch write: a field never read by any generated code.
+            2 => {
+                self.scratch += 1;
+                let id = self.scratch;
+                format!("this.scratch{id} = {};", self.int_expr(1))
+            }
+            // Read-back counter (disqualifying).
+            3 => "this.f0 = this.f0 + 1;".into(),
+            // Deep store through an alias (disqualifying).
+            4 => "let w = this.l0; w[0] = w[0] + 1;".into(),
+            // Push (disqualifying).
+            5 => "push(this.l0, 1);".into(),
+            // Branch over a condition.
+            6 => format!(
+                "if {} {{ let b{idx} = {}; }}",
+                self.cond(),
+                self.int_expr(1)
+            ),
+            // Bounded loop.
+            _ => format!("let i{idx} = 0; while (i{idx} < 3) {{ i{idx} = i{idx} + 1; }}"),
+        }
+    }
+
+    fn class(&mut self, name: &str) -> String {
+        let mut body = String::new();
+        let n = 1 + self.rng.below(4);
+        for i in 0..n {
+            body.push_str(&format!("        {}\n", self.stmt(i as u32)));
+        }
+        let use_helper = self.rng.below(3) == 0;
+        let helper = if use_helper {
+            let h = format!(
+                "    fn helper() {{\n        {}\n        return this.f1;\n    }}\n",
+                self.stmt(90)
+            );
+            body.push_str("        let hv = this.helper();\n");
+            h
+        } else {
+            String::new()
+        };
+        format!(
+            "class {name} {{\n{helper}    fn export_check(context) {{\n{body}        if {} {{ throw \"deny\"; }}\n    }}\n}}\n",
+            self.cond()
+        )
+    }
+}
+
+#[test]
+fn random_policy_classes_cache_transparently() {
+    let seed = proptest::seed_from_name("random_policy_classes_cache_transparently");
+    let mut eligible = 0usize;
+    for case in 0..300u64 {
+        let mut g = PolicyGen {
+            rng: proptest::TestRng::new(seed ^ (case.wrapping_mul(0xA076_1D64_78BD_642F) | 1)),
+            scratch: 0,
+        };
+        let src = g.class(&format!("Rand{case}"));
+        let class = class_of(&src);
+        if class_effects(&class).cache_eligible() {
+            eligible += 1;
+        }
+        assert_cache_transparent(&src);
+    }
+    // The generator must cover both sides of the eligibility line, with
+    // enough eligible classes to make the transparency claim meaningful.
+    assert!(
+        eligible >= 30,
+        "only {eligible}/300 generated classes were cache-eligible"
+    );
+    assert!(
+        eligible <= 270,
+        "only {}/300 generated classes were mutating",
+        300 - eligible
+    );
+}

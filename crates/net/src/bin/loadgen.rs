@@ -8,7 +8,14 @@
 //! ```text
 //! loadgen [--addr HOST:PORT | --spawn] [--conns N] [--duration-ms MS]
 //!         [--write-every K] [--sync on|off] [--replica]
+//!         [--lint POLICY.rsl]...
 //! ```
+//!
+//! `--lint` pre-flights RSL policy files through the static analyzer
+//! before any traffic is generated: error-severity diagnostics (the
+//! shapes load-time registration would reject) abort the run, warnings
+//! go to stderr and the run proceeds — the same fail-closed/surface
+//! split the interpreter applies at `class` registration.
 //!
 //! With `--spawn` (the default when no `--addr` is given) the binary
 //! self-hosts a durable [`ForumApp`] on an
@@ -40,12 +47,15 @@ struct Options {
     sync: bool,
     /// Ship to and verify a read replica after the run (spawn mode).
     replica: bool,
+    /// RSL policy files to lint before generating any load.
+    lint: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT | --spawn] [--conns N] \
-         [--duration-ms MS] [--write-every K] [--sync on|off] [--replica]"
+         [--duration-ms MS] [--write-every K] [--sync on|off] [--replica] \
+         [--lint POLICY.rsl]..."
     );
     std::process::exit(2);
 }
@@ -58,6 +68,7 @@ fn parse_args() -> Options {
         write_every: 4,
         sync: true,
         replica: false,
+        lint: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +92,7 @@ fn parse_args() -> Options {
             }
             "--sync" => opts.sync = value("--sync") == "on",
             "--replica" => opts.replica = true,
+            "--lint" => opts.lint.push(value("--lint")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -223,6 +235,29 @@ fn main() {
     if opts.replica && opts.addr.is_some() {
         eprintln!("--replica requires spawn mode (no --addr)");
         usage();
+    }
+
+    // Pre-flight: lint every --lint policy file before opening a single
+    // socket. Errors are the shapes registration would reject at load
+    // time — abort now rather than mid-run; warnings surface and pass.
+    let mut lint_errors = 0usize;
+    for file in &opts.lint {
+        let src = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("loadgen: --lint {file}: {e}");
+            std::process::exit(1);
+        });
+        for report in resin_lang::lint_source(&src) {
+            for d in &report.diagnostics {
+                eprintln!("loadgen: {file}: {}: {d}", report.class_name);
+                if d.severity == resin_lang::Severity::Error {
+                    lint_errors += 1;
+                }
+            }
+        }
+    }
+    if lint_errors > 0 {
+        eprintln!("loadgen: {lint_errors} lint error(s); refusing to generate load");
+        std::process::exit(1);
     }
 
     // Self-host when no address was given.

@@ -70,6 +70,10 @@ pub struct ShardedDatabase {
     /// waits for this to reach zero (`txn_done` signals each finish).
     txn_writers: Mutex<usize>,
     txn_done: Condvar,
+    /// Live-WAL-bytes threshold above which a completed durable write
+    /// triggers a checkpoint. Zero (the default) disables the trigger.
+    /// Shared by every handle clone — retention is a store-wide policy.
+    auto_ckpt_wal_bytes: std::sync::atomic::AtomicU64,
 }
 
 // Both lock levels guard data that is consistent at every panic point
@@ -495,6 +499,44 @@ impl SharedDb {
         self.inner.store.get().map(SqlStore::stats)
     }
 
+    /// Arms the size-based checkpoint trigger: once the live WAL grows
+    /// past `bytes`, the durable write that crossed the line checkpoints
+    /// the database before returning. Zero (the default) disables the
+    /// trigger; the setting is shared by every clone of this handle.
+    pub fn set_auto_checkpoint_wal_bytes(&self, bytes: u64) {
+        self.inner
+            .auto_ckpt_wal_bytes
+            .store(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The armed auto-checkpoint threshold (0 = disabled).
+    pub fn auto_checkpoint_wal_bytes(&self) -> u64 {
+        self.inner
+            .auto_ckpt_wal_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Runs the size-based trigger after a durable write, outside the
+    /// checkpoint-exclusion window. Best-effort: the write that got us
+    /// here is already applied *and* logged, so a checkpoint failure must
+    /// not convert it into a caller-visible error (retrying the statement
+    /// would double-apply it); the condition persists and the next
+    /// explicit checkpoint will surface it. Concurrent writers crossing
+    /// the line together serialize on the ckpt lock; the laggards'
+    /// checkpoints are incremental over a now-clean store and cheap.
+    fn maybe_auto_checkpoint(&self) {
+        let threshold = self.auto_checkpoint_wal_bytes();
+        if threshold == 0 {
+            return;
+        }
+        let Some(stats) = self.store_stats() else {
+            return;
+        };
+        if stats.live_wal_bytes >= threshold {
+            let _ = self.checkpoint();
+        }
+    }
+
     /// Number of tables written since the last checkpoint — what the
     /// next incremental checkpoint will re-encode.
     pub fn dirty_table_count(&self) -> usize {
@@ -595,7 +637,14 @@ impl SharedDb {
             self.mark_tables_dirty(statement_write_target(&stmt));
         }
         let mut backend: &ShardedDatabase = &self.inner;
-        run_prepared(&mut backend, &sql, stmt, self.tracking, &[])
+        let result = run_prepared(&mut backend, &sql, stmt, self.tracking, &[]);
+        // The exclusion window must close before the trigger runs: the
+        // checkpoint takes the same lock exclusively.
+        drop(_no_ckpt);
+        if durable_write && result.is_ok() {
+            self.maybe_auto_checkpoint();
+        }
+        result
     }
 
     /// Executes an untainted query string.
@@ -624,13 +673,18 @@ impl SharedDb {
             self.mark_tables_dirty(p.write_target());
         }
         let mut backend: &ShardedDatabase = &self.inner;
-        run_prepared(
+        let result = run_prepared(
             &mut backend,
             p.text_tainted(),
             p.statement().clone(),
             self.tracking,
             &bound.values,
-        )
+        );
+        drop(_no_ckpt);
+        if durable_write && result.is_ok() {
+            self.maybe_auto_checkpoint();
+        }
+        result
     }
 
     /// [`prepare`](SharedDb::prepare)-bind-[`run`](SharedDb::run) in one
@@ -1202,5 +1256,52 @@ mod tests {
         let r = db.query_str("SELECT * FROM posts").unwrap();
         assert_eq!(r.columns, vec!["id", "body"]);
         assert!(db.query_str("SELECT __rp_body FROM posts").is_err());
+    }
+
+    #[test]
+    fn size_based_auto_checkpoint_bounds_the_wal() {
+        let dir = disk_dir("auto-ckpt");
+        {
+            let db = SharedDb::open(&dir).unwrap();
+            db.set_wal_sync(false);
+            db.query_str("CREATE TABLE t (a INTEGER, body TEXT)")
+                .unwrap();
+            // Off by default: the WAL grows without bound.
+            for i in 0..32 {
+                db.query_str(&format!(
+                    "INSERT INTO t VALUES ({i}, 'some body text to fatten the record')"
+                ))
+                .unwrap();
+            }
+            let before = db.store_stats().unwrap();
+            assert_eq!(before.base_seq, 0, "no checkpoint without the trigger");
+            assert!(before.live_wal_bytes > 512);
+
+            // Armed: the write crossing the threshold checkpoints, so the
+            // live WAL stays bounded even under a long insert stream.
+            db.set_auto_checkpoint_wal_bytes(512);
+            assert_eq!(db.auto_checkpoint_wal_bytes(), 512);
+            let mut max_wal = 0;
+            for i in 32..96 {
+                db.query_str(&format!(
+                    "INSERT INTO t VALUES ({i}, 'some body text to fatten the record')"
+                ))
+                .unwrap();
+                max_wal = max_wal.max(db.store_stats().unwrap().live_wal_bytes);
+            }
+            let after = db.store_stats().unwrap();
+            assert!(after.base_seq > 0, "trigger never checkpointed");
+            // One statement may overshoot the line before the trigger
+            // fires, but the WAL never grows a second threshold past it.
+            assert!(
+                max_wal < 512 + 1024,
+                "WAL unbounded with the trigger armed: {max_wal}"
+            );
+        }
+        // Recovery sees checkpoint + tail, nothing lost.
+        let db = SharedDb::open(&dir).unwrap();
+        let r = db.query_str("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap().value(), &96);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

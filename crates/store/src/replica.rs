@@ -17,9 +17,17 @@
 //!
 //! [`tail_records`] treats a torn tail as "end of shipped log", not an
 //! error: the tear is the in-flight append the next ship will complete.
-//! Segments the primary has compacted away are *not* deleted from the
-//! replica directory (a slow follower may still need them); records they
-//! hold are filtered by sequence number on replay.
+//! Segments the primary has compacted away are deleted from the replica
+//! directory once — and only once — the shipped checkpoint covers them:
+//! every record the replica's copy holds must have `seq <=` the shipped
+//! manifest's base sequence number. A torn copy of a compacted segment
+//! passes the same test on its valid prefix — sound because the primary
+//! only compacts a segment after the manifest covering *all* of its
+//! records is durable, so whatever the tear hides is covered too. A
+//! segment whose records exceed the shipped base sequence (a primary-side
+//! bug the replica must not amplify) is kept. This bounds the replica
+//! directory by the same retention the primary enforces, without ever
+//! dropping a record a replay still needs.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -40,6 +48,9 @@ pub struct ShipReport {
     pub parts_copied: u64,
     /// Total bytes copied (segments + parts + manifest).
     pub bytes_copied: u64,
+    /// Replica segments deleted because the primary compacted them away
+    /// and the shipped checkpoint covers every record they held.
+    pub segments_pruned: u64,
 }
 
 /// Records tailed from a shipped (or live) store directory.
@@ -54,8 +65,12 @@ pub struct Tailed {
 }
 
 /// Copies the primary store at `src` into the replica directory `dst`:
-/// new checkpoint parts first, then the manifest, then segment tails.
-/// Incremental and idempotent; never deletes anything at `dst`.
+/// new checkpoint parts first, then the manifest, then segment tails,
+/// then prunes replica segments the primary compacted away **if** the
+/// shipped checkpoint fully covers their records. Incremental and
+/// idempotent; the only deletions are those checkpoint-covered segments,
+/// so a slow follower that has not shipped the covering manifest yet
+/// keeps every segment it might still need.
 pub fn ship(src: &Path, dst: &Path) -> Result<ShipReport> {
     std::fs::create_dir_all(dst)?;
     let mut report = ShipReport::default();
@@ -89,15 +104,17 @@ pub fn ship(src: &Path, dst: &Path) -> Result<ShipReport> {
     // Segment tails: append-only between checkpoints, so resume at the
     // replica's current length. A shorter source (post-crash repair on
     // the primary) forces a full re-copy.
-    for (index, path) in list_segments(src)? {
-        let src_len = std::fs::metadata(&path)?.len();
+    let src_segments = list_segments(src)?;
+    for (index, path) in &src_segments {
+        let (index, path) = (*index, path);
+        let src_len = std::fs::metadata(path)?.len();
         let to = crate::segment::segment_path(dst, index);
         let dst_len = std::fs::metadata(&to).map(|m| m.len()).unwrap_or(0);
         if dst_len == src_len {
             continue;
         }
         let from = if dst_len < src_len { dst_len } else { 0 };
-        let mut src_file = File::open(&path)?;
+        let mut src_file = File::open(path)?;
         src_file.seek(SeekFrom::Start(from))?;
         let mut tail = Vec::new();
         src_file.read_to_end(&mut tail)?;
@@ -113,6 +130,34 @@ pub fn ship(src: &Path, dst: &Path) -> Result<ShipReport> {
         report.segments_copied += 1;
         report.bytes_copied += tail.len() as u64;
     }
+
+    // Retention: drop replica segments the primary compacted away, but
+    // only when the checkpoint we just shipped covers their records.
+    // Indexes are monotonic and never reused, so "absent at src and below
+    // the lowest live source index" means compacted. Each candidate is
+    // still scanned: a record above base_seq (which compaction should
+    // have made impossible) or an unreadable file keeps the segment — a
+    // replica never amplifies a primary-side bug into data loss. A torn
+    // candidate's valid prefix passing the seq test is enough: the
+    // primary only deletes a segment once the covering manifest is
+    // durable, so the tear cannot hide an uncovered record.
+    if let Some(base_seq) = checkpoint_base_seq(dst)? {
+        let min_src = src_segments.iter().map(|(i, _)| *i).min();
+        for (index, path) in list_segments(dst)? {
+            if min_src.is_some_and(|m| index >= m) {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let Ok(scanned) = scan(&bytes) else { continue };
+            if scanned.records.iter().all(|r| r.seq <= base_seq) {
+                std::fs::remove_file(&path)?;
+                report.segments_pruned += 1;
+            }
+        }
+    }
+
     if let Ok(d) = File::open(dst) {
         let _ = d.sync_all();
     }
@@ -245,6 +290,151 @@ mod tests {
         let t = tail_records(&dst, base_seq).unwrap();
         assert_eq!(t.records.len(), 1);
         assert_eq!(t.records[0].payload, b"post");
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn shipped_replica_directory_stays_bounded_under_checkpoints() {
+        let src = tmp_dir("prunesrc");
+        let dst = tmp_dir("prunedst");
+        let (s, _) = Store::open(&src).unwrap();
+        s.set_sync(false);
+        s.set_segment_max_bytes(64);
+        let mut pruned_total = 0;
+        for round in 0..8u32 {
+            for i in 0..6u32 {
+                s.append(format!("round{round}-rec{i}-payload").as_bytes())
+                    .unwrap();
+            }
+            // Ship the live log first (the replica now holds the rotated
+            // segments), then checkpoint — the next ship must prune them.
+            ship(&src, &dst).unwrap();
+            s.checkpoint(format!("CKPT{round}").as_bytes()).unwrap();
+            let rep = ship(&src, &dst).unwrap();
+            pruned_total += rep.segments_pruned;
+            // The replica holds a subset of the primary's segments (an
+            // empty active segment is never materialized): compaction-
+            // covered history is pruned, nothing else accumulates.
+            let src_idx: Vec<u64> = list_segments(&src)
+                .unwrap()
+                .iter()
+                .map(|(i, _)| *i)
+                .collect();
+            let dst_idx: Vec<u64> = list_segments(&dst)
+                .unwrap()
+                .iter()
+                .map(|(i, _)| *i)
+                .collect();
+            assert!(
+                dst_idx.iter().all(|i| src_idx.contains(i)),
+                "round {round}: replica directory unbounded: src {src_idx:?} dst {dst_idx:?}"
+            );
+            // Replay still reconstructs the full state.
+            let (base_seq, parts) = read_checkpoint(&dst).unwrap().expect("checkpoint shipped");
+            assert_eq!(parts[0].1, format!("CKPT{round}").as_bytes());
+            let t = tail_records(&dst, base_seq).unwrap();
+            assert!(t.records.is_empty());
+            assert!(!t.torn);
+        }
+        assert!(pruned_total > 0, "compaction never pruned anything");
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn pruning_spares_uncovered_segments_and_needs_a_checkpoint() {
+        let src = tmp_dir("sparesrc");
+        let dst = tmp_dir("sparedst");
+        let (s, _) = Store::open(&src).unwrap();
+        s.set_sync(false);
+        s.set_segment_max_bytes(32);
+        for i in 0..6u32 {
+            s.append(format!("record-{i}-padding-bytes").as_bytes())
+                .unwrap();
+        }
+        ship(&src, &dst).unwrap();
+        let shipped = list_segments(&dst).unwrap();
+        assert!(shipped.len() >= 3, "cap must force rotation");
+        // Simulate a primary that lost an old segment without ever
+        // checkpointing: no manifest at the replica means no pruning, so
+        // the replica keeps its copy (the only surviving one).
+        let (lost_idx, lost_src_path) = list_segments(&src).unwrap().remove(0);
+        std::fs::remove_file(&lost_src_path).unwrap();
+        ship(&src, &dst).unwrap();
+        assert!(
+            list_segments(&dst)
+                .unwrap()
+                .iter()
+                .any(|(i, _)| *i == lost_idx),
+            "pruned without a covering checkpoint"
+        );
+        // Now checkpoint — compaction drops the remaining old segments at
+        // the source — but hand the replica a *stale* manifest whose
+        // base_seq predates the tail records: segments holding records
+        // above it must survive.
+        s.checkpoint(b"CKPT").unwrap();
+        ship(&src, &dst).unwrap();
+        let base_seq = checkpoint_base_seq(&dst).unwrap().unwrap();
+        assert_eq!(base_seq, 6);
+        for i in 0..4u32 {
+            s.append(format!("after-ckpt-{i}-padding").as_bytes())
+                .unwrap();
+        }
+        // Records 7..=10 live in segments the replica has; pretend the
+        // primary compacted them away prematurely (a bug) by deleting
+        // them at the source after shipping.
+        ship(&src, &dst).unwrap();
+        let src_now = list_segments(&src).unwrap();
+        let (active_idx, _) = *src_now.last().unwrap();
+        for (i, p) in &src_now {
+            if *i < active_idx {
+                std::fs::remove_file(p).unwrap();
+            }
+        }
+        let rep = ship(&src, &dst).unwrap();
+        assert_eq!(rep.segments_pruned, 0, "pruned records above base_seq");
+        let t = tail_records(&dst, base_seq).unwrap();
+        assert_eq!(t.records.len(), 4, "uncovered records must survive");
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn torn_copy_of_a_compacted_segment_is_pruned_once_covered() {
+        let src = tmp_dir("tornprunesrc");
+        let dst = tmp_dir("tornprunedst");
+        let (s, _) = Store::open(&src).unwrap();
+        s.set_sync(false);
+        s.set_segment_max_bytes(32);
+        for i in 0..6u32 {
+            s.append(format!("record-{i}-padding-bytes").as_bytes())
+                .unwrap();
+        }
+        ship(&src, &dst).unwrap();
+        // Tear the replica's oldest segment mid-frame (a ship that raced
+        // an append), then checkpoint: the primary compacts the segment
+        // away, so the tear can never be repaired — but the covering
+        // manifest makes the whole segment prunable, valid prefix and
+        // hidden tail alike.
+        let (torn_idx, torn_path) = list_segments(&dst).unwrap().remove(0);
+        let bytes = std::fs::read(&torn_path).unwrap();
+        std::fs::write(&torn_path, &bytes[..bytes.len() - 3]).unwrap();
+        s.checkpoint(b"CKPT").unwrap();
+        let rep = ship(&src, &dst).unwrap();
+        assert!(rep.segments_pruned >= 1, "torn covered segment leaked");
+        assert!(
+            list_segments(&dst)
+                .unwrap()
+                .iter()
+                .all(|(i, _)| *i != torn_idx),
+            "torn covered segment still present"
+        );
+        // Replay is whole: checkpoint plus (empty) tail.
+        let (base_seq, parts) = read_checkpoint(&dst).unwrap().unwrap();
+        assert_eq!(parts[0].1, b"CKPT");
+        let t = tail_records(&dst, base_seq).unwrap();
+        assert!(t.records.is_empty() && !t.torn);
         std::fs::remove_dir_all(&src).unwrap();
         std::fs::remove_dir_all(&dst).unwrap();
     }

@@ -117,6 +117,9 @@ pub struct Vfs {
     backend: Box<dyn Backend>,
     torn_recovery: bool,
     torn_cross_segment: bool,
+    /// Live-WAL-bytes threshold above which a completed mutation
+    /// checkpoints the tree. Zero (the default) disables the trigger.
+    auto_checkpoint_wal_bytes: u64,
 }
 
 impl Default for Vfs {
@@ -134,6 +137,7 @@ impl Vfs {
             backend: Box::new(MemBackend),
             torn_recovery: false,
             torn_cross_segment: false,
+            auto_checkpoint_wal_bytes: 0,
         }
     }
 
@@ -145,6 +149,7 @@ impl Vfs {
             backend: Box::new(MemBackend),
             torn_recovery: false,
             torn_cross_segment: false,
+            auto_checkpoint_wal_bytes: 0,
         }
     }
 
@@ -164,6 +169,7 @@ impl Vfs {
             backend: Box::new(MemBackend), // replay must not re-log
             torn_recovery: recovered.torn_tail,
             torn_cross_segment: recovered.torn_cross_segment,
+            auto_checkpoint_wal_bytes: 0,
         };
         for op in &recovered.ops {
             fs.apply_op(op)?;
@@ -190,6 +196,36 @@ impl Vfs {
     /// in-memory tree.
     pub fn store_stats(&self) -> Option<resin_store::StoreStats> {
         self.backend.store_stats()
+    }
+
+    /// Arms the size-based checkpoint trigger: once the live WAL grows
+    /// past `bytes`, the mutation that crossed the line checkpoints the
+    /// tree before returning. Zero (the default) disables the trigger.
+    pub fn set_auto_checkpoint_wal_bytes(&mut self, bytes: u64) {
+        self.auto_checkpoint_wal_bytes = bytes;
+    }
+
+    /// The armed auto-checkpoint threshold (0 = disabled).
+    pub fn auto_checkpoint_wal_bytes(&self) -> u64 {
+        self.auto_checkpoint_wal_bytes
+    }
+
+    /// Runs the size-based trigger after a completed mutation — never
+    /// mid-operation: some ops journal write-ahead, and a checkpoint
+    /// taken between the log record and the tree update would truncate
+    /// an op the snapshot lacks. Best-effort: the mutation is already
+    /// applied and logged, so a checkpoint failure must not turn it into
+    /// a caller-visible error; the next explicit checkpoint surfaces it.
+    fn maybe_auto_checkpoint(&mut self) {
+        if self.auto_checkpoint_wal_bytes == 0 {
+            return;
+        }
+        let over = self
+            .store_stats()
+            .is_some_and(|s| s.live_wal_bytes >= self.auto_checkpoint_wal_bytes);
+        if over {
+            let _ = self.checkpoint();
+        }
     }
 
     /// The active tracking mode.
@@ -483,6 +519,7 @@ impl Vfs {
             }
             done.push(c);
         }
+        self.maybe_auto_checkpoint();
         Ok(())
     }
 
@@ -549,6 +586,7 @@ impl Vfs {
             path: to_absolute(&comps),
         })?;
         self.get_dir_mut(&parent)?.children.remove(&name);
+        self.maybe_auto_checkpoint();
         Ok(())
     }
 
@@ -599,6 +637,7 @@ impl Vfs {
             self.get_dir_mut(&fparent)?.children.insert(fname, node);
             return Err(e);
         }
+        self.maybe_auto_checkpoint();
         Ok(())
     }
 
@@ -728,6 +767,7 @@ impl Vfs {
             }
             return Err(e);
         }
+        self.maybe_auto_checkpoint();
         Ok(())
     }
 
@@ -827,15 +867,16 @@ impl Vfs {
         })?;
         if comps.is_empty() {
             self.root.xattrs.insert(key.to_string(), value.to_string());
-            return Ok(());
-        }
-        match self.get_node_mut(&comps) {
-            Some(n) => {
-                n.xattrs_mut().insert(key.to_string(), value.to_string());
-                Ok(())
+        } else {
+            match self.get_node_mut(&comps) {
+                Some(n) => {
+                    n.xattrs_mut().insert(key.to_string(), value.to_string());
+                }
+                None => return Err(VfsError::NotFound(path.to_string())),
             }
-            None => Err(VfsError::NotFound(path.to_string())),
         }
+        self.maybe_auto_checkpoint();
+        Ok(())
     }
 
     /// Reads an extended attribute.
@@ -875,15 +916,16 @@ impl Vfs {
         })?;
         if comps.is_empty() {
             self.root.xattrs.remove(XATTR_FILTER);
-            return Ok(());
-        }
-        match self.get_node_mut(&comps) {
-            Some(n) => {
-                n.xattrs_mut().remove(XATTR_FILTER);
-                Ok(())
+        } else {
+            match self.get_node_mut(&comps) {
+                Some(n) => {
+                    n.xattrs_mut().remove(XATTR_FILTER);
+                }
+                None => return Err(VfsError::NotFound(path.to_string())),
             }
-            None => Err(VfsError::NotFound(path.to_string())),
         }
+        self.maybe_auto_checkpoint();
+        Ok(())
     }
 }
 
@@ -1385,5 +1427,53 @@ mod tests {
         fs.write_file("/d/file", &TaintedString::from("x"), &anon())
             .unwrap();
         assert!(fs.mkdir_p("/d/file/sub", &anon()).is_err());
+    }
+
+    #[test]
+    fn size_based_auto_checkpoint_bounds_the_op_log() {
+        let dir = disk_dir("auto-ckpt");
+        {
+            let mut fs = Vfs::open_disk(&dir).unwrap();
+            fs.mkdir_p("/logs", &anon()).unwrap();
+            // Off by default: the op log grows without bound.
+            for i in 0..16 {
+                fs.write_file(
+                    &format!("/logs/entry-{i}"),
+                    &TaintedString::from("a log line fat enough to matter"),
+                    &anon(),
+                )
+                .unwrap();
+            }
+            let before = fs.store_stats().unwrap();
+            assert_eq!(before.base_seq, 0, "no checkpoint without the trigger");
+            assert!(before.live_wal_bytes > 256);
+
+            fs.set_auto_checkpoint_wal_bytes(256);
+            assert_eq!(fs.auto_checkpoint_wal_bytes(), 256);
+            let mut max_wal = 0;
+            for i in 16..48 {
+                fs.write_file(
+                    &format!("/logs/entry-{i}"),
+                    &TaintedString::from("a log line fat enough to matter"),
+                    &anon(),
+                )
+                .unwrap();
+                max_wal = max_wal.max(fs.store_stats().unwrap().live_wal_bytes);
+            }
+            let after = fs.store_stats().unwrap();
+            assert!(after.base_seq > 0, "trigger never checkpointed");
+            // One op may overshoot before the trigger fires, but the log
+            // never grows a second threshold past the line.
+            assert!(
+                max_wal < 256 + 1024,
+                "op log unbounded with the trigger armed: {max_wal}"
+            );
+        }
+        // Recovery sees checkpoint + tail, nothing lost.
+        let fs = Vfs::open_disk(&dir).unwrap();
+        for i in 0..48 {
+            assert!(fs.exists(&format!("/logs/entry-{i}")), "entry-{i} lost");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

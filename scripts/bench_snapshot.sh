@@ -6,7 +6,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 BENCHES=(string_builder gate_write label_ops server_throughput store_io net_throughput rsl_exec sql_scaling checkpoint_scaling replication)
 
 RAW="$(mktemp)"
