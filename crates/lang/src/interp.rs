@@ -2216,4 +2216,30 @@ mod tests {
         assert_eq!(i.take_lint_reports().len(), 1);
         assert!(i.lint_reports().is_empty());
     }
+
+    #[test]
+    fn review_probe_array_smuggled_this_mutation() {
+        // `this` smuggled through an array literal, mutated via the alias.
+        let class = policy_class(
+            r#"class Smuggle {
+                fn export_check(context) {
+                    let a = [this];
+                    let t = a[0];
+                    t.n = t.n + 1;
+                    if (t.n > 1) { throw "ran twice"; }
+                }
+            }"#,
+        );
+        assert!(
+            !check_is_cacheable(&class),
+            "UNSOUND: array-smuggled this mutation certified cacheable"
+        );
+        let mut fields = BTreeMap::new();
+        fields.insert("n".to_string(), PValue::Int(0));
+        let ctx = Context::new(GateKind::Http);
+        for i in 0..3 {
+            eval_policy_method_on(Engine::Vm, &class, &fields, &ctx)
+                .unwrap_or_else(|e| panic!("crossing {i} observed prior run: {e}"));
+        }
+    }
 }
